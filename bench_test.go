@@ -1,0 +1,477 @@
+// Benchmarks mirroring the paper's evaluation (§6): one testing.B benchmark
+// per table and figure, built on the same harness as cmd/benchmark. Each
+// benchmark processes b.N stream tuples (or performs b.N final aggregations
+// for the latency figures) and additionally reports tuples/s.
+//
+//	go test -bench=. -benchmem
+//
+// cmd/benchmark regenerates the full sweeps/series of each figure; the
+// benchmarks here pin one representative configuration per series so the
+// suite stays comparable run over run.
+package scotty
+
+import (
+	"math/rand"
+	"testing"
+
+	"scotty/internal/aggregate"
+	"scotty/internal/baselines"
+	"scotty/internal/benchutil"
+	"scotty/internal/core"
+	"scotty/internal/engine"
+	"scotty/internal/fat"
+	"scotty/internal/memsize"
+	"scotty/internal/rle"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+// feed replays n generated tuples through a fresh operator and reports
+// throughput.
+func feed(b *testing.B, t benchutil.Technique, f func() benchutil.Op, in benchutil.Input) {
+	b.Helper()
+	op := f()
+	b.ResetTimer()
+	for _, it := range in.Items {
+		op(it)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(in.Events)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+func throughputBench(b *testing.B, t benchutil.Technique, w benchutil.Workload, d stream.Disorder) {
+	b.Helper()
+	in := benchutil.MakeInput(stream.Football(), b.N, d, 42)
+	feed(b, t, func() benchutil.Op { return benchutil.NewOp(t, benchutil.SumFn(), w) }, in)
+}
+
+// ----------------------------------------------------------------- Fig 8 ---
+
+func BenchmarkFig8Throughput(b *testing.B) {
+	for _, t := range benchutil.AllTechniques {
+		b.Run(string(t)+"/w20", func(b *testing.B) {
+			throughputBench(b, t, benchutil.Workload{
+				Ordered: true,
+				Defs:    func() []window.Definition { return benchutil.TumblingQueries(20) },
+			}, stream.Disorder{})
+		})
+	}
+}
+
+// ----------------------------------------------------------------- Fig 9 ---
+
+func BenchmarkFig9ThroughputOOO(b *testing.B) {
+	for _, t := range []benchutil.Technique{
+		benchutil.LazySlicing, benchutil.EagerSlicing, benchutil.Buckets,
+		benchutil.TupleBuffer, benchutil.AggTree,
+	} {
+		b.Run(string(t)+"/w20", func(b *testing.B) {
+			throughputBench(b, t, benchutil.Workload{
+				Lateness: 4000,
+				Defs: func() []window.Definition {
+					return benchutil.WithSession(benchutil.TumblingQueries(20))
+				},
+			}, stream.Disorder{Fraction: 0.2, MaxDelay: 2000, Seed: 7})
+		})
+	}
+}
+
+// ---------------------------------------------------------------- Fig 10 ---
+
+func BenchmarkFig10Memory(b *testing.B) {
+	// State build + deep-size measurement; bytes reported as a metric.
+	// Operators are built concretely so the deep-size walker sees their
+	// state (closures are opaque to reflection).
+	ev := func(n int) []stream.Event[stream.Tuple] {
+		out := make([]stream.Event[stream.Tuple], n)
+		for i := range out {
+			out[i] = stream.Event[stream.Tuple]{Time: int64(i), Seq: int64(i), Value: stream.Tuple{V: 1}}
+		}
+		return out
+	}
+	def := func() window.Definition { return window.Tumbling(stream.Time, 64) }
+	f := benchutil.SumFn()
+	const lateness = int64(1) << 40
+
+	b.Run("lazy-slicing", func(b *testing.B) {
+		ag := core.New(f, core.Options{Lateness: lateness})
+		ag.MustAddQuery(def())
+		b.ResetTimer()
+		for _, e := range ev(b.N) {
+			ag.ProcessElement(e)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(memsize.Of(ag)), "state-bytes")
+	})
+	b.Run("eager-slicing", func(b *testing.B) {
+		ag := core.New(f, core.Options{Lateness: lateness, Eager: true})
+		ag.MustAddQuery(def())
+		b.ResetTimer()
+		for _, e := range ev(b.N) {
+			ag.ProcessElement(e)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(memsize.Of(ag)), "state-bytes")
+	})
+	b.Run("buckets", func(b *testing.B) {
+		op := baselines.NewBuckets(f, false, false, lateness)
+		op.AddQuery(def())
+		b.ResetTimer()
+		for _, e := range ev(b.N) {
+			op.ProcessElement(e)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(memsize.Of(op)), "state-bytes")
+	})
+	b.Run("tuple-buffer", func(b *testing.B) {
+		op := baselines.NewTupleBuffer(f, false, lateness)
+		op.AddQuery(def())
+		b.ResetTimer()
+		for _, e := range ev(b.N) {
+			op.ProcessElement(e)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(memsize.Of(op)), "state-bytes")
+	})
+	b.Run("agg-tree", func(b *testing.B) {
+		op := baselines.NewAggTree(f, false, lateness)
+		op.AddQuery(def())
+		b.ResetTimer()
+		for _, e := range ev(b.N) {
+			op.ProcessElement(e)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(memsize.Of(op)), "state-bytes")
+	})
+}
+
+// ---------------------------------------------------------------- Fig 11 ---
+
+func latencyStore(entries int) ([]float64, *fat.Tree[float64], map[int64]float64) {
+	rng := rand.New(rand.NewSource(5))
+	f := aggregate.Sum(stream.Val)
+	parts := make([]float64, entries)
+	tree := fat.New(f.Combine, f.Identity())
+	m := make(map[int64]float64, entries)
+	for i := range parts {
+		parts[i] = float64(rng.Intn(1000))
+		tree.Push(parts[i])
+		m[int64(i)] = parts[i]
+	}
+	return parts, tree, m
+}
+
+func BenchmarkFig11LatencySum(b *testing.B) {
+	const entries = 10_000
+	parts, tree, m := latencyStore(entries)
+	var sink float64
+	b.Run("lazy-fold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := 0.0
+			for _, p := range parts {
+				a += p
+			}
+			sink = a
+		}
+	})
+	b.Run("eager-tree-query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink = tree.Query(entries/3, entries-1)
+		}
+	})
+	b.Run("bucket-lookup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink = m[int64(i%entries)]
+		}
+	})
+	_ = sink
+}
+
+func BenchmarkFig11LatencyMedian(b *testing.B) {
+	const entries = 1000
+	rng := rand.New(rand.NewSource(5))
+	f := aggregate.Median(stream.Val)
+	parts := make([]*rle.Multiset, entries)
+	tree := fat.New(f.Combine, f.Identity())
+	for i := range parts {
+		parts[i] = rle.Of(float64(rng.Intn(1000)))
+		tree.Push(parts[i])
+	}
+	var sink float64
+	b.Run("lazy-fold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a := f.Identity()
+			for _, p := range parts {
+				a = f.Combine(a, p)
+			}
+			sink = f.Lower(a)
+		}
+	})
+	b.Run("eager-tree-query", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink = f.Lower(tree.Query(entries/3, entries-1))
+		}
+	})
+	_ = sink
+}
+
+// ---------------------------------------------------------------- Fig 12 ---
+
+func BenchmarkFig12aOOOFraction(b *testing.B) {
+	for _, frac := range []float64{0, 0.2, 0.6, 1.0} {
+		b.Run(pct(frac), func(b *testing.B) {
+			throughputBench(b, benchutil.LazySlicing, benchutil.Workload{
+				Lateness: 4000,
+				Defs: func() []window.Definition {
+					return benchutil.WithSession(benchutil.TumblingQueries(20))
+				},
+			}, stream.Disorder{Fraction: frac, MaxDelay: 2000, Seed: 11})
+		})
+	}
+}
+
+func BenchmarkFig12bDelay(b *testing.B) {
+	for _, delay := range []int64{500, 2000, 8000} {
+		b.Run("delay-"+itoa(delay), func(b *testing.B) {
+			throughputBench(b, benchutil.LazySlicing, benchutil.Workload{
+				Lateness: 2 * delay,
+				Defs: func() []window.Definition {
+					return benchutil.WithSession(benchutil.TumblingQueries(20))
+				},
+			}, stream.Disorder{Fraction: 0.2, MaxDelay: delay, Seed: 13})
+		})
+	}
+}
+
+// ---------------------------------------------------------------- Fig 13 ---
+
+func fig13Bench[A any](b *testing.B, f aggregate.Function[stream.Tuple, A, float64], m stream.Measure) {
+	b.Helper()
+	in := benchutil.MakeInput(stream.Football(), b.N, stream.Disorder{Fraction: 0.2, MaxDelay: 2000, Seed: 19}, 42)
+	op := benchutil.NewOp(benchutil.LazySlicing, f, benchutil.Workload{
+		Lateness: 4000,
+		Defs: func() []window.Definition {
+			if m == stream.Time {
+				return benchutil.TumblingQueries(20)
+			}
+			return benchutil.CountQueries(20)
+		},
+	})
+	b.ResetTimer()
+	for _, it := range in.Items {
+		op(it)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(in.Events)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+func BenchmarkFig13Aggregations(b *testing.B) {
+	for _, m := range []stream.Measure{stream.Time, stream.Count} {
+		m := m
+		b.Run("sum/"+m.String(), func(b *testing.B) { fig13Bench(b, aggregate.Sum(stream.Val), m) })
+		b.Run("sum-no-invert/"+m.String(), func(b *testing.B) { fig13Bench(b, aggregate.NaiveSum(stream.Val), m) })
+		b.Run("min/"+m.String(), func(b *testing.B) { fig13Bench(b, aggregate.Min(stream.Val), m) })
+		b.Run("mean/"+m.String(), func(b *testing.B) { fig13Bench(b, aggregate.Mean(stream.Val), m) })
+		b.Run("median/"+m.String(), func(b *testing.B) { fig13Bench(b, aggregate.Median(stream.Val), m) })
+	}
+}
+
+// ---------------------------------------------------------------- Fig 14 ---
+
+func BenchmarkFig14Holistic(b *testing.B) {
+	for _, t := range []benchutil.Technique{benchutil.LazySlicing, benchutil.TupleBuffer} {
+		for _, p := range []stream.Profile{stream.Football(), stream.Machine()} {
+			b.Run(string(t)+"/"+p.Name, func(b *testing.B) {
+				in := benchutil.MakeInput(p, b.N, stream.Disorder{Fraction: 0.2, MaxDelay: 2000, Seed: 23}, 42)
+				op := benchutil.NewOp(t, aggregate.Median(stream.Val), benchutil.Workload{
+					Lateness: 4000,
+					Defs:     func() []window.Definition { return benchutil.TumblingQueries(20) },
+				})
+				b.ResetTimer()
+				for _, it := range in.Items {
+					op(it)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(in.Events)/b.Elapsed().Seconds(), "tuples/s")
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------- Fig 15 ---
+
+func BenchmarkFig15SplitRecompute(b *testing.B) {
+	sumF := aggregate.Sum(stream.Val)
+	medF := aggregate.Median(stream.Val)
+	for _, n := range []int{100, 10_000} {
+		ev := make([]stream.Event[stream.Tuple], n)
+		for i := range ev {
+			ev[i] = stream.Event[stream.Tuple]{Time: int64(i), Seq: int64(i), Value: stream.Tuple{V: float64(i % 997)}}
+		}
+		b.Run("sum/n"+itoa(int64(n)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = aggregate.Recompute[stream.Tuple, float64, float64](sumF, ev)
+			}
+		})
+		b.Run("median/n"+itoa(int64(n)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = aggregate.Recompute[stream.Tuple, *rle.Multiset, float64](medF, ev)
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------- Fig 16 ---
+
+func BenchmarkFig16Measures(b *testing.B) {
+	for _, m := range []stream.Measure{stream.Time, stream.Count} {
+		m := m
+		b.Run("slicing/"+m.String()+"/w20", func(b *testing.B) {
+			in := benchutil.MakeInput(stream.Football(), b.N, stream.Disorder{Fraction: 0.2, MaxDelay: 2000, Seed: 17}, 42)
+			op := benchutil.NewOp(benchutil.LazySlicing, benchutil.SumFn(), benchutil.Workload{
+				Lateness: 4000,
+				Defs: func() []window.Definition {
+					if m == stream.Time {
+						return benchutil.TumblingQueries(20)
+					}
+					return benchutil.CountQueries(20)
+				},
+			})
+			b.ResetTimer()
+			for _, it := range in.Items {
+				op(it)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(in.Events)/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
+}
+
+// ---------------------------------------------------------------- Fig 17 ---
+
+func BenchmarkFig17Parallel(b *testing.B) {
+	for _, dop := range []int{1, 2, 4} {
+		b.Run("slicing/dop"+itoa(int64(dop)), func(b *testing.B) {
+			in := benchutil.MakeInput(stream.Football(), b.N, stream.Disorder{}, 42)
+			b.ResetTimer()
+			stats := engine.Run(engine.Config[stream.Tuple]{
+				Parallelism: dop,
+				Key:         func(e stream.Event[stream.Tuple]) uint64 { return uint64(e.Value.Key) },
+				NewProcessor: func(p int) engine.Processor[stream.Tuple] {
+					op := benchutil.NewOp(benchutil.LazySlicing, aggregate.M4(stream.Val), benchutil.Workload{
+						Lateness: 1000,
+						Defs:     func() []window.Definition { return benchutil.TumblingQueries(80) },
+					})
+					return engine.ProcessorFunc[stream.Tuple](func(it stream.Item[stream.Tuple]) int { return op(it) })
+				},
+			}, in.Items)
+			b.StopTimer()
+			b.ReportMetric(stats.Throughput(), "tuples/s")
+			b.ReportMetric(stats.CPUUtilization(), "cpu-%")
+		})
+	}
+}
+
+// ----------------------------------------------------------- Table 1 -------
+
+func BenchmarkTable1Memory(b *testing.B) {
+	// Builds the lazy-slicing state of Table 1 row 5 over b.N tuples and
+	// reports measured bytes; the full eight-row comparison is
+	// `cmd/benchmark -fig table1`.
+	ag := core.New(benchutil.SumFn(), core.Options{Ordered: true})
+	ag.MustAddQuery(window.Tumbling(stream.Time, 64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ag.ProcessElement(stream.Event[stream.Tuple]{Time: int64(i), Seq: int64(i), Value: stream.Tuple{V: 1}})
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(memsize.Of(ag)), "state-bytes")
+}
+
+// --------------------------------------------------------------- ablations ---
+
+func BenchmarkAblationEdgeCache(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "on"
+		if disable {
+			name = "off"
+		}
+		b.Run(name, func(b *testing.B) {
+			ag := core.New(benchutil.SumFn(), core.Options{Ordered: true, DisableEdgeCache: disable})
+			for _, d := range benchutil.TumblingQueries(200) {
+				ag.MustAddQuery(d)
+			}
+			in := benchutil.MakeInput(stream.Football(), b.N, stream.Disorder{}, 42)
+			b.ResetTimer()
+			for _, it := range in.Items {
+				if it.Kind == stream.KindEvent {
+					ag.ProcessElement(it.Event)
+				} else {
+					ag.ProcessWatermark(it.Watermark)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationRLE(b *testing.B) {
+	in := func(n int) benchutil.Input {
+		return benchutil.MakeInput(stream.Machine(), n, stream.Disorder{Fraction: 0.2, MaxDelay: 2000, Seed: 31}, 42)
+	}
+	defs := func() []window.Definition { return benchutil.TumblingQueries(20) }
+	b.Run("rle", func(b *testing.B) {
+		input := in(b.N)
+		op := benchutil.NewOp(benchutil.LazySlicing, aggregate.Median(stream.Val), benchutil.Workload{Lateness: 4000, Defs: defs})
+		b.ResetTimer()
+		for _, it := range input.Items {
+			op(it)
+		}
+	})
+	b.Run("plain", func(b *testing.B) {
+		input := in(b.N)
+		op := benchutil.NewOp(benchutil.LazySlicing, aggregate.MedianNaive(stream.Val), benchutil.Workload{Lateness: 4000, Defs: defs})
+		b.ResetTimer()
+		for _, it := range input.Items {
+			op(it)
+		}
+	})
+}
+
+func BenchmarkAblationInvert(b *testing.B) {
+	defs := func() []window.Definition { return benchutil.CountQueries(20) }
+	d := stream.Disorder{Fraction: 0.2, MaxDelay: 2000, Seed: 29}
+	b.Run("invertible", func(b *testing.B) {
+		fig13BenchWithDefs(b, aggregate.Sum(stream.Val), defs, d)
+	})
+	b.Run("non-invertible", func(b *testing.B) {
+		fig13BenchWithDefs(b, aggregate.NaiveSum(stream.Val), defs, d)
+	})
+}
+
+func fig13BenchWithDefs[A any](b *testing.B, f aggregate.Function[stream.Tuple, A, float64], defs func() []window.Definition, d stream.Disorder) {
+	b.Helper()
+	in := benchutil.MakeInput(stream.Football(), b.N, d, 42)
+	op := benchutil.NewOp(benchutil.LazySlicing, f, benchutil.Workload{Lateness: 4000, Defs: defs})
+	b.ResetTimer()
+	for _, it := range in.Items {
+		op(it)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(in.Events)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// ------------------------------------------------------------- helpers ----
+
+func pct(f float64) string { return "ooo-" + itoa(int64(f*100)) + "%" }
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf []byte
+	for v > 0 {
+		buf = append([]byte{byte('0' + v%10)}, buf...)
+		v /= 10
+	}
+	return string(buf)
+}

@@ -1,0 +1,54 @@
+// Command benchmark regenerates the tables and figures of the paper's
+// evaluation (§6). Each figure is one sub-experiment:
+//
+//	benchmark -fig 8          # in-order throughput, context-free windows
+//	benchmark -fig 9          # throughput with disorder + session windows
+//	benchmark -fig 10         # memory consumption
+//	benchmark -fig 11         # output latency of aggregate stores
+//	benchmark -fig 12         # impact of stream order
+//	benchmark -fig 13         # impact of aggregation functions
+//	benchmark -fig 14         # holistic aggregations across techniques
+//	benchmark -fig 15         # split (recompute) cost
+//	benchmark -fig 16         # impact of window measures
+//	benchmark -fig 17         # parallel stream slicing
+//	benchmark -fig table1     # memory formulas vs measurement
+//	benchmark -fig ablation   # design-choice ablations
+//	benchmark -fig all        # everything
+//
+// -full selects the paper-sized configuration (several minutes); the default
+// quick scale finishes in well under a minute per figure and preserves every
+// trend.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"scotty/internal/benchutil"
+	"scotty/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "experiment id: 8..17, table1, ablation, or all")
+	full := flag.Bool("full", false, "run at the paper-sized scale")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+	benchutil.CSVMode = *csv
+
+	if *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	sc := experiments.Quick()
+	if *full {
+		sc = experiments.Full()
+	}
+	fmt.Printf("general stream slicing benchmark — GOMAXPROCS=%d, scale=%s\n",
+		runtime.GOMAXPROCS(0), map[bool]string{false: "quick", true: "full"}[*full])
+	if !experiments.Run(*fig, os.Stdout, sc) {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *fig)
+		os.Exit(2)
+	}
+}

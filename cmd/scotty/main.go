@@ -1,0 +1,155 @@
+// Command scotty runs an ad-hoc windowed aggregation over a CSV stream of
+// (timestamp-ms, value) pairs from stdin — or over a generated demo stream —
+// using the general stream slicing operator. It demonstrates the operator as
+// a standalone tool:
+//
+//	scotty -window tumbling -length 5000 -agg sum < events.csv
+//	scotty -window session -gap 1000 -agg mean -demo 100000
+//	scotty -window sliding -length 10000 -slide 2000 -agg p90 -ooo 0.2
+//
+// Input events may arrive out of order; results are emitted on periodic
+// watermarks, late events produce update rows.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"scotty/internal/aggregate"
+	"scotty/internal/core"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+func main() {
+	var (
+		winType  = flag.String("window", "tumbling", "tumbling | sliding | session | count")
+		length   = flag.Int64("length", 5000, "window length (ms, or tuples for -window count)")
+		slide    = flag.Int64("slide", 0, "slide step for sliding windows (ms)")
+		gap      = flag.Int64("gap", 1000, "inactivity gap for session windows (ms)")
+		aggName  = flag.String("agg", "sum", "sum | count | mean | min | max | median | p90 | m4")
+		demo     = flag.Int("demo", 0, "generate N demo events instead of reading stdin")
+		ooo      = flag.Float64("ooo", 0, "fraction of demo events delivered out of order")
+		lateness = flag.Int64("lateness", 2000, "allowed lateness (ms)")
+		wmEvery  = flag.Int64("watermark", 1000, "watermark period (ms of event time)")
+	)
+	flag.Parse()
+
+	def := makeWindow(*winType, *length, *slide, *gap)
+	events := readOrGenerate(*demo, *ooo)
+
+	run := func(op func(stream.Item[float64])) {
+		items := stream.Prepare(stream.Watermarker{Period: *wmEvery, Lag: 2001}, events)
+		for _, it := range items {
+			op(it)
+		}
+	}
+
+	switch *aggName {
+	case "sum":
+		runQuery(def, aggregate.Sum[float64](ident), *lateness, run)
+	case "count":
+		runQuery(def, aggregate.Count[float64](), *lateness, run)
+	case "mean":
+		runQuery(def, aggregate.Mean[float64](ident), *lateness, run)
+	case "min":
+		runQuery(def, aggregate.Min[float64](ident), *lateness, run)
+	case "max":
+		runQuery(def, aggregate.Max[float64](ident), *lateness, run)
+	case "median":
+		runQuery(def, aggregate.Median[float64](ident), *lateness, run)
+	case "p90":
+		runQuery(def, aggregate.Percentile[float64](0.9, ident), *lateness, run)
+	case "m4":
+		runQuery(def, aggregate.M4[float64](ident), *lateness, run)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown aggregation %q\n", *aggName)
+		os.Exit(2)
+	}
+}
+
+func ident(v float64) float64 { return v }
+
+func makeWindow(kind string, length, slide, gap int64) window.Definition {
+	switch kind {
+	case "tumbling":
+		return window.Tumbling(stream.Time, length)
+	case "sliding":
+		if slide <= 0 {
+			slide = length / 2
+		}
+		return window.Sliding(stream.Time, length, slide)
+	case "session":
+		return window.Session[float64](gap)
+	case "count":
+		return window.Tumbling(stream.Count, length)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown window type %q\n", kind)
+		os.Exit(2)
+		return nil
+	}
+}
+
+func runQuery[A any, Out any](def window.Definition, f aggregate.Function[float64, A, Out], lateness int64, run func(func(stream.Item[float64]))) {
+	ag := core.New(f, core.Options{Lateness: lateness})
+	if _, err := ag.AddQuery(def); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	emit := func(rs []core.Result[Out]) {
+		for _, r := range rs {
+			tag := ""
+			if r.Update {
+				tag = "  (update)"
+			}
+			fmt.Fprintf(out, "[%d, %d)\t n=%d\t %v%s\n", r.Start, r.End, r.N, r.Value, tag)
+		}
+	}
+	run(func(it stream.Item[float64]) {
+		if it.Kind == stream.KindEvent {
+			emit(ag.ProcessElement(it.Event))
+		} else {
+			emit(ag.ProcessWatermark(it.Watermark))
+		}
+	})
+}
+
+func readOrGenerate(demo int, ooo float64) []stream.Event[float64] {
+	if demo > 0 {
+		raw := stream.Generate(stream.Football(), demo, 1)
+		ev := make([]stream.Event[float64], len(raw))
+		for i, e := range raw {
+			ev[i] = stream.Event[float64]{Time: e.Time, Seq: e.Seq, Value: e.Value.V}
+		}
+		return stream.Apply(stream.Disorder{Fraction: ooo, MaxDelay: 2000, Seed: 7}, ev)
+	}
+	var ev []stream.Event[float64]
+	sc := bufio.NewScanner(os.Stdin)
+	seq := int64(0)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) < 2 {
+			fmt.Fprintf(os.Stderr, "skipping malformed line: %q\n", line)
+			continue
+		}
+		ts, err1 := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+		v, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err1 != nil || err2 != nil {
+			fmt.Fprintf(os.Stderr, "skipping malformed line: %q\n", line)
+			continue
+		}
+		ev = append(ev, stream.Event[float64]{Time: ts, Seq: seq, Value: v})
+		seq++
+	}
+	return ev
+}

@@ -1,0 +1,79 @@
+// Multiquery demonstrates the sharing and adaptivity story of general stream
+// slicing (§5): many concurrent queries — different window types and even
+// different windowing measures — share one sliced stream, queries come and go
+// at run time, and the operator's storage strategy (Fig 4) adapts with them.
+//
+//	go run ./examples/multiquery
+package main
+
+import (
+	"fmt"
+
+	"scotty/internal/aggregate"
+	"scotty/internal/core"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+func main() {
+	// An in-order machine-sensor stream (100 Hz).
+	events := stream.Generate(stream.Machine(), 30_000, 9)
+
+	median := aggregate.Median(stream.Val)
+	op := core.New(median, core.Options{Ordered: true})
+
+	// Three concurrent queries on different window types and measures,
+	// all sharing the same slices:
+	qTumble := op.MustAddQuery(window.Tumbling(stream.Time, 60_000))       // per-minute median
+	qSlide := op.MustAddQuery(window.Sliding(stream.Time, 30_000, 10_000)) // sliding 30 s / 10 s
+	qCount := op.MustAddQuery(window.Tumbling(stream.Count, 2_500))        // every 2500 readings
+
+	names := map[int]string{qTumble: "tumbling-1min", qSlide: "sliding-30s", qCount: "count-2500"}
+	counts := map[int]int{}
+
+	fmt.Printf("phase 1: three shared queries; stores tuples: %v\n", op.StoresTuples())
+	half := len(events) / 2
+	for _, e := range events[:half] {
+		for _, r := range op.ProcessElement(e) {
+			counts[r.Query]++
+			if counts[r.Query] == 1 {
+				fmt.Printf("  first result of %-13s  [%d, %d) median=%.0f n=%d\n",
+					names[r.Query], r.Start, r.End, r.Value, r.N)
+			}
+		}
+	}
+
+	// Drop the sliding query mid-stream; its slice edges are merged away.
+	before := op.Stats().Slices
+	op.RemoveQuery(qSlide)
+	fmt.Printf("\nphase 2: removed %s; slices %d -> %d (unneeded edges merged)\n",
+		names[qSlide], before, op.Stats().Slices)
+
+	// Add a forward-context-aware query: "the last 500 readings, every
+	// 20 s". FCA windows need tuples even on in-order streams — the
+	// operator adapts (Fig 4).
+	qFCA := op.MustAddQuery(window.CountInTime[stream.Tuple](500, 20_000))
+	names[qFCA] = "last500-every20s"
+	fmt.Printf("phase 3: added %s; stores tuples now: %v\n", names[qFCA], op.StoresTuples())
+
+	for _, e := range events[half:] {
+		for _, r := range op.ProcessElement(e) {
+			counts[r.Query]++
+			if r.Query == qFCA && counts[r.Query] == 1 {
+				fmt.Printf("  first result of %-13s ranks [%d, %d) median=%.0f n=%d\n",
+					names[r.Query], r.Start, r.End, r.Value, r.N)
+			}
+		}
+	}
+	for _, r := range op.ProcessWatermark(stream.MaxTime) {
+		counts[r.Query]++
+	}
+
+	fmt.Println("\nresults per query:")
+	for id, name := range names {
+		fmt.Printf("  %-17s %5d windows\n", name, counts[id])
+	}
+	st := op.Stats()
+	fmt.Printf("\n%d tuples, %d live slices, %d splits, %d merges\n",
+		st.Tuples, st.Slices, st.Splits, st.Merges)
+}

@@ -1,0 +1,63 @@
+// Quickstart: aggregate an out-of-order stream with a sliding window using
+// general stream slicing.
+//
+//	go run ./examples/quickstart
+//
+// The operator is configured once with the workload characteristics (stream
+// order, allowed lateness); everything else — how slices are cut, whether
+// tuples must be kept, how late tuples are folded in — is derived
+// automatically (§5 of the paper).
+package main
+
+import (
+	"fmt"
+
+	"scotty/internal/aggregate"
+	"scotty/internal/core"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+func main() {
+	// A sum over a sliding window: 10 s long, advancing every 2 s.
+	sum := aggregate.Sum[float64](func(v float64) float64 { return v })
+	op := core.New(sum, core.Options{
+		Lateness: 5_000, // tuples up to 5 s behind the watermark still count
+	})
+	op.MustAddQuery(window.Sliding(stream.Time, 10_000, 2_000))
+
+	// A tiny hand-written stream: (event-time ms, value), one tuple out of
+	// order, plus periodic watermarks.
+	type ev struct {
+		t int64
+		v float64
+	}
+	input := []ev{
+		{1_000, 1}, {3_000, 2}, {5_000, 3}, {9_000, 4},
+		{12_000, 5},
+		{2_500, 10}, // late: behind the watermark, still within the allowed lateness
+		{15_000, 6}, {21_000, 7}, {26_000, 8},
+	}
+
+	emit := func(rs []core.Result[float64]) {
+		for _, r := range rs {
+			kind := "window"
+			if r.Update {
+				kind = "update"
+			}
+			fmt.Printf("%s  [%5d, %5d)  n=%d  sum=%v\n", kind, r.Start, r.End, r.N, r.Value)
+		}
+	}
+
+	for i, e := range input {
+		emit(op.ProcessElement(stream.Event[float64]{Time: e.t, Seq: int64(i), Value: e.v}))
+		// Watermark: no tuple older than 6 s behind the newest will come.
+		if e.t > 6_000 {
+			emit(op.ProcessWatermark(e.t - 6_000))
+		}
+	}
+	// Close the stream: flush all remaining windows.
+	emit(op.ProcessWatermark(stream.MaxTime))
+
+	fmt.Printf("\noperator state: %+v\n", op.Stats())
+}

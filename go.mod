@@ -1,0 +1,3 @@
+module scotty
+
+go 1.22

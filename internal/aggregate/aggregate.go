@@ -1,0 +1,114 @@
+// Package aggregate implements the incremental aggregation framework of the
+// paper (§4.2, §5.4.1), following Tangwongsan et al. [42]: an aggregation is
+// expressed as lift / combine / lower, optionally with invert. Each function
+// declares its algebraic properties (associativity is required of all;
+// commutativity and invertibility are optional and exploited by general
+// stream slicing when present) and its class per Gray et al. [16]:
+// distributive, algebraic, or holistic.
+package aggregate
+
+import "scotty/internal/stream"
+
+// Kind classifies an aggregation per Gray et al.: distributive functions'
+// partial aggregates equal their final aggregates and have constant size;
+// algebraic functions summarize partials in a fixed-size intermediate;
+// holistic functions have unbounded partial-aggregate size.
+type Kind uint8
+
+const (
+	Distributive Kind = iota
+	Algebraic
+	Holistic
+)
+
+// String returns the class name.
+func (k Kind) String() string {
+	switch k {
+	case Distributive:
+		return "distributive"
+	case Algebraic:
+		return "algebraic"
+	case Holistic:
+		return "holistic"
+	default:
+		return "unknown"
+	}
+}
+
+// Props declares the algebraic properties of an aggregation. General stream
+// slicing reads them to choose its storage and update strategy (Fig 4 of the
+// paper); they are workload characteristics, not runtime observations.
+type Props struct {
+	// Name identifies the function in benchmark output.
+	Name string
+	// Commutative holds iff x ⊕ y == y ⊕ x for all partials. Slicing
+	// aggregates out-of-order tuples incrementally only for commutative
+	// functions; otherwise it recomputes from stored tuples.
+	Commutative bool
+	// Invertible holds iff the function implements Inverter with
+	// (x ⊕ y) ⊖ y == x. Invertibility makes the count-shift cascade for
+	// count-based windows an O(1) update instead of a recomputation.
+	Invertible bool
+	// Kind is the Gray et al. class.
+	Kind Kind
+}
+
+// Function is an incremental aggregation over events with payload V,
+// partial-aggregate type A, and final result type Out. Combine must be
+// associative, and Identity must be a two-sided identity of Combine.
+// Implementations must not mutate their Combine arguments: partial
+// aggregates are shared between slices and aggregate trees.
+type Function[V, A, Out any] interface {
+	// Lift transforms one event into the partial aggregate of that event.
+	Lift(e stream.Event[V]) A
+	// Combine merges two partial aggregates (the ⊕ operation).
+	Combine(a, b A) A
+	// Lower transforms a partial aggregate into the final aggregate.
+	Lower(a A) Out
+	// Identity returns the partial aggregate of the empty set.
+	Identity() A
+	// Props declares the function's algebraic properties.
+	Props() Props
+}
+
+// Inverter is implemented by invertible functions: Invert(a, b) removes the
+// partial aggregate b from a (the ⊖ operation). It is only called with b a
+// sub-aggregate of a.
+type Inverter[A any] interface {
+	Invert(a, b A) A
+}
+
+// Accumulator is an optional fast path for adding one event to a partial
+// aggregate in place. Unlike Combine, Accumulate may reuse and mutate a
+// (slices own their running aggregates exclusively). Functions without it
+// fall back to Combine(a, Lift(e)).
+type Accumulator[V, A any] interface {
+	Accumulate(a A, e stream.Event[V]) A
+}
+
+// Add folds one event into a partial aggregate, using the in-place
+// Accumulator fast path when the function provides one.
+func Add[V, A, Out any](f Function[V, A, Out], a A, e stream.Event[V]) A {
+	if acc, ok := f.(Accumulator[V, A]); ok {
+		return acc.Accumulate(a, e)
+	}
+	return f.Combine(a, f.Lift(e))
+}
+
+// Invertible reports whether f implements Inverter. It must agree with
+// f.Props().Invertible; the test suite enforces the contract.
+func Invertible[V, A, Out any](f Function[V, A, Out]) bool {
+	_, ok := any(f).(Inverter[A])
+	return ok
+}
+
+// Recompute builds a partial aggregate from scratch over events already in
+// canonical order. It is the slow path used after slice splits and for
+// non-commutative functions on out-of-order input.
+func Recompute[V, A, Out any](f Function[V, A, Out], events []stream.Event[V]) A {
+	a := f.Identity()
+	for _, e := range events {
+		a = Add(f, a, e)
+	}
+	return a
+}

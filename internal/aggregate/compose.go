@@ -1,0 +1,136 @@
+package aggregate
+
+import "scotty/internal/stream"
+
+// Pair is the partial (or final) aggregate of two composed functions.
+type Pair[X, Y any] struct {
+	A X
+	B Y
+}
+
+// Triple is the partial (or final) aggregate of three composed functions.
+type Triple[X, Y, Z any] struct {
+	A X
+	B Y
+	C Z
+}
+
+// Compose2 fuses two aggregation functions into one that computes both in a
+// single incremental pass over shared slices — the aggregate-sharing analog
+// of Scotty's aggregation lists: registering several functions costs one
+// lift/combine chain, not several operators.
+//
+// The composition is commutative/invertible exactly when both components
+// are; the kind is the weakest of the two (holistic dominates algebraic
+// dominates distributive).
+func Compose2[V, A1, O1, A2, O2 any](f Function[V, A1, O1], g Function[V, A2, O2]) Function[V, Pair[A1, A2], Pair[O1, O2]] {
+	c := compose2[V, A1, O1, A2, O2]{f: f, g: g}
+	if Invertible(f) && Invertible(g) {
+		// Only the invertible wrapper carries an Invert method, keeping
+		// the "implements Inverter iff invertible" contract intact.
+		return invertibleCompose2[V, A1, O1, A2, O2]{c}
+	}
+	return c
+}
+
+type invertibleCompose2[V, A1, O1, A2, O2 any] struct {
+	compose2[V, A1, O1, A2, O2]
+}
+
+func (c invertibleCompose2[V, A1, O1, A2, O2]) Invert(a, b Pair[A1, A2]) Pair[A1, A2] {
+	fi := any(c.f).(Inverter[A1])
+	gi := any(c.g).(Inverter[A2])
+	return Pair[A1, A2]{A: fi.Invert(a.A, b.A), B: gi.Invert(a.B, b.B)}
+}
+
+type compose2[V, A1, O1, A2, O2 any] struct {
+	f Function[V, A1, O1]
+	g Function[V, A2, O2]
+}
+
+func (c compose2[V, A1, O1, A2, O2]) Lift(e stream.Event[V]) Pair[A1, A2] {
+	return Pair[A1, A2]{A: c.f.Lift(e), B: c.g.Lift(e)}
+}
+
+func (c compose2[V, A1, O1, A2, O2]) Combine(a, b Pair[A1, A2]) Pair[A1, A2] {
+	return Pair[A1, A2]{A: c.f.Combine(a.A, b.A), B: c.g.Combine(a.B, b.B)}
+}
+
+func (c compose2[V, A1, O1, A2, O2]) Lower(a Pair[A1, A2]) Pair[O1, O2] {
+	return Pair[O1, O2]{A: c.f.Lower(a.A), B: c.g.Lower(a.B)}
+}
+
+func (c compose2[V, A1, O1, A2, O2]) Identity() Pair[A1, A2] {
+	return Pair[A1, A2]{A: c.f.Identity(), B: c.g.Identity()}
+}
+
+func (c compose2[V, A1, O1, A2, O2]) Props() Props {
+	pf, pg := c.f.Props(), c.g.Props()
+	return Props{
+		Name:        pf.Name + "+" + pg.Name,
+		Commutative: pf.Commutative && pg.Commutative,
+		Invertible:  pf.Invertible && pg.Invertible,
+		Kind:        maxKind(pf.Kind, pg.Kind),
+	}
+}
+
+func maxKind(a, b Kind) Kind {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Compose3 fuses three aggregation functions.
+func Compose3[V, A1, O1, A2, O2, A3, O3 any](
+	f Function[V, A1, O1], g Function[V, A2, O2], h Function[V, A3, O3],
+) Function[V, Triple[A1, A2, A3], Triple[O1, O2, O3]] {
+	c := compose3[V, A1, O1, A2, O2, A3, O3]{f: f, g: g, h: h}
+	if Invertible(f) && Invertible(g) && Invertible(h) {
+		return invertibleCompose3[V, A1, O1, A2, O2, A3, O3]{c}
+	}
+	return c
+}
+
+type invertibleCompose3[V, A1, O1, A2, O2, A3, O3 any] struct {
+	compose3[V, A1, O1, A2, O2, A3, O3]
+}
+
+func (c invertibleCompose3[V, A1, O1, A2, O2, A3, O3]) Invert(a, b Triple[A1, A2, A3]) Triple[A1, A2, A3] {
+	fi := any(c.f).(Inverter[A1])
+	gi := any(c.g).(Inverter[A2])
+	hi := any(c.h).(Inverter[A3])
+	return Triple[A1, A2, A3]{A: fi.Invert(a.A, b.A), B: gi.Invert(a.B, b.B), C: hi.Invert(a.C, b.C)}
+}
+
+type compose3[V, A1, O1, A2, O2, A3, O3 any] struct {
+	f Function[V, A1, O1]
+	g Function[V, A2, O2]
+	h Function[V, A3, O3]
+}
+
+func (c compose3[V, A1, O1, A2, O2, A3, O3]) Lift(e stream.Event[V]) Triple[A1, A2, A3] {
+	return Triple[A1, A2, A3]{A: c.f.Lift(e), B: c.g.Lift(e), C: c.h.Lift(e)}
+}
+
+func (c compose3[V, A1, O1, A2, O2, A3, O3]) Combine(a, b Triple[A1, A2, A3]) Triple[A1, A2, A3] {
+	return Triple[A1, A2, A3]{A: c.f.Combine(a.A, b.A), B: c.g.Combine(a.B, b.B), C: c.h.Combine(a.C, b.C)}
+}
+
+func (c compose3[V, A1, O1, A2, O2, A3, O3]) Lower(a Triple[A1, A2, A3]) Triple[O1, O2, O3] {
+	return Triple[O1, O2, O3]{A: c.f.Lower(a.A), B: c.g.Lower(a.B), C: c.h.Lower(a.C)}
+}
+
+func (c compose3[V, A1, O1, A2, O2, A3, O3]) Identity() Triple[A1, A2, A3] {
+	return Triple[A1, A2, A3]{A: c.f.Identity(), B: c.g.Identity(), C: c.h.Identity()}
+}
+
+func (c compose3[V, A1, O1, A2, O2, A3, O3]) Props() Props {
+	pf, pg, ph := c.f.Props(), c.g.Props(), c.h.Props()
+	return Props{
+		Name:        pf.Name + "+" + pg.Name + "+" + ph.Name,
+		Commutative: pf.Commutative && pg.Commutative && ph.Commutative,
+		Invertible:  pf.Invertible && pg.Invertible && ph.Invertible,
+		Kind:        maxKind(maxKind(pf.Kind, pg.Kind), ph.Kind),
+	}
+}

@@ -1,0 +1,50 @@
+package aggregate
+
+import (
+	"testing"
+
+	"scotty/internal/stream"
+)
+
+func TestCompose2Properties(t *testing.T) {
+	checkProps(t, Compose2(Sum(ident), Count[float64]()))
+	checkProps(t, Compose2(Min(ident), Max(ident)))
+	checkProps(t, Compose2(Mean(ident), Median(ident)))
+}
+
+func TestCompose3Properties(t *testing.T) {
+	checkProps(t, Compose3(Sum(ident), Count[float64](), Mean(ident)))
+	checkProps(t, Compose3(Min(ident), Max(ident), Sum(ident)))
+}
+
+func TestComposePropsDerivation(t *testing.T) {
+	invInv := Compose2(Sum(ident), Count[float64]())
+	if p := invInv.Props(); !p.Invertible || !p.Commutative || p.Kind != Distributive {
+		t.Fatalf("sum+count props: %+v", p)
+	}
+	if !Invertible(invInv) {
+		t.Fatal("sum+count must implement Inverter")
+	}
+	mixed := Compose2(Sum(ident), Min(ident))
+	if p := mixed.Props(); p.Invertible {
+		t.Fatalf("sum+min must not be invertible: %+v", p)
+	}
+	if Invertible(mixed) {
+		t.Fatal("sum+min must not implement Inverter")
+	}
+	holistic := Compose2(Sum(ident), Median(ident))
+	if p := holistic.Props(); p.Kind != Holistic {
+		t.Fatalf("sum+median kind: %+v", p)
+	}
+}
+
+func TestComposeComputesBoth(t *testing.T) {
+	f := Compose3(Sum(ident), Count[float64](), Max(ident))
+	ev := []stream.Event[float64]{
+		{Time: 1, Seq: 0, Value: 3}, {Time: 2, Seq: 1, Value: 7}, {Time: 3, Seq: 2, Value: 5},
+	}
+	out := f.Lower(Recompute(f, ev))
+	if out.A != 15 || out.B != 3 || out.C != 7 {
+		t.Fatalf("composed result: %+v", out)
+	}
+}

@@ -1,0 +1,136 @@
+package aggregate
+
+import (
+	"fmt"
+	"math"
+
+	"scotty/internal/rle"
+	"scotty/internal/stream"
+)
+
+// This file implements holistic aggregations. Their partial aggregates are
+// sorted run-length-encoded multisets (§5.4.1 of the paper: "we sort tuples
+// in slices to speed up succeeding merge operations and apply run length
+// encoding to save memory").
+
+type quantile[V any] struct {
+	get func(V) float64
+	q   float64
+	nm  string
+}
+
+// Median computes the windowed median. Holistic, commutative; it supports
+// removal of sub-aggregates (multiset difference), so it is invertible in the
+// framework's sense, which keeps the count-shift cascade incremental.
+func Median[V any](get func(V) float64) Function[V, *rle.Multiset, float64] {
+	return quantile[V]{get: get, q: 0.5, nm: "median"}
+}
+
+// Percentile computes the windowed q-quantile, e.g. Percentile(0.9, ...) for
+// the 90-percentile billing aggregate of content delivery networks [13, 23].
+func Percentile[V any](q float64, get func(V) float64) Function[V, *rle.Multiset, float64] {
+	return quantile[V]{get: get, q: q, nm: fmt.Sprintf("p%02.0f", q*100)}
+}
+
+func (h quantile[V]) Lift(e stream.Event[V]) *rle.Multiset {
+	return rle.Of(h.get(e.Value))
+}
+func (quantile[V]) Combine(a, b *rle.Multiset) *rle.Multiset { return rle.Merge(a, b) }
+func (h quantile[V]) Accumulate(a *rle.Multiset, e stream.Event[V]) *rle.Multiset {
+	if a == nil {
+		a = rle.New()
+	}
+	a.Add(h.get(e.Value))
+	return a
+}
+func (quantile[V]) Invert(a, b *rle.Multiset) *rle.Multiset {
+	out := a.Clone()
+	for _, v := range b.Values() {
+		out.Remove(v)
+	}
+	return out
+}
+func (h quantile[V]) Lower(a *rle.Multiset) float64 { return a.Quantile(h.q) }
+func (quantile[V]) Identity() *rle.Multiset         { return rle.New() }
+func (h quantile[V]) Props() Props {
+	return Props{Name: h.nm, Commutative: true, Invertible: true, Kind: Holistic}
+}
+
+// MedianNaive computes the windowed median over plain sorted value slices
+// instead of run-length-encoded multisets. It exists for the ablation
+// benchmark isolating the RLE design choice of §5.4.1: identical semantics
+// to Median, but partial aggregates do not compress repeated values.
+func MedianNaive[V any](get func(V) float64) Function[V, []float64, float64] {
+	return naiveQuantile[V]{get: get, q: 0.5}
+}
+
+type naiveQuantile[V any] struct {
+	get func(V) float64
+	q   float64
+}
+
+func (h naiveQuantile[V]) Lift(e stream.Event[V]) []float64 {
+	return []float64{h.get(e.Value)}
+}
+
+func (naiveQuantile[V]) Combine(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+func (h naiveQuantile[V]) Lower(a []float64) float64 {
+	if len(a) == 0 {
+		return math.NaN()
+	}
+	rank := int(math.Floor(h.q*float64(len(a)-1) + 0.5))
+	return a[rank]
+}
+
+func (naiveQuantile[V]) Identity() []float64 { return nil }
+
+func (naiveQuantile[V]) Props() Props {
+	return Props{Name: "median-no-rle", Commutative: true, Invertible: false, Kind: Holistic}
+}
+
+// CountDistinct counts the number of distinct values in a window. Holistic,
+// commutative, invertible via multiset difference.
+func CountDistinct[V any](get func(V) float64) Function[V, *rle.Multiset, int64] {
+	return countDistinct[V]{get: get}
+}
+
+type countDistinct[V any] struct{ get func(V) float64 }
+
+func (c countDistinct[V]) Lift(e stream.Event[V]) *rle.Multiset { return rle.Of(c.get(e.Value)) }
+func (countDistinct[V]) Combine(a, b *rle.Multiset) *rle.Multiset {
+	return rle.Merge(a, b)
+}
+func (c countDistinct[V]) Accumulate(a *rle.Multiset, e stream.Event[V]) *rle.Multiset {
+	if a == nil {
+		a = rle.New()
+	}
+	a.Add(c.get(e.Value))
+	return a
+}
+func (countDistinct[V]) Invert(a, b *rle.Multiset) *rle.Multiset {
+	out := a.Clone()
+	for _, v := range b.Values() {
+		out.Remove(v)
+	}
+	return out
+}
+func (countDistinct[V]) Lower(a *rle.Multiset) int64 { return int64(a.Runs()) }
+func (countDistinct[V]) Identity() *rle.Multiset     { return rle.New() }
+func (countDistinct[V]) Props() Props {
+	return Props{Name: "countdistinct", Commutative: true, Invertible: true, Kind: Holistic}
+}

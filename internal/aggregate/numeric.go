@@ -1,0 +1,326 @@
+package aggregate
+
+import (
+	"math"
+
+	"scotty/internal/stream"
+)
+
+// This file implements the distributive and algebraic aggregations of the
+// paper's Fig 13 sweep: count, sum (with and without invert), mean, geometric
+// mean, variance/stddev, min, max, min-count, max-count, arg-min, arg-max.
+// Each function is generic over the payload type V and takes an extractor for
+// the aggregated column.
+
+// ---------------------------------------------------------------- count ---
+
+type count[V any] struct{}
+
+// Count counts events. Distributive, commutative, invertible.
+func Count[V any]() Function[V, int64, int64] { return count[V]{} }
+
+func (count[V]) Lift(stream.Event[V]) int64 { return 1 }
+func (count[V]) Combine(a, b int64) int64   { return a + b }
+func (count[V]) Lower(a int64) int64        { return a }
+func (count[V]) Identity() int64            { return 0 }
+func (count[V]) Invert(a, b int64) int64    { return a - b }
+func (count[V]) Props() Props {
+	return Props{Name: "count", Commutative: true, Invertible: true, Kind: Distributive}
+}
+
+// ------------------------------------------------------------------ sum ---
+
+type sum[V any] struct{ get func(V) float64 }
+
+// Sum sums the extracted column. Distributive, commutative, invertible.
+func Sum[V any](get func(V) float64) Function[V, float64, float64] { return sum[V]{get} }
+
+func (s sum[V]) Lift(e stream.Event[V]) float64 { return s.get(e.Value) }
+func (sum[V]) Combine(a, b float64) float64     { return a + b }
+func (sum[V]) Lower(a float64) float64          { return a }
+func (sum[V]) Identity() float64                { return 0 }
+func (sum[V]) Invert(a, b float64) float64      { return a - b }
+func (sum[V]) Props() Props {
+	return Props{Name: "sum", Commutative: true, Invertible: true, Kind: Distributive}
+}
+
+// ------------------------------------------------------------ naive sum ---
+
+type naiveSum[V any] struct{ get func(V) float64 }
+
+// NaiveSum is the paper's "sum w/o invert": identical to Sum but deliberately
+// not invertible, so removing a tuple forces a recomputation of the slice
+// aggregate. It isolates the benefit of invertibility in Fig 13.
+func NaiveSum[V any](get func(V) float64) Function[V, float64, float64] { return naiveSum[V]{get} }
+
+func (s naiveSum[V]) Lift(e stream.Event[V]) float64 { return s.get(e.Value) }
+func (naiveSum[V]) Combine(a, b float64) float64     { return a + b }
+func (naiveSum[V]) Lower(a float64) float64          { return a }
+func (naiveSum[V]) Identity() float64                { return 0 }
+func (naiveSum[V]) Props() Props {
+	return Props{Name: "sum w/o invert", Commutative: true, Invertible: false, Kind: Distributive}
+}
+
+// ----------------------------------------------------------------- mean ---
+
+// MeanAgg is the fixed-size intermediate of Mean.
+type MeanAgg struct {
+	Sum float64
+	N   int64
+}
+
+type mean[V any] struct{ get func(V) float64 }
+
+// Mean averages the extracted column. Algebraic, commutative, invertible.
+func Mean[V any](get func(V) float64) Function[V, MeanAgg, float64] { return mean[V]{get} }
+
+func (m mean[V]) Lift(e stream.Event[V]) MeanAgg { return MeanAgg{Sum: m.get(e.Value), N: 1} }
+func (mean[V]) Combine(a, b MeanAgg) MeanAgg     { return MeanAgg{Sum: a.Sum + b.Sum, N: a.N + b.N} }
+func (mean[V]) Identity() MeanAgg                { return MeanAgg{} }
+func (mean[V]) Invert(a, b MeanAgg) MeanAgg      { return MeanAgg{Sum: a.Sum - b.Sum, N: a.N - b.N} }
+func (mean[V]) Lower(a MeanAgg) float64 {
+	if a.N == 0 {
+		return math.NaN()
+	}
+	return a.Sum / float64(a.N)
+}
+func (mean[V]) Props() Props {
+	return Props{Name: "mean", Commutative: true, Invertible: true, Kind: Algebraic}
+}
+
+// ------------------------------------------------------- geometric mean ---
+
+type geoMean[V any] struct{ get func(V) float64 }
+
+// GeoMean computes the geometric mean over the extracted column (values must
+// be positive; zero or negative values yield NaN). Algebraic, commutative,
+// invertible.
+func GeoMean[V any](get func(V) float64) Function[V, MeanAgg, float64] { return geoMean[V]{get} }
+
+func (g geoMean[V]) Lift(e stream.Event[V]) MeanAgg {
+	return MeanAgg{Sum: math.Log(g.get(e.Value)), N: 1}
+}
+func (geoMean[V]) Combine(a, b MeanAgg) MeanAgg { return MeanAgg{Sum: a.Sum + b.Sum, N: a.N + b.N} }
+func (geoMean[V]) Identity() MeanAgg            { return MeanAgg{} }
+func (geoMean[V]) Invert(a, b MeanAgg) MeanAgg  { return MeanAgg{Sum: a.Sum - b.Sum, N: a.N - b.N} }
+func (geoMean[V]) Lower(a MeanAgg) float64 {
+	if a.N == 0 {
+		return math.NaN()
+	}
+	return math.Exp(a.Sum / float64(a.N))
+}
+func (geoMean[V]) Props() Props {
+	return Props{Name: "geomean", Commutative: true, Invertible: true, Kind: Algebraic}
+}
+
+// ------------------------------------------------------------- variance ---
+
+// VarAgg is the fixed-size intermediate of Variance and StdDev.
+type VarAgg struct {
+	N     int64
+	Sum   float64
+	SumSq float64
+}
+
+type variance[V any] struct {
+	get    func(V) float64
+	stddev bool
+}
+
+// Variance computes the population variance of the extracted column.
+// Algebraic, commutative, invertible.
+func Variance[V any](get func(V) float64) Function[V, VarAgg, float64] {
+	return variance[V]{get: get}
+}
+
+// StdDev computes the population standard deviation. Algebraic, commutative,
+// invertible.
+func StdDev[V any](get func(V) float64) Function[V, VarAgg, float64] {
+	return variance[V]{get: get, stddev: true}
+}
+
+func (v variance[V]) Lift(e stream.Event[V]) VarAgg {
+	x := v.get(e.Value)
+	return VarAgg{N: 1, Sum: x, SumSq: x * x}
+}
+func (variance[V]) Combine(a, b VarAgg) VarAgg {
+	return VarAgg{N: a.N + b.N, Sum: a.Sum + b.Sum, SumSq: a.SumSq + b.SumSq}
+}
+func (variance[V]) Identity() VarAgg { return VarAgg{} }
+func (variance[V]) Invert(a, b VarAgg) VarAgg {
+	return VarAgg{N: a.N - b.N, Sum: a.Sum - b.Sum, SumSq: a.SumSq - b.SumSq}
+}
+func (v variance[V]) Lower(a VarAgg) float64 {
+	if a.N == 0 {
+		return math.NaN()
+	}
+	n := float64(a.N)
+	res := a.SumSq/n - (a.Sum/n)*(a.Sum/n)
+	if res < 0 {
+		res = 0 // guard against floating-point cancellation
+	}
+	if v.stddev {
+		return math.Sqrt(res)
+	}
+	return res
+}
+func (v variance[V]) Props() Props {
+	name := "variance"
+	if v.stddev {
+		name = "stddev"
+	}
+	return Props{Name: name, Commutative: true, Invertible: true, Kind: Algebraic}
+}
+
+// -------------------------------------------------------------- min/max ---
+
+type extremum[V any] struct {
+	get func(V) float64
+	max bool
+}
+
+// Min computes the minimum of the extracted column. Distributive,
+// commutative, not invertible.
+func Min[V any](get func(V) float64) Function[V, float64, float64] {
+	return extremum[V]{get: get}
+}
+
+// Max computes the maximum of the extracted column. Distributive,
+// commutative, not invertible.
+func Max[V any](get func(V) float64) Function[V, float64, float64] {
+	return extremum[V]{get: get, max: true}
+}
+
+func (x extremum[V]) Lift(e stream.Event[V]) float64 { return x.get(e.Value) }
+func (x extremum[V]) Combine(a, b float64) float64 {
+	if x.max {
+		return math.Max(a, b)
+	}
+	return math.Min(a, b)
+}
+func (x extremum[V]) Lower(a float64) float64 { return a }
+func (x extremum[V]) Identity() float64 {
+	if x.max {
+		return math.Inf(-1)
+	}
+	return math.Inf(1)
+}
+func (x extremum[V]) Props() Props {
+	name := "min"
+	if x.max {
+		name = "max"
+	}
+	return Props{Name: name, Commutative: true, Invertible: false, Kind: Distributive}
+}
+
+// ------------------------------------------------------ min/max + count ---
+
+// ExtremumCount is the intermediate of MinCount / MaxCount: the extremum and
+// the number of tuples attaining it.
+type ExtremumCount struct {
+	V float64
+	N int64
+}
+
+type extremumCount[V any] struct {
+	get func(V) float64
+	max bool
+}
+
+// MinCount computes the minimum and how many tuples attain it. Algebraic,
+// commutative, not invertible.
+func MinCount[V any](get func(V) float64) Function[V, ExtremumCount, ExtremumCount] {
+	return extremumCount[V]{get: get}
+}
+
+// MaxCount computes the maximum and how many tuples attain it. Algebraic,
+// commutative, not invertible.
+func MaxCount[V any](get func(V) float64) Function[V, ExtremumCount, ExtremumCount] {
+	return extremumCount[V]{get: get, max: true}
+}
+
+func (x extremumCount[V]) Lift(e stream.Event[V]) ExtremumCount {
+	return ExtremumCount{V: x.get(e.Value), N: 1}
+}
+func (x extremumCount[V]) Combine(a, b ExtremumCount) ExtremumCount {
+	switch {
+	case a.N == 0:
+		return b
+	case b.N == 0:
+		return a
+	case a.V == b.V:
+		return ExtremumCount{V: a.V, N: a.N + b.N}
+	case (a.V < b.V) != x.max:
+		return a
+	default:
+		return b
+	}
+}
+func (extremumCount[V]) Lower(a ExtremumCount) ExtremumCount { return a }
+func (extremumCount[V]) Identity() ExtremumCount             { return ExtremumCount{} }
+func (x extremumCount[V]) Props() Props {
+	name := "mincount"
+	if x.max {
+		name = "maxcount"
+	}
+	return Props{Name: name, Commutative: true, Invertible: false, Kind: Algebraic}
+}
+
+// ----------------------------------------------------------- argmin/max ---
+
+// ArgAgg is the intermediate of ArgMin / ArgMax: the extremum value and the
+// event (time, sequence number) attaining it.
+type ArgAgg struct {
+	V    float64
+	Time int64
+	Seq  int64
+	Set  bool
+}
+
+type argExtremum[V any] struct {
+	get func(V) float64
+	max bool
+}
+
+// ArgMin returns the (time, seq) of the minimal value; ties resolve to the
+// earliest event in canonical order, which keeps the function commutative.
+// Algebraic, commutative, not invertible.
+func ArgMin[V any](get func(V) float64) Function[V, ArgAgg, ArgAgg] {
+	return argExtremum[V]{get: get}
+}
+
+// ArgMax returns the (time, seq) of the maximal value. Algebraic,
+// commutative, not invertible.
+func ArgMax[V any](get func(V) float64) Function[V, ArgAgg, ArgAgg] {
+	return argExtremum[V]{get: get, max: true}
+}
+
+func (x argExtremum[V]) Lift(e stream.Event[V]) ArgAgg {
+	return ArgAgg{V: x.get(e.Value), Time: e.Time, Seq: e.Seq, Set: true}
+}
+func (x argExtremum[V]) Combine(a, b ArgAgg) ArgAgg {
+	switch {
+	case !a.Set:
+		return b
+	case !b.Set:
+		return a
+	case a.V == b.V:
+		if b.Time < a.Time || (b.Time == a.Time && b.Seq < a.Seq) {
+			return b
+		}
+		return a
+	case (a.V < b.V) != x.max:
+		return a
+	default:
+		return b
+	}
+}
+func (argExtremum[V]) Lower(a ArgAgg) ArgAgg { return a }
+func (argExtremum[V]) Identity() ArgAgg      { return ArgAgg{} }
+func (x argExtremum[V]) Props() Props {
+	name := "argmin"
+	if x.max {
+		name = "argmax"
+	}
+	return Props{Name: name, Commutative: true, Invertible: false, Kind: Algebraic}
+}

@@ -1,0 +1,172 @@
+package aggregate
+
+import (
+	"math"
+
+	"scotty/internal/stream"
+)
+
+// This file implements order-sensitive aggregations: First, Last, the M4
+// visualization aggregate (Jugel et al. [26]; used by the paper's dashboard
+// application in §6.4), and Collect — a genuinely non-commutative associative
+// function that exercises the recompute-on-out-of-order path of general
+// slicing (§5.1 condition 1).
+
+// Sample is a (time, seq, value) triple identifying one event and its
+// aggregated column.
+type Sample struct {
+	Time int64
+	Seq  int64
+	V    float64
+	Set  bool
+}
+
+func earlier(a, b Sample) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	return a.Seq < b.Seq
+}
+
+// ---------------------------------------------------------- first / last ---
+
+type firstLast[V any] struct {
+	get  func(V) float64
+	last bool
+}
+
+// First returns the value of the earliest event (canonical order). Because
+// ties resolve on the total (time, seq) order, the function is commutative.
+// Algebraic, not invertible.
+func First[V any](get func(V) float64) Function[V, Sample, float64] {
+	return firstLast[V]{get: get}
+}
+
+// Last returns the value of the latest event (canonical order). Algebraic,
+// commutative, not invertible.
+func Last[V any](get func(V) float64) Function[V, Sample, float64] {
+	return firstLast[V]{get: get, last: true}
+}
+
+func (f firstLast[V]) Lift(e stream.Event[V]) Sample {
+	return Sample{Time: e.Time, Seq: e.Seq, V: f.get(e.Value), Set: true}
+}
+func (f firstLast[V]) Combine(a, b Sample) Sample {
+	switch {
+	case !a.Set:
+		return b
+	case !b.Set:
+		return a
+	case earlier(a, b) != f.last:
+		return a
+	default:
+		return b
+	}
+}
+func (firstLast[V]) Lower(a Sample) float64 {
+	if !a.Set {
+		return math.NaN()
+	}
+	return a.V
+}
+func (firstLast[V]) Identity() Sample { return Sample{} }
+func (f firstLast[V]) Props() Props {
+	name := "first"
+	if f.last {
+		name = "last"
+	}
+	return Props{Name: name, Commutative: true, Invertible: false, Kind: Algebraic}
+}
+
+// -------------------------------------------------------------------- M4 ---
+
+// M4Agg is the fixed-size intermediate of M4: the minimum, maximum, first,
+// and last value of a window — the four aggregates that suffice to render a
+// pixel-perfect line chart.
+type M4Agg struct {
+	Min, Max    float64
+	First, Last Sample
+	N           int64
+}
+
+// M4Result is the final aggregate of M4: the four values that suffice to
+// render a window's pixel column. (The tuple count is deliberately not part
+// of the result: window result metadata carries it, and keeping it out lets
+// the shift optimization of §6.3.2 skip removals of interior values.)
+type M4Result struct {
+	Min, Max, First, Last float64
+}
+
+type m4[V any] struct{ get func(V) float64 }
+
+// M4 computes min, max, first, and last per window (Jugel et al. [26]).
+// Algebraic, commutative, not invertible.
+func M4[V any](get func(V) float64) Function[V, M4Agg, M4Result] { return m4[V]{get} }
+
+func (m m4[V]) Lift(e stream.Event[V]) M4Agg {
+	s := Sample{Time: e.Time, Seq: e.Seq, V: m.get(e.Value), Set: true}
+	return M4Agg{Min: s.V, Max: s.V, First: s, Last: s, N: 1}
+}
+func (m4[V]) Combine(a, b M4Agg) M4Agg {
+	switch {
+	case a.N == 0:
+		return b
+	case b.N == 0:
+		return a
+	}
+	out := M4Agg{
+		Min: math.Min(a.Min, b.Min),
+		Max: math.Max(a.Max, b.Max),
+		N:   a.N + b.N,
+	}
+	if earlier(a.First, b.First) {
+		out.First = a.First
+	} else {
+		out.First = b.First
+	}
+	if earlier(a.Last, b.Last) {
+		out.Last = b.Last
+	} else {
+		out.Last = a.Last
+	}
+	return out
+}
+func (m4[V]) Lower(a M4Agg) M4Result {
+	if a.N == 0 {
+		return M4Result{Min: math.NaN(), Max: math.NaN(), First: math.NaN(), Last: math.NaN()}
+	}
+	return M4Result{Min: a.Min, Max: a.Max, First: a.First.V, Last: a.Last.V}
+}
+func (m4[V]) Identity() M4Agg { return M4Agg{} }
+func (m4[V]) Props() Props {
+	return Props{Name: "m4", Commutative: true, Invertible: false, Kind: Algebraic}
+}
+
+// ---------------------------------------------------------------- collect ---
+
+type collect[V any] struct{ get func(V) float64 }
+
+// Collect concatenates the extracted values in processing order. It is
+// associative but NOT commutative: appending in a different order yields a
+// different list. General slicing therefore stores tuples and recomputes
+// slice aggregates when out-of-order tuples arrive (§5.1 condition 1).
+func Collect[V any](get func(V) float64) Function[V, []float64, []float64] {
+	return collect[V]{get}
+}
+
+func (c collect[V]) Lift(e stream.Event[V]) []float64 { return []float64{c.get(e.Value)} }
+func (collect[V]) Combine(a, b []float64) []float64 {
+	// Always copy: results may later be extended in place by Accumulate,
+	// so aliasing either input would corrupt a shared partial aggregate.
+	out := make([]float64, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+func (c collect[V]) Accumulate(a []float64, e stream.Event[V]) []float64 {
+	return append(a, c.get(e.Value))
+}
+func (collect[V]) Lower(a []float64) []float64 { return a }
+func (collect[V]) Identity() []float64         { return nil }
+func (collect[V]) Props() Props {
+	return Props{Name: "collect", Commutative: false, Invertible: false, Kind: Holistic}
+}

@@ -1,0 +1,80 @@
+package aggregate
+
+import "scotty/internal/stream"
+
+// This file implements the removal-side optimization of §6.3.2 for
+// non-invertible functions: "most invert operations do not affect the
+// aggregate and, thus, do not require a recomputation. For example, it is
+// unlikely that the tuple we shift to the next slice is the maximum of the
+// slice." Each Unaffected method reports — conservatively — whether removing
+// event e from partial aggregate a provably leaves a unchanged. The slicing
+// core's count-shift cascade consults it before falling back to a full
+// recomputation.
+
+// Unaffected for Min/Max: removal cannot matter unless the value attains the
+// extremum (ties are conservatively treated as affected).
+func (x extremum[V]) Unaffected(a float64, e stream.Event[V]) bool {
+	v := x.get(e.Value)
+	if x.max {
+		return v < a
+	}
+	return v > a
+}
+
+// Unaffected for MinCount/MaxCount: any tie changes the count, so only
+// strictly worse values are removable for free.
+func (x extremumCount[V]) Unaffected(a ExtremumCount, e stream.Event[V]) bool {
+	if a.N == 0 {
+		return false
+	}
+	v := x.get(e.Value)
+	if x.max {
+		return v < a.V
+	}
+	return v > a.V
+}
+
+// Unaffected for ArgMin/ArgMax: removal matters only when the event is the
+// stored winner; equal values from other events lose the tie-break and can
+// go for free.
+func (x argExtremum[V]) Unaffected(a ArgAgg, e stream.Event[V]) bool {
+	if !a.Set {
+		return false
+	}
+	v := x.get(e.Value)
+	if v == a.V {
+		return !(e.Time == a.Time && e.Seq == a.Seq)
+	}
+	if x.max {
+		return v < a.V
+	}
+	return v > a.V
+}
+
+// Unaffected for First/Last: removal matters only for the winning sample
+// itself.
+func (f firstLast[V]) Unaffected(a Sample, e stream.Event[V]) bool {
+	if !a.Set {
+		return false
+	}
+	return !(e.Time == a.Time && e.Seq == a.Seq)
+}
+
+// Unaffected for M4: the removed event must not attain the minimum or
+// maximum and must be neither the first nor the last sample.
+func (m m4[V]) Unaffected(a M4Agg, e stream.Event[V]) bool {
+	if a.N == 0 {
+		return false
+	}
+	v := m.get(e.Value)
+	if v <= a.Min || v >= a.Max {
+		return false
+	}
+	if e.Time == a.First.Time && e.Seq == a.First.Seq {
+		return false
+	}
+	if e.Time == a.Last.Time && e.Seq == a.Last.Seq {
+		return false
+	}
+	return true
+}

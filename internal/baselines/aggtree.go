@@ -1,0 +1,99 @@
+package baselines
+
+import (
+	"scotty/internal/aggregate"
+	"scotty/internal/fat"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+// AggTree is the aggregate-tree technique of §3.2 (FlatFAT [42]; Table 1,
+// row 2): a binary tree of partial aggregates on top of the individual
+// stream tuples. Window aggregates are O(log n) ordered range queries; every
+// in-order tuple costs O(log n) tree updates, and every out-of-order tuple
+// costs an O(n) mid-leaf insert plus the memory copies of the sorted buffer —
+// the slowdown the paper measures in §6.2.2 and Fig 12.
+type AggTree[V, A, Out any] struct {
+	f          aggregate.Function[V, A, Out]
+	buf        *sortedBuffer[V]
+	tree       *fat.Tree[A]
+	qe         *queryEngine[V, Out]
+	evictEvery int
+}
+
+// NewAggTree creates an aggregate-tree operator.
+func NewAggTree[V, A, Out any](f aggregate.Function[V, A, Out], ordered bool, lateness int64) *AggTree[V, A, Out] {
+	at := &AggTree[V, A, Out]{f: f, buf: newSortedBuffer[V](), tree: fat.New(f.Combine, f.Identity())}
+	at.qe = newQueryEngine[V, Out](at.buf, ordered, lateness, at.aggRange)
+	return at
+}
+
+func (at *AggTree[V, A, Out]) aggRange(m stream.Measure, s, e int64) (Out, int64) {
+	var lo, hi int
+	if m == stream.Time {
+		lo, hi = at.buf.timeRange(s, e)
+	} else {
+		lo, hi = at.buf.rankRange(s, e)
+	}
+	return at.f.Lower(at.tree.Query(lo, hi)), int64(hi - lo)
+}
+
+// AddQuery implements Operator.
+func (at *AggTree[V, A, Out]) AddQuery(def window.Definition) int { return at.qe.addQuery(def) }
+
+// ProcessElement implements Operator.
+func (at *AggTree[V, A, Out]) ProcessElement(e stream.Event[V]) []Result[Out] {
+	at.qe.results = at.qe.results[:0]
+	if at.qe.tooLate(e.Time) {
+		return at.qe.results
+	}
+	inOrder := e.Time >= at.buf.maxSeen
+	if at.qe.ordered && inOrder {
+		at.qe.trigger(e.Time-1, e.Time-1)
+	}
+	idx := at.buf.insert(e)
+	leaf := at.f.Lift(e)
+	if idx == at.tree.Len() {
+		at.tree.Push(leaf)
+	} else {
+		// The out-of-order case: a mid-tree leaf insert rebuilds the
+		// suffix of the tree (the paper's "rebalancing").
+		at.tree.Insert(idx, leaf)
+	}
+	rank := at.buf.evicted + int64(idx)
+	at.qe.observe(e, rank, inOrder)
+	if at.qe.ordered {
+		at.qe.trigger(at.qe.currWM, e.Time)
+		if at.evictEvery++; at.evictEvery >= 1024 {
+			at.evictEvery = 0
+			at.evict()
+		}
+	}
+	return at.qe.results
+}
+
+// ProcessWatermark implements Operator.
+func (at *AggTree[V, A, Out]) ProcessWatermark(wm int64) []Result[Out] {
+	at.qe.results = at.qe.results[:0]
+	at.qe.trigger(wm, wm)
+	at.evict()
+	return at.qe.results
+}
+
+func (at *AggTree[V, A, Out]) evict() {
+	minTime, minCount := at.qe.horizons()
+	if minTime == stream.MaxTime && minCount != stream.MaxTime {
+		minTime = at.buf.TimeAtCount(minCount)
+	}
+	if minTime != stream.MaxTime && minTime > stream.MinTime {
+		if k := at.buf.evictBefore(minTime); k > 0 {
+			at.tree.RemoveFront(k)
+		}
+	}
+}
+
+// Buffered reports the number of stored tuples.
+func (at *AggTree[V, A, Out]) Buffered() int { return len(at.buf.events) }
+
+// TreeCombines reports combine invocations inside the tree.
+func (at *AggTree[V, A, Out]) TreeCombines() int64 { return at.tree.Combines() }

@@ -1,0 +1,159 @@
+// Package baselines implements the alternative window-aggregation techniques
+// the paper compares general stream slicing against (§3): the tuple buffer,
+// aggregate trees over tuples (FlatFAT), the bucket-per-window approach of
+// WID/Flink, and the specialized slicing techniques Pairs and Cutty. All
+// techniques sit behind one Operator interface so the benchmark harness can
+// drive them interchangeably with the general slicing operator.
+//
+// The baselines share the *query* layer (window definitions and their trigger
+// logic from package window) — what distinguishes the techniques is how they
+// store data and compute aggregates, which is exactly the axis the paper
+// evaluates.
+package baselines
+
+import (
+	"sort"
+
+	"scotty/internal/aggregate"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+// Result is one window aggregate emitted by a baseline operator. It mirrors
+// core.Result so harnesses can treat all techniques uniformly.
+type Result[Out any] struct {
+	Query      int
+	Measure    stream.Measure
+	Start, End int64
+	Value      Out
+	N          int64
+	Update     bool
+}
+
+// Operator is the uniform driving interface of every technique.
+type Operator[V, Out any] interface {
+	// AddQuery registers a window query and returns its id.
+	AddQuery(def window.Definition) int
+	// ProcessElement ingests one tuple; the returned slice is reused.
+	ProcessElement(e stream.Event[V]) []Result[Out]
+	// ProcessWatermark ingests a watermark and triggers completed windows.
+	ProcessWatermark(wm int64) []Result[Out]
+}
+
+// query pairs a window definition with its optional context (for
+// context-aware types). The trigger logic is shared with the slicing core —
+// techniques differ below the query layer.
+type query[V any] struct {
+	id  int
+	def window.Definition
+	cf  window.ContextFree
+	ctx window.Context[V]
+}
+
+func newQuery[V any](id int, def window.Definition, view window.StoreView) *query[V] {
+	q := &query[V]{id: id, def: def}
+	switch d := def.(type) {
+	case window.ContextFree:
+		q.cf = d
+	case window.ContextAware[V]:
+		q.ctx = d.NewContext(view)
+	default:
+		panic("baselines: unsupported window type")
+	}
+	return q
+}
+
+// sortedBuffer is a time-sorted buffer of events with an eviction offset; it
+// backs the tuple buffer and the aggregate tree and serves as the StoreView
+// for window contexts. Counts are buffer indices plus the evicted offset, so
+// rank lookups are exact.
+type sortedBuffer[V any] struct {
+	events  []stream.Event[V]
+	evicted int64 // number of events evicted from the front
+	maxSeen int64
+	// copies counts the elements moved by out-of-order inserts — the
+	// memory-copy cost the paper attributes to buffers (§3.1).
+	copies int64
+}
+
+func newSortedBuffer[V any]() *sortedBuffer[V] {
+	return &sortedBuffer[V]{maxSeen: stream.MinTime}
+}
+
+// insert places the event at its canonical position and returns its buffer
+// index; in-order arrivals append in O(1).
+func (b *sortedBuffer[V]) insert(e stream.Event[V]) int {
+	if e.Time > b.maxSeen {
+		b.maxSeen = e.Time
+	}
+	n := len(b.events)
+	if n == 0 || b.events[n-1].Before(e) {
+		b.events = append(b.events, e)
+		return n
+	}
+	i := sort.Search(n, func(i int) bool { return e.Before(b.events[i]) })
+	b.events = append(b.events, stream.Event[V]{})
+	copy(b.events[i+1:], b.events[i:])
+	b.copies += int64(n - i)
+	b.events[i] = e
+	return i
+}
+
+// evictBefore drops events with time < horizon from the front.
+func (b *sortedBuffer[V]) evictBefore(horizon int64) int {
+	k := sort.Search(len(b.events), func(i int) bool { return b.events[i].Time >= horizon })
+	if k > 0 {
+		b.events = append(b.events[:0], b.events[k:]...)
+		b.evicted += int64(k)
+	}
+	return k
+}
+
+// timeRange returns the index range [lo, hi) of events with time in [from, to).
+func (b *sortedBuffer[V]) timeRange(from, to int64) (int, int) {
+	lo := sort.Search(len(b.events), func(i int) bool { return b.events[i].Time >= from })
+	hi := sort.Search(len(b.events), func(i int) bool { return b.events[i].Time >= to })
+	return lo, hi
+}
+
+// rankRange converts a canonical rank range to buffer indices, clamped.
+func (b *sortedBuffer[V]) rankRange(from, to int64) (int, int) {
+	lo, hi := from-b.evicted, to-b.evicted
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > int64(len(b.events)) {
+		hi = int64(len(b.events))
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return int(lo), int(hi)
+}
+
+// StoreView implementation.
+
+func (b *sortedBuffer[V]) TotalCount() int64  { return b.evicted + int64(len(b.events)) }
+func (b *sortedBuffer[V]) MaxSeenTime() int64 { return b.maxSeen }
+
+func (b *sortedBuffer[V]) CountAtTime(ts int64) int64 {
+	i := sort.Search(len(b.events), func(i int) bool { return b.events[i].Time > ts })
+	return b.evicted + int64(i)
+}
+
+func (b *sortedBuffer[V]) TimeAtCount(c int64) int64 {
+	i := c - b.evicted - 1
+	if i < 0 {
+		return stream.MinTime
+	}
+	if i >= int64(len(b.events)) {
+		return stream.MaxTime
+	}
+	return b.events[i].Time
+}
+
+// foldEvents recomputes an aggregate over a buffer range (no sharing — the
+// defining property of the tuple buffer).
+func foldEvents[V, A, Out any](f aggregate.Function[V, A, Out], ev []stream.Event[V]) (A, int64) {
+	return aggregate.Recompute(f, ev), int64(len(ev))
+}

@@ -1,0 +1,428 @@
+package baselines
+
+import (
+	"fmt"
+	"sort"
+
+	"scotty/internal/aggregate"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+// Buckets is the bucket-per-window technique of §3.3 (WID [31-33], as adopted
+// by Flink's window operator; Table 1, rows 3 and 4): every window is an
+// independent bucket in a hash map; tuples are assigned to every bucket whose
+// window contains them, so overlapping windows repeat aggregation work — one
+// sliding window of length 20s with a 2s slide costs ten aggregation steps
+// per tuple. Buckets never share partial aggregates, but pre-compute each
+// window's final aggregate, giving the nanosecond output latencies of
+// Fig 11.
+//
+// KeepTuples selects tuple buckets (each bucket stores its tuples —
+// replicated across overlapping windows) instead of aggregate buckets.
+// Tuple buckets are required for count-based windows on unordered streams
+// and for recompute-style corrections.
+type Buckets[V, A, Out any] struct {
+	f          aggregate.Function[V, A, Out]
+	keepTuples bool
+	ordered    bool
+	lateness   int64
+
+	queries []*bucketQuery[V, A]
+	nextID  int
+
+	// buf maintains global canonical order; allocated only when tuple
+	// buckets are in use (rank bookkeeping and recomputation).
+	buf     *sortedBuffer[V]
+	maxSeen int64
+	total   int64
+	currWM  int64
+	dropped int64
+
+	// assigns counts tuple-to-bucket assignments (the redundancy metric).
+	assigns int64
+
+	evictEvery int
+	results    []Result[Out]
+}
+
+type bucketKind uint8
+
+const (
+	bucketPeriodicTime bucketKind = iota
+	bucketPeriodicCount
+	bucketSession
+)
+
+type bucket[V, A any] struct {
+	start, end int64 // window extent in the query's measure
+	agg        A
+	n          int64
+	lastTime   int64 // event time of the latest contained tuple
+	events     []stream.Event[V]
+	emitted    bool
+	dirty      bool // tuple-mode: contents shifted; recompute before emitting
+}
+
+type bucketQuery[V, A any] struct {
+	id      int
+	kind    bucketKind
+	measure stream.Measure
+	length  int64
+	slide   int64
+	gap     int64
+	// buckets is keyed by window start (periodic); sessions are kept
+	// sorted by start.
+	buckets  map[int64]*bucket[V, A]
+	sessions []*bucket[V, A]
+}
+
+// NewBuckets creates a bucket operator. Supported window types: Tumbling,
+// Sliding (time- and count-measure), and Session.
+func NewBuckets[V, A, Out any](f aggregate.Function[V, A, Out], keepTuples, ordered bool, lateness int64) *Buckets[V, A, Out] {
+	b := &Buckets[V, A, Out]{
+		f: f, keepTuples: keepTuples, ordered: ordered, lateness: lateness,
+		maxSeen: stream.MinTime, currWM: stream.MinTime,
+	}
+	if keepTuples {
+		b.buf = newSortedBuffer[V]()
+	}
+	return b
+}
+
+// AddQuery implements Operator.
+func (b *Buckets[V, A, Out]) AddQuery(def window.Definition) int {
+	q := &bucketQuery[V, A]{id: b.nextID, measure: def.Measure(), buckets: map[int64]*bucket[V, A]{}}
+	b.nextID++
+	if window.IsSession(def) {
+		q.kind = bucketSession
+		q.gap = sessionGap(def)
+	} else if p, ok := def.(window.ContextFree); ok {
+		q.length, q.slide = periodicParams(p)
+		if def.Measure() == stream.Count {
+			q.kind = bucketPeriodicCount
+			if !b.ordered && !b.keepTuples {
+				panic("baselines: count windows on unordered streams need tuple buckets")
+			}
+		} else {
+			q.kind = bucketPeriodicTime
+		}
+	} else {
+		panic(fmt.Sprintf("baselines: bucket operator does not support window type %T", def))
+	}
+	b.queries = append(b.queries, q)
+	return q.id
+}
+
+// ProcessElement implements Operator.
+func (b *Buckets[V, A, Out]) ProcessElement(e stream.Event[V]) []Result[Out] {
+	b.results = b.results[:0]
+	if b.currWM != stream.MinTime && e.Time <= b.currWM-b.lateness {
+		b.dropped++
+		return b.results
+	}
+	inOrder := e.Time >= b.maxSeen
+	if b.ordered && inOrder {
+		b.triggerAll(e.Time - 1)
+	}
+	rank := b.total
+	if b.buf != nil {
+		rank = b.buf.evicted + int64(b.buf.insert(e))
+	}
+	if e.Time > b.maxSeen {
+		b.maxSeen = e.Time
+	}
+	b.total++
+	for _, q := range b.queries {
+		b.assign(q, e, rank, inOrder)
+	}
+	if b.ordered {
+		// Count windows complete the instant their last tuple arrives.
+		b.triggerCount(e.Time)
+		if b.evictEvery++; b.evictEvery >= 1024 {
+			b.evictEvery = 0
+			b.evict()
+		}
+	}
+	return b.results
+}
+
+// ProcessWatermark implements Operator.
+func (b *Buckets[V, A, Out]) ProcessWatermark(wm int64) []Result[Out] {
+	b.results = b.results[:0]
+	b.triggerAll(wm)
+	b.evict()
+	return b.results
+}
+
+// assign adds a tuple to every bucket of query q whose window contains it.
+func (b *Buckets[V, A, Out]) assign(q *bucketQuery[V, A], e stream.Event[V], rank int64, inOrder bool) {
+	switch q.kind {
+	case bucketPeriodicTime:
+		// Window k = [k*slide, k*slide+length) contains e.Time.
+		kHigh := e.Time / q.slide
+		for k := kHigh; k >= 0; k-- {
+			start := k * q.slide
+			if start+q.length <= e.Time {
+				break
+			}
+			b.addToBucket(q, start, start+q.length, e)
+		}
+	case bucketPeriodicCount:
+		kHigh := rank / q.slide
+		for k := kHigh; k >= 0; k-- {
+			start := k * q.slide
+			if start+q.length <= rank {
+				break
+			}
+			b.addToBucket(q, start, start+q.length, e)
+		}
+		if !inOrder {
+			// The insertion shifted the rank of every later tuple:
+			// every bucket covering ranks beyond it changed content.
+			for start, bk := range q.buckets {
+				if start+q.length > rank {
+					bk.dirty = true
+					if bk.emitted {
+						b.emitBucket(q, bk, true)
+					}
+				}
+			}
+		}
+	case bucketSession:
+		b.assignSession(q, e)
+	}
+}
+
+func (b *Buckets[V, A, Out]) addToBucket(q *bucketQuery[V, A], start, end int64, e stream.Event[V]) {
+	bk, ok := q.buckets[start]
+	if !ok {
+		bk = &bucket[V, A]{start: start, end: end, agg: b.f.Identity(), lastTime: stream.MinTime}
+		q.buckets[start] = bk
+	}
+	b.assigns++
+	bk.n++
+	if e.Time > bk.lastTime {
+		bk.lastTime = e.Time
+	}
+	if b.keepTuples {
+		bk.events = append(bk.events, e)
+	}
+	if q.kind == bucketPeriodicCount {
+		// Rank membership is resolved at trigger time from the global
+		// buffer; the bucket only tracks bookkeeping here.
+		bk.dirty = true
+		return
+	}
+	bk.agg = aggregate.Add(b.f, bk.agg, e)
+	if bk.emitted && b.currWM != stream.MinTime {
+		b.emitBucket(q, bk, true)
+	}
+}
+
+// assignSession implements Flink-style merging session windows: the tuple
+// opens a [ts, ts+gap) bucket, which is merged with every overlapping
+// session bucket.
+func (b *Buckets[V, A, Out]) assignSession(q *bucketQuery[V, A], e stream.Event[V]) {
+	nb := &bucket[V, A]{start: e.Time, end: e.Time + q.gap, agg: b.f.Lift(e), n: 1, lastTime: e.Time}
+	if b.keepTuples {
+		nb.events = append(nb.events, e)
+	}
+	b.assigns++
+	// Find sessions within the gap (sorted by start). Two tuples share a
+	// session iff their distance is strictly less than the gap, so the
+	// overlap comparisons are strict: a session ending exactly at the new
+	// tuple's time stays separate.
+	lo := sort.Search(len(q.sessions), func(i int) bool { return q.sessions[i].end > nb.start })
+	hi := lo
+	for hi < len(q.sessions) && q.sessions[hi].start < nb.end {
+		hi++
+	}
+	wasEmitted := false
+	for _, s := range q.sessions[lo:hi] {
+		if s.start < nb.start {
+			nb.start = s.start
+		}
+		if s.end > nb.end {
+			nb.end = s.end
+		}
+		nb.agg = b.f.Combine(s.agg, nb.agg)
+		nb.n += s.n
+		if s.lastTime > nb.lastTime {
+			nb.lastTime = s.lastTime
+		}
+		nb.events = append(nb.events, s.events...)
+		wasEmitted = wasEmitted || s.emitted
+	}
+	q.sessions = append(q.sessions[:lo], append([]*bucket[V, A]{nb}, q.sessions[hi:]...)...)
+	if wasEmitted && nb.end-1 <= b.currWM {
+		nb.emitted = true
+		b.emitBucket(q, nb, true)
+	}
+}
+
+// triggerAll emits every bucket completed at watermark wm.
+func (b *Buckets[V, A, Out]) triggerAll(wm int64) {
+	if wm <= b.currWM {
+		return
+	}
+	b.currWM = wm
+	for _, q := range b.queries {
+		switch q.kind {
+		case bucketPeriodicTime:
+			for _, bk := range q.buckets {
+				if !bk.emitted && bk.end-1 <= wm {
+					bk.emitted = true
+					b.emitBucket(q, bk, false)
+				}
+			}
+		case bucketPeriodicCount:
+			for _, bk := range q.buckets {
+				if !bk.emitted && b.countComplete(q, bk, wm) {
+					bk.emitted = true
+					b.emitBucket(q, bk, false)
+				}
+			}
+		case bucketSession:
+			for _, bk := range q.sessions {
+				if !bk.emitted && bk.end-1 <= wm {
+					bk.emitted = true
+					b.emitBucket(q, bk, false)
+				}
+			}
+		}
+	}
+}
+
+// triggerCount emits count buckets that just filled up (ordered mode).
+func (b *Buckets[V, A, Out]) triggerCount(now int64) {
+	for _, q := range b.queries {
+		if q.kind != bucketPeriodicCount {
+			continue
+		}
+		for _, bk := range q.buckets {
+			if !bk.emitted && bk.end <= b.total && bk.lastTime <= now {
+				bk.emitted = true
+				b.emitBucket(q, bk, false)
+			}
+		}
+	}
+}
+
+func (b *Buckets[V, A, Out]) countComplete(q *bucketQuery[V, A], bk *bucket[V, A], wm int64) bool {
+	if bk.end > b.total {
+		return false
+	}
+	if b.buf != nil {
+		return b.buf.TimeAtCount(bk.end) <= wm
+	}
+	return bk.lastTime <= wm
+}
+
+func (b *Buckets[V, A, Out]) emitBucket(q *bucketQuery[V, A], bk *bucket[V, A], update bool) {
+	agg, n := bk.agg, bk.n
+	if q.kind == bucketPeriodicCount && b.buf != nil {
+		// Resolve rank membership from the global canonical buffer.
+		lo, hi := b.buf.rankRange(bk.start, bk.end)
+		agg, n = foldEvents(b.f, b.buf.events[lo:hi])
+		bk.dirty = false
+	} else if bk.dirty && b.keepTuples {
+		sort.Slice(bk.events, func(i, j int) bool { return bk.events[i].Before(bk.events[j]) })
+		agg, n = foldEvents(b.f, bk.events)
+		bk.agg = agg
+		bk.dirty = false
+	}
+	b.results = append(b.results, Result[Out]{
+		Query: q.id, Measure: q.measure, Start: bk.start, End: bk.end,
+		Value: b.f.Lower(agg), N: n, Update: update,
+	})
+}
+
+// evict drops buckets (and buffered tuples) beyond the lateness horizon.
+func (b *Buckets[V, A, Out]) evict() {
+	if b.currWM == stream.MinTime {
+		return
+	}
+	horizon := b.currWM - b.lateness
+	if b.ordered {
+		horizon = b.currWM
+	}
+	for _, q := range b.queries {
+		switch q.kind {
+		case bucketPeriodicTime:
+			for start, bk := range q.buckets {
+				if bk.emitted && bk.end-1 < horizon {
+					delete(q.buckets, start)
+				}
+			}
+		case bucketPeriodicCount:
+			for start, bk := range q.buckets {
+				if bk.emitted && bk.lastTime < horizon {
+					delete(q.buckets, start)
+				}
+			}
+		case bucketSession:
+			keep := q.sessions[:0]
+			for _, bk := range q.sessions {
+				if !bk.emitted || bk.end-1 >= horizon-q.gap {
+					keep = append(keep, bk)
+				}
+			}
+			q.sessions = keep
+		}
+	}
+	if b.buf != nil {
+		// Count buckets resolve their rank membership from the global
+		// buffer at emission time; keep every tuple from the earliest
+		// pending bucket onwards.
+		minRank := int64(-1)
+		for _, q := range b.queries {
+			if q.kind != bucketPeriodicCount {
+				continue
+			}
+			for _, bk := range q.buckets {
+				if !bk.emitted && (minRank < 0 || bk.start < minRank) {
+					minRank = bk.start
+				}
+			}
+		}
+		if minRank >= 0 {
+			if t := b.buf.TimeAtCount(minRank + 1); t < horizon {
+				horizon = t
+			}
+		}
+		b.buf.evictBefore(horizon)
+	}
+}
+
+// NumBuckets reports the live bucket count (memory experiments).
+func (b *Buckets[V, A, Out]) NumBuckets() int {
+	n := 0
+	for _, q := range b.queries {
+		n += len(q.buckets) + len(q.sessions)
+	}
+	return n
+}
+
+// Assigns reports total tuple-to-bucket assignments.
+func (b *Buckets[V, A, Out]) Assigns() int64 { return b.assigns }
+
+// ------------------------------------------------------------- helpers ----
+
+// periodicParams extracts length and slide from a periodic definition.
+func periodicParams(d window.ContextFree) (length, slide int64) {
+	type paramer interface{ Params() (int64, int64) }
+	if p, ok := d.(paramer); ok {
+		return p.Params()
+	}
+	panic(fmt.Sprintf("baselines: cannot extract periodic parameters from %T", d))
+}
+
+// sessionGap extracts the gap from a session definition.
+func sessionGap(d window.Definition) int64 {
+	type gapper interface{ Gap() int64 }
+	if g, ok := d.(gapper); ok {
+		return g.Gap()
+	}
+	panic(fmt.Sprintf("baselines: cannot extract session gap from %T", d))
+}

@@ -1,0 +1,186 @@
+package baselines
+
+import (
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+// queryEngine is the shared query layer of the buffer-based baselines:
+// query registration, context bookkeeping, watermark triggering, late-update
+// re-emission, and eviction horizons. Techniques plug in their aggregate
+// computation through the agg callback.
+type queryEngine[V, Out any] struct {
+	view     window.StoreView
+	agg      func(m stream.Measure, s, e int64) (Out, int64)
+	ordered  bool
+	lateness int64
+
+	queries []*query[V]
+	nextID  int
+	currWM  int64
+	dropped int64
+
+	// Trigger wake caches: the cheapest way to learn that no window can
+	// have ended yet (see the slicing core's identical caching).
+	wakeTime  int64
+	wakeCount int64
+
+	results []Result[Out]
+}
+
+func newQueryEngine[V, Out any](view window.StoreView, ordered bool, lateness int64, agg func(m stream.Measure, s, e int64) (Out, int64)) *queryEngine[V, Out] {
+	return &queryEngine[V, Out]{view: view, agg: agg, ordered: ordered, lateness: lateness, currWM: stream.MinTime}
+}
+
+func (qe *queryEngine[V, Out]) addQuery(def window.Definition) int {
+	q := newQuery[V](qe.nextID, def, qe.view)
+	qe.nextID++
+	qe.queries = append(qe.queries, q)
+	qe.refreshWake()
+	return q.id
+}
+
+func (qe *queryEngine[V, Out]) refreshWake() {
+	qe.wakeTime, qe.wakeCount = stream.MaxTime, stream.MaxTime
+	for _, q := range qe.queries {
+		if q.cf == nil {
+			continue
+		}
+		nt := q.cf.NextTrigger(qe.view)
+		if q.def.Measure() == stream.Time {
+			if nt < qe.wakeTime {
+				qe.wakeTime = nt
+			}
+		} else if nt < qe.wakeCount {
+			qe.wakeCount = nt
+		}
+	}
+}
+
+// due reports whether any query may emit at watermark wm.
+func (qe *queryEngine[V, Out]) due(wm int64) bool {
+	if wm >= qe.wakeTime || qe.view.TotalCount() >= qe.wakeCount {
+		return true
+	}
+	for _, q := range qe.queries {
+		if q.ctx != nil && q.ctx.NextTrigger(qe.currWM) <= wm {
+			return true
+		}
+	}
+	return false
+}
+
+// tooLate reports (and counts) tuples beyond the allowed lateness.
+func (qe *queryEngine[V, Out]) tooLate(ts int64) bool {
+	if qe.currWM == stream.MinTime || ts > qe.currWM-qe.lateness {
+		return false
+	}
+	qe.dropped++
+	return true
+}
+
+func (qe *queryEngine[V, Out]) emit(q *query[V], s, e int64, update bool) {
+	v, n := qe.agg(q.def.Measure(), s, e)
+	qe.results = append(qe.results, Result[Out]{
+		Query: q.id, Measure: q.def.Measure(), Start: s, End: e, Value: v, N: n, Update: update,
+	})
+}
+
+// observe routes one tuple through every context-aware query and emits
+// updates for already-triggered windows the tuple touches.
+func (qe *queryEngine[V, Out]) observe(e stream.Event[V], rank int64, inOrder bool) {
+	for _, q := range qe.queries {
+		if q.ctx == nil {
+			continue
+		}
+		ch := q.ctx.Observe(e, rank, inOrder)
+		for _, span := range ch.Updated {
+			if qe.currWM != stream.MinTime && span.End-1 <= qe.currWM {
+				qe.emit(q, span.Start, span.End, true)
+			}
+		}
+	}
+	if inOrder || qe.currWM == stream.MinTime {
+		return
+	}
+	for _, q := range qe.queries {
+		if q.cf == nil {
+			continue
+		}
+		pos := e.Time
+		if q.def.Measure() == stream.Count {
+			pos = rank
+		}
+		q.cf.WindowsTouched(qe.view, pos, func(s, en int64) {
+			if q.def.Measure() == stream.Time && en-1 > qe.currWM {
+				return
+			}
+			qe.emit(q, s, en, true)
+		})
+	}
+}
+
+// trigger fires every query for the watermark interval and advances currWM.
+// Count-measure completion checks use countWM; re-invocations with an
+// unchanged watermark are safe (the window definitions' triggers are
+// stateful and never re-emit).
+func (qe *queryEngine[V, Out]) trigger(wm int64, countWM int64) {
+	if wm < qe.currWM {
+		wm = qe.currWM
+	}
+	if !qe.due(wm) {
+		qe.currWM = wm
+		return
+	}
+	for _, q := range qe.queries {
+		if q.cf != nil {
+			w := wm
+			if q.def.Measure() == stream.Count {
+				w = countWM
+			}
+			q.cf.Trigger(qe.view, qe.currWM, w, func(s, e int64) { qe.emit(q, s, e, false) })
+			continue
+		}
+		// Context-aware windows always get strict watermark semantics
+		// (see the slicing core's trigger for the tie-at-trigger-time
+		// rationale).
+		ch := q.ctx.OnWatermark(qe.currWM, wm)
+		for _, span := range ch.Updated {
+			if span.End-1 <= qe.currWM {
+				qe.emit(q, span.Start, span.End, true)
+			}
+		}
+		q.ctx.Trigger(qe.currWM, wm, func(s, e int64) { qe.emit(q, s, e, false) })
+	}
+	qe.currWM = wm
+	qe.refreshWake()
+}
+
+// horizons returns the earliest (time, count) positions any query still
+// needs, floored by the allowed lateness.
+func (qe *queryEngine[V, Out]) horizons() (int64, int64) {
+	minTime, minCount := stream.MaxTime, stream.MaxTime
+	for _, q := range qe.queries {
+		var in window.Interest
+		if q.cf != nil {
+			in = q.cf.Interest(qe.view, qe.currWM, qe.lateness)
+		} else {
+			in = q.ctx.Interest(qe.currWM, qe.lateness)
+		}
+		if in.Time < minTime {
+			minTime = in.Time
+		}
+		if in.Count < minCount {
+			minCount = in.Count
+		}
+	}
+	if !qe.ordered && qe.currWM != stream.MinTime && qe.currWM-qe.lateness < minTime {
+		minTime = qe.currWM - qe.lateness
+	}
+	for _, q := range qe.queries {
+		if q.ctx != nil {
+			q.ctx.Evict(minTime, minCount)
+		}
+	}
+	return minTime, minCount
+}

@@ -1,0 +1,123 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"scotty/internal/aggregate"
+	"scotty/internal/reference"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+// The baselines face the same randomized-workload oracle property as the
+// slicing core: arbitrary window mixes, stream orders, and disorder levels.
+func TestRandomizedBaselineWorkloads(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("seed%d", trial), func(t *testing.T) {
+			runRandomBaselineWorkload(t, int64(trial))
+		})
+	}
+}
+
+type rq struct {
+	def window.Definition
+	ref reference.Query[float64]
+}
+
+func runRandomBaselineWorkload(t *testing.T, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed*6151 + 7))
+
+	ordered := rng.Intn(3) == 0
+	var d stream.Disorder
+	if !ordered {
+		d = stream.Disorder{
+			Fraction: 0.05 + 0.4*rng.Float64(),
+			MaxDelay: int64(100 + rng.Intn(700)),
+			Seed:     seed + 500,
+		}
+	}
+
+	f := aggregate.Sum[float64](ident)
+	pred := func(v float64) bool { return v == 7 }
+	pool := []rq{
+		{window.Tumbling(stream.Time, int64(30+rng.Intn(200))), reference.Query[float64]{Kind: reference.Periodic, Measure: stream.Time}},
+		{window.Sliding(stream.Time, int64(60+rng.Intn(200)), int64(15+rng.Intn(80))), reference.Query[float64]{Kind: reference.Periodic, Measure: stream.Time}},
+		{window.Session[float64](int64(100 + rng.Intn(200))), reference.Query[float64]{Kind: reference.Session}},
+		{window.Punctuation[float64](pred), reference.Query[float64]{Kind: reference.Punctuation, Pred: pred}},
+	}
+	// Fill in the parameters the reference needs from the definitions.
+	type paramer interface{ Params() (int64, int64) }
+	type gapper interface{ Gap() int64 }
+	for i := range pool {
+		if p, ok := pool[i].def.(paramer); ok {
+			pool[i].ref.Length, pool[i].ref.Slide = p.Params()
+		}
+		if g, ok := pool[i].def.(gapper); ok {
+			pool[i].ref.Gap = g.Gap()
+		}
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	qs := pool[:1+rng.Intn(len(pool))]
+
+	mk := map[string]func() Operator[float64, float64]{
+		"tuple-buffer": func() Operator[float64, float64] { return NewTupleBuffer(f, ordered, 1<<40) },
+		"agg-tree":     func() Operator[float64, float64] { return NewAggTree(f, ordered, 1<<40) },
+	}
+	// Buckets support periodic + session windows only.
+	bucketable := true
+	for _, q := range qs {
+		if q.ref.Kind == reference.Punctuation {
+			bucketable = false
+		}
+	}
+	if bucketable {
+		mk["buckets"] = func() Operator[float64, float64] { return NewBuckets(f, rng.Intn(2) == 0, ordered, 1<<40) }
+	}
+
+	ev := genEvents(rng, 800+rng.Intn(800))
+	wmPeriod := int64(0)
+	if !ordered {
+		wmPeriod = int64(50 + rng.Intn(200))
+	}
+	items := stream.Prepare(stream.Watermarker{Period: wmPeriod, Lag: d.MaxDelay + 1}, stream.Apply(d, ev))
+
+	for name, factory := range mk {
+		op := factory()
+		ids := make([]int, len(qs))
+		for i, q := range qs {
+			ids[i] = op.AddQuery(cloneDef(q.def, q.ref, pred))
+		}
+		finals := drive(op, items)
+		for i, q := range qs {
+			want := reference.Finals(f, q.ref, ev, stream.MaxTime)
+			check(t, fmt.Sprintf("seed%d/%s/q%d", seed, name, i), finals, ids[i], want)
+			if t.Failed() {
+				t.Fatalf("seed %d: %s diverged on query %d (%v), ordered=%v disorder=%+v",
+					seed, name, i, q.def, ordered, d)
+			}
+		}
+	}
+}
+
+// cloneDef builds a fresh definition instance (trigger state is per
+// operator).
+func cloneDef(def window.Definition, ref reference.Query[float64], pred func(float64) bool) window.Definition {
+	switch ref.Kind {
+	case reference.Periodic:
+		return window.Sliding(ref.Measure, ref.Length, ref.Slide)
+	case reference.Session:
+		return window.Session[float64](ref.Gap)
+	case reference.Punctuation:
+		return window.Punctuation[float64](pred)
+	default:
+		return def
+	}
+}

@@ -1,0 +1,97 @@
+package baselines
+
+import (
+	"scotty/internal/aggregate"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+// TupleBuffer is the straightforward technique of §3.1 (Table 1, row 1): a
+// time-sorted ring buffer of all tuples within the allowed lateness, with no
+// partial-aggregate sharing. Every window aggregate is computed from scratch
+// by folding over the buffer range, so overlapping windows repeat work, and
+// out-of-order tuples pay memory-copy costs for mid-buffer inserts.
+type TupleBuffer[V, A, Out any] struct {
+	f   aggregate.Function[V, A, Out]
+	buf *sortedBuffer[V]
+	qe  *queryEngine[V, Out]
+	// folds counts aggregated tuples (repeated work metric).
+	folds      int64
+	evictEvery int
+}
+
+// NewTupleBuffer creates a tuple-buffer operator. ordered declares the input
+// in-order (per-tuple emission); lateness bounds how long tuples are kept on
+// unordered streams.
+func NewTupleBuffer[V, A, Out any](f aggregate.Function[V, A, Out], ordered bool, lateness int64) *TupleBuffer[V, A, Out] {
+	tb := &TupleBuffer[V, A, Out]{f: f, buf: newSortedBuffer[V]()}
+	tb.qe = newQueryEngine[V, Out](tb.buf, ordered, lateness, tb.aggRange)
+	return tb
+}
+
+func (tb *TupleBuffer[V, A, Out]) aggRange(m stream.Measure, s, e int64) (Out, int64) {
+	var lo, hi int
+	if m == stream.Time {
+		lo, hi = tb.buf.timeRange(s, e)
+	} else {
+		l, h := tb.buf.rankRange(s, e)
+		lo, hi = l, h
+	}
+	tb.folds += int64(hi - lo)
+	a, n := foldEvents(tb.f, tb.buf.events[lo:hi])
+	return tb.f.Lower(a), n
+}
+
+// AddQuery implements Operator.
+func (tb *TupleBuffer[V, A, Out]) AddQuery(def window.Definition) int { return tb.qe.addQuery(def) }
+
+// ProcessElement implements Operator.
+func (tb *TupleBuffer[V, A, Out]) ProcessElement(e stream.Event[V]) []Result[Out] {
+	tb.qe.results = tb.qe.results[:0]
+	if tb.qe.tooLate(e.Time) {
+		return tb.qe.results
+	}
+	inOrder := e.Time >= tb.buf.maxSeen
+	if tb.qe.ordered && inOrder {
+		// In-order mode: each tuple doubles as the watermark ts-1,
+		// triggered before the tuple is inserted.
+		tb.qe.trigger(e.Time-1, e.Time-1)
+	}
+	idx := tb.buf.insert(e)
+	rank := tb.buf.evicted + int64(idx)
+	tb.qe.observe(e, rank, inOrder)
+	if tb.qe.ordered {
+		// Count windows complete the instant their last tuple arrives.
+		tb.qe.trigger(tb.qe.currWM, e.Time)
+		if tb.evictEvery++; tb.evictEvery >= 1024 {
+			tb.evictEvery = 0
+			tb.evict()
+		}
+	}
+	return tb.qe.results
+}
+
+// ProcessWatermark implements Operator.
+func (tb *TupleBuffer[V, A, Out]) ProcessWatermark(wm int64) []Result[Out] {
+	tb.qe.results = tb.qe.results[:0]
+	tb.qe.trigger(wm, wm)
+	tb.evict()
+	return tb.qe.results
+}
+
+func (tb *TupleBuffer[V, A, Out]) evict() {
+	minTime, minCount := tb.qe.horizons()
+	if minTime == stream.MaxTime && minCount != stream.MaxTime {
+		// Count-only workload: translate the count horizon to a time.
+		minTime = tb.buf.TimeAtCount(minCount)
+	}
+	if minTime != stream.MaxTime && minTime > stream.MinTime {
+		tb.buf.evictBefore(minTime)
+	}
+}
+
+// Stats for the harness.
+func (tb *TupleBuffer[V, A, Out]) Buffered() int  { return len(tb.buf.events) }
+func (tb *TupleBuffer[V, A, Out]) Copies() int64  { return tb.buf.copies }
+func (tb *TupleBuffer[V, A, Out]) Folds() int64   { return tb.folds }
+func (tb *TupleBuffer[V, A, Out]) Dropped() int64 { return tb.qe.dropped }

@@ -1,0 +1,95 @@
+package benchutil
+
+import (
+	"math"
+	"testing"
+
+	"scotty/internal/baselines"
+	"scotty/internal/core"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+type wkey struct {
+	q          int
+	start, end int64
+}
+
+// TestTechniquesAgreeUnderDisorder is the cross-technique equivalence check
+// the harness relies on: every out-of-order-capable technique must emit the
+// same final value for every window of a shared workload — otherwise the
+// throughput comparisons of §6 would compare operators computing different
+// things.
+func TestTechniquesAgreeUnderDisorder(t *testing.T) {
+	d := stream.Disorder{Fraction: 0.25, MaxDelay: 800, Seed: 91}
+	in := MakeInput(stream.Football(), 60_000, d, 42)
+	defs := func() []window.Definition { return WithSession(TumblingQueries(4)) }
+	const lateness = 2000
+
+	runCore := func(eager bool) map[wkey]float64 {
+		op := core.New(SumFn(), core.Options{Eager: eager, Lateness: lateness})
+		for _, def := range defs() {
+			op.MustAddQuery(def)
+		}
+		finals := map[wkey]float64{}
+		for _, it := range in.Items {
+			var rs []core.Result[float64]
+			if it.Kind == stream.KindEvent {
+				rs = op.ProcessElement(it.Event)
+			} else {
+				rs = op.ProcessWatermark(it.Watermark)
+			}
+			for _, r := range rs {
+				finals[wkey{r.Query, r.Start, r.End}] = r.Value
+			}
+		}
+		return finals
+	}
+	runBaseline := func(op baselines.Operator[stream.Tuple, float64]) map[wkey]float64 {
+		for _, def := range defs() {
+			op.AddQuery(def)
+		}
+		finals := map[wkey]float64{}
+		for _, it := range in.Items {
+			var rs []baselines.Result[float64]
+			if it.Kind == stream.KindEvent {
+				rs = op.ProcessElement(it.Event)
+			} else {
+				rs = op.ProcessWatermark(it.Watermark)
+			}
+			for _, r := range rs {
+				finals[wkey{r.Query, r.Start, r.End}] = r.Value
+			}
+		}
+		return finals
+	}
+
+	results := map[string]map[wkey]float64{
+		"lazy-slicing":  runCore(false),
+		"eager-slicing": runCore(true),
+		"tuple-buffer":  runBaseline(baselines.NewTupleBuffer(SumFn(), false, lateness)),
+		"agg-tree":      runBaseline(baselines.NewAggTree(SumFn(), false, lateness)),
+	}
+	base := results["lazy-slicing"]
+	if len(base) < 30 {
+		t.Fatalf("suspiciously few windows: %d", len(base))
+	}
+	for name, finals := range results {
+		if name == "lazy-slicing" {
+			continue
+		}
+		for k, v := range base {
+			got, ok := finals[k]
+			if !ok {
+				t.Errorf("%s missing window %+v (lazy value %v)", name, k, v)
+				continue
+			}
+			if diff := math.Abs(got - v); diff > 1e-6 {
+				t.Errorf("%s window %+v: %v, lazy slicing says %v", name, k, got, v)
+			}
+		}
+		if t.Failed() {
+			t.Fatalf("%s diverged from lazy slicing", name)
+		}
+	}
+}

@@ -1,0 +1,764 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"scotty/internal/aggregate"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+// Options configure an Aggregator.
+type Options struct {
+	// Ordered declares the input stream in-order (every tuple's time is
+	// >= all previous times). In-order mode emits results directly,
+	// treating each tuple as a watermark (§5.3 step 3), and never stores
+	// tuples for context-free workloads.
+	Ordered bool
+	// Lateness is the allowed lateness (§2): how long after the watermark
+	// out-of-order tuples are still folded in, producing update results.
+	// Tuples later than this are dropped (counted in Stats).
+	Lateness int64
+	// Eager maintains a FlatFAT aggregate tree over the slices, lowering
+	// output latency at the cost of per-tuple tree updates (Table 1 rows
+	// 5 vs 6; §6.2.4).
+	Eager bool
+	// KeepTuples overrides the Fig 4 decision when non-nil (used by the
+	// ablation benchmarks).
+	KeepTuples *bool
+	// DisableEdgeCache recomputes the next-window-edge minimum from every
+	// query on every tuple instead of caching it (§5.3 step 1). Exists
+	// only for the ablation benchmark quantifying the cache's value.
+	DisableEdgeCache bool
+}
+
+// Result is one window aggregate emitted by the operator.
+type Result[Out any] struct {
+	// Query identifies the query (the id returned by AddQuery).
+	Query int
+	// Measure is the axis of Start and End.
+	Measure stream.Measure
+	// Start and End delimit the window, half-open [Start, End).
+	Start, End int64
+	// Value is the final (lowered) aggregate.
+	Value Out
+	// N is the number of tuples aggregated.
+	N int64
+	// Update marks a correction of a previously emitted window (a late
+	// tuple arrived within the allowed lateness, or a context change
+	// reshaped an already-output window).
+	Update bool
+}
+
+// Stats exposes operator counters for tests and the benchmark harness.
+type Stats struct {
+	Slices     int
+	Splits     int64
+	Merges     int64
+	Recomputes int64
+	Shifts     int64
+	Dropped    int64
+	Tuples     int64
+}
+
+type query[V any] struct {
+	id  int
+	def window.Definition
+	cf  window.ContextFree
+	ctx window.Context[V]
+}
+
+// Aggregator is the general stream slicing window operator (Fig 3/7). It
+// serves any number of concurrent queries over one keyed stream, sharing
+// slices — and therefore partial aggregates — among all of them.
+//
+// The aggregator is generic over the payload type V, the partial-aggregate
+// type A, and the final aggregate type Out of its aggregation function; all
+// registered queries share the function, as in the paper's evaluation.
+// Call ProcessElement for every tuple in arrival order and ProcessWatermark
+// for every watermark; both return the window results they caused. The
+// returned slice is reused across calls.
+type Aggregator[V, A, Out any] struct {
+	f    aggregate.Function[V, A, Out]
+	opts Options
+	st   *store[V, A, Out]
+
+	queries []*query[V]
+	nextID  int
+
+	// Workload-derived state (§5.1): re-evaluated on AddQuery/RemoveQuery.
+	hasCFTime  bool
+	hasCFCount bool
+	hasCA      bool
+	needRank   bool
+
+	// Slicer caches (§5.3 step 1): the next upcoming window edge. Edge
+	// positions are always taken relative to the open slice's actual
+	// start, so context-driven splits can never leave the cache stale.
+	cachedCFTimeEdge  int64
+	cachedCFCountEdge int64
+	dynamicTimeEdges  []int64 // future edges announced by contexts, ascending
+
+	// Trigger wake caches (ordered mode): the minimal watermark / total
+	// count at which any context-free query can emit. Context-aware
+	// queries are polled per tuple (their ends move with the data).
+	cfTriggerWakeTime  int64
+	cfTriggerWakeCount int64
+
+	// Watermark bookkeeping.
+	currWM int64
+
+	dropped int64
+
+	results        []Result[Out]
+	pendingUpdates []pendingUpdate
+	evictCountdown int
+}
+
+type pendingUpdate struct {
+	id   int
+	meas stream.Measure
+	span window.Span
+}
+
+// New creates an aggregator for the given aggregation function.
+func New[V, A, Out any](f aggregate.Function[V, A, Out], opts Options) *Aggregator[V, A, Out] {
+	keep := false
+	if opts.KeepTuples != nil {
+		keep = *opts.KeepTuples
+	}
+	ag := &Aggregator[V, A, Out]{
+		f:                 f,
+		opts:              opts,
+		st:                newStore(f, opts.Eager, keep),
+		cachedCFTimeEdge:  stream.MaxTime,
+		cachedCFCountEdge: stream.MaxTime,
+		currWM:            stream.MinTime,
+		evictCountdown:    evictEvery,
+	}
+	return ag
+}
+
+const evictEvery = 1024 // tuples between eviction passes in ordered mode
+
+// Store gives tests and benchmarks read access to internals.
+func (ag *Aggregator[V, A, Out]) Stats() Stats {
+	return Stats{
+		Slices:     ag.st.Len(),
+		Splits:     ag.st.splits,
+		Merges:     ag.st.merges,
+		Recomputes: ag.st.recomputes,
+		Shifts:     ag.st.shifts,
+		Dropped:    ag.dropped,
+		Tuples:     ag.st.totalCount,
+	}
+}
+
+// StoresTuples reports the current Fig 4 decision.
+func (ag *Aggregator[V, A, Out]) StoresTuples() bool { return ag.st.keepTuples }
+
+// View exposes the aggregate store as a window.StoreView (tests).
+func (ag *Aggregator[V, A, Out]) View() window.StoreView { return ag.st }
+
+// ---------------------------------------------------------------- queries ---
+
+// AddQuery registers a window query and returns its id. The workload
+// characteristics (window type, measure, stream order, function properties)
+// are re-derived, and the storage strategy adapts (§5: "our aggregator adapts
+// when one adds or removes queries").
+func (ag *Aggregator[V, A, Out]) AddQuery(def window.Definition) (int, error) {
+	q := &query[V]{id: ag.nextID, def: def}
+	switch d := def.(type) {
+	case window.ContextFree:
+		q.cf = d
+	case window.ContextAware[V]:
+		q.ctx = d.NewContext(ag.st)
+	default:
+		return 0, fmt.Errorf("core: window type %T implements neither ContextFree nor ContextAware", def)
+	}
+	if !ag.opts.Ordered && def.Measure() != ag.extentMeasure() && len(ag.queries) > 0 {
+		return 0, fmt.Errorf("core: mixing %v- and %v-extent queries requires an in-order stream; use one aggregator per measure", def.Measure(), ag.extentMeasure())
+	}
+	if q.cf != nil && ag.currWM != stream.MinTime {
+		// A query added mid-stream starts at the current watermark:
+		// windows that completed before registration concern data that
+		// may already be evicted, so they are drained silently.
+		q.cf.Trigger(ag.st, stream.MinTime, ag.currWM, func(int64, int64) {})
+	}
+	ag.nextID++
+	ag.queries = append(ag.queries, q)
+	ag.reconfigure()
+	return q.id, nil
+}
+
+// MustAddQuery is AddQuery for static configurations that cannot fail.
+func (ag *Aggregator[V, A, Out]) MustAddQuery(def window.Definition) int {
+	id, err := ag.AddQuery(def)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// RemoveQuery unregisters a query. Slice edges that no remaining query needs
+// are merged away; the storage strategy is re-derived.
+func (ag *Aggregator[V, A, Out]) RemoveQuery(id int) {
+	for i, q := range ag.queries {
+		if q.id == id {
+			ag.queries = append(ag.queries[:i], ag.queries[i+1:]...)
+			ag.reconfigure()
+			ag.compact()
+			return
+		}
+	}
+}
+
+func (ag *Aggregator[V, A, Out]) extentMeasure() stream.Measure {
+	if len(ag.queries) == 0 {
+		return stream.Time
+	}
+	return ag.queries[0].def.Measure()
+}
+
+// reconfigure re-derives workload flags and the Fig 4 tuple-storage decision.
+func (ag *Aggregator[V, A, Out]) reconfigure() {
+	ag.hasCFTime, ag.hasCFCount, ag.hasCA, ag.needRank = false, false, false, false
+	defs := make([]window.Definition, 0, len(ag.queries))
+	for _, q := range ag.queries {
+		defs = append(defs, q.def)
+		switch {
+		case q.cf != nil && q.def.Measure() == stream.Time:
+			ag.hasCFTime = true
+		case q.cf != nil:
+			ag.hasCFCount = true
+		default:
+			ag.hasCA = true
+		}
+		if q.def.Measure() == stream.Count {
+			ag.needRank = true
+		}
+	}
+	keep := needTuples(ag.opts.Ordered, ag.f.Props(), defs)
+	if ag.opts.KeepTuples != nil {
+		keep = *ag.opts.KeepTuples
+	}
+	if keep && !ag.st.keepTuples && ag.st.totalCount > 0 {
+		// Switching tuple storage on mid-stream applies from the next
+		// slice onwards: cut the open slice so no slice mixes stored
+		// and unstored tuples. Context-aware windows registered now clip
+		// themselves to data ingested from this point (their contexts
+		// read the current total count); splits into older slices would
+		// fail loudly.
+		if cut := ag.st.maxSeen + 1; cut > ag.openStart() {
+			ag.st.cutTime(cut)
+		}
+	}
+	ag.st.keepTuples = keep
+	ag.refreshCFEdges()
+	ag.refreshTriggerWake()
+}
+
+// openStart and openCStart are the slicer's cut positions: the boundary of
+// the currently open slice on each axis.
+func (ag *Aggregator[V, A, Out]) openStart() int64  { return ag.st.open().Start }
+func (ag *Aggregator[V, A, Out]) openCStart() int64 { return ag.st.open().CStart }
+
+func (ag *Aggregator[V, A, Out]) refreshCFEdges() {
+	ag.cachedCFTimeEdge = stream.MaxTime
+	ag.cachedCFCountEdge = stream.MaxTime
+	for _, q := range ag.queries {
+		if q.cf == nil {
+			continue
+		}
+		if q.def.Measure() == stream.Time {
+			if e := q.cf.NextEdge(ag.openStart(), ag.opts.Ordered); e < ag.cachedCFTimeEdge {
+				ag.cachedCFTimeEdge = e
+			}
+		} else {
+			if e := q.cf.NextEdge(ag.openCStart(), ag.opts.Ordered); e < ag.cachedCFCountEdge {
+				ag.cachedCFCountEdge = e
+			}
+		}
+	}
+}
+
+// refreshTriggerWake recomputes the context-free trigger wake positions.
+func (ag *Aggregator[V, A, Out]) refreshTriggerWake() {
+	ag.cfTriggerWakeTime = stream.MaxTime
+	ag.cfTriggerWakeCount = stream.MaxTime
+	for _, q := range ag.queries {
+		if q.cf == nil {
+			continue
+		}
+		nt := q.cf.NextTrigger(ag.st)
+		if q.def.Measure() == stream.Time {
+			if nt < ag.cfTriggerWakeTime {
+				ag.cfTriggerWakeTime = nt
+			}
+		} else if nt < ag.cfTriggerWakeCount {
+			ag.cfTriggerWakeCount = nt
+		}
+	}
+}
+
+// triggerDue reports whether any query may emit at watermark wm.
+func (ag *Aggregator[V, A, Out]) triggerDue(wm int64) bool {
+	if wm >= ag.cfTriggerWakeTime {
+		return true
+	}
+	for _, q := range ag.queries {
+		if q.ctx != nil && q.ctx.NextTrigger(ag.currWM) <= wm {
+			return true
+		}
+	}
+	return false
+}
+
+// edgeNeeded reports whether any query other than except requires a slice
+// edge at the boundary with time coordinate timePos and count coordinate
+// countPos.
+func (ag *Aggregator[V, A, Out]) edgeNeeded(timePos, countPos int64, except *query[V]) bool {
+	for _, q := range ag.queries {
+		if q == except {
+			continue
+		}
+		pos := timePos
+		if q.def.Measure() == stream.Count {
+			pos = countPos
+		}
+		if q.cf != nil {
+			if q.cf.IsEdge(pos, ag.opts.Ordered) {
+				return true
+			}
+		} else if q.ctx.IsEdge(pos) {
+			return true
+		}
+	}
+	return false
+}
+
+// compact merges adjacent slices at boundaries no query needs anymore.
+func (ag *Aggregator[V, A, Out]) compact() {
+	for i := len(ag.st.slices) - 2; i >= 0; i-- {
+		b := ag.st.slices[i+1]
+		if !ag.edgeNeeded(b.Start, b.CStart, nil) {
+			ag.st.mergeWith(i)
+		}
+	}
+}
+
+// ----------------------------------------------------------- processing ---
+
+// ProcessElement ingests one tuple and returns any results it caused
+// (in-order mode emits directly; out-of-order mode emits updates for windows
+// already behind the watermark). The returned slice is reused by subsequent
+// calls.
+func (ag *Aggregator[V, A, Out]) ProcessElement(e stream.Event[V]) []Result[Out] {
+	ag.results = ag.results[:0]
+	inOrder := e.Time >= ag.st.maxSeen
+	if ag.opts.Ordered && !inOrder {
+		panic(fmt.Sprintf("core: out-of-order tuple (t=%d < max=%d) on a stream declared Ordered", e.Time, ag.st.maxSeen))
+	}
+	if inOrder && e.Time == ag.st.maxSeen && !ag.opts.Ordered &&
+		(!ag.st.props.Commutative || ag.needRank) {
+		// A tie on the maximum timestamp may still be canonically out of
+		// place (a same-timestamp event with a higher sequence number
+		// already arrived). Non-commutative functions must aggregate in
+		// canonical order, and count-measure queries need canonical
+		// ranks, so take the out-of-order path, which inserts at the
+		// canonical position.
+		inOrder = false
+	}
+	if inOrder {
+		ag.processInOrder(e)
+	} else {
+		if ag.currWM != stream.MinTime && e.Time <= ag.currWM-ag.opts.Lateness {
+			ag.dropped++
+			return ag.results
+		}
+		ag.processOutOfOrder(e)
+	}
+	if ag.evictCountdown--; ag.evictCountdown <= 0 {
+		ag.evict()
+		ag.evictCountdown = evictEvery
+	}
+	return ag.results
+}
+
+// ProcessWatermark ingests a low watermark: no later tuple will carry a time
+// <= wm (tuples that still do are handled by the allowed lateness). Triggers
+// every window completed since the previous watermark.
+func (ag *Aggregator[V, A, Out]) ProcessWatermark(wm int64) []Result[Out] {
+	ag.results = ag.results[:0]
+	if wm <= ag.currWM {
+		return ag.results
+	}
+	ag.trigger(ag.currWM, wm, wm)
+	ag.refreshTriggerWake()
+	ag.currWM = wm
+	ag.flushUpdates()
+	ag.evict()
+	return ag.results
+}
+
+// processInOrder is the §5.3 pipeline for in-order tuples: slice on the fly,
+// trigger completed windows, observe contexts, append with one incremental
+// aggregation step.
+func (ag *Aggregator[V, A, Out]) processInOrder(e stream.Event[V]) {
+	ag.advanceTimeEdges(e.Time)
+	if ag.opts.Ordered {
+		// Every tuple doubles as the watermark e.Time-1: ties on the
+		// current timestamp may still arrive, anything earlier may not.
+		// The cached wake position makes the common no-window-ended
+		// case a single comparison.
+		if wm := e.Time - 1; wm > ag.currWM {
+			if ag.triggerDue(wm) {
+				ag.trigger(ag.currWM, wm, wm)
+				ag.refreshTriggerWake()
+			}
+			ag.currWM = wm
+		}
+	}
+	rank := ag.st.totalCount
+	for _, q := range ag.queries {
+		if q.ctx != nil {
+			ag.applyChanges(q, q.ctx.Observe(e, rank, true))
+		}
+	}
+	ag.st.addInOrder(e)
+	ag.advanceCountEdges()
+	if ag.opts.Ordered {
+		// Count windows complete the instant their last tuple arrives.
+		if ag.hasCFCount && ag.st.totalCount >= ag.cfTriggerWakeCount {
+			ag.trigger(ag.currWM, ag.currWM, e.Time)
+			ag.refreshTriggerWake()
+		}
+		ag.flushUpdates()
+	}
+}
+
+// processOutOfOrder is the §5.3 pipeline for late tuples: contexts first
+// (splits/merges), then a single slice update — incremental for commutative
+// functions, recomputed otherwise — then the count-shift cascade if a
+// count-based measure is in play, then update emissions for windows already
+// behind the watermark.
+func (ag *Aggregator[V, A, Out]) processOutOfOrder(e stream.Event[V]) {
+	rank := int64(-1)
+	if ag.needRank || ag.st.keepTuples {
+		rank = ag.rankOf(e)
+	}
+	for _, q := range ag.queries {
+		if q.ctx != nil {
+			ag.applyChanges(q, q.ctx.Observe(e, rank, false))
+		}
+	}
+	if ag.needRank {
+		i := ag.st.sliceForInsert(e)
+		ag.st.addOutOfOrder(i, e)
+		ag.st.shiftCascade(i)
+		ag.advanceCountEdges()
+	} else {
+		i := ag.st.sliceByTime(e.Time)
+		ag.st.addOutOfOrder(i, e)
+	}
+	// Update emissions for context-free queries (§5.3 step 3 case 1).
+	// Tuples ahead of the watermark — out of order but not late — cannot
+	// touch an emitted time window (every window containing them ends
+	// after the watermark), so the common case skips the scan entirely.
+	if ag.currWM != stream.MinTime && (e.Time <= ag.currWM || ag.needRank) {
+		for _, q := range ag.queries {
+			if q.cf == nil {
+				continue
+			}
+			if q.def.Measure() == stream.Time && e.Time > ag.currWM {
+				continue
+			}
+			pos := e.Time
+			if q.def.Measure() == stream.Count {
+				pos = rank
+			}
+			q.cf.WindowsTouched(ag.st, pos, func(s, en int64) {
+				if q.def.Measure() == stream.Time && en-1 > ag.currWM {
+					return // not yet emitted; the regular trigger will cover it
+				}
+				ag.emit(q, s, en, true)
+			})
+		}
+	}
+	ag.flushUpdates()
+}
+
+// rankOf computes the canonical rank an out-of-order event will occupy.
+func (ag *Aggregator[V, A, Out]) rankOf(e stream.Event[V]) int64 {
+	i := ag.st.sliceForInsert(e)
+	s := ag.st.slices[i]
+	if len(s.Events) > 0 {
+		k := sort.Search(len(s.Events), func(k int) bool { return e.Before(s.Events[k]) })
+		return s.CStart + int64(k)
+	}
+	return s.CEnd()
+}
+
+// ----------------------------------------------------------- the slicer ---
+
+// advanceTimeEdges cuts every pending time edge <= ts (Fig 7 step 1). The
+// common case — no edge crossed — costs one comparison per edge source.
+func (ag *Aggregator[V, A, Out]) advanceTimeEdges(ts int64) {
+	if ag.opts.DisableEdgeCache {
+		ag.refreshCFEdges()
+	}
+	for {
+		open := ag.openStart()
+		edge := ag.cachedCFTimeEdge
+		for len(ag.dynamicTimeEdges) > 0 && ag.dynamicTimeEdges[0] <= open {
+			ag.dynamicTimeEdges = ag.dynamicTimeEdges[1:] // already a boundary (context split)
+		}
+		if len(ag.dynamicTimeEdges) > 0 && ag.dynamicTimeEdges[0] < edge {
+			edge = ag.dynamicTimeEdges[0]
+		}
+		for _, q := range ag.queries {
+			if q.ctx == nil {
+				continue
+			}
+			if e := q.ctx.NextEdge(open); e < edge {
+				edge = e
+			}
+		}
+		if edge > ts || edge == stream.MaxTime {
+			return
+		}
+		if edge > open {
+			if s := ag.st.open(); s.N > 0 && edge <= s.TLast {
+				// Out-of-order arrivals (e.g. a late tuple extending
+				// an old session and moving its end edge) can leave
+				// tuples beyond the edge in the open slice; partition
+				// instead of closing the slice wholesale.
+				ag.st.splitTime(edge)
+			} else {
+				ag.st.cutTime(edge)
+			}
+		}
+		if edge >= ag.cachedCFTimeEdge {
+			ag.refreshCFEdges()
+		}
+		for len(ag.dynamicTimeEdges) > 0 && ag.dynamicTimeEdges[0] <= edge {
+			ag.dynamicTimeEdges = ag.dynamicTimeEdges[1:]
+		}
+	}
+}
+
+// advanceCountEdges cuts count edges reached by the current total count.
+func (ag *Aggregator[V, A, Out]) advanceCountEdges() {
+	if !ag.hasCFCount {
+		return
+	}
+	for {
+		edge := ag.cachedCFCountEdge
+		if edge <= ag.openCStart() {
+			ag.refreshCFEdges() // stale cache after a retroactive split
+			if ag.cachedCFCountEdge <= edge {
+				return
+			}
+			continue
+		}
+		if edge > ag.st.totalCount || edge == stream.MaxTime {
+			return
+		}
+		if edge == ag.st.totalCount {
+			ag.st.cutCount()
+		} else {
+			// A shift cascade advanced the count past the edge; cut
+			// retroactively inside the slice.
+			ag.st.splitCount(edge)
+		}
+		ag.refreshCFEdges()
+	}
+}
+
+// ---------------------------------------------------- context plumbing ---
+
+// applyChanges executes the slice-edge adjustments demanded by a context.
+func (ag *Aggregator[V, A, Out]) applyChanges(q *query[V], ch window.Changes) {
+	if ch.Empty() {
+		return
+	}
+	countMeasure := q.def.Measure() == stream.Count
+	for _, pos := range ch.Add {
+		if countMeasure {
+			ag.st.splitCount(pos)
+			continue
+		}
+		if pos > ag.st.maxSeen && pos > ag.openStart() {
+			// A future edge: remember it for on-the-fly slicing.
+			i := sort.Search(len(ag.dynamicTimeEdges), func(i int) bool { return ag.dynamicTimeEdges[i] >= pos })
+			if i == len(ag.dynamicTimeEdges) || ag.dynamicTimeEdges[i] != pos {
+				ag.dynamicTimeEdges = append(ag.dynamicTimeEdges, 0)
+				copy(ag.dynamicTimeEdges[i+1:], ag.dynamicTimeEdges[i:])
+				ag.dynamicTimeEdges[i] = pos
+			}
+			continue
+		}
+		ag.st.splitTime(pos)
+	}
+	for _, span := range ch.Merge {
+		ag.mergeRange(q, span, countMeasure)
+	}
+	for _, span := range ch.Updated {
+		ag.pendingUpdates = append(ag.pendingUpdates, pendingUpdate{id: q.id, meas: q.def.Measure(), span: span})
+	}
+}
+
+// mergeRange merges away the slice boundaries strictly inside span that no
+// other query requires.
+func (ag *Aggregator[V, A, Out]) mergeRange(q *query[V], span window.Span, countMeasure bool) {
+	for i := len(ag.st.slices) - 2; i >= 0; i-- {
+		b := ag.st.slices[i+1]
+		pos := b.Start
+		if countMeasure {
+			pos = b.CStart
+		}
+		if pos <= span.Start || pos >= span.End {
+			continue
+		}
+		if !ag.edgeNeeded(b.Start, b.CStart, q) {
+			ag.st.mergeWith(i)
+		}
+	}
+}
+
+// flushUpdates emits pending context-update results for windows already
+// behind the watermark. Emission happens after the causing tuple has been
+// folded in, so the update carries the corrected aggregate.
+func (ag *Aggregator[V, A, Out]) flushUpdates() {
+	if len(ag.pendingUpdates) == 0 {
+		return
+	}
+	for _, u := range ag.pendingUpdates {
+		if u.meas == stream.Time && ag.currWM != stream.MinTime && u.span.End-1 > ag.currWM {
+			continue // not yet emitted; the regular trigger covers it
+		}
+		if ag.currWM == stream.MinTime {
+			continue
+		}
+		ag.emitSpan(u.id, u.meas, u.span.Start, u.span.End, true)
+	}
+	ag.pendingUpdates = ag.pendingUpdates[:0]
+}
+
+// ------------------------------------------------------- window manager ---
+
+// trigger runs every query's trigger for the watermark interval
+// (prevWM, currWM]; count-measure completion checks use countWM (in ordered
+// mode a count window completes the instant its last tuple arrives).
+func (ag *Aggregator[V, A, Out]) trigger(prevWM, currWM, countWM int64) {
+	for _, q := range ag.queries {
+		if q.cf != nil {
+			// Context-free count windows complete when their last rank
+			// arrives, so their completion check may run ahead of the
+			// strict watermark (countWM is the current tuple's time in
+			// ordered mode).
+			wm := currWM
+			if q.def.Measure() == stream.Count {
+				wm = countWM
+			}
+			q.cf.Trigger(ag.st, prevWM, wm, func(s, e int64) { ag.emit(q, s, e, false) })
+			continue
+		}
+		// Context-aware windows always get strict watermark semantics
+		// ("no more tuples <= wm"): forward-context-aware windows derive
+		// counts *at a time point*, which is final only behind the
+		// watermark — ties at the trigger time must all have arrived.
+		// Contexts first materialize edges (§5.2 splits), then trigger.
+		ag.applyChanges(q, q.ctx.OnWatermark(prevWM, currWM))
+		q.ctx.Trigger(prevWM, currWM, func(s, e int64) { ag.emit(q, s, e, false) })
+	}
+}
+
+func (ag *Aggregator[V, A, Out]) emit(q *query[V], s, e int64, update bool) {
+	ag.emitSpan(q.id, q.def.Measure(), s, e, update)
+}
+
+func (ag *Aggregator[V, A, Out]) emitSpan(id int, m stream.Measure, s, e int64, update bool) {
+	var a A
+	var n int64
+	if m == stream.Time {
+		if ag.opts.Eager {
+			var ok bool
+			if a, n, ok = ag.st.aggregateTimeRangeFast(s, e); !ok {
+				a, n = ag.st.aggregateTimeRange(s, e)
+			}
+		} else {
+			a, n = ag.st.aggregateTimeRange(s, e)
+		}
+	} else {
+		a, n = ag.st.aggregateCountRange(s, e)
+	}
+	ag.results = append(ag.results, Result[Out]{
+		Query:   id,
+		Measure: m,
+		Start:   s,
+		End:     e,
+		Value:   ag.f.Lower(a),
+		N:       n,
+		Update:  update,
+	})
+}
+
+// ---------------------------------------------------------------- evict ---
+
+// evict drops slices that no query can reference anymore: behind every
+// query's interest horizon and behind the allowed lateness.
+func (ag *Aggregator[V, A, Out]) evict() {
+	if len(ag.queries) == 0 {
+		return
+	}
+	minTime, minCount := stream.MaxTime, stream.MaxTime
+	wm := ag.currWM
+	if wm == stream.MinTime {
+		return
+	}
+	for _, q := range ag.queries {
+		var in window.Interest
+		if q.cf != nil {
+			in = q.cf.Interest(ag.st, wm, ag.opts.Lateness)
+		} else {
+			in = q.ctx.Interest(wm, ag.opts.Lateness)
+		}
+		if in.Time < minTime {
+			minTime = in.Time
+		}
+		if in.Count < minCount {
+			minCount = in.Count
+		}
+	}
+	lateHorizon := wm - ag.opts.Lateness
+	if !ag.opts.Ordered && lateHorizon < minTime {
+		minTime = lateHorizon
+	}
+	k := 0
+	for k < len(ag.st.slices)-1 {
+		s := ag.st.slices[k]
+		if s.End > minTime && minTime != stream.MaxTime {
+			break
+		}
+		if !ag.opts.Ordered && s.End > lateHorizon {
+			break
+		}
+		if s.CEnd() > minCount && minCount != stream.MaxTime {
+			break
+		}
+		k++
+	}
+	if k > 0 {
+		ag.st.slices = append(ag.st.slices[:0], ag.st.slices[k:]...)
+		if ag.st.eager {
+			ag.st.tree.RemoveFront(k)
+		}
+	}
+	for _, q := range ag.queries {
+		if q.ctx != nil {
+			q.ctx.Evict(minTime, minCount)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+// Package core implements general stream slicing (§5 of the paper): a window
+// operator that divides the stream into non-overlapping slices, maintains one
+// partial aggregate per slice, and computes final window aggregates from
+// slices. It adapts automatically to the workload characteristics of §4 —
+// stream order, aggregation-function properties, windowing measure, and
+// window type — storing individual tuples only when the decision tree of
+// Fig 4 requires it and exploiting commutativity and invertibility when
+// present (the Scotty design, Traub et al., EDBT 2019).
+//
+// The components follow the paper's Fig 7 pipeline:
+//
+//   - the Stream Slicer (aggregator.go, advance*Edges) creates slices on the
+//     fly by comparing each in-order tuple against a cached next window edge;
+//   - the Slice Manager (aggregator.go + store.go) routes tuples to slices
+//     and performs the three fundamental operations merge, split, and update,
+//     including the count-shift cascade of Fig 6;
+//   - the Window Manager (aggregator.go, trigger/emit) computes final window
+//     aggregates from slices at watermarks and emits corrections for late
+//     tuples within the allowed lateness;
+//   - the Aggregate Store (store.go) holds the shared slice sequence, either
+//     lazily (fold on demand) or eagerly (a FlatFAT tree over slice
+//     aggregates).
+//
+// Aggregator is the single-key operator; Keyed wraps one Aggregator per key
+// for keyBy-style pipelines. The decision of Fig 4 — whether individual
+// tuples must be kept in memory — lives in decision.go and is re-evaluated
+// whenever queries are added or removed.
+package core

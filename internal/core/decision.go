@@ -1,0 +1,48 @@
+package core
+
+import (
+	"scotty/internal/aggregate"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+// needTuples implements the decision tree of Fig 4: which workload
+// characteristics require storing individual tuples in memory?
+//
+// In-order streams: tuples are kept only for forward-context-aware windows,
+// whose late-materializing edges split populated slices.
+//
+// Out-of-order streams: tuples are kept if at least one holds —
+//  1. the aggregation function is non-commutative (out-of-order arrivals
+//     force recomputation in aggregation order),
+//  2. some window is context aware and not a session window (out-of-order
+//     tuples can change backward context, adding edges that split populated
+//     slices; sessions are exempt because their splits only ever land in
+//     tuple-free gaps),
+//  3. some query uses a count-based measure (an out-of-order tuple shifts
+//     the rank of every later tuple, cascading tuples across slices).
+//
+// The decision depends only on workload characteristics — never on observed
+// data — and is re-evaluated when queries are added or removed (§5.1).
+func needTuples(ordered bool, props aggregate.Props, defs []window.Definition) bool {
+	if ordered {
+		for _, d := range defs {
+			if window.IsForwardContextAware(d) {
+				return true
+			}
+		}
+		return false
+	}
+	if !props.Commutative {
+		return true
+	}
+	for _, d := range defs {
+		if _, cf := d.(window.ContextFree); !cf && !window.IsSession(d) {
+			return true
+		}
+		if d.Measure() == stream.Count {
+			return true
+		}
+	}
+	return false
+}

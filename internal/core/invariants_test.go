@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"scotty/internal/aggregate"
+	"scotty/internal/reference"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+// checkStoreInvariants verifies slice bookkeeping against the canonical log.
+func checkStoreInvariants(t *testing.T, ag *Aggregator[float64, float64, float64], all []stream.Event[float64]) {
+	t.Helper()
+	canon := reference.Canonical(all)
+	// concat slice events must be a suffix-aligned subsequence of canon
+	var got []stream.Event[float64]
+	c := ag.st.slices[0].CStart
+	for _, s := range ag.st.slices {
+		if s.CStart != c {
+			t.Fatalf("CStart discontinuity: slice [%d,%d) cstart=%d want %d", s.Start, s.End, s.CStart, c)
+		}
+		if int64(len(s.Events)) != s.N {
+			t.Fatalf("slice [%d,%d): len(events)=%d N=%d", s.Start, s.End, len(s.Events), s.N)
+		}
+		want := aggregate.Recompute[float64, float64, float64](ag.f, s.Events)
+		if want != s.Agg {
+			t.Fatalf("slice [%d,%d) ranks[%d,%d): agg=%v recompute=%v", s.Start, s.End, s.CStart, s.CEnd(), s.Agg, want)
+		}
+		got = append(got, s.Events...)
+		c = s.CEnd()
+	}
+	off := int(ag.st.slices[0].CStart)
+	for i, e := range got {
+		ce := canon[off+i]
+		if e.Time != ce.Time || e.Seq != ce.Seq {
+			t.Fatalf("rank %d: stored (t=%d,seq=%d) canonical (t=%d,seq=%d)", off+i, e.Time, e.Seq, ce.Time, ce.Seq)
+		}
+	}
+}
+
+func TestCountSliceInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	ev := genEvents(rng, 2500)
+	d := stream.Disorder{Fraction: 0.25, MaxDelay: 400, Seed: 23}
+	ag := New[float64](aggregate.Sum[float64](ident), Options{Lateness: 1 << 40})
+	ag.MustAddQuery(window.Tumbling(stream.Count, 100))
+	ag.MustAddQuery(window.Sliding(stream.Count, 60, 25))
+	arr := stream.Apply(d, ev)
+	items := stream.Prepare(stream.Watermarker{Period: 100, Lag: d.MaxDelay + 1}, arr)
+	n := 0
+	seen := []stream.Event[float64]{}
+	for _, it := range items {
+		if it.Kind == stream.KindEvent {
+			ag.ProcessElement(it.Event)
+			seen = append(seen, it.Event)
+			n++
+			if n%250 == 0 {
+				checkStoreInvariants(t, ag, seen)
+			}
+		} else {
+			ag.ProcessWatermark(it.Watermark)
+		}
+	}
+	checkStoreInvariants(t, ag, seen)
+}

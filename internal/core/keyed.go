@@ -1,0 +1,99 @@
+package core
+
+import "scotty/internal/stream"
+
+// KeyedResult is a window aggregate of one key's sub-stream.
+type KeyedResult[K comparable, Out any] struct {
+	Key K
+	Result[Out]
+}
+
+// Keyed wraps one Aggregator per key, mirroring the keyed window operators of
+// dataflow systems: each key's sub-stream is windowed and aggregated
+// independently, watermarks are broadcast to every key (§5.3
+// Parallelization — key partitioning is the sharing boundary; within a key,
+// all queries still share slices).
+//
+// Keys appear lazily on first use and are dropped again once they have been
+// idle past the allowed lateness and hold no unemitted state worth keeping
+// (bounding state for rotating key spaces).
+type Keyed[K comparable, V, A, Out any] struct {
+	newOp   func() *Aggregator[V, A, Out]
+	keyOf   func(V) K
+	ops     map[K]*keyedEntry[V, A, Out]
+	results []KeyedResult[K, Out]
+	currWM  int64
+	// idleTTL is how long (in event time) a key may be silent before its
+	// operator is discarded; 0 disables expiry.
+	idleTTL int64
+}
+
+type keyedEntry[V, A, Out any] struct {
+	op       *Aggregator[V, A, Out]
+	lastSeen int64
+}
+
+// NewKeyed creates a keyed operator. keyOf extracts the partitioning key;
+// newOp builds the per-key aggregator (register the same queries inside).
+// idleTTL > 0 expires keys idle for that many milliseconds of event time.
+func NewKeyed[K comparable, V, A, Out any](keyOf func(V) K, idleTTL int64, newOp func() *Aggregator[V, A, Out]) *Keyed[K, V, A, Out] {
+	return &Keyed[K, V, A, Out]{
+		newOp:   newOp,
+		keyOf:   keyOf,
+		ops:     map[K]*keyedEntry[V, A, Out]{},
+		currWM:  stream.MinTime,
+		idleTTL: idleTTL,
+	}
+}
+
+// Keys returns the number of live keys.
+func (k *Keyed[K, V, A, Out]) Keys() int { return len(k.ops) }
+
+// ProcessElement routes the tuple to its key's aggregator. The returned
+// slice is reused across calls.
+func (k *Keyed[K, V, A, Out]) ProcessElement(e stream.Event[V]) []KeyedResult[K, Out] {
+	k.results = k.results[:0]
+	key := k.keyOf(e.Value)
+	ent, ok := k.ops[key]
+	if !ok {
+		ent = &keyedEntry[V, A, Out]{op: k.newOp()}
+		k.ops[key] = ent
+	}
+	ent.lastSeen = e.Time
+	for _, r := range ent.op.ProcessElement(e) {
+		k.results = append(k.results, KeyedResult[K, Out]{Key: key, Result: r})
+	}
+	return k.results
+}
+
+// ProcessWatermark broadcasts the watermark to every key and expires idle
+// keys. The returned slice is reused across calls.
+func (k *Keyed[K, V, A, Out]) ProcessWatermark(wm int64) []KeyedResult[K, Out] {
+	k.results = k.results[:0]
+	k.currWM = wm
+	for key, ent := range k.ops {
+		for _, r := range ent.op.ProcessWatermark(wm) {
+			k.results = append(k.results, KeyedResult[K, Out]{Key: key, Result: r})
+		}
+		if k.idleTTL > 0 && wm != stream.MaxTime && wm-ent.lastSeen > k.idleTTL+ent.op.opts.Lateness {
+			delete(k.ops, key)
+		}
+	}
+	return k.results
+}
+
+// Stats sums the per-key operator statistics.
+func (k *Keyed[K, V, A, Out]) Stats() Stats {
+	var total Stats
+	for _, ent := range k.ops {
+		s := ent.op.Stats()
+		total.Slices += s.Slices
+		total.Splits += s.Splits
+		total.Merges += s.Merges
+		total.Recomputes += s.Recomputes
+		total.Shifts += s.Shifts
+		total.Dropped += s.Dropped
+		total.Tuples += s.Tuples
+	}
+	return total
+}

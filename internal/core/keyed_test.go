@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"scotty/internal/aggregate"
+	"scotty/internal/reference"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+type kv struct {
+	Key int
+	V   float64
+}
+
+func keyedSum() aggregate.Function[kv, float64, float64] {
+	return aggregate.Sum(func(t kv) float64 { return t.V })
+}
+
+func TestKeyedMatchesPerKeyOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	const keys = 5
+	var events []stream.Event[kv]
+	ts := int64(0)
+	for i := 0; i < 3000; i++ {
+		ts += int64(1 + rng.Intn(20))
+		events = append(events, stream.Event[kv]{
+			Time: ts, Seq: int64(i),
+			Value: kv{Key: rng.Intn(keys), V: float64(rng.Intn(100))},
+		})
+	}
+	d := stream.Disorder{Fraction: 0.2, MaxDelay: 400, Seed: 65}
+	items := stream.Prepare(stream.Watermarker{Period: 200, Lag: 401}, stream.Apply(d, events))
+
+	op := NewKeyed(func(v kv) int { return v.Key }, 0, func() *Aggregator[kv, float64, float64] {
+		ag := New(keyedSum(), Options{Lateness: 1 << 40})
+		ag.MustAddQuery(window.Sliding(stream.Time, 500, 200))
+		return ag
+	})
+
+	type fkey struct {
+		key        int
+		start, end int64
+	}
+	finals := map[fkey]KeyedResult[int, float64]{}
+	for _, it := range items {
+		var rs []KeyedResult[int, float64]
+		if it.Kind == stream.KindEvent {
+			rs = op.ProcessElement(it.Event)
+		} else {
+			rs = op.ProcessWatermark(it.Watermark)
+		}
+		for _, r := range rs {
+			finals[fkey{r.Key, r.Start, r.End}] = r
+		}
+	}
+
+	// Per-key oracle over the per-key sub-streams.
+	f := keyedSum()
+	for key := 0; key < keys; key++ {
+		var sub []stream.Event[kv]
+		for _, e := range events {
+			if e.Value.Key == key {
+				sub = append(sub, e)
+			}
+		}
+		want := reference.Finals(f, reference.Query[kv]{Kind: reference.Periodic, Measure: stream.Time, Length: 500, Slide: 200}, sub, stream.MaxTime)
+		for _, w := range want {
+			got, ok := finals[fkey{key, w.Start, w.End}]
+			if !ok {
+				t.Fatalf("key %d: missing window [%d,%d)", key, w.Start, w.End)
+			}
+			if !approx(got.Value, w.Value) || got.N != w.N {
+				t.Fatalf("key %d window [%d,%d): got (%v,%d) want (%v,%d)",
+					key, w.Start, w.End, got.Value, got.N, w.Value, w.N)
+			}
+		}
+	}
+}
+
+func TestKeyedExpiresIdleKeys(t *testing.T) {
+	op := NewKeyed(func(v kv) int { return v.Key }, 1000, func() *Aggregator[kv, float64, float64] {
+		ag := New(keyedSum(), Options{Lateness: 100})
+		ag.MustAddQuery(window.Tumbling(stream.Time, 100))
+		return ag
+	})
+	op.ProcessElement(stream.Event[kv]{Time: 10, Value: kv{Key: 1, V: 1}})
+	op.ProcessElement(stream.Event[kv]{Time: 20, Value: kv{Key: 2, V: 1}})
+	if op.Keys() != 2 {
+		t.Fatalf("keys = %d", op.Keys())
+	}
+	op.ProcessElement(stream.Event[kv]{Time: 5_000, Value: kv{Key: 1, V: 1}})
+	op.ProcessWatermark(4_900)
+	if op.Keys() != 1 {
+		t.Fatalf("idle key not expired: %d live", op.Keys())
+	}
+	// The surviving key keeps working.
+	op.ProcessElement(stream.Event[kv]{Time: 6_000, Value: kv{Key: 1, V: 2}})
+	rs := op.ProcessWatermark(stream.MaxTime)
+	if len(rs) == 0 {
+		t.Fatal("surviving key emitted nothing")
+	}
+}
+
+func TestKeyedStatsAggregate(t *testing.T) {
+	op := NewKeyed(func(v kv) int { return v.Key }, 0, func() *Aggregator[kv, float64, float64] {
+		ag := New(keyedSum(), Options{Ordered: true})
+		ag.MustAddQuery(window.Tumbling(stream.Time, 50))
+		return ag
+	})
+	for i := int64(0); i < 1000; i++ {
+		op.ProcessElement(stream.Event[kv]{Time: i, Seq: i, Value: kv{Key: int(i % 3), V: 1}})
+	}
+	st := op.Stats()
+	if st.Tuples != 1000 {
+		t.Fatalf("tuples = %d", st.Tuples)
+	}
+	if op.Keys() != 3 {
+		t.Fatalf("keys = %d", op.Keys())
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"scotty/internal/aggregate"
+	"scotty/internal/reference"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+// TestRandomizedWorkloads is the randomized end-to-end property: arbitrary
+// mixes of window types, measures, store variants, stream orders, and
+// disorder levels must all agree with the brute-force oracle. Every trial
+// draws a fresh configuration; failures print the seed for replay.
+func TestRandomizedWorkloads(t *testing.T) {
+	trials := 300
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("seed%d", trial), func(t *testing.T) {
+			runRandomWorkload(t, int64(trial))
+		})
+	}
+}
+
+type trialQuery struct {
+	def window.Definition
+	ref reference.Query[float64]
+}
+
+func runRandomWorkload(t *testing.T, seed int64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed*7919 + 13))
+
+	ordered := rng.Intn(3) == 0
+	eager := rng.Intn(2) == 0
+	var d stream.Disorder
+	if !ordered {
+		d = stream.Disorder{
+			Fraction: 0.05 + 0.5*rng.Float64(),
+			MaxDelay: int64(100 + rng.Intn(900)),
+			Seed:     seed + 1000,
+		}
+		if rng.Intn(2) == 0 {
+			d.MinDelay = d.MaxDelay / 4
+		}
+	}
+
+	// Pick the extent measure regime first: unordered aggregators accept
+	// one extent measure only.
+	countRegime := rng.Intn(3) == 0
+
+	punctPred := func(v float64) bool { return v == 7 }
+	var pool []trialQuery
+	if countRegime {
+		pool = []trialQuery{
+			countTumblingQ(int64(20 + rng.Intn(200))),
+			countSlidingQ(int64(30+rng.Intn(100)), int64(10+rng.Intn(50))),
+			citQ(int64(10+rng.Intn(50)), int64(200+rng.Intn(600))),
+		}
+	} else {
+		pool = []trialQuery{
+			timeTumblingQ(int64(20 + rng.Intn(300))),
+			timeSlidingQ(int64(50+rng.Intn(300)), int64(10+rng.Intn(120))),
+			timeSlidingQ(int64(40+rng.Intn(60)), int64(100+rng.Intn(100))), // slide > length: sampling
+			sessionQ(int64(100 + rng.Intn(200))),
+			punctQ(punctPred),
+		}
+		if ordered {
+			// Ordered streams may mix measures freely.
+			pool = append(pool,
+				countTumblingQ(int64(20+rng.Intn(200))),
+				citQ(int64(10+rng.Intn(50)), int64(200+rng.Intn(600))))
+		}
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	qs := pool[:1+rng.Intn(len(pool))]
+
+	f := aggregate.Sum[float64](ident)
+	ag := New[float64](f, Options{Ordered: ordered, Eager: eager, Lateness: 1 << 40})
+	ids := make([]int, len(qs))
+	for i, q := range qs {
+		ids[i] = ag.MustAddQuery(q.def)
+	}
+
+	ev := genEvents(rng, 1200+rng.Intn(1200))
+	wmPeriod := int64(0)
+	if !ordered {
+		wmPeriod = int64(50 + rng.Intn(300))
+	}
+	items := stream.Prepare(stream.Watermarker{Period: wmPeriod, Lag: d.MaxDelay + 1}, stream.Apply(d, ev))
+	finals := run(ag, items)
+
+	for i, q := range qs {
+		want := reference.Finals(f, q.ref, ev, stream.MaxTime)
+		checkAgainst(t, finals, ids[i], want)
+		if t.Failed() {
+			t.Fatalf("seed %d: query %d (%v) diverged (ordered=%v eager=%v countRegime=%v disorder=%+v)",
+				seed, i, q.def, ordered, eager, countRegime, d)
+		}
+	}
+}
+
+func timeTumblingQ(l int64) trialQuery {
+	return trialQuery{
+		def: window.Tumbling(stream.Time, l),
+		ref: reference.Query[float64]{Kind: reference.Periodic, Measure: stream.Time, Length: l, Slide: l},
+	}
+}
+
+func timeSlidingQ(l, s int64) trialQuery {
+	return trialQuery{
+		def: window.Sliding(stream.Time, l, s),
+		ref: reference.Query[float64]{Kind: reference.Periodic, Measure: stream.Time, Length: l, Slide: s},
+	}
+}
+
+func countTumblingQ(l int64) trialQuery {
+	return trialQuery{
+		def: window.Tumbling(stream.Count, l),
+		ref: reference.Query[float64]{Kind: reference.Periodic, Measure: stream.Count, Length: l, Slide: l},
+	}
+}
+
+func countSlidingQ(l, s int64) trialQuery {
+	return trialQuery{
+		def: window.Sliding(stream.Count, l, s),
+		ref: reference.Query[float64]{Kind: reference.Periodic, Measure: stream.Count, Length: l, Slide: s},
+	}
+}
+
+func sessionQ(gap int64) trialQuery {
+	return trialQuery{
+		def: window.Session[float64](gap),
+		ref: reference.Query[float64]{Kind: reference.Session, Gap: gap},
+	}
+}
+
+func punctQ(pred func(float64) bool) trialQuery {
+	return trialQuery{
+		def: window.Punctuation[float64](pred),
+		ref: reference.Query[float64]{Kind: reference.Punctuation, Pred: pred},
+	}
+}
+
+func citQ(n, every int64) trialQuery {
+	return trialQuery{
+		def: window.CountInTime[float64](n, every),
+		ref: reference.Query[float64]{Kind: reference.CountInTime, N: n, Every: every},
+	}
+}

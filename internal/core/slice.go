@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sort"
+
+	"scotty/internal/stream"
+)
+
+// Slice is one non-overlapping chunk of the stream (§5.2). It records its
+// boundary metadata — start and end timestamps, the timestamps of the first
+// and last contained tuple, and its count (rank) range — plus the running
+// partial aggregate and, when the workload demands it, the contained tuples
+// in canonical order.
+type Slice[V, A any] struct {
+	// Start and End are the slice's boundary positions on the time axis,
+	// half-open [Start, End). The currently open slice has End ==
+	// stream.MaxTime. In a count-pinned regime the time coordinates are
+	// derived from tuple timestamps rather than fixed by edges.
+	Start, End int64
+	// CStart is the canonical rank of the slice's first tuple; the slice
+	// covers ranks [CStart, CStart+N).
+	CStart int64
+	// TFirst and TLast are the event times of the earliest and latest
+	// tuple contained (canonical order); undefined while N == 0.
+	TFirst, TLast int64
+	// N is the number of tuples in the slice.
+	N int64
+	// Agg is the running partial aggregate of the contained tuples.
+	Agg A
+	// Events holds the contained tuples in canonical (time, seq) order.
+	// Populated only when the Fig 4 decision requires tuple storage.
+	Events []stream.Event[V]
+}
+
+// CEnd returns the rank just past the slice's last tuple.
+func (s *Slice[V, A]) CEnd() int64 { return s.CStart + s.N }
+
+// contains reports whether ts falls into [Start, End).
+func (s *Slice[V, A]) contains(ts int64) bool { return ts >= s.Start && ts < s.End }
+
+// appendEvent adds an in-order tuple (canonically after all contained ones).
+func (s *Slice[V, A]) appendEvent(e stream.Event[V], keep bool) {
+	if s.N == 0 {
+		s.TFirst = e.Time
+	}
+	s.TLast = e.Time
+	s.N++
+	if keep {
+		s.Events = append(s.Events, e)
+	}
+}
+
+// insertEvent adds a tuple at its canonical position and returns that
+// position relative to the slice. When tuples are not kept, only metadata is
+// maintained and the returned index is an upper bound.
+func (s *Slice[V, A]) insertEvent(e stream.Event[V], keep bool) int {
+	if s.N == 0 {
+		s.TFirst, s.TLast = e.Time, e.Time
+	} else {
+		if e.Time < s.TFirst {
+			s.TFirst = e.Time
+		}
+		if e.Time > s.TLast {
+			s.TLast = e.Time
+		}
+	}
+	s.N++
+	if !keep {
+		return int(s.N - 1)
+	}
+	i := sort.Search(len(s.Events), func(i int) bool { return e.Before(s.Events[i]) })
+	s.Events = append(s.Events, stream.Event[V]{})
+	copy(s.Events[i+1:], s.Events[i:])
+	s.Events[i] = e
+	return i
+}
+
+// popLast removes and returns the canonically last tuple. Requires stored
+// tuples.
+func (s *Slice[V, A]) popLast() stream.Event[V] {
+	e := s.Events[len(s.Events)-1]
+	s.Events = s.Events[:len(s.Events)-1]
+	s.N--
+	if s.N > 0 {
+		s.TLast = s.Events[len(s.Events)-1].Time
+	}
+	return e
+}
+
+// pushFront inserts a tuple as the canonically first one. Requires stored
+// tuples.
+func (s *Slice[V, A]) pushFront(e stream.Event[V]) {
+	s.Events = append(s.Events, stream.Event[V]{})
+	copy(s.Events[1:], s.Events)
+	s.Events[0] = e
+	s.N++
+	s.TFirst = e.Time
+	if s.N == 1 {
+		s.TLast = e.Time
+	}
+}
+
+// refreshTimeBounds recomputes TFirst/TLast from stored tuples.
+func (s *Slice[V, A]) refreshTimeBounds() {
+	if len(s.Events) == 0 {
+		return
+	}
+	s.TFirst = s.Events[0].Time
+	s.TLast = s.Events[len(s.Events)-1].Time
+}

@@ -1,0 +1,595 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"scotty/internal/aggregate"
+	"scotty/internal/fat"
+	"scotty/internal/stream"
+)
+
+// store is the Aggregate Store of Fig 7: the ordered sequence of slices
+// shared by the stream slicer, the slice manager, and the window manager. The
+// lazy variant keeps only the slice list and folds partial aggregates on
+// demand; the eager variant additionally maintains a FlatFAT tree over the
+// slice aggregates, trading update work for O(log s) final aggregation
+// (Table 1, rows 5 and 6).
+type store[V, A, Out any] struct {
+	f     aggregate.Function[V, A, Out]
+	inv   aggregate.Inverter[A] // nil when not invertible
+	shr   shrinker[V, A]        // nil when not available
+	props aggregate.Props
+
+	eager      bool
+	keepTuples bool
+
+	slices []*Slice[V, A]
+	tree   *fat.Tree[A] // non-nil iff eager
+
+	totalCount int64
+	maxSeen    int64
+
+	// stats for the benchmark harness
+	splits, merges, recomputes, shifts int64
+}
+
+// shrinker mirrors aggregate functions' optional "removal does not affect the
+// aggregate" test (paper §6.3.2: most invert operations on min/max do not
+// require recomputation because the shifted tuple rarely attains the
+// extremum).
+type shrinker[V, A any] interface {
+	Unaffected(a A, e stream.Event[V]) bool
+}
+
+func newStore[V, A, Out any](f aggregate.Function[V, A, Out], eager, keepTuples bool) *store[V, A, Out] {
+	st := &store[V, A, Out]{
+		f:          f,
+		props:      f.Props(),
+		eager:      eager,
+		keepTuples: keepTuples,
+		maxSeen:    stream.MinTime,
+	}
+	if inv, ok := any(f).(aggregate.Inverter[A]); ok {
+		st.inv = inv
+	}
+	if shr, ok := any(f).(shrinker[V, A]); ok {
+		st.shr = shr
+	}
+	if eager {
+		st.tree = fat.New(f.Combine, f.Identity())
+	}
+	// The initial open slice starts at the stream origin.
+	st.slices = append(st.slices, st.newSlice(0, stream.MaxTime, 0))
+	if eager {
+		st.tree.Push(st.slices[0].Agg)
+	}
+	return st
+}
+
+func (st *store[V, A, Out]) newSlice(start, end, cstart int64) *Slice[V, A] {
+	return &Slice[V, A]{Start: start, End: end, CStart: cstart, Agg: st.f.Identity()}
+}
+
+// open returns the currently open (last) slice.
+func (st *store[V, A, Out]) open() *Slice[V, A] { return st.slices[len(st.slices)-1] }
+
+// Len returns the number of slices.
+func (st *store[V, A, Out]) Len() int { return len(st.slices) }
+
+// syncTree refreshes the eager tree leaf for slice index i.
+func (st *store[V, A, Out]) syncTree(i int) {
+	if st.eager {
+		st.tree.Set(i, st.slices[i].Agg)
+	}
+}
+
+// --------------------------------------------------------------- lookup ---
+
+// sliceByTime returns the index of the slice whose [Start, End) contains ts.
+func (st *store[V, A, Out]) sliceByTime(ts int64) int {
+	// First slice with Start > ts, minus one.
+	i := sort.Search(len(st.slices), func(i int) bool { return st.slices[i].Start > ts })
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// sliceByCount returns the index of the slice covering rank c, i.e. the last
+// slice with CStart <= c (ranks [CStart, CEnd)).
+func (st *store[V, A, Out]) sliceByCount(c int64) int {
+	i := sort.Search(len(st.slices), func(i int) bool { return st.slices[i].CStart > c })
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// sliceForInsert returns the index of the slice that should receive an
+// out-of-order event in a count-pinned regime: the slice whose canonical rank
+// range the event falls into, located via time bounds.
+func (st *store[V, A, Out]) sliceForInsert(e stream.Event[V]) int {
+	// The event belongs before the first slice whose first tuple is
+	// canonically after it; i.e. into the predecessor of the first slice
+	// with (TFirst,...) > (e.Time, e.Seq). Empty slices sort by Start.
+	i := sort.Search(len(st.slices), func(i int) bool {
+		s := st.slices[i]
+		if s.N == 0 {
+			return s.Start > e.Time
+		}
+		first := s.Events
+		if len(first) > 0 {
+			return e.Before(first[0])
+		}
+		return s.TFirst > e.Time
+	})
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// ------------------------------------------------------------ mutations ---
+
+// cutTime closes the open slice at time edge pos and opens a new slice
+// [pos, MaxTime) (the stream slicer's on-the-fly slice creation, §5.3
+// step 1).
+func (st *store[V, A, Out]) cutTime(pos int64) {
+	cur := st.open()
+	cur.End = pos
+	next := st.newSlice(pos, stream.MaxTime, cur.CEnd())
+	if st.eager {
+		// The open slice's leaf is synchronized lazily, at close time:
+		// in-order appends then cost no tree work (§6.2.2 — eager
+		// slicing pays for the tree only on out-of-order updates).
+		st.tree.Set(len(st.slices)-1, cur.Agg)
+	}
+	st.slices = append(st.slices, next)
+	if st.eager {
+		st.tree.Push(next.Agg)
+	}
+}
+
+// cutCount closes the open slice at the current total count. The time
+// coordinate of the boundary is pinned to the count edge: the open slice's
+// time range ends after its last tuple.
+func (st *store[V, A, Out]) cutCount() {
+	cur := st.open()
+	end := cur.Start
+	if cur.N > 0 {
+		end = cur.TLast + 1
+	}
+	cur.End = end
+	next := st.newSlice(end, stream.MaxTime, st.totalCount)
+	if st.eager {
+		st.tree.Set(len(st.slices)-1, cur.Agg)
+	}
+	st.slices = append(st.slices, next)
+	if st.eager {
+		st.tree.Push(next.Agg)
+	}
+}
+
+// addInOrder appends an in-order event to the open slice with one
+// incremental aggregation step.
+func (st *store[V, A, Out]) addInOrder(e stream.Event[V]) {
+	s := st.open()
+	s.appendEvent(e, st.keepTuples)
+	s.Agg = aggregate.Add(st.f, s.Agg, e)
+	st.totalCount++
+	if e.Time > st.maxSeen {
+		st.maxSeen = e.Time
+	}
+}
+
+// addOutOfOrder inserts a late event into the slice at index i. Commutative
+// functions take one incremental step; non-commutative functions recompute
+// the slice aggregate from the stored tuples to retain aggregation order
+// (§5.3 step 2).
+func (st *store[V, A, Out]) addOutOfOrder(i int, e stream.Event[V]) {
+	s := st.slices[i]
+	s.insertEvent(e, st.keepTuples)
+	if st.props.Commutative {
+		s.Agg = aggregate.Add(st.f, s.Agg, e)
+	} else {
+		st.recomputeSlice(s)
+	}
+	st.totalCount++
+	st.syncTree(i)
+}
+
+// recomputeSlice rebuilds a slice aggregate from its stored tuples.
+func (st *store[V, A, Out]) recomputeSlice(s *Slice[V, A]) {
+	if !st.keepTuples {
+		panic("core: recompute requires stored tuples (workload characterization bug)")
+	}
+	st.recomputes++
+	s.Agg = aggregate.Recompute(st.f, s.Events)
+}
+
+// splitTime splits the slice containing time position pos at pos (§5.2).
+// When tuples are stored, both halves are recomputed from the partitioned
+// tuples. Without stored tuples the split must fall into a tuple-free region
+// of the slice (the session-window guarantee); otherwise the workload
+// characterization was wrong and we fail loudly.
+func (st *store[V, A, Out]) splitTime(pos int64) {
+	i := st.sliceByTime(pos)
+	s := st.slices[i]
+	if pos <= s.Start || pos >= s.End {
+		return // already an edge
+	}
+	st.splits++
+	right := st.newSlice(pos, s.End, s.CEnd())
+	s.End = pos
+	switch {
+	case s.N == 0 || pos > s.TLast:
+		// All tuples stay left; right is empty. Nothing to recompute.
+	case pos <= s.TFirst:
+		// All tuples move right.
+		right.Agg, s.Agg = s.Agg, st.f.Identity()
+		right.Events, s.Events = s.Events, nil
+		right.N, s.N = s.N, 0
+		right.TFirst, right.TLast = s.TFirst, s.TLast
+		right.CStart = s.CStart
+	default:
+		if !st.keepTuples {
+			panic("core: split of a populated slice requires stored tuples")
+		}
+		k := sort.Search(len(s.Events), func(k int) bool { return s.Events[k].Time >= pos })
+		right.Events = append(right.Events, s.Events[k:]...)
+		s.Events = s.Events[:k]
+		s.N = int64(len(s.Events))
+		right.N = int64(len(right.Events))
+		right.CStart = s.CEnd()
+		s.refreshTimeBounds()
+		right.refreshTimeBounds()
+		st.recomputeSlice(s)
+		st.recomputeSlice(right)
+	}
+	st.insertSliceAfter(i, right)
+}
+
+// splitCount splits the slice covering rank c so that a slice boundary lies
+// at rank c. Requires stored tuples unless the boundary coincides with an
+// existing edge.
+func (st *store[V, A, Out]) splitCount(c int64) {
+	i := st.sliceByCount(c)
+	s := st.slices[i]
+	if c <= s.CStart || c >= s.CEnd() {
+		return // already an edge (or beyond the ingested stream)
+	}
+	if !st.keepTuples {
+		panic("core: count split requires stored tuples")
+	}
+	st.splits++
+	k := int(c - s.CStart)
+	right := st.newSlice(0, s.End, c)
+	right.Events = append(right.Events, s.Events[k:]...)
+	s.Events = s.Events[:k]
+	s.N = int64(len(s.Events))
+	right.N = int64(len(right.Events))
+	s.refreshTimeBounds()
+	right.refreshTimeBounds()
+	// Pin the time boundary between the partitioned tuples.
+	s.End = s.TLast + 1
+	right.Start = s.End
+	st.recomputeSlice(s)
+	st.recomputeSlice(right)
+	st.insertSliceAfter(i, right)
+}
+
+func (st *store[V, A, Out]) insertSliceAfter(i int, right *Slice[V, A]) {
+	st.slices = append(st.slices, nil)
+	copy(st.slices[i+2:], st.slices[i+1:])
+	st.slices[i+1] = right
+	if st.eager {
+		st.tree.Set(i, st.slices[i].Agg)
+		st.tree.Insert(i+1, right.Agg)
+	}
+}
+
+// mergeWith merges slice i+1 into slice i (§5.2: update end, a ← a ⊕ b,
+// delete B).
+func (st *store[V, A, Out]) mergeWith(i int) {
+	a, b := st.slices[i], st.slices[i+1]
+	st.merges++
+	a.End = b.End
+	a.Agg = st.f.Combine(a.Agg, b.Agg)
+	if b.N > 0 {
+		if a.N == 0 {
+			a.TFirst = b.TFirst
+		}
+		a.TLast = b.TLast
+	}
+	a.N += b.N
+	if st.keepTuples {
+		a.Events = append(a.Events, b.Events...)
+	}
+	st.slices = append(st.slices[:i+1], st.slices[i+2:]...)
+	if st.eager {
+		st.tree.Set(i, a.Agg)
+		st.tree.Remove(i + 1)
+	}
+}
+
+// shiftCascade restores count-edge alignment after an out-of-order insertion
+// into slice i (Fig 6): the canonically last tuple of each slice from i
+// onwards moves to the next slice. Invertible functions update incrementally;
+// functions whose aggregate is provably unaffected skip the removal; all
+// others recompute from stored tuples.
+func (st *store[V, A, Out]) shiftCascade(i int) {
+	for ; i < len(st.slices)-1; i++ {
+		s := st.slices[i]
+		if s.N == 0 {
+			continue
+		}
+		moved := s.popLast()
+		st.shifts++
+		switch {
+		case st.inv != nil:
+			s.Agg = st.inv.Invert(s.Agg, st.f.Lift(moved))
+		case st.shr != nil && st.shr.Unaffected(s.Agg, moved):
+			// Removal provably leaves the aggregate unchanged.
+		default:
+			st.recomputeSlice(s)
+		}
+		// Keep the pinned time boundary consistent: the moved tuple
+		// now fronts the next slice.
+		next := st.slices[i+1]
+		next.pushFront(moved)
+		if moved.Time < next.Start {
+			next.Start = moved.Time
+			s.End = moved.Time
+		}
+		if st.props.Commutative {
+			next.Agg = st.f.Combine(st.f.Lift(moved), next.Agg)
+		} else {
+			st.recomputeSlice(next)
+		}
+		st.syncTree(i)
+		st.syncTree(i + 1)
+	}
+}
+
+// ---------------------------------------------------------- aggregation ---
+
+// aggregateSlices combines the aggregates of slices [i, j) left to right.
+func (st *store[V, A, Out]) aggregateSlices(i, j int) A {
+	if st.eager {
+		return st.tree.Query(i, j)
+	}
+	a := st.f.Identity()
+	for k := i; k < j; k++ {
+		a = st.f.Combine(a, st.slices[k].Agg)
+	}
+	return a
+}
+
+// partialByTime recomputes the aggregate of the tuples of slice k whose time
+// lies in [from, to). Used when a window boundary falls inside a slice (e.g.
+// session ends in unsliced territory); possible without stored tuples only
+// when the overlap is empty or total.
+func (st *store[V, A, Out]) partialByTime(k int, from, to int64) (A, int64) {
+	s := st.slices[k]
+	if s.N == 0 || from > s.TLast || to <= s.TFirst {
+		return st.f.Identity(), 0
+	}
+	if from <= s.TFirst && to > s.TLast {
+		return s.Agg, s.N
+	}
+	if !st.keepTuples {
+		panic(fmt.Sprintf("core: window boundary inside populated slice [%d,%d) without stored tuples", s.Start, s.End))
+	}
+	lo := sort.Search(len(s.Events), func(i int) bool { return s.Events[i].Time >= from })
+	hi := sort.Search(len(s.Events), func(i int) bool { return s.Events[i].Time >= to })
+	return aggregate.Recompute(st.f, s.Events[lo:hi]), int64(hi - lo)
+}
+
+// partialByCount recomputes the aggregate of the tuples of slice k whose rank
+// lies in [from, to).
+func (st *store[V, A, Out]) partialByCount(k int, from, to int64) (A, int64) {
+	s := st.slices[k]
+	lo, hi := from-s.CStart, to-s.CStart
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > s.N {
+		hi = s.N
+	}
+	if lo >= hi {
+		return st.f.Identity(), 0
+	}
+	if lo == 0 && hi == s.N {
+		return s.Agg, s.N
+	}
+	if !st.keepTuples {
+		panic("core: count-window boundary inside populated slice without stored tuples")
+	}
+	return aggregate.Recompute(st.f, s.Events[lo:hi]), hi - lo
+}
+
+// aggregateTimeRange aggregates all tuples with time in [from, to).
+func (st *store[V, A, Out]) aggregateTimeRange(from, to int64) (A, int64) {
+	// Full slices strictly inside (Start >= from and End <= to) are
+	// combined wholesale; boundary slices fall back to partial
+	// recomputation when their tuples straddle the boundary.
+	i := st.sliceByTime(from)
+	if i > 0 {
+		i-- // count-pinned boundaries may leave a from-timed tuple one slice earlier
+	}
+	agg := st.f.Identity()
+	var n int64
+	for k := i; k < len(st.slices); k++ {
+		s := st.slices[k]
+		if s.N == 0 {
+			continue
+		}
+		// Membership is decided by tuple times, never by slice boundary
+		// coordinates: count-measure splits between equal-timestamp
+		// tuples can leave a slice whose Start exceeds the time of its
+		// oldest tuple. Canonical order is monotone across slices, so
+		// the first populated slice at or past `to` ends the scan.
+		if s.TFirst >= to {
+			break
+		}
+		if s.TFirst >= from && s.TLast < to {
+			agg = st.f.Combine(agg, s.Agg)
+			n += s.N
+			continue
+		}
+		p, pn := st.partialByTime(k, from, to)
+		if pn > 0 {
+			agg = st.f.Combine(agg, p)
+			n += pn
+		}
+	}
+	return agg, n
+}
+
+// aggregateTimeRangeFast aggregates [from, to) assuming both boundaries are
+// slice edges (the common, edge-aligned case), using the eager tree when
+// available.
+func (st *store[V, A, Out]) aggregateTimeRangeFast(from, to int64) (A, int64, bool) {
+	i := sort.Search(len(st.slices), func(i int) bool { return st.slices[i].Start >= from })
+	if i == len(st.slices) || st.slices[i].Start != from {
+		return st.f.Identity(), 0, false
+	}
+	j := sort.Search(len(st.slices), func(j int) bool { return st.slices[j].Start >= to })
+	// Slices are contiguous, so the range is edge-aligned iff slice j
+	// starts exactly at to.
+	if j == len(st.slices) || st.slices[j].Start != to {
+		return st.f.Identity(), 0, false
+	}
+	// Boundary sanity: count-measure splits between equal-timestamp tuples
+	// can misplace a tie relative to the slice boundary's time coordinate.
+	// If the first in-range slice holds a pre-window tuple, or a slice at
+	// or after `to` still holds an in-window tuple, fall back to the
+	// tuple-time-driven path.
+	if st.slices[i].N > 0 && st.slices[i].TFirst < from {
+		return st.f.Identity(), 0, false
+	}
+	for k := j; k < len(st.slices); k++ {
+		s := st.slices[k]
+		if s.N == 0 {
+			continue
+		}
+		if s.TFirst < to {
+			return st.f.Identity(), 0, false
+		}
+		break
+	}
+	var n int64
+	for k := i; k < j; k++ {
+		n += st.slices[k].N
+	}
+	return st.aggregateSlices(i, j), n, true
+}
+
+// aggregateCountRange aggregates all tuples with rank in [from, to).
+func (st *store[V, A, Out]) aggregateCountRange(from, to int64) (A, int64) {
+	if from < 0 {
+		from = 0
+	}
+	i := st.sliceByCount(from)
+	agg := st.f.Identity()
+	var n int64
+	for k := i; k < len(st.slices); k++ {
+		s := st.slices[k]
+		if s.CStart >= to {
+			break
+		}
+		if s.N == 0 {
+			continue
+		}
+		if s.CStart >= from && s.CEnd() <= to {
+			agg = st.f.Combine(agg, s.Agg)
+			n += s.N
+			continue
+		}
+		p, pn := st.partialByCount(k, from, to)
+		if pn > 0 {
+			agg = st.f.Combine(agg, p)
+			n += pn
+		}
+	}
+	return agg, n
+}
+
+// --------------------------------------------------------------- view ----
+
+// TotalCount implements window.StoreView.
+func (st *store[V, A, Out]) TotalCount() int64 { return st.totalCount }
+
+// MaxSeenTime implements window.StoreView.
+func (st *store[V, A, Out]) MaxSeenTime() int64 { return st.maxSeen }
+
+// CountAtTime implements window.StoreView: the number of tuples with event
+// time <= ts.
+func (st *store[V, A, Out]) CountAtTime(ts int64) int64 {
+	if ts < 0 {
+		return 0
+	}
+	if ts >= st.maxSeen {
+		return st.totalCount
+	}
+	k := st.sliceByTime(ts)
+	// Tuples in later slices may still be <= ts when boundaries are
+	// count-pinned; walk forward while slices could contain them.
+	c := st.slices[k].CStart
+	for ; k < len(st.slices); k++ {
+		s := st.slices[k]
+		if s.N == 0 {
+			continue
+		}
+		if s.TFirst > ts {
+			break
+		}
+		if s.TLast <= ts {
+			c = s.CEnd()
+			continue
+		}
+		if len(s.Events) > 0 {
+			i := sort.Search(len(s.Events), func(i int) bool { return s.Events[i].Time > ts })
+			c = s.CStart + int64(i)
+		} else {
+			// Without stored tuples the exact rank inside the slice
+			// is unknown; report the slice start (conservative).
+			c = s.CStart
+		}
+		break
+	}
+	return c
+}
+
+// TimeAtCount implements window.StoreView: the event time of the c-th tuple
+// (1-based).
+func (st *store[V, A, Out]) TimeAtCount(c int64) int64 {
+	if c <= 0 {
+		return stream.MinTime
+	}
+	if c > st.totalCount {
+		return stream.MaxTime
+	}
+	k := st.sliceByCount(c - 1)
+	s := st.slices[k]
+	for s.N == 0 && k > 0 {
+		k--
+		s = st.slices[k]
+	}
+	if len(s.Events) > 0 {
+		i := c - 1 - s.CStart
+		if i >= 0 && i < int64(len(s.Events)) {
+			return s.Events[i].Time
+		}
+	}
+	if c == s.CEnd() {
+		return s.TLast
+	}
+	if c == s.CStart+1 {
+		return s.TFirst
+	}
+	// Unknown exact position without stored tuples; the boundary cases
+	// above cover every aligned lookup.
+	return s.TLast
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"testing"
+
+	"scotty/internal/aggregate"
+	"scotty/internal/stream"
+)
+
+func sumStore(eager, keep bool) *store[float64, float64, float64] {
+	return newStore[float64, float64, float64](aggregate.Sum[float64](ident), eager, keep)
+}
+
+func addSeq(st *store[float64, float64, float64], times ...int64) {
+	for i, ts := range times {
+		st.addInOrder(stream.Event[float64]{Time: ts, Seq: int64(i), Value: float64(ts)})
+	}
+}
+
+func TestCutAndAggregateSlices(t *testing.T) {
+	st := sumStore(false, false)
+	addSeq(st, 1, 2)
+	st.cutTime(5)
+	addSeq2(st, 2, 6, 7)
+	st.cutTime(10)
+	addSeq2(st, 4, 12)
+
+	if st.Len() != 3 {
+		t.Fatalf("slices: %d", st.Len())
+	}
+	if a := st.aggregateSlices(0, 2); a != 1+2+6+7 {
+		t.Fatalf("agg [0,2): %v", a)
+	}
+	agg, n := st.aggregateTimeRange(0, 10)
+	if agg != 16 || n != 4 {
+		t.Fatalf("time range [0,10): %v/%d", agg, n)
+	}
+	agg, n = st.aggregateTimeRange(5, 13)
+	if agg != 6+7+12 || n != 3 {
+		t.Fatalf("time range [5,13): %v/%d", agg, n)
+	}
+}
+
+// addSeq2 continues adding with later sequence numbers.
+func addSeq2(st *store[float64, float64, float64], seqBase int64, times ...int64) {
+	for i, ts := range times {
+		st.addInOrder(stream.Event[float64]{Time: ts, Seq: seqBase + int64(i), Value: float64(ts)})
+	}
+}
+
+func TestSplitTimeMetadataOnly(t *testing.T) {
+	// Splitting in a tuple-free region must not require stored tuples.
+	st := sumStore(false, false)
+	addSeq(st, 1, 2, 3)
+	st.cutTime(10)
+	addSeq2(st, 3, 20, 21)
+
+	st.splitTime(15) // between tuple groups: populated side goes right
+	if st.Len() != 3 {
+		t.Fatalf("slices: %d", st.Len())
+	}
+	agg, n := st.aggregateTimeRange(15, 100)
+	if agg != 41 || n != 2 {
+		t.Fatalf("[15,100): %v/%d", agg, n)
+	}
+	st.splitTime(25) // beyond all tuples: populated side stays left
+	agg, n = st.aggregateTimeRange(10, 25)
+	if agg != 41 || n != 2 {
+		t.Fatalf("[10,25): %v/%d", agg, n)
+	}
+}
+
+func TestSplitTimePartitionsStoredTuples(t *testing.T) {
+	st := sumStore(false, true)
+	addSeq(st, 1, 3, 5, 7)
+	st.splitTime(4)
+	if st.Len() != 2 {
+		t.Fatalf("slices: %d", st.Len())
+	}
+	l, r := st.slices[0], st.slices[1]
+	if l.N != 2 || l.Agg != 4 || r.N != 2 || r.Agg != 12 {
+		t.Fatalf("split halves: %+v / %+v", l, r)
+	}
+	if l.CStart != 0 || r.CStart != 2 {
+		t.Fatalf("count ranges: %d / %d", l.CStart, r.CStart)
+	}
+	if st.recomputes != 2 {
+		t.Fatalf("split must recompute both halves, got %d", st.recomputes)
+	}
+}
+
+func TestSplitPopulatedWithoutTuplesPanics(t *testing.T) {
+	st := sumStore(false, false)
+	addSeq(st, 1, 3, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic: split inside populated slice without stored tuples")
+		}
+	}()
+	st.splitTime(4)
+}
+
+func TestMergeWith(t *testing.T) {
+	st := sumStore(false, true)
+	addSeq(st, 1, 2)
+	st.cutTime(5)
+	addSeq2(st, 2, 6)
+	st.cutTime(10)
+
+	st.mergeWith(0)
+	if st.Len() != 2 {
+		t.Fatalf("slices: %d", st.Len())
+	}
+	s := st.slices[0]
+	if s.Start != 0 || s.End != 10 || s.N != 3 || s.Agg != 9 || len(s.Events) != 3 {
+		t.Fatalf("merged slice: %+v", s)
+	}
+	if st.merges != 1 {
+		t.Fatalf("merge counter: %d", st.merges)
+	}
+}
+
+func TestShiftCascadeInvertible(t *testing.T) {
+	st := sumStore(false, true)
+	// Three closed count slices of 2 tuples each plus the open slice.
+	addSeq(st, 10, 20)
+	st.cutCount()
+	addSeq2(st, 2, 30, 40)
+	st.cutCount()
+	addSeq2(st, 4, 50)
+
+	// A late tuple belongs before rank 1: insert and cascade.
+	e := stream.Event[float64]{Time: 15, Seq: 99, Value: 15}
+	st.addOutOfOrder(0, e)
+	st.shiftCascade(0)
+
+	if st.slices[0].N != 2 || st.slices[1].N != 2 {
+		t.Fatalf("slice sizes after cascade: %d %d", st.slices[0].N, st.slices[1].N)
+	}
+	// Slice 0 now holds {10, 15}; slice 1 holds {20, 30}; open {40, 50}.
+	if st.slices[0].Agg != 25 || st.slices[1].Agg != 50 || st.slices[2].Agg != 90 {
+		t.Fatalf("aggs after cascade: %v %v %v", st.slices[0].Agg, st.slices[1].Agg, st.slices[2].Agg)
+	}
+	if st.recomputes != 0 {
+		t.Fatalf("invertible cascade must not recompute, got %d", st.recomputes)
+	}
+	if st.shifts != 2 {
+		t.Fatalf("shifts: %d", st.shifts)
+	}
+	// Count coordinates stay pinned.
+	if st.slices[1].CStart != 2 || st.slices[2].CStart != 4 {
+		t.Fatalf("count starts: %d %d", st.slices[1].CStart, st.slices[2].CStart)
+	}
+}
+
+func TestShiftCascadeNonInvertibleRecomputes(t *testing.T) {
+	st := newStore[float64, float64, float64](aggregate.NaiveSum[float64](ident), false, true)
+	addSeq(st, 10, 20)
+	st.cutCount()
+	addSeq2(st, 2, 30)
+
+	st.addOutOfOrder(0, stream.Event[float64]{Time: 5, Seq: 9, Value: 5})
+	st.shiftCascade(0)
+	if st.recomputes == 0 {
+		t.Fatal("non-invertible cascade must recompute")
+	}
+	if st.slices[0].Agg != 15 || st.slices[1].Agg != 50 {
+		t.Fatalf("aggs: %v %v", st.slices[0].Agg, st.slices[1].Agg)
+	}
+}
+
+func TestStoreViewConversions(t *testing.T) {
+	st := sumStore(false, true)
+	addSeq(st, 10, 20, 20, 30)
+	st.cutTime(35)
+	addSeq2(st, 4, 40)
+
+	if st.TotalCount() != 5 {
+		t.Fatalf("total: %d", st.TotalCount())
+	}
+	cases := []struct{ ts, want int64 }{
+		{5, 0}, {10, 1}, {20, 3}, {29, 3}, {30, 4}, {40, 5}, {100, 5},
+	}
+	for _, c := range cases {
+		if got := st.CountAtTime(c.ts); got != c.want {
+			t.Errorf("CountAtTime(%d) = %d want %d", c.ts, got, c.want)
+		}
+	}
+	timeCases := []struct{ c, want int64 }{
+		{1, 10}, {2, 20}, {3, 20}, {4, 30}, {5, 40},
+	}
+	for _, c := range timeCases {
+		if got := st.TimeAtCount(c.c); got != c.want {
+			t.Errorf("TimeAtCount(%d) = %d want %d", c.c, got, c.want)
+		}
+	}
+	if st.TimeAtCount(0) != stream.MinTime || st.TimeAtCount(6) != stream.MaxTime {
+		t.Error("TimeAtCount boundary sentinels wrong")
+	}
+	if st.MaxSeenTime() != 40 {
+		t.Errorf("MaxSeenTime: %d", st.MaxSeenTime())
+	}
+}
+
+func TestAggregateCountRangePartials(t *testing.T) {
+	st := sumStore(false, true)
+	addSeq(st, 1, 2, 3, 4, 5, 6)
+	st.cutCount() // one closed slice of six tuples + empty open
+
+	agg, n := st.aggregateCountRange(2, 5) // ranks 2..4 → values 3,4,5
+	if agg != 12 || n != 3 {
+		t.Fatalf("count range [2,5): %v/%d", agg, n)
+	}
+	agg, n = st.aggregateCountRange(0, 6)
+	if agg != 21 || n != 6 {
+		t.Fatalf("count range [0,6): %v/%d", agg, n)
+	}
+	agg, n = st.aggregateCountRange(-3, 99)
+	if agg != 21 || n != 6 {
+		t.Fatalf("clamped count range: %v/%d", agg, n)
+	}
+}
+
+func TestEagerTreeTracksClosedSlices(t *testing.T) {
+	st := sumStore(true, false)
+	addSeq(st, 1, 2)
+	st.cutTime(5)
+	addSeq2(st, 2, 7)
+	st.cutTime(10)
+	// Closed slices [0,5)=3 and [5,10)=7 must be queryable via the tree.
+	if got := st.tree.Query(0, 2); got != 10 {
+		t.Fatalf("tree query: %v", got)
+	}
+	if a, n, ok := st.aggregateTimeRangeFast(0, 10); !ok || a != 10 || n != 3 {
+		t.Fatalf("fast path: %v/%d ok=%v", a, n, ok)
+	}
+	if _, _, ok := st.aggregateTimeRangeFast(0, 7); ok {
+		t.Fatal("unaligned fast path must refuse")
+	}
+}

@@ -1,0 +1,37 @@
+package engine
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// processCPUTime returns the CPU time (user + system) consumed by this
+// process so far, read from /proc/self/stat on Linux. On platforms without
+// procfs it returns zero, and CPU-utilization reporting degrades gracefully.
+func processCPUTime() time.Duration {
+	data, err := os.ReadFile("/proc/self/stat")
+	if err != nil {
+		return 0
+	}
+	// Field 2 (comm) may contain spaces; skip past the closing paren.
+	s := string(data)
+	i := strings.LastIndexByte(s, ')')
+	if i < 0 || i+2 > len(s) {
+		return 0
+	}
+	fields := strings.Fields(s[i+2:])
+	// After comm and state, utime and stime are fields 14 and 15 of the
+	// full stat line, i.e. indices 11 and 12 of the remainder.
+	if len(fields) < 13 {
+		return 0
+	}
+	utime, err1 := strconv.ParseInt(fields[11], 10, 64)
+	stime, err2 := strconv.ParseInt(fields[12], 10, 64)
+	if err1 != nil || err2 != nil {
+		return 0
+	}
+	const hz = 100 // USER_HZ; fixed at 100 on Linux
+	return time.Duration(utime+stime) * time.Second / hz
+}

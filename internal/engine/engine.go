@@ -1,0 +1,169 @@
+// Package engine is a minimal tuple-at-a-time dataflow runtime: a source,
+// hash key partitioning, parallel window-operator instances, and a counting
+// sink. It stands in for the Apache Flink runtime the paper integrates with
+// (§6.4): the paper's parallel experiment only requires key partitioning
+// across cores, which is "the common approach used in stream processing
+// systems" (§5.3 Parallelization) and is reproduced here with goroutines and
+// channels.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scotty/internal/stream"
+)
+
+// Processor is one parallel window-operator instance. Implementations wrap
+// the general slicing aggregator or any baseline operator; the engine only
+// needs to feed items and count emissions.
+type Processor[V any] interface {
+	// ProcessItem ingests one stream item and returns the number of
+	// window results it emitted.
+	ProcessItem(it stream.Item[V]) int
+}
+
+// ProcessorFunc adapts a function to the Processor interface.
+type ProcessorFunc[V any] func(it stream.Item[V]) int
+
+// ProcessItem implements Processor.
+func (f ProcessorFunc[V]) ProcessItem(it stream.Item[V]) int { return f(it) }
+
+// Config controls a pipeline run.
+type Config[V any] struct {
+	// Parallelism is the number of parallel operator instances.
+	Parallelism int
+	// Key extracts the partitioning key of an event; events with equal
+	// keys are processed by the same instance, watermarks are broadcast.
+	Key func(e stream.Event[V]) uint64
+	// NewProcessor builds the operator instance for one partition.
+	NewProcessor func(partition int) Processor[V]
+	// BatchSize is the number of items shipped per channel message
+	// (network-buffer analog); 0 selects a default of 256.
+	BatchSize int
+	// QueueLen is the channel capacity in batches; 0 selects 8.
+	QueueLen int
+}
+
+// Stats summarizes a pipeline run.
+type Stats struct {
+	// Events is the number of data tuples processed.
+	Events int64
+	// Results is the number of window aggregates emitted across all
+	// partitions.
+	Results int64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+	// CPUTime is the process CPU time consumed during the run (user +
+	// system across all cores); CPUTime/Elapsed approximates the CPU
+	// utilization of Fig 17b.
+	CPUTime time.Duration
+}
+
+// Throughput returns processed events per second of wall-clock time.
+func (s Stats) Throughput() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Events) / s.Elapsed.Seconds()
+}
+
+// CPUUtilization returns CPU usage in "percent of one core" units (800%
+// means eight cores fully busy), as plotted in Fig 17b.
+func (s Stats) CPUUtilization() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return 100 * s.CPUTime.Seconds() / s.Elapsed.Seconds()
+}
+
+// Run replays a prepared stream through the parallel pipeline and blocks
+// until every partition has drained.
+func Run[V any](cfg Config[V], items []stream.Item[V]) Stats {
+	par := cfg.Parallelism
+	if par <= 0 {
+		par = 1
+	}
+	batch := cfg.BatchSize
+	if batch <= 0 {
+		batch = 256
+	}
+	queue := cfg.QueueLen
+	if queue <= 0 {
+		queue = 8
+	}
+
+	chans := make([]chan []stream.Item[V], par)
+	for i := range chans {
+		chans[i] = make(chan []stream.Item[V], queue)
+	}
+	var results atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < par; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			proc := cfg.NewProcessor(p)
+			var n int64
+			for batch := range chans[p] {
+				for _, it := range batch {
+					n += int64(proc.ProcessItem(it))
+				}
+			}
+			results.Add(n)
+		}(p)
+	}
+
+	startCPU := processCPUTime()
+	start := time.Now()
+
+	// Source: route events by key hash, broadcast watermarks. Batches are
+	// flushed when full and before every watermark so ordering between
+	// events and watermarks is preserved per partition.
+	buffers := make([][]stream.Item[V], par)
+	flush := func(p int) {
+		if len(buffers[p]) > 0 {
+			chans[p] <- buffers[p]
+			buffers[p] = make([]stream.Item[V], 0, batch)
+		}
+	}
+	for i := range buffers {
+		buffers[i] = make([]stream.Item[V], 0, batch)
+	}
+	var events int64
+	for _, it := range items {
+		if it.Kind == stream.KindWatermark {
+			for p := 0; p < par; p++ {
+				flush(p)
+				chans[p] <- []stream.Item[V]{it}
+			}
+			continue
+		}
+		events++
+		p := 0
+		if par > 1 && cfg.Key != nil {
+			p = int(cfg.Key(it.Event) % uint64(par))
+		}
+		buffers[p] = append(buffers[p], it)
+		if len(buffers[p]) >= batch {
+			flush(p)
+		}
+	}
+	for p := 0; p < par; p++ {
+		flush(p)
+		close(chans[p])
+	}
+	wg.Wait()
+
+	return Stats{
+		Events:  events,
+		Results: results.Load(),
+		Elapsed: time.Since(start),
+		CPUTime: processCPUTime() - startCPU,
+	}
+}
+
+// Cores returns the number of usable CPU cores.
+func Cores() int { return runtime.NumCPU() }

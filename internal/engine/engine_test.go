@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"scotty/internal/stream"
+)
+
+func makeItems(n int, keys int) []stream.Item[stream.Tuple] {
+	items := make([]stream.Item[stream.Tuple], 0, n+n/100+1)
+	for i := 0; i < n; i++ {
+		e := stream.Event[stream.Tuple]{
+			Time: int64(i), Seq: int64(i),
+			Value: stream.Tuple{Key: int32(i % keys), V: float64(i)},
+		}
+		items = append(items, stream.EventItem(e))
+		if i%100 == 99 {
+			items = append(items, stream.WatermarkItem[stream.Tuple](int64(i-10)))
+		}
+	}
+	items = append(items, stream.WatermarkItem[stream.Tuple](stream.MaxTime))
+	return items
+}
+
+func TestParallelismPreservesEventsAndResults(t *testing.T) {
+	items := makeItems(10_000, 8)
+	run := func(par int) (int64, Stats) {
+		var results atomic.Int64
+		stats := Run(Config[stream.Tuple]{
+			Parallelism: par,
+			Key:         func(e stream.Event[stream.Tuple]) uint64 { return uint64(e.Value.Key) },
+			NewProcessor: func(p int) Processor[stream.Tuple] {
+				return ProcessorFunc[stream.Tuple](func(it stream.Item[stream.Tuple]) int {
+					if it.Kind == stream.KindEvent {
+						results.Add(1)
+						return 1
+					}
+					return 0
+				})
+			},
+		}, items)
+		return results.Load(), stats
+	}
+	for _, par := range []int{1, 2, 4} {
+		n, stats := run(par)
+		if n != 10_000 {
+			t.Fatalf("par=%d: processed %d events, want 10000", par, n)
+		}
+		if stats.Events != 10_000 || stats.Results != 10_000 {
+			t.Fatalf("par=%d: stats %+v", par, stats)
+		}
+	}
+}
+
+func TestKeyRouting(t *testing.T) {
+	items := makeItems(5_000, 16)
+	const par = 4
+	var mu sync.Mutex
+	keysPerPartition := make([]map[int32]bool, par)
+	Run(Config[stream.Tuple]{
+		Parallelism: par,
+		Key:         func(e stream.Event[stream.Tuple]) uint64 { return uint64(e.Value.Key) },
+		NewProcessor: func(p int) Processor[stream.Tuple] {
+			seen := map[int32]bool{}
+			mu.Lock()
+			keysPerPartition[p] = seen
+			mu.Unlock()
+			return ProcessorFunc[stream.Tuple](func(it stream.Item[stream.Tuple]) int {
+				if it.Kind == stream.KindEvent {
+					seen[it.Event.Value.Key] = true
+				}
+				return 0
+			})
+		},
+	}, items)
+	all := map[int32]int{}
+	for _, seen := range keysPerPartition {
+		for k := range seen {
+			all[k]++
+		}
+	}
+	if len(all) != 16 {
+		t.Fatalf("keys seen: %d want 16", len(all))
+	}
+	for k, n := range all {
+		if n != 1 {
+			t.Fatalf("key %d processed by %d partitions", k, n)
+		}
+	}
+}
+
+func TestWatermarksBroadcastInOrderPerPartition(t *testing.T) {
+	items := makeItems(3_000, 4)
+	const par = 3
+	var violations atomic.Int64
+	var wms [par]atomic.Int64
+	Run(Config[stream.Tuple]{
+		Parallelism: par,
+		Key:         func(e stream.Event[stream.Tuple]) uint64 { return uint64(e.Value.Key) },
+		NewProcessor: func(p int) Processor[stream.Tuple] {
+			lastWM := int64(stream.MinTime)
+			return ProcessorFunc[stream.Tuple](func(it stream.Item[stream.Tuple]) int {
+				if it.Kind == stream.KindWatermark {
+					if it.Watermark < lastWM {
+						violations.Add(1)
+					}
+					lastWM = it.Watermark
+					wms[p].Add(1)
+					return 0
+				}
+				// An event must never arrive at or behind the partition's
+				// last watermark (the source flushes before broadcasting).
+				if it.Event.Time <= lastWM && lastWM != stream.MinTime {
+					violations.Add(1)
+				}
+				return 0
+			})
+		},
+	}, items)
+	if violations.Load() != 0 {
+		t.Fatalf("%d ordering violations", violations.Load())
+	}
+	for p := 0; p < par; p++ {
+		if wms[p].Load() == 0 {
+			t.Fatalf("partition %d received no watermarks", p)
+		}
+	}
+}
+
+func TestStatsThroughput(t *testing.T) {
+	s := Stats{Events: 1000, Elapsed: 2e9}
+	if s.Throughput() != 500 {
+		t.Fatalf("throughput %v", s.Throughput())
+	}
+	if (Stats{}).Throughput() != 0 {
+		t.Fatal("zero elapsed must not divide by zero")
+	}
+}

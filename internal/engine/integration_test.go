@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"scotty/internal/aggregate"
+	"scotty/internal/core"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+// TestParallelEqualsSerialWindowResults is the end-to-end integration
+// property of §6.4: running the window operator behind key partitioning must
+// produce exactly the same final window aggregates per key as a serial run —
+// parallelization is a drop-in replacement (§5.3: "the input and output
+// semantics of the operator remains unchanged").
+func TestParallelEqualsSerialWindowResults(t *testing.T) {
+	const keys = 8
+	events := stream.Generate(stream.Profile{
+		Name: "test", Rate: 1000, DistinctValues: 50, Keys: keys, GapsPerMinute: 4, GapLength: 1200,
+	}, 20_000, 77)
+	arrivals := stream.Apply(stream.Disorder{Fraction: 0.2, MaxDelay: 600, Seed: 78}, events)
+	items := stream.Prepare(stream.Watermarker{Period: 500, Lag: 601}, arrivals)
+
+	type rkey struct {
+		key        int32
+		q          int
+		start, end int64
+	}
+	mkOp := func() (*core.Aggregator[stream.Tuple, float64, float64], []int) {
+		ag := core.New(aggregate.Sum(stream.Val), core.Options{Lateness: 2_000})
+		ids := []int{
+			ag.MustAddQuery(window.Sliding(stream.Time, 2_000, 700)),
+			ag.MustAddQuery(window.Session[stream.Tuple](900)),
+		}
+		return ag, ids
+	}
+
+	run := func(par int) map[rkey]float64 {
+		finals := map[rkey]float64{}
+		var mu sync.Mutex
+		Run(Config[stream.Tuple]{
+			Parallelism: par,
+			Key:         func(e stream.Event[stream.Tuple]) uint64 { return uint64(e.Value.Key) },
+			NewProcessor: func(p int) Processor[stream.Tuple] {
+				// One keyed operator per partition: every key gets its
+				// own windows, exactly like keyBy().window() semantics.
+				keyed := core.NewKeyed(func(v stream.Tuple) int32 { return v.Key }, 0,
+					func() *core.Aggregator[stream.Tuple, float64, float64] {
+						ag, _ := mkOp()
+						return ag
+					})
+				return ProcessorFunc[stream.Tuple](func(it stream.Item[stream.Tuple]) int {
+					var rs []core.KeyedResult[int32, float64]
+					if it.Kind == stream.KindEvent {
+						rs = keyed.ProcessElement(it.Event)
+					} else {
+						rs = keyed.ProcessWatermark(it.Watermark)
+					}
+					mu.Lock()
+					for _, r := range rs {
+						finals[rkey{r.Key, r.Query, r.Start, r.End}] = r.Value
+					}
+					mu.Unlock()
+					return len(rs)
+				})
+			},
+		}, items)
+		return finals
+	}
+
+	serial := run(1)
+	if len(serial) < 100 {
+		t.Fatalf("suspiciously few windows: %d", len(serial))
+	}
+	for _, par := range []int{2, 4} {
+		parallel := run(par)
+		if len(parallel) != len(serial) {
+			t.Fatalf("par=%d: %d windows, serial %d", par, len(parallel), len(serial))
+		}
+		for k, v := range serial {
+			got, ok := parallel[k]
+			if !ok {
+				t.Fatalf("par=%d: missing window %+v", par, k)
+			}
+			if got != v {
+				t.Fatalf("par=%d: window %+v = %v, serial %v", par, k, got, v)
+			}
+		}
+	}
+}

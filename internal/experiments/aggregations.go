@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"io"
+
+	"scotty/internal/aggregate"
+	"scotty/internal/benchutil"
+	"scotty/internal/rle"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+// fig13Row measures general (lazy) slicing throughput for one aggregation
+// function on time-based and count-based windows (20 concurrent windows, 20%
+// out-of-order tuples with delays up to 2 s — the §6.3.2 setup).
+func fig13Row[A, Out any](sc Scale, f aggregate.Function[stream.Tuple, A, Out]) (timeTps, countTps float64) {
+	events := sc.Events
+	if f.Props().Kind == aggregate.Holistic {
+		events = sc.Events / 4 // holistic merges dominate; keep runtime bounded
+	}
+	for i, defs := range []func() []window.Definition{
+		func() []window.Definition { return benchutil.TumblingQueries(20) },
+		func() []window.Definition { return benchutil.CountQueries(20) },
+	} {
+		in := benchutil.MakeInput(stream.Football(), events, disorder20(19), 42)
+		op := benchutil.NewOp(benchutil.LazySlicing, f, benchutil.Workload{Lateness: 4000, Defs: defs})
+		tps, _ := benchutil.Throughput(op, in)
+		if i == 0 {
+			timeTps = tps
+		} else {
+			countTps = tps
+		}
+	}
+	return timeTps, countTps
+}
+
+// Fig13 — §6.3.2: impact of the aggregation function, time- vs count-based
+// windows. The list mirrors Tangwongsan et al. [42] plus the paper's naive
+// (non-invertible) sum and the holistic median and 90-percentile.
+func Fig13(w io.Writer, sc Scale) {
+	tab := benchutil.NewTable("Fig 13 — aggregation functions, general slicing (tuples/s)",
+		"aggregation", "class", "invertible", "time-based", "count-based")
+	add := func(name, class string, inv bool, timeTps, countTps float64) {
+		tab.Add(name, class, inv, timeTps, countTps)
+	}
+	v := stream.Val
+
+	t1, c1 := fig13Row(sc, aggregate.Count[stream.Tuple]())
+	add("count", "distributive", true, t1, c1)
+	t2, c2 := fig13Row(sc, aggregate.Sum(v))
+	add("sum", "distributive", true, t2, c2)
+	t3, c3 := fig13Row(sc, aggregate.NaiveSum(v))
+	add("sum w/o invert", "distributive", false, t3, c3)
+	t4, c4 := fig13Row(sc, aggregate.Min(v))
+	add("min", "distributive", false, t4, c4)
+	t5, c5 := fig13Row(sc, aggregate.Max(v))
+	add("max", "distributive", false, t5, c5)
+	t6, c6 := fig13Row(sc, aggregate.Mean(v))
+	add("mean", "algebraic", true, t6, c6)
+	t7, c7 := fig13Row(sc, aggregate.GeoMean(v))
+	add("geomean", "algebraic", true, t7, c7)
+	t8, c8 := fig13Row(sc, aggregate.StdDev(v))
+	add("stddev", "algebraic", true, t8, c8)
+	t9, c9 := fig13Row(sc, aggregate.MinCount(v))
+	add("mincount", "algebraic", false, t9, c9)
+	t10, c10 := fig13Row(sc, aggregate.MaxCount(v))
+	add("maxcount", "algebraic", false, t10, c10)
+	t11, c11 := fig13Row(sc, aggregate.ArgMin(v))
+	add("argmin", "algebraic", false, t11, c11)
+	t12, c12 := fig13Row(sc, aggregate.ArgMax(v))
+	add("argmax", "algebraic", false, t12, c12)
+	t13, c13 := fig13Row(sc, aggregate.First(v))
+	add("first", "algebraic", false, t13, c13)
+	t14, c14 := fig13Row(sc, aggregate.Last(v))
+	add("last", "algebraic", false, t14, c14)
+	t15, c15 := fig13Row(sc, aggregate.M4(v))
+	add("m4", "algebraic", false, t15, c15)
+	t16, c16 := fig13Row(sc, aggregate.Median(v))
+	add("median", "holistic", true, t16, c16)
+	t17, c17 := fig13Row(sc, aggregate.Percentile(0.9, v))
+	add("90-percentile", "holistic", true, t17, c17)
+
+	tab.Print(w)
+}
+
+// fig14Techniques: the paper omits aggregate trees here ("can hardly compute
+// holistic aggregates").
+var fig14Techniques = []benchutil.Technique{
+	benchutil.LazySlicing, benchutil.EagerSlicing, benchutil.TupleBuckets, benchutil.TupleBuffer,
+}
+
+// Fig14 — §6.3.2: holistic aggregations across techniques and data sets.
+// The machine stream (37 distinct values) compresses better under run-length
+// encoding than the football stream (84 232 distinct values), which lifts
+// slicing throughput.
+func Fig14(w io.Writer, sc Scale) {
+	for _, q := range []struct {
+		name string
+		f    func() aggregate.Function[stream.Tuple, *multiset, float64]
+	}{
+		{"median", func() aggregate.Function[stream.Tuple, *multiset, float64] { return aggregate.Median(stream.Val) }},
+		{"90-percentile", func() aggregate.Function[stream.Tuple, *multiset, float64] {
+			return aggregate.Percentile(0.9, stream.Val)
+		}},
+	} {
+		tab := benchutil.NewTable("Fig 14 — holistic aggregation ("+q.name+") across techniques (tuples/s)",
+			"technique", "football", "machine")
+		for _, t := range fig14Techniques {
+			row := []any{string(t)}
+			for _, p := range []stream.Profile{stream.Football(), stream.Machine()} {
+				in := benchutil.MakeInput(p, sc.events(t, 20)/4, disorder20(23), 42)
+				op := benchutil.NewOp(t, q.f(), benchutil.Workload{
+					Lateness: 4000,
+					Defs:     func() []window.Definition { return benchutil.WithSession(benchutil.TumblingQueries(20)) },
+				})
+				tps, _ := benchutil.Throughput(op, in)
+				row = append(row, tps)
+			}
+			tab.Add(row...)
+		}
+		tab.Print(w)
+	}
+}
+
+// multiset aliases the holistic partial-aggregate type for readability.
+type multiset = rle.Multiset

@@ -1,0 +1,129 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6). Each function reproduces one experiment: it builds the
+// paper's workload, drives every technique through the shared harness, and
+// prints the same rows/series the paper plots. cmd/benchmark exposes them on
+// the command line; bench_test.go mirrors them as testing.B benchmarks.
+package experiments
+
+import (
+	"io"
+
+	"scotty/internal/benchutil"
+	"scotty/internal/stream"
+)
+
+// Scale bounds experiment sizes so the suite runs in minutes on a laptop
+// while preserving every trend. Quick() is used by tests; Full() approaches
+// the paper's configuration.
+type Scale struct {
+	// Events is the number of tuples fed to fast (slicing) techniques.
+	Events int
+	// SlowEvents is the budget for quadratic-ish techniques (tuple
+	// buffer, aggregate tree, buckets with many windows); throughput is
+	// events/second either way, so smaller inputs only widen error bars.
+	SlowEvents int
+	// MaxWindows caps the concurrent-windows sweep (the paper goes to
+	// 1000).
+	MaxWindows int
+	// MemTuples is the tuple count of the memory experiments (50 000 in
+	// the paper).
+	MemTuples int
+	// LatencyMax is the largest entry count of the latency sweep (1e5 in
+	// the paper).
+	LatencyMax int
+	// Parallelism is the maximum degree of parallelism of Fig 17.
+	Parallelism int
+}
+
+// Quick returns a scale suitable for smoke runs and CI.
+func Quick() Scale {
+	return Scale{Events: 60_000, SlowEvents: 8_000, MaxWindows: 100, MemTuples: 10_000, LatencyMax: 10_000, Parallelism: 4}
+}
+
+// Full returns the paper-sized scale.
+func Full() Scale {
+	return Scale{Events: 400_000, SlowEvents: 20_000, MaxWindows: 1000, MemTuples: 50_000, LatencyMax: 100_000, Parallelism: 8}
+}
+
+// windowsSweep is the horizontal axis of Figs 8, 9, 16.
+func (sc Scale) windowsSweep() []int {
+	all := []int{1, 5, 10, 20, 50, 100, 500, 1000}
+	out := all[:0:0]
+	for _, n := range all {
+		if n <= sc.MaxWindows {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// events picks the tuple budget for a technique at a sweep point.
+func (sc Scale) events(t benchutil.Technique, windows int) int {
+	switch t {
+	case benchutil.LazySlicing, benchutil.EagerSlicing, benchutil.Pairs, benchutil.Cutty:
+		return sc.Events
+	case benchutil.Buckets, benchutil.TupleBuckets:
+		if windows >= 100 {
+			return sc.SlowEvents
+		}
+		return sc.Events / 4
+	default: // tuple buffer, aggregate tree
+		if windows >= 100 {
+			return sc.SlowEvents / 4
+		}
+		return sc.SlowEvents
+	}
+}
+
+// disorder20 is the paper's standard disorder: 20% late tuples, uniformly
+// delayed by up to two seconds (§6.2.2).
+func disorder20(seed int64) stream.Disorder {
+	return stream.Disorder{Fraction: 0.2, MaxDelay: 2000, Seed: seed}
+}
+
+// Run executes the experiment with the given id ("8", "9", ..., "17",
+// "table1", or "all") and writes its tables to w.
+func Run(id string, w io.Writer, sc Scale) bool {
+	switch id {
+	case "8":
+		Fig8(w, sc)
+	case "9":
+		Fig9(w, sc)
+	case "10":
+		Fig10(w, sc)
+	case "11":
+		Fig11(w, sc)
+	case "12":
+		Fig12(w, sc)
+	case "13":
+		Fig13(w, sc)
+	case "14":
+		Fig14(w, sc)
+	case "15":
+		Fig15(w, sc)
+	case "16":
+		Fig16(w, sc)
+	case "17":
+		Fig17(w, sc)
+	case "table1":
+		Table1(w, sc)
+	case "ablation":
+		Ablations(w, sc)
+	case "all":
+		Table1(w, sc)
+		Fig8(w, sc)
+		Fig9(w, sc)
+		Fig10(w, sc)
+		Fig11(w, sc)
+		Fig12(w, sc)
+		Fig13(w, sc)
+		Fig14(w, sc)
+		Fig15(w, sc)
+		Fig16(w, sc)
+		Fig17(w, sc)
+		Ablations(w, sc)
+	default:
+		return false
+	}
+	return true
+}

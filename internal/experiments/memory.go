@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"io"
+	"reflect"
+
+	"scotty/internal/baselines"
+	"scotty/internal/benchutil"
+	"scotty/internal/core"
+	"scotty/internal/memsize"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+// evenEvents generates n tuples spaced 1 ms apart (memory experiments need
+// exact control over the tuple/slice ratio, not a realistic rate).
+func evenEvents(n int) []stream.Event[stream.Tuple] {
+	ev := make([]stream.Event[stream.Tuple], n)
+	for i := range ev {
+		ev[i] = stream.Event[stream.Tuple]{Time: int64(i), Seq: int64(i), Value: stream.Tuple{V: float64(i % 997)}}
+	}
+	return ev
+}
+
+// buildState feeds n tuples into a fresh operator of technique t with a
+// single tumbling query sized to yield `slices` slices (or windows/buckets)
+// in the retained state, and returns the object to measure. Nothing is
+// evicted: the allowed lateness exceeds the stream span, mirroring "in the
+// allowed lateness" of Fig 10.
+func buildState(t benchutil.Technique, m stream.Measure, n, slices int) any {
+	length := int64(n / slices)
+	if length < 1 {
+		length = 1
+	}
+	def := window.Tumbling(m, length)
+	f := benchutil.SumFn()
+	const lateness = int64(1) << 40
+	ev := evenEvents(n)
+
+	switch t {
+	case benchutil.LazySlicing, benchutil.EagerSlicing:
+		ag := core.New(f, core.Options{Lateness: lateness, Eager: t == benchutil.EagerSlicing})
+		ag.MustAddQuery(def)
+		for _, e := range ev {
+			ag.ProcessElement(e)
+		}
+		return ag
+	case benchutil.Buckets, benchutil.TupleBuckets:
+		op := baselines.NewBuckets(f, t == benchutil.TupleBuckets, false, lateness)
+		op.AddQuery(def)
+		for _, e := range ev {
+			op.ProcessElement(e)
+		}
+		return op
+	case benchutil.TupleBuffer:
+		op := baselines.NewTupleBuffer(f, false, lateness)
+		op.AddQuery(def)
+		for _, e := range ev {
+			op.ProcessElement(e)
+		}
+		return op
+	case benchutil.AggTree:
+		op := baselines.NewAggTree(f, false, lateness)
+		op.AddQuery(def)
+		for _, e := range ev {
+			op.ProcessElement(e)
+		}
+		return op
+	default:
+		panic("experiments: no state builder for " + string(t))
+	}
+}
+
+var memTechniques = []benchutil.Technique{
+	benchutil.LazySlicing, benchutil.EagerSlicing, benchutil.Buckets,
+	benchutil.TupleBuffer, benchutil.AggTree,
+}
+
+var memTechniquesCount = []benchutil.Technique{
+	benchutil.LazySlicing, benchutil.EagerSlicing, benchutil.TupleBuckets,
+	benchutil.TupleBuffer, benchutil.AggTree,
+}
+
+// Fig10 — §6.2.3: memory consumption. (a/c) vary the slices in the allowed
+// lateness at a fixed tuple count; (b/d) vary the tuples at a fixed 500
+// slices. Time-based windows (a/b) let slicing and buckets store aggregates
+// only; count-based windows (c/d) force every technique to keep tuples.
+func Fig10(w io.Writer, sc Scale) {
+	type panel struct {
+		name       string
+		measure    stream.Measure
+		techniques []benchutil.Technique
+	}
+	panels := []panel{
+		{"Fig 10a/b — time-based windows (bytes)", stream.Time, memTechniques},
+		{"Fig 10c/d — count-based windows (bytes)", stream.Count, memTechniquesCount},
+	}
+	sliceSweep := []int{10, 50, 100, 500, 1000, 5000}
+	tupleSweep := []int{1000, 5000, 10_000, 50_000}
+
+	for _, p := range panels {
+		tabA := benchutil.NewTable(p.name+": vary slices, "+itoa(sc.MemTuples)+" tuples fixed",
+			append([]string{"slices"}, techniqueNames(p.techniques)...)...)
+		for _, s := range sliceSweep {
+			if s > sc.MemTuples {
+				continue
+			}
+			row := []any{s}
+			for _, t := range p.techniques {
+				row = append(row, memsize.Of(buildState(t, p.measure, sc.MemTuples, s)))
+			}
+			tabA.Add(row...)
+		}
+		tabA.Print(w)
+
+		tabB := benchutil.NewTable(p.name+": vary tuples, 500 slices fixed",
+			append([]string{"tuples"}, techniqueNames(p.techniques)...)...)
+		for _, n := range tupleSweep {
+			if n > sc.MemTuples*5 {
+				continue
+			}
+			row := []any{n}
+			for _, t := range p.techniques {
+				row = append(row, memsize.Of(buildState(t, p.measure, n, 500)))
+			}
+			tabB.Add(row...)
+		}
+		tabB.Print(w)
+	}
+}
+
+// Table1 compares the measured state sizes against the paper's closed-form
+// memory-usage formulas for all eight technique classes.
+func Table1(w io.Writer, sc Scale) {
+	n := sc.MemTuples
+	s := 500
+	win := n / (n / s) // tumbling: windows == slices
+
+	sizeEvent := int64(reflect.TypeOf(stream.Event[stream.Tuple]{}).Size())
+	sizeAgg := int64(8)                                                                 // float64 partial aggregate
+	sizeSlice := int64(reflect.TypeOf(core.Slice[stream.Tuple, float64]{}).Size()) + 16 // + pointer & list slot
+	sizeBucket := int64(64)                                                             // bucket struct + map slot (approximate)
+
+	tab := benchutil.NewTable("Table 1 — memory usage: measured vs formula (bytes)",
+		"technique", "formula", "measured", "ratio")
+	add := func(name string, formula int64, measured int64) {
+		tab.Add(name, formula, measured, float64(measured)/float64(formula))
+	}
+
+	add("1 tuple buffer", int64(n)*sizeEvent,
+		memsize.Of(buildState(benchutil.TupleBuffer, stream.Time, n, s)))
+	add("2 aggregate tree", int64(n)*sizeEvent+int64(n-1)*sizeAgg,
+		memsize.Of(buildState(benchutil.AggTree, stream.Time, n, s)))
+	add("3 agg buckets", int64(win)*(sizeAgg+sizeBucket),
+		memsize.Of(buildState(benchutil.Buckets, stream.Time, n, s)))
+	add("4 tuple buckets", int64(win)*(int64(n/win)*sizeEvent+sizeBucket),
+		memsize.Of(buildState(benchutil.TupleBuckets, stream.Count, n, s)))
+	add("5 lazy slicing", int64(s)*sizeSlice,
+		memsize.Of(buildState(benchutil.LazySlicing, stream.Time, n, s)))
+	add("6 eager slicing", int64(s)*sizeSlice+int64(s-1)*sizeAgg,
+		memsize.Of(buildState(benchutil.EagerSlicing, stream.Time, n, s)))
+	add("7 lazy slicing on tuples", int64(n)*sizeEvent+int64(s)*sizeSlice,
+		memsize.Of(buildState(benchutil.LazySlicing, stream.Count, n, s)))
+	add("8 eager slicing on tuples", int64(n)*sizeEvent+int64(s)*sizeSlice+int64(s-1)*sizeAgg,
+		memsize.Of(buildState(benchutil.EagerSlicing, stream.Count, n, s)))
+	tab.Print(w)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

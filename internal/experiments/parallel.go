@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"io"
+
+	"scotty/internal/aggregate"
+	"scotty/internal/benchutil"
+	"scotty/internal/engine"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+// Fig17 — §6.4: parallel stream slicing on the live-visualization dashboard
+// workload — M4 aggregation [26], 80 concurrent windows per operator
+// instance, key-partitioned across a varying degree of parallelism. Lazy
+// general slicing is compared against the bucket operator. Reported:
+// throughput (17a) and CPU utilization in percent of one core (17b).
+func Fig17(w io.Writer, sc Scale) {
+	tab := benchutil.NewTable("Fig 17 — parallel dashboard workload (M4, 80 windows/instance)",
+		"parallelism", "slicing-tuples/s", "slicing-CPU%", "buckets-tuples/s", "buckets-CPU%")
+
+	dops := []int{}
+	for d := 1; d <= sc.Parallelism; d *= 2 {
+		dops = append(dops, d)
+	}
+	for _, dop := range dops {
+		row := []any{dop}
+		for _, t := range []benchutil.Technique{benchutil.LazySlicing, benchutil.Buckets} {
+			events := sc.Events
+			if t == benchutil.Buckets {
+				events = sc.Events / 8
+			}
+			in := benchutil.MakeInput(stream.Football(), events, stream.Disorder{}, 42)
+			stats := engine.Run(engine.Config[stream.Tuple]{
+				Parallelism: dop,
+				Key:         func(e stream.Event[stream.Tuple]) uint64 { return uint64(e.Value.Key) },
+				NewProcessor: func(p int) engine.Processor[stream.Tuple] {
+					op := benchutil.NewOp(t, aggregate.M4(stream.Val), benchutil.Workload{
+						Lateness: 1000,
+						Defs:     func() []window.Definition { return benchutil.TumblingQueries(80) },
+					})
+					return engine.ProcessorFunc[stream.Tuple](func(it stream.Item[stream.Tuple]) int { return op(it) })
+				},
+			}, in.Items)
+			row = append(row, stats.Throughput(), stats.CPUUtilization())
+		}
+		tab.Add(row...)
+	}
+	tab.Add("cores", engine.Cores(), "", "", "")
+	tab.Print(w)
+}

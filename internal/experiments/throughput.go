@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"io"
+
+	"scotty/internal/benchutil"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+// Fig8 — §6.2.1: throughput of in-order processing with context-free
+// windows, sweeping the number of concurrent tumbling windows (lengths
+// equally distributed between 1 and 20 s), sum aggregation, football stream.
+// Series: lazy/eager general slicing, Pairs, Cutty, buckets, tuple buffer,
+// aggregate tree.
+func Fig8(w io.Writer, sc Scale) {
+	tab := benchutil.NewTable("Fig 8 — in-order throughput, context-free windows (tuples/s)",
+		append([]string{"windows"}, techniqueNames(benchutil.AllTechniques)...)...)
+	for _, n := range sc.windowsSweep() {
+		row := []any{n}
+		for _, t := range benchutil.AllTechniques {
+			in := benchutil.MakeInput(stream.Football(), sc.events(t, n), stream.Disorder{}, 42)
+			op := benchutil.NewOp(t, benchutil.SumFn(), benchutil.Workload{
+				Ordered: true,
+				Defs:    func() []window.Definition { return benchutil.TumblingQueries(n) },
+			})
+			tps, _ := benchutil.Throughput(op, in)
+			row = append(row, tps)
+		}
+		tab.Add(row...)
+	}
+	tab.Print(w)
+}
+
+// fig9Techniques: the paper drops the in-order-only specialized slicers here.
+var fig9Techniques = []benchutil.Technique{
+	benchutil.LazySlicing, benchutil.EagerSlicing, benchutil.Buckets,
+	benchutil.TupleBuffer, benchutil.AggTree,
+}
+
+// Fig9 — §6.2.2: throughput under constraints — the Fig 8 workload plus a
+// session window (gap 1 s) and 20% out-of-order tuples with delays up to 2 s,
+// on both data sets.
+func Fig9(w io.Writer, sc Scale) {
+	for _, p := range []stream.Profile{stream.Football(), stream.Machine()} {
+		tab := benchutil.NewTable("Fig 9 — throughput with 20% out-of-order + session windows, "+p.Name+" (tuples/s)",
+			append([]string{"windows"}, techniqueNames(fig9Techniques)...)...)
+		for _, n := range sc.windowsSweep() {
+			row := []any{n}
+			for _, t := range fig9Techniques {
+				in := benchutil.MakeInput(p, sc.events(t, n), disorder20(7), 42)
+				op := benchutil.NewOp(t, benchutil.SumFn(), benchutil.Workload{
+					Lateness: 4000,
+					Defs: func() []window.Definition {
+						return benchutil.WithSession(benchutil.TumblingQueries(n))
+					},
+				})
+				tps, _ := benchutil.Throughput(op, in)
+				row = append(row, tps)
+			}
+			tab.Add(row...)
+		}
+		tab.Print(w)
+	}
+}
+
+// Fig12 — §6.3.1: impact of stream order. (a) sweep the fraction of
+// out-of-order tuples; (b) sweep the delay range of out-of-order tuples.
+// 20 concurrent windows + session, sum.
+func Fig12(w io.Writer, sc Scale) {
+	defs := func() []window.Definition { return benchutil.WithSession(benchutil.TumblingQueries(20)) }
+
+	// The stream span must dwarf the out-of-order delays, so the slow
+	// techniques get a larger budget here than in the window sweeps.
+	slowEvents := sc.SlowEvents * 4
+
+	tabA := benchutil.NewTable("Fig 12a — throughput vs fraction of out-of-order tuples (tuples/s)",
+		append([]string{"ooo-%"}, techniqueNames(fig9Techniques)...)...)
+	for _, frac := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0} {
+		row := []any{int(frac * 100)}
+		for _, t := range fig9Techniques {
+			d := stream.Disorder{Fraction: frac, MaxDelay: 2000, Seed: 11}
+			in := benchutil.MakeInput(stream.Football(), max(sc.events(t, 20), slowEvents), d, 42)
+			op := benchutil.NewOp(t, benchutil.SumFn(), benchutil.Workload{Lateness: 4000, Defs: defs})
+			tps, _ := benchutil.Throughput(op, in)
+			row = append(row, tps)
+		}
+		tabA.Add(row...)
+	}
+	tabA.Print(w)
+
+	tabB := benchutil.NewTable("Fig 12b — throughput vs delay of out-of-order tuples (tuples/s)",
+		append([]string{"delay-ms"}, techniqueNames(fig9Techniques)...)...)
+	for _, delay := range []int64{500, 1000, 2000, 4000, 8000} {
+		row := []any{delay}
+		for _, t := range fig9Techniques {
+			d := stream.Disorder{Fraction: 0.2, MaxDelay: delay, Seed: 13}
+			in := benchutil.MakeInput(stream.Football(), max(sc.events(t, 20), slowEvents), d, 42)
+			op := benchutil.NewOp(t, benchutil.SumFn(), benchutil.Workload{Lateness: 2 * delay, Defs: defs})
+			tps, _ := benchutil.Throughput(op, in)
+			row = append(row, tps)
+		}
+		tabB.Add(row...)
+	}
+	tabB.Print(w)
+}
+
+// Fig16 — §6.3.4: impact of the window measure. Time- vs count-based
+// windows, sweeping concurrent windows, general slicing vs the tuple buffer
+// (the fastest alternative for count measures), 20% out-of-order tuples.
+func Fig16(w io.Writer, sc Scale) {
+	tab := benchutil.NewTable("Fig 16 — window measures under 20% disorder (tuples/s)",
+		"windows", "slicing-time", "slicing-count", "tuple-buffer-time", "tuple-buffer-count")
+	for _, n := range sc.windowsSweep() {
+		row := []any{n}
+		for _, t := range []benchutil.Technique{benchutil.LazySlicing, benchutil.TupleBuffer} {
+			for _, measure := range []stream.Measure{stream.Time, stream.Count} {
+				in := benchutil.MakeInput(stream.Football(), sc.events(t, n), disorder20(17), 42)
+				defs := func() []window.Definition {
+					if measure == stream.Time {
+						return benchutil.TumblingQueries(n)
+					}
+					return benchutil.CountQueries(n)
+				}
+				op := benchutil.NewOp(t, benchutil.SumFn(), benchutil.Workload{Lateness: 4000, Defs: defs})
+				tps, _ := benchutil.Throughput(op, in)
+				row = append(row, tps)
+			}
+		}
+		tab.Add(row...)
+	}
+	tab.Print(w)
+}
+
+func techniqueNames(ts []benchutil.Technique) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = string(t)
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+// Package fat implements FlatFAT (Tangwongsan et al., "General incremental
+// sliding-window aggregation", PVLDB 2015): a flat, array-backed complete
+// binary tree of partial aggregates. Leaves hold per-element partial
+// aggregates; inner nodes hold the combination of their children. Updating a
+// leaf costs O(log n); an ordered range query costs O(log n); inserting or
+// removing a leaf in the middle costs O(n) because the suffix of leaves must
+// shift — this is exactly the cost the paper charges to aggregate trees when
+// out-of-order tuples arrive (§3.2, §6.2.2).
+//
+// The tree only requires the combine operation to be associative. Range
+// queries combine strictly left to right, so non-commutative functions are
+// aggregated in leaf order.
+package fat
+
+// Tree is a flat aggregate tree over partial aggregates of type A.
+//
+// The zero value is not usable; construct trees with New.
+type Tree[A any] struct {
+	combine  func(a, b A) A
+	identity A
+	capacity int // leaf capacity; always a power of two, >= 1
+	length   int // leaves in use
+	nodes    []A // 1-based heap layout; leaves occupy [capacity, capacity+length)
+	// combines counts combine invocations; the benchmark harness uses it
+	// to attribute aggregation work.
+	combines int64
+}
+
+// New returns an empty tree. combine must be associative; identity must be a
+// two-sided identity of combine (combine(identity, x) == combine(x, identity)
+// == x), used to pad unused leaves.
+func New[A any](combine func(a, b A) A, identity A) *Tree[A] {
+	t := &Tree[A]{combine: combine, identity: identity}
+	t.reset(1)
+	return t
+}
+
+func (t *Tree[A]) reset(capacity int) {
+	t.capacity = capacity
+	t.nodes = make([]A, 2*capacity)
+	for i := range t.nodes {
+		t.nodes[i] = t.identity
+	}
+}
+
+// Len returns the number of leaves in use.
+func (t *Tree[A]) Len() int { return t.length }
+
+// Combines returns the number of combine invocations performed so far.
+func (t *Tree[A]) Combines() int64 { return t.combines }
+
+func (t *Tree[A]) comb(a, b A) A {
+	t.combines++
+	return t.combine(a, b)
+}
+
+// Get returns the i-th leaf value.
+func (t *Tree[A]) Get(i int) A {
+	if i < 0 || i >= t.length {
+		panic("fat: leaf index out of range")
+	}
+	return t.nodes[t.capacity+i]
+}
+
+// Set replaces the i-th leaf and updates the path to the root in O(log n).
+func (t *Tree[A]) Set(i int, a A) {
+	if i < 0 || i >= t.length {
+		panic("fat: leaf index out of range")
+	}
+	p := t.capacity + i
+	t.nodes[p] = a
+	for p >>= 1; p >= 1; p >>= 1 {
+		t.nodes[p] = t.comb(t.nodes[2*p], t.nodes[2*p+1])
+	}
+}
+
+// Push appends a leaf at the end, growing the tree if necessary.
+func (t *Tree[A]) Push(a A) {
+	if t.length == t.capacity {
+		t.grow()
+	}
+	t.length++
+	t.Set(t.length-1, a)
+}
+
+// Insert places a new leaf at index i, shifting subsequent leaves right.
+// This is the O(n) operation triggered by out-of-order arrivals in
+// tuple-based aggregate trees.
+func (t *Tree[A]) Insert(i int, a A) {
+	if i < 0 || i > t.length {
+		panic("fat: insert index out of range")
+	}
+	if i == t.length {
+		t.Push(a)
+		return
+	}
+	if t.length == t.capacity {
+		t.grow()
+	}
+	leaves := t.nodes[t.capacity : t.capacity+t.length+1]
+	copy(leaves[i+1:], leaves[i:t.length])
+	leaves[i] = a
+	t.length++
+	t.rebuildFrom(i)
+}
+
+// Remove deletes the leaf at index i, shifting subsequent leaves left (O(n)).
+func (t *Tree[A]) Remove(i int) {
+	if i < 0 || i >= t.length {
+		panic("fat: remove index out of range")
+	}
+	leaves := t.nodes[t.capacity : t.capacity+t.length]
+	copy(leaves[i:], leaves[i+1:])
+	t.length--
+	leaves[t.length] = t.identity
+	t.rebuildFrom(i)
+}
+
+// RemoveFront evicts the first k leaves (window expiry). O(n).
+func (t *Tree[A]) RemoveFront(k int) {
+	if k <= 0 {
+		return
+	}
+	if k > t.length {
+		k = t.length
+	}
+	leaves := t.nodes[t.capacity : t.capacity+t.length]
+	copy(leaves, leaves[k:])
+	for i := t.length - k; i < t.length; i++ {
+		leaves[i] = t.identity
+	}
+	t.length -= k
+	t.rebuildFrom(0)
+	t.maybeShrink()
+}
+
+// Query aggregates the leaves in [i, j) from left to right in O(log n)
+// combine steps. An empty range returns the identity.
+func (t *Tree[A]) Query(i, j int) A {
+	if i < 0 || j > t.length || i > j {
+		panic("fat: query range out of bounds")
+	}
+	resL, resR := t.identity, t.identity
+	l, r := t.capacity+i, t.capacity+j
+	for l < r {
+		if l&1 == 1 {
+			resL = t.comb(resL, t.nodes[l])
+			l++
+		}
+		if r&1 == 1 {
+			r--
+			resR = t.comb(t.nodes[r], resR)
+		}
+		l >>= 1
+		r >>= 1
+	}
+	return t.comb(resL, resR)
+}
+
+// Aggregate returns the combination of all leaves (the root).
+func (t *Tree[A]) Aggregate() A {
+	if t.length == 0 {
+		return t.identity
+	}
+	return t.nodes[1]
+}
+
+// grow doubles the leaf capacity and rebuilds in O(n).
+func (t *Tree[A]) grow() {
+	old := t.nodes[t.capacity : t.capacity+t.length]
+	saved := make([]A, len(old))
+	copy(saved, old)
+	t.reset(t.capacity * 2)
+	copy(t.nodes[t.capacity:], saved)
+	t.rebuildFrom(0)
+}
+
+// maybeShrink reduces the capacity when occupancy drops below a quarter,
+// bounding memory after large evictions.
+func (t *Tree[A]) maybeShrink() {
+	if t.capacity <= 1 || t.length > t.capacity/4 {
+		return
+	}
+	capacity := t.capacity
+	for capacity > 1 && t.length <= capacity/4 {
+		capacity /= 2
+	}
+	saved := make([]A, t.length)
+	copy(saved, t.nodes[t.capacity:t.capacity+t.length])
+	n := t.length
+	t.reset(capacity)
+	copy(t.nodes[t.capacity:], saved)
+	t.length = n
+	t.rebuildFrom(0)
+}
+
+// rebuildFrom recomputes all inner nodes that cover leaves at indices >= i.
+// Shifting operations (Insert, Remove, RemoveFront) dirty an arbitrary suffix
+// of the leaf level, so the whole suffix of every inner level is refreshed;
+// the cost is O(capacity - i).
+func (t *Tree[A]) rebuildFrom(i int) {
+	lo := t.capacity + i
+	hi := 2 * t.capacity
+	for lo > 1 {
+		lo >>= 1
+		hi >>= 1
+		for p := lo; p < hi; p++ {
+			t.nodes[p] = t.comb(t.nodes[2*p], t.nodes[2*p+1])
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package fat
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// model is the naive reference: a plain slice folded on demand.
+type model struct {
+	leaves []string
+}
+
+func (m *model) insert(i int, s string) {
+	m.leaves = append(m.leaves, "")
+	copy(m.leaves[i+1:], m.leaves[i:])
+	m.leaves[i] = s
+}
+
+func (m *model) remove(i int) { m.leaves = append(m.leaves[:i], m.leaves[i+1:]...) }
+
+func (m *model) query(i, j int) string { return strings.Join(m.leaves[i:j], "") }
+
+// concat is associative but NOT commutative — it catches any ordering bug in
+// the tree's range queries.
+func concat(a, b string) string { return a + b }
+
+func TestTreeMatchesModelUnderRandomOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tree := New(concat, "")
+	m := &model{}
+	next := 'a'
+	for step := 0; step < 5000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4 || tree.Len() == 0: // push
+			s := string(next)
+			next++
+			if next > 'z' {
+				next = 'a'
+			}
+			tree.Push(s)
+			m.leaves = append(m.leaves, s)
+		case op < 6: // set
+			i := rng.Intn(tree.Len())
+			s := string(rune('A' + rng.Intn(26)))
+			tree.Set(i, s)
+			m.leaves[i] = s
+		case op < 8: // insert
+			i := rng.Intn(tree.Len() + 1)
+			s := string(rune('0' + rng.Intn(10)))
+			tree.Insert(i, s)
+			m.insert(i, s)
+		default: // remove
+			i := rng.Intn(tree.Len())
+			tree.Remove(i)
+			m.remove(i)
+		}
+		if tree.Len() != len(m.leaves) {
+			t.Fatalf("step %d: length %d want %d", step, tree.Len(), len(m.leaves))
+		}
+		if step%7 == 0 && tree.Len() > 0 {
+			i := rng.Intn(tree.Len())
+			j := i + rng.Intn(tree.Len()-i+1)
+			if got, want := tree.Query(i, j), m.query(i, j); got != want {
+				t.Fatalf("step %d: query(%d,%d)=%q want %q", step, i, j, got, want)
+			}
+		}
+	}
+	if got, want := tree.Aggregate(), m.query(0, len(m.leaves)); got != want {
+		t.Fatalf("aggregate %q want %q", got, want)
+	}
+}
+
+func TestRemoveFront(t *testing.T) {
+	tree := New(concat, "")
+	m := &model{}
+	for i := 0; i < 100; i++ {
+		s := string(rune('a' + i%26))
+		tree.Push(s)
+		m.leaves = append(m.leaves, s)
+	}
+	for _, k := range []int{1, 7, 30, 100} {
+		tree.RemoveFront(k)
+		if k > len(m.leaves) {
+			k = len(m.leaves)
+		}
+		m.leaves = m.leaves[k:]
+		if tree.Len() != len(m.leaves) {
+			t.Fatalf("after RemoveFront(%d): len %d want %d", k, tree.Len(), len(m.leaves))
+		}
+		if got, want := tree.Query(0, tree.Len()), m.query(0, len(m.leaves)); got != want {
+			t.Fatalf("after RemoveFront(%d): %q want %q", k, got, want)
+		}
+	}
+}
+
+func TestQueryEmptyRangeIsIdentity(t *testing.T) {
+	tree := New(concat, "")
+	tree.Push("x")
+	if got := tree.Query(1, 1); got != "" {
+		t.Fatalf("empty range: %q want identity", got)
+	}
+}
+
+func TestShrinkAfterHeavyEviction(t *testing.T) {
+	tree := New(func(a, b int) int { return a + b }, 0)
+	for i := 0; i < 4096; i++ {
+		tree.Push(1)
+	}
+	tree.RemoveFront(4090)
+	if tree.Len() != 6 || tree.Aggregate() != 6 {
+		t.Fatalf("after eviction: len=%d agg=%d", tree.Len(), tree.Aggregate())
+	}
+	if tree.capacity > 64 {
+		t.Fatalf("capacity %d did not shrink", tree.capacity)
+	}
+}
+
+func TestQuickSumAgainstFold(t *testing.T) {
+	f := func(values []int8, cuts [2]uint8) bool {
+		tree := New(func(a, b int64) int64 { return a + b }, 0)
+		var want int64
+		for _, v := range values {
+			tree.Push(int64(v))
+			want += int64(v)
+		}
+		if tree.Aggregate() != want {
+			return false
+		}
+		if len(values) == 0 {
+			return true
+		}
+		i := int(cuts[0]) % len(values)
+		j := i + int(cuts[1])%(len(values)-i+1)
+		var sub int64
+		for _, v := range values[i:j] {
+			sub += int64(v)
+		}
+		return tree.Query(i, j) == sub
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicsOnBadIndexes(t *testing.T) {
+	tree := New(concat, "")
+	tree.Push("a")
+	for name, fn := range map[string]func(){
+		"get":    func() { tree.Get(1) },
+		"set":    func() { tree.Set(-1, "x") },
+		"remove": func() { tree.Remove(3) },
+		"query":  func() { tree.Query(0, 2) },
+		"insert": func() { tree.Insert(5, "x") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,160 @@
+// Package memsize estimates the resident memory of an object graph by
+// reflection, playing the role of Nashorn's ObjectSizeCalculator in the
+// paper's memory experiments (§6.1 Metrics, Fig 10, Table 1): it walks
+// structs, pointers, slices, maps, strings, and interfaces, counts every
+// reachable byte exactly once, and ignores sharing-induced double counting by
+// memoizing visited addresses.
+//
+// Absolute numbers differ from the JVM's (Go has no object headers, different
+// map layouts), but the curve shapes the paper reports — linear growth in
+// slices vs tuples, the hash-map stair steps — are properties of the data
+// structures, which the estimator measures faithfully.
+package memsize
+
+import "reflect"
+
+// Of returns the deep size of v in bytes, including everything reachable
+// through pointers, slices, maps, and interfaces. Shared objects are counted
+// once.
+func Of(v any) int64 {
+	if v == nil {
+		return 0
+	}
+	w := &walker{seen: map[visit]struct{}{}}
+	rv := reflect.ValueOf(v)
+	// The top-level value itself (e.g. a pointer) occupies its own word(s).
+	return int64(rv.Type().Size()) + w.referenced(rv)
+}
+
+// visit identifies a heap object by address and type (distinct types may
+// share an address, e.g. a struct and its first field).
+type visit struct {
+	addr uintptr
+	typ  reflect.Type
+}
+
+type walker struct {
+	seen map[visit]struct{}
+}
+
+// referenced returns the bytes reachable FROM v, excluding v's own inline
+// representation (which the caller has already accounted for).
+func (w *walker) referenced(v reflect.Value) int64 {
+	switch v.Kind() {
+	case reflect.Ptr:
+		if v.IsNil() {
+			return 0
+		}
+		elem := v.Elem()
+		if !w.mark(v.Pointer(), elem.Type()) {
+			return 0
+		}
+		return int64(elem.Type().Size()) + w.referenced(elem)
+
+	case reflect.Slice:
+		if v.IsNil() {
+			return 0
+		}
+		if !w.mark(v.Pointer(), v.Type()) {
+			return 0
+		}
+		elemSize := int64(v.Type().Elem().Size())
+		total := int64(v.Cap()) * elemSize // the backing array
+		if hasIndirections(v.Type().Elem()) {
+			for i := 0; i < v.Len(); i++ {
+				total += w.referenced(v.Index(i))
+			}
+		}
+		return total
+
+	case reflect.String:
+		return int64(v.Len())
+
+	case reflect.Map:
+		if v.IsNil() {
+			return 0
+		}
+		if !w.mark(v.Pointer(), v.Type()) {
+			return 0
+		}
+		keySize := int64(v.Type().Key().Size())
+		valSize := int64(v.Type().Elem().Size())
+		// Approximate the bucket layout: Go maps allocate buckets in
+		// powers of two of 8 entries, plus per-bucket overhead.
+		n := int64(v.Len())
+		buckets := int64(1)
+		for buckets*8*13/16 < n { // default max load factor 6.5/8
+			buckets *= 2
+		}
+		const bucketOverhead = 8 + 8 // tophash bytes + overflow pointer
+		total := buckets * (8*(keySize+valSize) + bucketOverhead)
+		if hasIndirections(v.Type().Key()) || hasIndirections(v.Type().Elem()) {
+			iter := v.MapRange()
+			for iter.Next() {
+				total += w.referenced(iter.Key())
+				total += w.referenced(iter.Value())
+			}
+		}
+		return total
+
+	case reflect.Interface:
+		if v.IsNil() {
+			return 0
+		}
+		elem := v.Elem()
+		// The concrete value lives behind the interface header.
+		return int64(elem.Type().Size()) + w.referenced(elem)
+
+	case reflect.Struct:
+		var total int64
+		for i := 0; i < v.NumField(); i++ {
+			if hasIndirections(v.Field(i).Type()) {
+				total += w.referenced(v.Field(i))
+			}
+		}
+		return total
+
+	case reflect.Array:
+		var total int64
+		if hasIndirections(v.Type().Elem()) {
+			for i := 0; i < v.Len(); i++ {
+				total += w.referenced(v.Index(i))
+			}
+		}
+		return total
+
+	default:
+		// Scalars carry no indirections.
+		return 0
+	}
+}
+
+func (w *walker) mark(addr uintptr, t reflect.Type) bool {
+	k := visit{addr: addr, typ: t}
+	if _, ok := w.seen[k]; ok {
+		return false
+	}
+	w.seen[k] = struct{}{}
+	return true
+}
+
+// hasIndirections reports whether values of type t can reference further
+// memory. Scanning is skipped entirely for flat types, which makes measuring
+// large primitive slices O(1).
+func hasIndirections(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Ptr, reflect.Slice, reflect.Map, reflect.String, reflect.Interface, reflect.Chan, reflect.Func:
+		return true
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if hasIndirections(t.Field(i).Type) {
+				return true
+			}
+		}
+		return false
+	case reflect.Array:
+		return hasIndirections(t.Elem())
+	default:
+		return false
+	}
+}

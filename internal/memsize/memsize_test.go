@@ -1,0 +1,101 @@
+package memsize
+
+import "testing"
+
+func TestScalars(t *testing.T) {
+	if got := Of(int64(5)); got != 8 {
+		t.Errorf("int64: %d", got)
+	}
+	if got := Of(float64(1.5)); got != 8 {
+		t.Errorf("float64: %d", got)
+	}
+	if got := Of(nil); got != 0 {
+		t.Errorf("nil: %d", got)
+	}
+}
+
+func TestSliceCountsBackingArray(t *testing.T) {
+	s := make([]int64, 10, 64)
+	got := Of(s)
+	want := int64(24 + 64*8) // header + capacity
+	if got != want {
+		t.Errorf("slice: %d want %d", got, want)
+	}
+}
+
+func TestNestedStructsAndPointers(t *testing.T) {
+	type inner struct {
+		a, b int64
+	}
+	type outer struct {
+		p *inner
+		v inner
+		s []inner
+	}
+	o := outer{p: &inner{}, s: make([]inner, 4)}
+	got := Of(o)
+	// outer inline (8 + 16 + 24) + pointee (16) + backing array (4*16).
+	want := int64(48 + 16 + 64)
+	if got != want {
+		t.Errorf("outer: %d want %d", got, want)
+	}
+}
+
+func TestSharedPointerCountedOnce(t *testing.T) {
+	type node struct {
+		x [32]int64
+	}
+	n := &node{}
+	pair := struct{ a, b *node }{a: n, b: n}
+	single := struct{ a, b *node }{a: n, b: &node{}}
+	if Of(pair) >= Of(single) {
+		t.Errorf("shared pointer counted twice: shared=%d distinct=%d", Of(pair), Of(single))
+	}
+}
+
+func TestCycleTerminates(t *testing.T) {
+	type ring struct {
+		next *ring
+		pad  [16]int64
+	}
+	a, b := &ring{}, &ring{}
+	a.next, b.next = b, a
+	got := Of(a)
+	if got <= 0 {
+		t.Fatalf("cycle size: %d", got)
+	}
+	// Both nodes counted once each: pointer word + 2 * node size.
+	want := int64(8 + 2*(8+128))
+	if got != want {
+		t.Errorf("cycle: %d want %d", got, want)
+	}
+}
+
+func TestStringsAndMaps(t *testing.T) {
+	if got := Of("hello"); got != 16+5 {
+		t.Errorf("string: %d", got)
+	}
+	m := map[int64]int64{}
+	for i := int64(0); i < 100; i++ {
+		m[i] = i
+	}
+	got := Of(m)
+	if got < 100*16 {
+		t.Errorf("map of 100 entries too small: %d", got)
+	}
+	if got > 100*16*6 {
+		t.Errorf("map of 100 entries implausibly large: %d", got)
+	}
+}
+
+func TestGrowthIsMonotone(t *testing.T) {
+	prev := int64(0)
+	for _, n := range []int{10, 100, 1000} {
+		s := make([]float64, n)
+		got := Of(s)
+		if got <= prev {
+			t.Fatalf("size did not grow: %d after %d", got, prev)
+		}
+		prev = got
+	}
+}

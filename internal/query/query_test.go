@@ -1,0 +1,105 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"scotty/internal/aggregate"
+	"scotty/internal/stream"
+)
+
+func ident(v float64) float64 { return v }
+
+func TestBuildAndRun(t *testing.T) {
+	b := Aggregate(
+		Over[float64](Stream{Lateness: 5000}).
+			Window(SlidingTime[float64](10_000, 2_000)).
+			Window(SessionGap[float64](1_000)),
+		aggregate.Sum(ident),
+	)
+	op, ids, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 {
+		t.Fatalf("ids: %v", ids)
+	}
+	for ts := int64(0); ts < 30_000; ts += 100 {
+		op.ProcessElement(stream.Event[float64]{Time: ts, Seq: ts, Value: 1})
+	}
+	rs := op.ProcessWatermark(stream.MaxTime)
+	if len(rs) == 0 {
+		t.Fatal("no results from built operator")
+	}
+}
+
+func TestExplainDerivesCharacteristics(t *testing.T) {
+	b := Aggregate(
+		Over[float64](Stream{Ordered: true}).
+			Window(TumblingTime[float64](1000)).
+			Window(LastNEvery[float64](10, 500)).
+			Window(SessionGap[float64](200)),
+		aggregate.Median(ident),
+	)
+	ch, err := b.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ch.Ordered || !ch.Commutative || ch.Kind != aggregate.Holistic {
+		t.Fatalf("characteristics: %+v", ch)
+	}
+	if ch.ContextFree != 1 || ch.ContextAware != 2 || ch.ForwardAware != 1 || ch.Sessions != 1 {
+		t.Fatalf("window classification: %+v", ch)
+	}
+	if len(ch.Measures) != 2 {
+		t.Fatalf("measures: %v", ch.Measures)
+	}
+	// An FCA window forces tuple storage even in order (Fig 4).
+	if !ch.StoresTuples {
+		t.Fatal("FCA query must imply tuple storage")
+	}
+	if !strings.Contains(strings.Join(ch.WindowSummary, ";"), "SESSION") {
+		t.Fatalf("summary: %v", ch.WindowSummary)
+	}
+}
+
+func TestBuildRejectsEmptySpecs(t *testing.T) {
+	if _, _, err := Aggregate(Over[float64](Stream{}), aggregate.Sum(ident)).Build(); err == nil {
+		t.Fatal("no windows must be rejected")
+	}
+}
+
+func TestBuildRejectsMixedMeasuresUnordered(t *testing.T) {
+	b := Aggregate(
+		Over[float64](Stream{}).
+			Window(TumblingTime[float64](1000)).
+			Window(TumblingCount[float64](10)),
+		aggregate.Sum(ident),
+	)
+	if _, _, err := b.Build(); err == nil {
+		t.Fatal("mixed measures on an unordered stream must be rejected")
+	}
+	if _, err := b.Explain(); err == nil {
+		t.Fatal("Explain must surface the same rejection")
+	}
+}
+
+func TestSpecsAreReusable(t *testing.T) {
+	spec := TumblingTime[float64](500)
+	b1 := Aggregate(Over[float64](Stream{Ordered: true}).Window(spec), aggregate.Count[float64]())
+	b2 := Aggregate(Over[float64](Stream{Ordered: true}).Window(spec), aggregate.Count[float64]())
+	op1, _, err1 := b1.Build()
+	op2, _, err2 := b2.Build()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	// Definitions must be fresh instances: feeding one operator must not
+	// disturb the other's trigger state.
+	for ts := int64(0); ts < 3000; ts += 100 {
+		op1.ProcessElement(stream.Event[float64]{Time: ts, Seq: ts, Value: 1})
+	}
+	rs := op2.ProcessWatermark(stream.MaxTime)
+	if len(rs) != 0 {
+		t.Fatalf("operator 2 emitted %d windows without input", len(rs))
+	}
+}

@@ -1,0 +1,156 @@
+// Package rle provides a sorted, run-length-encoded multiset of float64
+// values. It is the partial-aggregate representation for holistic
+// aggregations (median, percentiles): the paper sorts the tuples inside each
+// slice to speed up merge operations and applies run-length encoding to save
+// memory (§5.4.1). Streams with few distinct values (the machine data set has
+// 37) compress to a handful of runs, which is the effect measured in Fig 14.
+package rle
+
+import (
+	"math"
+	"sort"
+)
+
+// Run is a maximal group of equal values.
+type Run struct {
+	Value float64
+	Count int64
+}
+
+// Multiset is a sorted run-length-encoded multiset. The zero value is an
+// empty multiset ready for use.
+type Multiset struct {
+	runs []Run
+	n    int64
+}
+
+// New returns an empty multiset.
+func New() *Multiset { return &Multiset{} }
+
+// Of returns a multiset holding the given values.
+func Of(values ...float64) *Multiset {
+	m := New()
+	for _, v := range values {
+		m.Add(v)
+	}
+	return m
+}
+
+// Len returns the number of values (with multiplicity).
+func (m *Multiset) Len() int64 { return m.n }
+
+// Runs returns the number of runs (distinct values).
+func (m *Multiset) Runs() int { return len(m.runs) }
+
+// Add inserts one occurrence of v, preserving sorted order.
+func (m *Multiset) Add(v float64) {
+	m.AddN(v, 1)
+}
+
+// AddN inserts count occurrences of v.
+func (m *Multiset) AddN(v float64, count int64) {
+	if count <= 0 {
+		return
+	}
+	m.n += count
+	i := sort.Search(len(m.runs), func(i int) bool { return m.runs[i].Value >= v })
+	if i < len(m.runs) && m.runs[i].Value == v {
+		m.runs[i].Count += count
+		return
+	}
+	m.runs = append(m.runs, Run{})
+	copy(m.runs[i+1:], m.runs[i:])
+	m.runs[i] = Run{Value: v, Count: count}
+}
+
+// Remove deletes one occurrence of v and reports whether it was present.
+func (m *Multiset) Remove(v float64) bool {
+	i := sort.Search(len(m.runs), func(i int) bool { return m.runs[i].Value >= v })
+	if i >= len(m.runs) || m.runs[i].Value != v {
+		return false
+	}
+	m.runs[i].Count--
+	m.n--
+	if m.runs[i].Count == 0 {
+		m.runs = append(m.runs[:i], m.runs[i+1:]...)
+	}
+	return true
+}
+
+// Merge returns a new multiset holding the union of a and b (with
+// multiplicities). Neither input is modified; merging is a single pass over
+// both run lists, which is why sorted slices make the final combine step of
+// holistic window aggregates cheap.
+func Merge(a, b *Multiset) *Multiset {
+	if a == nil || a.n == 0 {
+		return b.Clone()
+	}
+	if b == nil || b.n == 0 {
+		return a.Clone()
+	}
+	out := &Multiset{runs: make([]Run, 0, len(a.runs)+len(b.runs)), n: a.n + b.n}
+	i, j := 0, 0
+	for i < len(a.runs) && j < len(b.runs) {
+		switch {
+		case a.runs[i].Value < b.runs[j].Value:
+			out.runs = append(out.runs, a.runs[i])
+			i++
+		case a.runs[i].Value > b.runs[j].Value:
+			out.runs = append(out.runs, b.runs[j])
+			j++
+		default:
+			out.runs = append(out.runs, Run{Value: a.runs[i].Value, Count: a.runs[i].Count + b.runs[j].Count})
+			i++
+			j++
+		}
+	}
+	out.runs = append(out.runs, a.runs[i:]...)
+	out.runs = append(out.runs, b.runs[j:]...)
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Multiset) Clone() *Multiset {
+	if m == nil {
+		return New()
+	}
+	out := &Multiset{runs: make([]Run, len(m.runs)), n: m.n}
+	copy(out.runs, m.runs)
+	return out
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using the nearest-rank
+// definition on the sorted values: rank = round(q * (n-1)). It returns NaN
+// for an empty multiset. Quantile(0.5) is the median.
+func (m *Multiset) Quantile(q float64) float64 {
+	if m == nil || m.n == 0 {
+		return math.NaN()
+	}
+	rank := int64(math.Floor(q*float64(m.n-1) + 0.5))
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= m.n {
+		rank = m.n - 1
+	}
+	for _, r := range m.runs {
+		if rank < r.Count {
+			return r.Value
+		}
+		rank -= r.Count
+	}
+	// Unreachable when run counts sum to n.
+	return m.runs[len(m.runs)-1].Value
+}
+
+// Values expands the multiset back to a sorted slice of values. Intended for
+// tests and small sets.
+func (m *Multiset) Values() []float64 {
+	out := make([]float64, 0, m.n)
+	for _, r := range m.runs {
+		for k := int64(0); k < r.Count; k++ {
+			out = append(out, r.Value)
+		}
+	}
+	return out
+}

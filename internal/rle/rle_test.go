@@ -1,0 +1,157 @@
+package rle
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sortedCopy(vs []float64) []float64 {
+	out := append([]float64(nil), vs...)
+	sort.Float64s(out)
+	return out
+}
+
+func equalSlices(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAddRemoveMatchesSortedSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := New()
+	var model []float64
+	for step := 0; step < 4000; step++ {
+		if rng.Intn(3) != 0 || len(model) == 0 {
+			v := float64(rng.Intn(20))
+			m.Add(v)
+			model = append(model, v)
+		} else {
+			v := model[rng.Intn(len(model))]
+			if !m.Remove(v) {
+				t.Fatalf("step %d: remove(%v) failed though present", step, v)
+			}
+			for i, x := range model {
+				if x == v {
+					model = append(model[:i], model[i+1:]...)
+					break
+				}
+			}
+		}
+		if m.Len() != int64(len(model)) {
+			t.Fatalf("step %d: len %d want %d", step, m.Len(), len(model))
+		}
+	}
+	if !equalSlices(m.Values(), sortedCopy(model)) {
+		t.Fatal("values diverged from model")
+	}
+}
+
+func TestRemoveAbsentValue(t *testing.T) {
+	m := Of(1, 2, 3)
+	if m.Remove(9) {
+		t.Fatal("removed a value that was never added")
+	}
+	if m.Len() != 3 {
+		t.Fatal("length changed on failed removal")
+	}
+}
+
+func TestMergeIsPureAndCorrect(t *testing.T) {
+	a := Of(1, 1, 5, 9)
+	b := Of(1, 2, 9, 9)
+	c := Merge(a, b)
+	if !equalSlices(c.Values(), []float64{1, 1, 1, 2, 5, 9, 9, 9}) {
+		t.Fatalf("merge values: %v", c.Values())
+	}
+	// Inputs untouched.
+	if !equalSlices(a.Values(), []float64{1, 1, 5, 9}) || !equalSlices(b.Values(), []float64{1, 2, 9, 9}) {
+		t.Fatal("merge mutated an input")
+	}
+	// Mutating the result must not leak into the inputs.
+	c.Add(7)
+	c.Remove(5)
+	if !equalSlices(a.Values(), []float64{1, 1, 5, 9}) {
+		t.Fatal("result aliasing input")
+	}
+}
+
+func TestMergeWithEmpty(t *testing.T) {
+	a := Of(3, 1)
+	if got := Merge(a, New()); !equalSlices(got.Values(), []float64{1, 3}) {
+		t.Fatalf("merge with empty: %v", got.Values())
+	}
+	if got := Merge(nil, a); !equalSlices(got.Values(), []float64{1, 3}) {
+		t.Fatalf("merge nil: %v", got.Values())
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	m := Of(1, 2, 3, 4, 5)
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := m.Quantile(c.q); got != c.want {
+			t.Errorf("quantile(%v) = %v want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(New().Quantile(0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}
+
+func TestRunsCompress(t *testing.T) {
+	m := New()
+	for i := 0; i < 1000; i++ {
+		m.Add(float64(i % 3))
+	}
+	if m.Runs() != 3 {
+		t.Fatalf("runs = %d want 3", m.Runs())
+	}
+	if m.Len() != 1000 {
+		t.Fatalf("len = %d want 1000", m.Len())
+	}
+}
+
+// Property: Quantile matches the nearest-rank definition on the sorted
+// expansion, and Merge is commutative.
+func TestQuickQuantileAndMergeCommutativity(t *testing.T) {
+	f := func(xs, ys []uint8, qRaw uint8) bool {
+		a, b := New(), New()
+		var all []float64
+		for _, x := range xs {
+			a.Add(float64(x))
+			all = append(all, float64(x))
+		}
+		for _, y := range ys {
+			b.Add(float64(y))
+			all = append(all, float64(y))
+		}
+		m1, m2 := Merge(a, b), Merge(b, a)
+		if !equalSlices(m1.Values(), m2.Values()) {
+			return false
+		}
+		if len(all) == 0 {
+			return true
+		}
+		q := float64(qRaw) / 255
+		sort.Float64s(all)
+		rank := int(math.Floor(q*float64(len(all)-1) + 0.5))
+		return m1.Quantile(q) == all[rank]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package stream
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Disorder controls the out-of-order permutation applied to an in-order
+// stream. A Fraction of events is delayed by a uniformly random delay drawn
+// from [MinDelay, MaxDelay] milliseconds of event time; the arrival order is
+// then re-derived from the delayed arrival times. Event timestamps are left
+// untouched — only the order in which an operator observes the events
+// changes, exactly as in the paper's experiments (§6.2.2: "20% out-of-order
+// tuples with random delays between 0 and 2 seconds").
+type Disorder struct {
+	// Fraction of events that arrive late, in [0, 1].
+	Fraction float64
+	// MinDelay and MaxDelay bound the uniformly distributed arrival delay
+	// of a late event, in milliseconds.
+	MinDelay int64
+	MaxDelay int64
+	// Seed makes the permutation deterministic.
+	Seed int64
+}
+
+// None reports whether the disorder leaves the stream in order.
+func (d Disorder) None() bool { return d.Fraction <= 0 || d.MaxDelay <= 0 }
+
+// arrival pairs an event with its simulated arrival time.
+type arrival[V any] struct {
+	at  int64 // arrival time
+	seq int   // original index, breaks ties to keep the sort stable
+	ev  Event[V]
+}
+
+// Apply permutes in-order events into the arrival order induced by the
+// disorder. The input slice is not modified. The result contains the same
+// events with the same timestamps; a Disorder with Fraction 0 returns a copy
+// in the original order.
+func Apply[V any](d Disorder, events []Event[V]) []Event[V] {
+	out := make([]Event[V], len(events))
+	copy(out, events)
+	if d.None() {
+		return out
+	}
+	rng := rand.New(rand.NewSource(d.Seed))
+	arr := make([]arrival[V], len(events))
+	span := d.MaxDelay - d.MinDelay
+	for i, e := range events {
+		at := e.Time
+		if rng.Float64() < d.Fraction {
+			delay := d.MinDelay
+			if span > 0 {
+				delay += rng.Int63n(span + 1)
+			}
+			at += delay
+		}
+		arr[i] = arrival[V]{at: at, seq: i, ev: e}
+	}
+	sort.Slice(arr, func(i, j int) bool {
+		if arr[i].at != arr[j].at {
+			return arr[i].at < arr[j].at
+		}
+		return arr[i].seq < arr[j].seq
+	})
+	for i, a := range arr {
+		out[i] = a.ev
+	}
+	return out
+}
+
+// CountOutOfOrder reports how many events of the arrival-ordered stream are
+// out-of-order tuples per the paper's definition: an event is out of order if
+// an earlier arrival has a strictly larger timestamp.
+func CountOutOfOrder[V any](events []Event[V]) int {
+	n := 0
+	maxTS := MinTime
+	for _, e := range events {
+		if e.Time < maxTS {
+			n++
+		} else {
+			maxTS = e.Time
+		}
+	}
+	return n
+}

@@ -1,0 +1,112 @@
+// Package stream defines the event model shared by every component of the
+// repository: timestamped events, watermarks, windowing measures, and the
+// synthetic stream generators used by the benchmark harness.
+//
+// Timestamps are int64 values in a monotonically advancing measure. For
+// time-based measures the unit is milliseconds; for count-based measures the
+// value is a tuple rank; arbitrary advancing measures (odometer readings,
+// transaction counters, ...) are handled identically to time (§4.3 of the
+// paper).
+package stream
+
+import "fmt"
+
+// MaxTime is the largest representable position on any measure axis. It is
+// used as the end of the currently open slice and as the "no more edges"
+// sentinel.
+const MaxTime int64 = 1<<63 - 1
+
+// MinTime is the smallest representable position on any measure axis.
+const MinTime int64 = -1 << 63
+
+// Measure identifies the axis on which a window is defined (§4.3).
+type Measure uint8
+
+const (
+	// Time measures windows in event time (or any arbitrary advancing
+	// measure, which is processed identically).
+	Time Measure = iota
+	// Count measures windows in tuple ranks: a window can start at the
+	// 100th and end at the 200th tuple of the stream.
+	Count
+)
+
+// String returns the measure name.
+func (m Measure) String() string {
+	switch m {
+	case Time:
+		return "time"
+	case Count:
+		return "count"
+	default:
+		return fmt.Sprintf("measure(%d)", uint8(m))
+	}
+}
+
+// Event is a single stream element: a payload and its event-time timestamp.
+type Event[V any] struct {
+	// Time is the event time of the tuple in milliseconds (or any other
+	// advancing measure).
+	Time int64
+	// Seq is a unique, monotonically increasing sequence number assigned
+	// at the source. It breaks ties between events with equal timestamps
+	// so that order-sensitive aggregations (First, Last, M4, Collect)
+	// stay deterministic under out-of-order arrival.
+	Seq int64
+	// Value is the payload.
+	Value V
+}
+
+// Before reports whether e precedes o in canonical stream order: ascending
+// event time, ties broken by sequence number.
+func (e Event[V]) Before(o Event[V]) bool {
+	if e.Time != o.Time {
+		return e.Time < o.Time
+	}
+	return e.Seq < o.Seq
+}
+
+// Kind discriminates the entries of a prepared stream.
+type Kind uint8
+
+const (
+	// KindEvent marks a data tuple.
+	KindEvent Kind = iota
+	// KindWatermark marks a low watermark: no event with a smaller
+	// timestamp will arrive afterwards (except "late" events covered by
+	// allowed lateness).
+	KindWatermark
+)
+
+// Item is one entry of a prepared (already arrival-ordered) stream: either an
+// event or a watermark. Prepared streams are what benchmark drivers replay
+// into window operators.
+type Item[V any] struct {
+	Kind      Kind
+	Event     Event[V]
+	Watermark int64
+}
+
+// EventItem wraps an event as a stream item.
+func EventItem[V any](e Event[V]) Item[V] {
+	return Item[V]{Kind: KindEvent, Event: e}
+}
+
+// WatermarkItem wraps a watermark timestamp as a stream item.
+func WatermarkItem[V any](ts int64) Item[V] {
+	return Item[V]{Kind: KindWatermark, Watermark: ts}
+}
+
+// Tuple is the payload type used by the experiments: a small sensor reading
+// with a partitioning key and a measured value, mirroring the football /
+// machine sensor records of the paper's data sets.
+type Tuple struct {
+	// Key partitions the stream (sensor id / player id).
+	Key int32
+	// V is the measured value that queries aggregate.
+	V float64
+}
+
+// Val extracts the aggregated column from a Tuple. It is the lift-input
+// adapter used throughout the benchmarks.
+func Val(t Tuple) float64 { return t.V }

@@ -1,0 +1,171 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministicAndWellFormed(t *testing.T) {
+	a := Generate(Football(), 5000, 42)
+	b := Generate(Football(), 5000, 42)
+	if len(a) != 5000 || len(b) != 5000 {
+		t.Fatalf("lengths %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("generation not deterministic at %d", i)
+		}
+		if a[i].Seq != int64(i) {
+			t.Fatalf("seq %d at index %d", a[i].Seq, i)
+		}
+		if i > 0 && a[i].Time < a[i-1].Time {
+			t.Fatalf("generated stream out of order at %d", i)
+		}
+	}
+	c := Generate(Football(), 5000, 43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestProfileRateAndCardinality(t *testing.T) {
+	for _, p := range []Profile{Football(), Machine()} {
+		n := 20000
+		ev := Generate(p, n, 1)
+		span := ev[len(ev)-1].Time - ev[0].Time
+		rate := float64(n) / (float64(span) / 1000)
+		if rate < float64(p.Rate)/2 || rate > float64(p.Rate)*2 {
+			t.Errorf("%s: rate %.0f ev/s, profile says %d", p.Name, rate, p.Rate)
+		}
+		distinct := map[float64]bool{}
+		for _, e := range ev {
+			distinct[e.Value.V] = true
+		}
+		if p.DistinctValues < 100 && len(distinct) > p.DistinctValues {
+			t.Errorf("%s: %d distinct values, cap %d", p.Name, len(distinct), p.DistinctValues)
+		}
+	}
+}
+
+func TestGenerateInjectsSessionGaps(t *testing.T) {
+	p := Football()
+	ev := Generate(p, 120000, 7) // one minute of event time
+	gaps := 0
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Time-ev[i-1].Time >= p.GapLength {
+			gaps++
+		}
+	}
+	if gaps < 3 {
+		t.Fatalf("expected several session gaps per minute, saw %d", gaps)
+	}
+}
+
+func TestDisorderPreservesMultisetAndBoundsDelay(t *testing.T) {
+	ev := Generate(Machine(), 3000, 5)
+	d := Disorder{Fraction: 0.3, MinDelay: 100, MaxDelay: 900, Seed: 9}
+	out := Apply(d, ev)
+	if len(out) != len(ev) {
+		t.Fatal("length changed")
+	}
+	seen := map[int64]Event[Tuple]{}
+	for _, e := range out {
+		seen[e.Seq] = e
+	}
+	for _, e := range ev {
+		if seen[e.Seq] != e {
+			t.Fatal("event mutated or lost")
+		}
+	}
+	// A tuple can arrive at most MaxDelay behind the front.
+	maxTS := MinTime
+	for _, e := range out {
+		if e.Time > maxTS {
+			maxTS = e.Time
+		}
+		if maxTS-e.Time > d.MaxDelay {
+			t.Fatalf("tuple delayed by %d > MaxDelay %d", maxTS-e.Time, d.MaxDelay)
+		}
+	}
+	if CountOutOfOrder(out) == 0 {
+		t.Fatal("expected out-of-order tuples")
+	}
+	if CountOutOfOrder(ev) != 0 {
+		t.Fatal("the in-order input already counts as disordered?")
+	}
+}
+
+func TestDisorderFractionRoughlyRespected(t *testing.T) {
+	ev := Generate(Football(), 20000, 3)
+	out := Apply(Disorder{Fraction: 0.2, MaxDelay: 2000, Seed: 4}, ev)
+	frac := float64(CountOutOfOrder(out)) / float64(len(out))
+	// Some delayed tuples still arrive in order; the observed fraction is
+	// below the requested one but must be substantial.
+	if frac < 0.08 || frac > 0.25 {
+		t.Fatalf("observed out-of-order fraction %.3f for requested 0.2", frac)
+	}
+}
+
+func TestNoDisorderIsIdentity(t *testing.T) {
+	ev := Generate(Machine(), 100, 1)
+	out := Apply(Disorder{}, ev)
+	for i := range ev {
+		if out[i] != ev[i] {
+			t.Fatal("zero disorder must keep arrival order")
+		}
+	}
+}
+
+func TestPrepareWatermarkContract(t *testing.T) {
+	ev := Generate(Football(), 5000, 11)
+	d := Disorder{Fraction: 0.25, MaxDelay: 700, Seed: 13}
+	items := Prepare(Watermarker{Period: 500, Lag: d.MaxDelay + 1}, Apply(d, ev))
+
+	// Contract: after a watermark w, no event with Time <= w arrives.
+	curWM := MinTime
+	violations := 0
+	for _, it := range items {
+		if it.Kind == KindWatermark {
+			if it.Watermark < curWM {
+				t.Fatal("watermarks must be non-decreasing")
+			}
+			curWM = it.Watermark
+			continue
+		}
+		if it.Event.Time <= curWM {
+			violations++
+		}
+	}
+	if violations > 0 {
+		t.Fatalf("%d events arrived behind the watermark despite sufficient lag", violations)
+	}
+	if items[len(items)-1].Kind != KindWatermark || items[len(items)-1].Watermark != MaxTime {
+		t.Fatal("prepared stream must end with a closing watermark")
+	}
+	if got := len(EventsOnly(items)); got != len(ev) {
+		t.Fatalf("EventsOnly lost events: %d want %d", got, len(ev))
+	}
+}
+
+func TestBeforeIsTotalOrder(t *testing.T) {
+	f := func(t1, t2, s1, s2 int16) bool {
+		a := Event[int]{Time: int64(t1), Seq: int64(s1)}
+		b := Event[int]{Time: int64(t2), Seq: int64(s2)}
+		switch {
+		case a.Time == b.Time && a.Seq == b.Seq:
+			return !a.Before(b) && !b.Before(a)
+		default:
+			return a.Before(b) != b.Before(a)
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

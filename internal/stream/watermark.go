@@ -1,0 +1,48 @@
+package stream
+
+// Watermarker generates periodic low watermarks for an arrival-ordered
+// stream, mirroring the periodic watermark assigners of dataflow systems: a
+// watermark is emitted every Period milliseconds of observed event time and
+// carries the maximum observed timestamp minus Lag.
+type Watermarker struct {
+	// Period is the event-time distance between consecutive watermarks.
+	Period int64
+	// Lag is subtracted from the maximum observed timestamp; choosing Lag
+	// at least as large as the maximum out-of-order delay guarantees that
+	// no event arrives behind the watermark (events that still do are
+	// "late" and handled by allowed lateness).
+	Lag int64
+}
+
+// Prepare interleaves periodic watermarks with an arrival-ordered event
+// stream and appends a final watermark at MaxTime so that every window is
+// eventually emitted. The result is the replayable input of the benchmark
+// drivers.
+func Prepare[V any](w Watermarker, events []Event[V]) []Item[V] {
+	items := make([]Item[V], 0, len(events)+len(events)/16+1)
+	maxTS := MinTime
+	nextWM := w.Period
+	for _, e := range events {
+		if e.Time > maxTS {
+			maxTS = e.Time
+		}
+		for w.Period > 0 && maxTS-w.Lag >= nextWM {
+			items = append(items, WatermarkItem[V](nextWM))
+			nextWM += w.Period
+		}
+		items = append(items, EventItem(e))
+	}
+	items = append(items, WatermarkItem[V](MaxTime))
+	return items
+}
+
+// EventsOnly strips watermarks from a prepared stream.
+func EventsOnly[V any](items []Item[V]) []Event[V] {
+	out := make([]Event[V], 0, len(items))
+	for _, it := range items {
+		if it.Kind == KindEvent {
+			out = append(out, it.Event)
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package window
+
+import (
+	"fmt"
+
+	"scotty/internal/stream"
+)
+
+// countInTime implements the paper's forward-context-aware (FCA) example
+// window (§4.4): "output the last N tuples (count-measure) every P time
+// units (time-measure)". The window extent lives on the count axis, but the
+// trigger lives on the time axis — a multi-measure window. Knowing where a
+// window *starts* requires processing the stream up to its *end* (forward
+// context), so past slices must be split when the trigger fires, and tuples
+// must be kept in memory even on in-order streams (Fig 4).
+type countInTime[V any] struct {
+	n     int64 // window length in tuples
+	every int64 // trigger period in ms
+}
+
+// CountInTime returns the FCA window "the last n tuples, every `every`
+// milliseconds".
+func CountInTime[V any](n, every int64) ContextAware[V] {
+	if n <= 0 || every <= 0 {
+		panic("window: CountInTime parameters must be positive")
+	}
+	return countInTime[V]{n: n, every: every}
+}
+
+func (countInTime[V]) Measure() stream.Measure { return stream.Count }
+func (countInTime[V]) isForwardContextAware()  {}
+func (w countInTime[V]) String() string {
+	return fmt.Sprintf("countInTime(n=%d,every=%d)", w.n, w.every)
+}
+
+func (w countInTime[V]) NewContext(view StoreView) Context[V] {
+	return &citContext[V]{
+		n: w.n, every: w.every, view: view, nextT: w.every,
+		// Windows reach back at most to the data ingested since this
+		// query was registered: tuples before that point may not be
+		// stored (the Fig 4 decision may have just switched).
+		minCount: view.TotalCount(),
+	}
+}
+
+type citContext[V any] struct {
+	n     int64
+	every int64
+	view  StoreView
+	// nextT is the next unprocessed trigger time. Trigger times are
+	// processed strictly in order and never skipped, even when the
+	// watermark races ahead of the observed stream.
+	nextT int64
+	// minCount clips window starts to data ingested since registration.
+	minCount int64
+	// pending holds count-space windows materialized by OnWatermark and
+	// not yet handed to Trigger.
+	pending []Span
+	// emitted holds already-triggered windows together with the
+	// watermark that triggered them; a late tuple shifts the membership
+	// of those ending after its rank until lateness expires them.
+	emitted []emittedWin
+}
+
+type emittedWin struct {
+	Span
+	at int64 // trigger watermark
+}
+
+func (c *citContext[V]) Observe(e stream.Event[V], rank int64, inOrder bool) Changes {
+	var ch Changes
+	if inOrder {
+		return ch
+	}
+	// The late tuple occupies rank `rank`, shifting every later tuple one
+	// rank up: every emitted window ending after the rank changes.
+	for _, w := range c.emitted {
+		if w.End > rank {
+			ch.Updated = append(ch.Updated, w.Span)
+		}
+	}
+	return ch
+}
+
+// OnWatermark materializes the windows of every trigger time in
+// (prevWM, currWM]: end = number of tuples with event time <= T, start =
+// end - n. Both positions become slice edges (splits of past slices — the
+// forward-context-aware cost the paper describes in §5.2).
+func (c *citContext[V]) OnWatermark(prevWM, currWM int64) Changes {
+	var ch Changes
+	// A trigger time T is processable once the watermark covers it; times
+	// beyond the observed stream are postponed (counts could still grow)
+	// and caught up on a later call — never skipped.
+	hi := currWM
+	if m := c.view.MaxSeenTime(); hi > m {
+		hi = m
+	}
+	for ; c.nextT <= hi; c.nextT += c.every {
+		end := c.view.CountAtTime(c.nextT)
+		if end <= c.minCount {
+			continue
+		}
+		start := end - c.n
+		if start < c.minCount {
+			start = c.minCount
+		}
+		ch.Add = append(ch.Add, start, end)
+		c.pending = append(c.pending, Span{Start: start, End: end})
+	}
+	return ch
+}
+
+func (c *citContext[V]) NextEdge(pos int64) int64 { return stream.MaxTime }
+
+// NextTrigger reports the next unprocessed trigger time.
+func (c *citContext[V]) NextTrigger(after int64) int64 {
+	if c.nextT > after {
+		return c.nextT
+	}
+	return after + 1 // pending work behind the cap; retry promptly
+}
+
+func (c *citContext[V]) IsEdge(pos int64) bool {
+	for _, w := range c.pending {
+		if w.Start == pos || w.End == pos {
+			return true
+		}
+	}
+	for _, w := range c.emitted {
+		if w.Start == pos || w.End == pos {
+			return true
+		}
+	}
+	return false
+}
+
+// Trigger hands out the windows materialized by the preceding OnWatermark.
+func (c *citContext[V]) Trigger(prevWM, currWM int64, emit func(start, end int64)) {
+	for _, w := range c.pending {
+		emit(w.Start, w.End)
+		c.emitted = append(c.emitted, emittedWin{Span: w, at: currWM})
+	}
+	c.pending = c.pending[:0]
+}
+
+func (c *citContext[V]) Interest(wm, lateness int64) Interest {
+	in := unboundedInterest()
+	in.Time = wm - lateness
+	in.Count = c.view.CountAtTime(wm-lateness) - c.n
+	if in.Count < 0 {
+		in.Count = 0
+	}
+	// Emitted windows stay correctable until lateness expires them.
+	for _, w := range c.emitted {
+		if w.at > wm-lateness && w.Start < in.Count {
+			in.Count = w.Start
+		}
+	}
+	return in
+}
+
+// Evict forgets emitted windows whose correction period has passed.
+func (c *citContext[V]) Evict(timeHorizon, countHorizon int64) {
+	keep := c.emitted[:0]
+	for _, w := range c.emitted {
+		if w.at > timeHorizon {
+			keep = append(keep, w)
+		}
+	}
+	c.emitted = keep
+}

@@ -1,0 +1,174 @@
+package window
+
+import (
+	"fmt"
+
+	"scotty/internal/stream"
+)
+
+// periodic implements tumbling and sliding windows — the context-free window
+// types (§4.4 CF): every edge is a priori computable from length and slide.
+// One instance belongs to exactly one operator: count-measure triggering
+// tracks the last triggered window to emit late completions exactly once.
+type periodic struct {
+	measure stream.Measure
+	length  int64
+	slide   int64
+	// nextEnd is the end position of the next window to trigger. Windows
+	// trigger strictly in order and are never skipped: an instance
+	// resumes where the previous Trigger call stopped, so trigger
+	// horizons that lag behind the watermark (gaps in the stream, count
+	// completions arriving late) cannot create emission holes.
+	nextEnd int64
+}
+
+// Tumbling returns a tumbling window of the given length on the given
+// measure. Consecutive windows abut: the end of one window is the start of
+// the next (Fig 1).
+func Tumbling(m stream.Measure, length int64) ContextFree {
+	return Sliding(m, length, length)
+}
+
+// Sliding returns a sliding window with the given length and slide step on
+// the given measure. Windows overlap when slide < length.
+func Sliding(m stream.Measure, length, slide int64) ContextFree {
+	if length <= 0 || slide <= 0 {
+		panic("window: length and slide must be positive")
+	}
+	return &periodic{measure: m, length: length, slide: slide, nextEnd: length}
+}
+
+func (p *periodic) Measure() stream.Measure { return p.measure }
+
+// Params exposes length and slide (consumed by the bucket baseline, which
+// assigns tuples to windows directly instead of slicing).
+func (p *periodic) Params() (length, slide int64) { return p.length, p.slide }
+
+func (p *periodic) String() string {
+	kind := "sliding"
+	if p.slide == p.length {
+		kind = "tumbling"
+	}
+	return fmt.Sprintf("%s(%s,l=%d,s=%d)", kind, p.measure, p.length, p.slide)
+}
+
+// nextMultiple returns the smallest value of the form k*step + off (k >= 0)
+// strictly greater than pos.
+func nextMultiple(pos, step, off int64) int64 {
+	if pos < off {
+		return off
+	}
+	k := (pos - off) / step
+	return (k+1)*step + off
+}
+
+func isMultiple(pos, step, off int64) bool {
+	return pos >= off && (pos-off)%step == 0
+}
+
+// NextEdge returns the next window start — and, unless startsOnly, the next
+// window end — after pos. For in-order streams starting slices at window
+// starts suffices; out-of-order streams also need edges at window ends so
+// that the last slice of a window can be updated later (§5.3 step 1).
+func (p *periodic) NextEdge(pos int64, startsOnly bool) int64 {
+	next := nextMultiple(pos, p.slide, 0)
+	if !startsOnly {
+		if e := nextMultiple(pos, p.slide, p.length%p.slide); e < next {
+			next = e
+		}
+	}
+	return next
+}
+
+// IsEdge reports whether pos coincides with a window start (or end, unless
+// startsOnly).
+func (p *periodic) IsEdge(pos int64, startsOnly bool) bool {
+	if isMultiple(pos, p.slide, 0) {
+		return true
+	}
+	if startsOnly {
+		return false
+	}
+	return isMultiple(pos, p.slide, p.length%p.slide)
+}
+
+// Trigger emits completed windows. Time-measure windows complete at their end
+// timestamp. Count-measure windows complete when their last tuple has been
+// ingested and the watermark has passed that tuple's event time.
+func (p *periodic) Trigger(view StoreView, prevWM, currWM int64, emit func(start, end int64)) {
+	if p.measure == stream.Time {
+		// A window [s, e) is complete once the watermark guarantees no
+		// more tuples with time <= e-1. Windows entirely after the last
+		// observed tuple are postponed (they are empty so far); they are
+		// caught up as soon as the stream advances, and the cap also
+		// terminates the final MaxTime watermark.
+		hi := currWM
+		if cap := view.MaxSeenTime() + p.length; hi > cap {
+			hi = cap
+		}
+		for p.nextEnd-1 <= hi {
+			emit(p.nextEnd-p.length, p.nextEnd)
+			p.nextEnd += p.slide
+		}
+		return
+	}
+	total := view.TotalCount()
+	for p.nextEnd <= total && view.TimeAtCount(p.nextEnd) <= currWM {
+		emit(p.nextEnd-p.length, p.nextEnd)
+		p.nextEnd += p.slide
+	}
+}
+
+// NextTrigger reports when the next window can complete: the watermark
+// end-1 for time measures, the completing total count for count measures.
+func (p *periodic) NextTrigger(view StoreView) int64 {
+	if p.measure == stream.Time {
+		return p.nextEnd - 1
+	}
+	return p.nextEnd
+}
+
+// WindowsTouched enumerates the windows whose aggregate may change when a
+// tuple is inserted at position pos. For time measures these are the windows
+// containing pos. For count measures an out-of-order insertion also shifts
+// the membership of every later window (§4.3), so all already-triggered
+// windows ending after pos are reported as well.
+func (p *periodic) WindowsTouched(view StoreView, pos int64, emit func(start, end int64)) {
+	if p.measure == stream.Time {
+		// Window k contains pos iff k*slide <= pos < k*slide + length.
+		kHigh := pos / p.slide
+		for k := kHigh; k >= 0; k-- {
+			start := k * p.slide
+			if start+p.length <= pos {
+				break
+			}
+			emit(start, start+p.length)
+		}
+		return
+	}
+	for end := p.nextEnd - p.slide; end >= p.length; end -= p.slide {
+		if end <= pos {
+			break
+		}
+		emit(end-p.length, end)
+	}
+}
+
+// Interest reports how far back slices remain relevant (see Interest).
+func (p *periodic) Interest(view StoreView, wm, lateness int64) Interest {
+	in := unboundedInterest()
+	if p.measure == stream.Time {
+		in.Time = wm - lateness - p.length
+		return in
+	}
+	// A late tuple can arrive at any time >= wm - lateness; it lands at a
+	// count near CountAtTime of that horizon. Windows ending after that
+	// count — including already-triggered ones awaiting correction — may
+	// be re-aggregated, so keep everything from one window length before.
+	c := view.CountAtTime(wm - lateness)
+	in.Count = c - p.length - p.slide
+	if in.Count < 0 {
+		in.Count = 0
+	}
+	return in
+}

@@ -1,0 +1,138 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scotty/internal/stream"
+)
+
+// Property: NextEdge returns the minimal edge strictly greater than pos, and
+// every returned edge satisfies IsEdge — for both edge policies and both
+// measures.
+func TestQuickNextEdgeMinimalAndConsistent(t *testing.T) {
+	f := func(lRaw, sRaw uint16, posRaw int32, startsOnly bool) bool {
+		length := int64(lRaw%500) + 1
+		slide := int64(sRaw%300) + 1
+		pos := int64(posRaw % 100000)
+		if pos < 0 {
+			pos = -pos
+		}
+		w := Sliding(stream.Time, length, slide)
+		e := w.NextEdge(pos, startsOnly)
+		if e <= pos {
+			return false
+		}
+		if !w.IsEdge(e, startsOnly) {
+			return false
+		}
+		// Minimality: no edge in (pos, e).
+		for p := pos + 1; p < e && p < pos+1000; p++ {
+			if w.IsEdge(p, startsOnly) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: startsOnly edges are a subset of the full edge set.
+func TestQuickStartEdgesAreSubset(t *testing.T) {
+	f := func(lRaw, sRaw uint16, posRaw int32) bool {
+		length := int64(lRaw%500) + 1
+		slide := int64(sRaw%300) + 1
+		pos := int64(posRaw % 100000)
+		if pos < 0 {
+			pos = -pos
+		}
+		w := Sliding(stream.Time, length, slide)
+		return !w.IsEdge(pos, true) || w.IsEdge(pos, false)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the periodic trigger enumerates exactly the windows whose end-1
+// lies in (prev, curr], never duplicates, and resumes without holes across
+// split watermark intervals.
+func TestQuickTriggerNoHolesNoDuplicates(t *testing.T) {
+	f := func(lRaw, sRaw uint16, cutRaw uint8) bool {
+		length := int64(lRaw%200) + 1
+		slide := int64(sRaw%100) + 1
+		v := &fakeView{maxSeen: 10_000}
+
+		// One shot in a single interval...
+		w1 := Sliding(stream.Time, length, slide)
+		var oneShot [][2]int64
+		w1.Trigger(v, -1, 5000, func(s, e int64) { oneShot = append(oneShot, [2]int64{s, e}) })
+
+		// ...must equal the union over a split interval.
+		w2 := Sliding(stream.Time, length, slide)
+		cut := int64(cutRaw) * 20
+		if cut > 5000 {
+			cut = 2500
+		}
+		var split [][2]int64
+		w2.Trigger(v, -1, cut, func(s, e int64) { split = append(split, [2]int64{s, e}) })
+		w2.Trigger(v, cut, 5000, func(s, e int64) { split = append(split, [2]int64{s, e}) })
+
+		if len(oneShot) != len(split) {
+			return false
+		}
+		for i := range oneShot {
+			if oneShot[i] != split[i] {
+				return false
+			}
+		}
+		// All ends in range, strictly increasing.
+		for i, win := range oneShot {
+			if win[1]-1 > 5000 || win[1]-win[0] != length {
+				return false
+			}
+			if i > 0 && win[1] <= oneShot[i-1][1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: session contexts keep their interval set sorted and
+// gap-separated under arbitrary tuple sequences.
+func TestQuickSessionInvariants(t *testing.T) {
+	f := func(times []uint16, gapRaw uint8) bool {
+		gap := int64(gapRaw%50) + 2
+		ctx := Session[int](gap).NewContext(&fakeView{}).(*sessionContext[int])
+		maxSeen := int64(-1 << 62)
+		for i, raw := range times {
+			ts := int64(raw % 2000)
+			inOrder := ts >= maxSeen
+			if ts > maxSeen {
+				maxSeen = ts
+			}
+			ctx.Observe(stream.Event[int]{Time: ts, Seq: int64(i)}, int64(i), inOrder)
+		}
+		for i, s := range ctx.sessions {
+			if s.last < s.first {
+				return false
+			}
+			if i > 0 {
+				prev := ctx.sessions[i-1]
+				if s.first <= prev.last || s.first-prev.last < gap {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

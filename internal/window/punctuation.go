@@ -1,0 +1,157 @@
+package window
+
+import (
+	"sort"
+
+	"scotty/internal/stream"
+)
+
+// punctDef implements punctuation-based windows, the paper's example of a
+// forward-context-free (FCF) window type (§4.4): annotations embedded in the
+// stream mark window boundaries. A window spans the stream between two
+// consecutive punctuations.
+//
+// Boundary semantics: a punctuation with event time p closes the running
+// window at p+1, i.e. tuples with time <= p (including the punctuation tuple
+// itself) belong to the closing window and tuples with time > p to the next.
+// With this convention an in-order punctuation always splits the open slice
+// in a tuple-free region, so in-order streams need no tuple storage — the
+// defining property of FCF windows in Fig 4. Out-of-order punctuations split
+// populated slices and therefore require stored tuples, as the paper's
+// decision tree demands.
+type punctDef[V any] struct {
+	pred func(V) bool
+}
+
+// Punctuation returns a punctuation-based window; pred identifies the tuples
+// that carry a window-boundary marker.
+func Punctuation[V any](pred func(V) bool) ContextAware[V] {
+	return punctDef[V]{pred: pred}
+}
+
+func (punctDef[V]) Measure() stream.Measure { return stream.Time }
+func (punctDef[V]) String() string          { return "punctuation" }
+
+func (p punctDef[V]) NewContext(view StoreView) Context[V] {
+	return &punctContext[V]{
+		pred:    p.pred,
+		view:    view,
+		bounds:  []int64{0}, // the stream origin opens the first window
+		maxSeen: stream.MinTime,
+	}
+}
+
+type punctContext[V any] struct {
+	pred    func(V) bool
+	view    StoreView
+	bounds  []int64 // window boundaries (punct time + 1), ascending; bounds[0] is the open-window start
+	maxSeen int64
+}
+
+// Observe records punctuations and reports slice-edge additions. Data tuples
+// produce no edge changes; late data tuples request re-emission of the
+// window containing them.
+func (c *punctContext[V]) Observe(e stream.Event[V], rank int64, inOrder bool) Changes {
+	ts := e.Time
+	if ts > c.maxSeen {
+		c.maxSeen = ts
+	}
+	var ch Changes
+	if !c.pred(e.Value) {
+		if !inOrder {
+			if s, e2, ok := c.windowAt(ts); ok {
+				ch.Updated = append(ch.Updated, Span{Start: s, End: e2})
+			}
+		}
+		return ch
+	}
+	b := ts + 1
+	i := sort.Search(len(c.bounds), func(i int) bool { return c.bounds[i] >= b })
+	if i < len(c.bounds) && c.bounds[i] == b {
+		return ch // duplicate punctuation at the same boundary
+	}
+	c.bounds = append(c.bounds, 0)
+	copy(c.bounds[i+1:], c.bounds[i:])
+	c.bounds[i] = b
+	ch.Add = append(ch.Add, b)
+	if !inOrder {
+		// The punctuation split an existing window [a, z) into
+		// [a, b) and [b, z); both need (re-)emission.
+		if i > 0 {
+			ch.Updated = append(ch.Updated, Span{Start: c.bounds[i-1], End: b})
+		}
+		if i+1 < len(c.bounds) {
+			ch.Updated = append(ch.Updated, Span{Start: b, End: c.bounds[i+1]})
+		}
+	}
+	return ch
+}
+
+// windowAt returns the closed window containing ts, if any.
+func (c *punctContext[V]) windowAt(ts int64) (start, end int64, ok bool) {
+	i := sort.Search(len(c.bounds), func(i int) bool { return c.bounds[i] > ts })
+	if i == 0 || i >= len(c.bounds) {
+		return 0, 0, false // before origin or in the still-open window
+	}
+	return c.bounds[i-1], c.bounds[i], true
+}
+
+func (c *punctContext[V]) OnWatermark(prevWM, currWM int64) Changes { return Changes{} }
+
+// NextEdge: future punctuations are unknown until they arrive; edges
+// materialize through Observe.
+func (c *punctContext[V]) NextEdge(pos int64) int64 { return stream.MaxTime }
+
+func (c *punctContext[V]) IsEdge(pos int64) bool {
+	i := sort.Search(len(c.bounds), func(i int) bool { return c.bounds[i] >= pos })
+	return i < len(c.bounds) && c.bounds[i] == pos
+}
+
+// NextTrigger reports the earliest closing boundary past `after`.
+func (c *punctContext[V]) NextTrigger(after int64) int64 {
+	i := sort.Search(len(c.bounds), func(i int) bool { return c.bounds[i]-1 > after })
+	if i == 0 {
+		i = 1 // bounds[0] is the stream origin, not a window end
+	}
+	if i < len(c.bounds) {
+		return c.bounds[i] - 1
+	}
+	return stream.MaxTime
+}
+
+// Trigger emits windows whose closing boundary lies in (prevWM, currWM].
+func (c *punctContext[V]) Trigger(prevWM, currWM int64, emit func(start, end int64)) {
+	for i := 1; i < len(c.bounds); i++ {
+		b := c.bounds[i]
+		if b-1 > prevWM && b-1 <= currWM {
+			emit(c.bounds[i-1], b)
+		}
+		if b-1 > currWM {
+			break
+		}
+	}
+}
+
+// Interest keeps the open window and the late-update horizon reachable.
+func (c *punctContext[V]) Interest(wm, lateness int64) Interest {
+	in := unboundedInterest()
+	in.Time = wm - lateness
+	if open := c.bounds[len(c.bounds)-1]; open < in.Time {
+		in.Time = open
+	}
+	return in
+}
+
+// Evict drops boundaries that no trigger or late update can reference again,
+// always retaining the open-window start.
+func (c *punctContext[V]) Evict(timeHorizon, countHorizon int64) {
+	i := sort.Search(len(c.bounds), func(i int) bool { return c.bounds[i] > timeHorizon })
+	// Keep one boundary at or before the horizon: it starts the oldest
+	// window still closable.
+	if i > 0 {
+		i--
+	}
+	if i > 0 {
+		c.bounds = append(c.bounds[:0], c.bounds[i:]...)
+	}
+}

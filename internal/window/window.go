@@ -1,0 +1,181 @@
+// Package window implements the paper's window-type library and the
+// classification of §4.4: context-free (CF) windows whose edges are known a
+// priori (tumbling, sliding — on time- or count-measures), forward-context-
+// free (FCF) windows whose past edges are fixed once the stream has been
+// processed up to them (punctuation windows), and forward-context-aware (FCA)
+// windows that need future tuples to determine past edges (multi-measure
+// windows such as "the last N tuples every P seconds").
+//
+// Window definitions do not slice streams themselves; they describe where
+// edges lie and which windows trigger at a watermark. The general slicing
+// core (package core) consumes these interfaces, mirroring §5.4.2: new window
+// types plug in without changes to the slicing logic.
+package window
+
+import (
+	"scotty/internal/stream"
+)
+
+// StoreView is the read-only view of the aggregate store handed to window
+// definitions and contexts (§5.4.2: context-aware windows are initialized
+// with a pointer to the aggregate store). It converts between the time and
+// count measures using slice metadata.
+type StoreView interface {
+	// TotalCount is the number of tuples ingested so far.
+	TotalCount() int64
+	// CountAtTime returns the number of tuples with event time <= ts.
+	// Exact whenever ts is at or beyond a slice edge or tuples are stored.
+	CountAtTime(ts int64) int64
+	// TimeAtCount returns the event time of the c-th tuple (1-based; the
+	// last tuple of the first c). c must lie at or before the current
+	// total count. It reports stream.MinTime for c <= 0.
+	TimeAtCount(c int64) int64
+	// MaxSeenTime is the largest event time observed so far.
+	MaxSeenTime() int64
+}
+
+// Interest gives the earliest positions, per measure axis, that a window
+// definition may still reference given a watermark and an allowed lateness.
+// Slices entirely before every query's interest are evicted. An axis the
+// definition does not constrain is reported as stream.MaxTime ("no slice is
+// needed on my account on this axis").
+type Interest struct {
+	Time  int64
+	Count int64
+}
+
+// Unbounded is the interest of a definition on an axis it does not use.
+func unboundedInterest() Interest {
+	return Interest{Time: stream.MaxTime, Count: stream.MaxTime}
+}
+
+// Definition is the common interface of all window types.
+type Definition interface {
+	// Measure is the axis on which window extents are defined (§4.3).
+	Measure() stream.Measure
+}
+
+// ContextFree is a window type whose edges are computable without processing
+// any tuples (§4.4 CF). The interface mirrors the paper's §5.4.2:
+// getNextEdge for on-the-fly slicing plus a watermark-driven trigger.
+type ContextFree interface {
+	Definition
+	// NextEdge returns the smallest edge strictly greater than pos, in
+	// the window's measure. If startsOnly is true, only window-start
+	// edges are reported (sufficient for in-order streams, §5.3 step 1);
+	// otherwise both starts and ends are reported (required for
+	// out-of-order streams).
+	NextEdge(pos int64, startsOnly bool) int64
+	// IsEdge reports whether pos is a window edge. Used when deciding
+	// whether two slices may merge.
+	IsEdge(pos int64, startsOnly bool) bool
+	// Trigger calls emit(start, end) for every window whose completion
+	// falls in (prevWM, currWM]. Time-measure windows complete at their
+	// end timestamp; count-measure windows complete at the event time of
+	// their last tuple, obtained through the view.
+	Trigger(view StoreView, prevWM, currWM int64, emit func(start, end int64))
+	// NextTrigger returns the position at which the next emission can
+	// fire: for time measures the watermark (end-1 of the next pending
+	// window), for count measures the total count that completes the next
+	// window. The in-order fast path compares one cached minimum against
+	// each tuple instead of polling every query (§5.3 step 1's caching,
+	// applied to triggering).
+	NextTrigger(view StoreView) int64
+	// WindowsTouched calls emit for every window [start, end) whose
+	// aggregate may change when a tuple is inserted at position pos (in
+	// the window's measure): windows containing pos and, for count
+	// measures, already-triggered windows whose membership shifts.
+	// Used to re-emit updated aggregates when late tuples arrive.
+	WindowsTouched(view StoreView, pos int64, emit func(start, end int64))
+	// Interest reports the earliest positions still needed (see Interest).
+	Interest(view StoreView, wm, lateness int64) Interest
+}
+
+// Changes lists slice-edge adjustments demanded by a context-aware window
+// after observing a tuple or a watermark. Positions are in the window's
+// measure. Added edges in the past cause slice splits; removed edges allow
+// slice merges if no other query requires them (§5.2, §5.3 step 2).
+type Changes struct {
+	// Add lists positions that must become slice edges (splits when they
+	// lie in the past).
+	Add []int64
+	// Merge lists spans whose interior edges are no longer required by
+	// this window; the slice manager merges the covered slices unless
+	// another query still needs an edge.
+	Merge []Span
+	// Updated lists windows whose extent or content changed such that
+	// previously emitted results must be corrected (e.g. two sessions
+	// merged), or that completed in the past (behind the watermark).
+	Updated []Span
+}
+
+// Span is a half-open window extent [Start, End).
+type Span struct {
+	Start, End int64
+}
+
+// Empty reports whether the change set carries no work.
+func (c Changes) Empty() bool {
+	return len(c.Add) == 0 && len(c.Merge) == 0 && len(c.Updated) == 0
+}
+
+// ContextAware is a window type that needs state (context) to determine
+// window edges (§4.4 FCF and FCA). It is generic over the payload type so
+// data-driven windows (punctuations) can inspect tuples.
+type ContextAware[V any] interface {
+	Definition
+	// NewContext creates the per-operator window context, bound to the
+	// store view.
+	NewContext(view StoreView) Context[V]
+}
+
+// Context is the mutable state of one context-aware window within one
+// operator instance.
+type Context[V any] interface {
+	// Observe processes one tuple. rank is the tuple's canonical position
+	// (0-based count in event-time order); inOrder reports whether the
+	// tuple advanced the maximum seen time. The returned Changes instruct
+	// the slice manager to split and merge slices.
+	Observe(e stream.Event[V], rank int64, inOrder bool) Changes
+	// OnWatermark is invoked before triggering when the watermark
+	// advances; forward-context-aware windows materialize edges here
+	// (e.g. "every P seconds" boundaries become computable).
+	OnWatermark(prevWM, currWM int64) Changes
+	// NextEdge returns the next anticipated edge strictly greater than
+	// pos for on-the-fly slicing of in-order tuples (a session window
+	// reports "last tuple + gap").
+	NextEdge(pos int64) int64
+	// IsEdge reports whether pos is currently a required edge.
+	IsEdge(pos int64) bool
+	// Trigger enumerates windows completed in (prevWM, currWM].
+	// Late-update re-emission is handled through Changes.Updated, so
+	// contexts need no WindowsTouched method.
+	Trigger(prevWM, currWM int64, emit func(start, end int64))
+	// NextTrigger returns the smallest watermark greater than `after` at
+	// which an emission can fire (stream.MaxTime if none is pending).
+	NextTrigger(after int64) int64
+	// Interest reports the earliest positions still needed.
+	Interest(wm, lateness int64) Interest
+	// Evict discards context state that can no longer influence results:
+	// nothing at or before the given horizons (per axis) will be
+	// referenced again.
+	Evict(timeHorizon, countHorizon int64)
+}
+
+// IsSession reports whether the definition is a session window. Sessions are
+// the one context-aware type that never forces tuple storage (§5.1 condition
+// 2: "Session windows are an exception ... never require recomputing").
+func IsSession(d Definition) bool {
+	type sessionMarker interface{ isSession() }
+	_, ok := d.(sessionMarker)
+	return ok
+}
+
+// IsForwardContextAware reports whether the definition needs future tuples to
+// place past edges (FCA). FCA windows force tuple storage even on in-order
+// streams (Fig 4).
+func IsForwardContextAware(d Definition) bool {
+	type fcaMarker interface{ isForwardContextAware() }
+	_, ok := d.(fcaMarker)
+	return ok
+}

@@ -1,0 +1,296 @@
+package window
+
+import (
+	"sort"
+	"testing"
+
+	"scotty/internal/stream"
+)
+
+// fakeView is a scriptable StoreView.
+type fakeView struct {
+	total   int64
+	maxSeen int64
+	// times maps 1-based counts to timestamps (TimeAtCount).
+	times map[int64]int64
+}
+
+func (v *fakeView) TotalCount() int64  { return v.total }
+func (v *fakeView) MaxSeenTime() int64 { return v.maxSeen }
+func (v *fakeView) CountAtTime(ts int64) int64 {
+	var c int64
+	for i := int64(1); i <= v.total; i++ {
+		if v.times[i] <= ts {
+			c = i
+		}
+	}
+	return c
+}
+func (v *fakeView) TimeAtCount(c int64) int64 {
+	if t, ok := v.times[c]; ok {
+		return t
+	}
+	return stream.MaxTime
+}
+
+func collectWindows(fire func(emit func(s, e int64))) [][2]int64 {
+	var out [][2]int64
+	fire(func(s, e int64) { out = append(out, [2]int64{s, e}) })
+	return out
+}
+
+// ------------------------------------------------------------- periodic ---
+
+func TestTumblingEdges(t *testing.T) {
+	w := Tumbling(stream.Time, 10)
+	if got := w.NextEdge(0, true); got != 10 {
+		t.Errorf("NextEdge(0) = %d", got)
+	}
+	if got := w.NextEdge(10, true); got != 20 {
+		t.Errorf("NextEdge(10) = %d", got)
+	}
+	if !w.IsEdge(30, true) || w.IsEdge(31, true) {
+		t.Error("IsEdge wrong for tumbling")
+	}
+}
+
+func TestSlidingEdgesIncludeEndsOnlyWhenUnordered(t *testing.T) {
+	w := Sliding(stream.Time, 10, 4) // starts 0,4,8..; ends 10,14,18.. (≡2 mod 4)
+	if got := w.NextEdge(8, true); got != 12 {
+		t.Errorf("startsOnly NextEdge(8) = %d want 12", got)
+	}
+	if got := w.NextEdge(8, false); got != 10 {
+		t.Errorf("full NextEdge(8) = %d want 10 (window end)", got)
+	}
+	if w.IsEdge(10, true) {
+		t.Error("10 is not a start edge")
+	}
+	if !w.IsEdge(10, false) {
+		t.Error("10 is a window end edge")
+	}
+}
+
+func TestPeriodicTriggerEnumeratesCompleteWindows(t *testing.T) {
+	w := Sliding(stream.Time, 10, 5)
+	v := &fakeView{maxSeen: 100}
+	got := collectWindows(func(emit func(s, e int64)) {
+		w.Trigger(v, -1, 24, emit)
+	})
+	want := [][2]int64{{0, 10}, {5, 15}, {10, 20}, {15, 25}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+	// The next trigger resumes without duplicates or gaps.
+	got = collectWindows(func(emit func(s, e int64)) { w.Trigger(v, 24, 34, emit) })
+	want = [][2]int64{{20, 30}, {25, 35}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("resume: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestPeriodicTriggerPostponesBeyondStream(t *testing.T) {
+	w := Tumbling(stream.Time, 10)
+	v := &fakeView{maxSeen: 12}
+	// Watermark far ahead of the data: windows after maxSeen+length wait.
+	got := collectWindows(func(emit func(s, e int64)) { w.Trigger(v, -1, 1000, emit) })
+	if len(got) == 0 || got[len(got)-1][1] > 22+10 {
+		t.Fatalf("postponement failed: %v", got)
+	}
+	// The stream advances; the postponed windows catch up, no holes.
+	v.maxSeen = 60
+	got2 := collectWindows(func(emit func(s, e int64)) { w.Trigger(v, 1000, 1001, emit) })
+	if len(got2) == 0 || got2[0][0] != got[len(got)-1][1]-10+10 {
+		t.Fatalf("catch-up hole: first=%v after %v", got2, got)
+	}
+}
+
+func TestCountTriggerNeedsCompleteWindowAndWatermark(t *testing.T) {
+	w := Tumbling(stream.Count, 3)
+	v := &fakeView{total: 5, times: map[int64]int64{1: 10, 2: 20, 3: 30, 4: 40, 5: 50}}
+	got := collectWindows(func(emit func(s, e int64)) { w.Trigger(v, -1, 25, emit) })
+	if len(got) != 0 {
+		t.Fatalf("window [0,3) completes at t=30 > wm=25; got %v", got)
+	}
+	got = collectWindows(func(emit func(s, e int64)) { w.Trigger(v, 25, 30, emit) })
+	if len(got) != 1 || got[0] != [2]int64{0, 3} {
+		t.Fatalf("got %v", got)
+	}
+	// Second window needs the 6th tuple.
+	got = collectWindows(func(emit func(s, e int64)) { w.Trigger(v, 30, 1000, emit) })
+	if len(got) != 0 {
+		t.Fatalf("incomplete count window emitted: %v", got)
+	}
+}
+
+func TestPeriodicNextTrigger(t *testing.T) {
+	w := Tumbling(stream.Time, 10)
+	v := &fakeView{maxSeen: 100}
+	if nt := w.NextTrigger(v); nt != 9 {
+		t.Fatalf("NextTrigger = %d want 9", nt)
+	}
+	w.Trigger(v, -1, 9, func(s, e int64) {})
+	if nt := w.NextTrigger(v); nt != 19 {
+		t.Fatalf("NextTrigger after first = %d want 19", nt)
+	}
+}
+
+func TestWindowsTouched(t *testing.T) {
+	w := Sliding(stream.Time, 10, 5)
+	v := &fakeView{maxSeen: 100}
+	got := collectWindows(func(emit func(s, e int64)) { w.WindowsTouched(v, 12, emit) })
+	sort.Slice(got, func(i, j int) bool { return got[i][0] < got[j][0] })
+	want := [][2]int64{{5, 15}, {10, 20}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("WindowsTouched(12) = %v want %v", got, want)
+	}
+}
+
+// -------------------------------------------------------------- session ---
+
+func TestSessionContextLifecycle(t *testing.T) {
+	def := Session[int](10)
+	if def.Measure() != stream.Time || !IsSession(def) {
+		t.Fatal("session metadata wrong")
+	}
+	ctx := def.NewContext(&fakeView{})
+
+	ev := func(ts int64) stream.Event[int] { return stream.Event[int]{Time: ts} }
+
+	if ch := ctx.Observe(ev(100), 0, true); !ch.Empty() {
+		t.Fatalf("in-order first tuple should not change edges: %+v", ch)
+	}
+	ctx.Observe(ev(105), 1, true) // extend
+	if got := ctx.NextEdge(105); got != 115 {
+		t.Fatalf("NextEdge = %d want 115", got)
+	}
+	ctx.Observe(ev(120), 2, true) // new session (gap from 105 is 15 >= 10)
+	got := collectWindows(func(emit func(s, e int64)) { ctx.Trigger(-1, 114, emit) })
+	if len(got) != 1 || got[0] != [2]int64{100, 115} {
+		t.Fatalf("first session: %v", got)
+	}
+	// A late tuple within the gap of both sessions bridges them.
+	ch := ctx.Observe(ev(112), 3, false)
+	if len(ch.Merge) != 1 || ch.Merge[0] != (Span{Start: 100, End: 130}) {
+		t.Fatalf("expected merge span [100,130), got %+v", ch)
+	}
+	if len(ch.Updated) != 1 {
+		t.Fatalf("expected update for the merged session, got %+v", ch)
+	}
+	got = collectWindows(func(emit func(s, e int64)) { ctx.Trigger(114, 129, emit) })
+	if len(got) != 1 || got[0] != [2]int64{100, 130} {
+		t.Fatalf("merged session: %v", got)
+	}
+}
+
+func TestSessionBackwardExtension(t *testing.T) {
+	ctx := Session[int](10).NewContext(&fakeView{})
+	ctx.Observe(stream.Event[int]{Time: 100}, 0, true)
+	ctx.Observe(stream.Event[int]{Time: 200}, 1, true)
+	ch := ctx.Observe(stream.Event[int]{Time: 195, Seq: 2}, 2, false)
+	if len(ch.Updated) != 1 || ch.Updated[0].Start != 195 {
+		t.Fatalf("backward extension: %+v", ch)
+	}
+}
+
+func TestSessionOOOCreationAddsIsolatingEdges(t *testing.T) {
+	ctx := Session[int](10).NewContext(&fakeView{})
+	ctx.Observe(stream.Event[int]{Time: 0}, 0, true)
+	ctx.Observe(stream.Event[int]{Time: 100}, 1, true)
+	ch := ctx.Observe(stream.Event[int]{Time: 50}, 2, false)
+	if len(ch.Add) != 2 || ch.Add[0] != 50 || ch.Add[1] != 60 {
+		t.Fatalf("expected isolating edges [50, 60], got %+v", ch.Add)
+	}
+}
+
+func TestSessionEvict(t *testing.T) {
+	def := Session[int](10)
+	ctx := def.NewContext(&fakeView{}).(*sessionContext[int])
+	for i := int64(0); i < 20; i++ {
+		ctx.Observe(stream.Event[int]{Time: i * 100}, i, true)
+	}
+	ctx.Evict(1000, 0)
+	if len(ctx.sessions) >= 20 {
+		t.Fatalf("eviction kept %d sessions", len(ctx.sessions))
+	}
+}
+
+// ---------------------------------------------------------- punctuation ---
+
+func TestPunctuationWindows(t *testing.T) {
+	def := Punctuation[int](func(v int) bool { return v < 0 })
+	ctx := def.NewContext(&fakeView{})
+
+	ctx.Observe(stream.Event[int]{Time: 5, Value: 1}, 0, true)
+	ch := ctx.Observe(stream.Event[int]{Time: 9, Value: -1}, 1, true)
+	if len(ch.Add) != 1 || ch.Add[0] != 10 {
+		t.Fatalf("punctuation at 9 should demand edge 10: %+v", ch)
+	}
+	ctx.Observe(stream.Event[int]{Time: 15, Value: 2}, 2, true)
+	got := collectWindows(func(emit func(s, e int64)) { ctx.Trigger(-1, 9, emit) })
+	if len(got) != 1 || got[0] != [2]int64{0, 10} {
+		t.Fatalf("punctuation window: %v", got)
+	}
+	// Out-of-order punctuation splits a past window.
+	ch = ctx.Observe(stream.Event[int]{Time: 3, Value: -5, Seq: 3}, 3, false)
+	if len(ch.Add) != 1 || ch.Add[0] != 4 {
+		t.Fatalf("late punctuation edge: %+v", ch)
+	}
+	if len(ch.Updated) != 2 {
+		t.Fatalf("late punctuation must re-emit both halves: %+v", ch)
+	}
+}
+
+// ------------------------------------------------------------------ FCA ---
+
+func TestCountInTimeMaterializesOnWatermark(t *testing.T) {
+	def := CountInTime[int](3, 100)
+	if def.Measure() != stream.Count || !IsForwardContextAware(def) {
+		t.Fatal("CIT metadata wrong")
+	}
+	// The context is created before any data arrives (total = 0), then
+	// the store fills up.
+	v := &fakeView{}
+	ctx := def.NewContext(v)
+	v.total, v.maxSeen = 5, 240
+	v.times = map[int64]int64{1: 50, 2: 90, 3: 110, 4: 180, 5: 240}
+	ch := ctx.OnWatermark(-1, 200)
+	// T=100: count(<=100)=2 → [0,2); T=200: count(<=200)=4 → [1,4).
+	if len(ch.Add) != 4 {
+		t.Fatalf("expected 4 edge additions, got %+v", ch.Add)
+	}
+	got := collectWindows(func(emit func(s, e int64)) { ctx.Trigger(-1, 200, emit) })
+	want := [][2]int64{{0, 2}, {1, 4}}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("CIT windows: %v want %v", got, want)
+	}
+	// A late tuple at rank 2 shifts the second emitted window.
+	ch = ctx.Observe(stream.Event[int]{Time: 95}, 2, false)
+	if len(ch.Updated) != 1 || ch.Updated[0] != (Span{Start: 1, End: 4}) {
+		t.Fatalf("CIT late update: %+v", ch)
+	}
+}
+
+func TestInterestHorizons(t *testing.T) {
+	v := &fakeView{maxSeen: 10_000, total: 100}
+	pt := Tumbling(stream.Time, 1000)
+	in := pt.Interest(v, 10_000, 500)
+	if in.Time != 10_000-500-1000 {
+		t.Fatalf("periodic time interest: %+v", in)
+	}
+	if in.Count != stream.MaxTime {
+		t.Fatal("time windows must not constrain the count axis")
+	}
+	s := Session[int](200).NewContext(v)
+	s.Observe(stream.Event[int]{Time: 9_990}, 0, true)
+	si := s.Interest(10_000, 500)
+	if si.Time > 9_990 {
+		t.Fatalf("active session must keep its slices: %+v", si)
+	}
+}
