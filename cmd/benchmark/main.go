@@ -23,6 +23,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 
@@ -31,24 +32,34 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "", "experiment id: 8..17, table1, ablation, or all")
-	full := flag.Bool("full", false, "run at the paper-sized scale")
-	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable command body: flags in, exit code out.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchmark", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.String("fig", "", "experiment id: 8..17, table1, ablation, or all")
+	full := fs.Bool("full", false, "run at the paper-sized scale")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 	benchutil.CSVMode = *csv
 
 	if *fig == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
 	sc := experiments.Quick()
 	if *full {
 		sc = experiments.Full()
 	}
-	fmt.Printf("general stream slicing benchmark — GOMAXPROCS=%d, scale=%s\n",
+	fmt.Fprintf(stdout, "general stream slicing benchmark — GOMAXPROCS=%d, scale=%s\n",
 		runtime.GOMAXPROCS(0), map[bool]string{false: "quick", true: "full"}[*full])
-	if !experiments.Run(*fig, os.Stdout, sc) {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *fig)
-		os.Exit(2)
+	if !experiments.Run(*fig, stdout, sc) {
+		fmt.Fprintf(stderr, "unknown experiment %q\n", *fig)
+		return 2
 	}
+	return 0
 }

@@ -15,6 +15,7 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -26,23 +27,35 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable command body: flags in, exit code out.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scotty", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		winType  = flag.String("window", "tumbling", "tumbling | sliding | session | count")
-		length   = flag.Int64("length", 5000, "window length (ms, or tuples for -window count)")
-		slide    = flag.Int64("slide", 0, "slide step for sliding windows (ms)")
-		gap      = flag.Int64("gap", 1000, "inactivity gap for session windows (ms)")
-		aggName  = flag.String("agg", "sum", "sum | count | mean | min | max | median | p90 | m4")
-		demo     = flag.Int("demo", 0, "generate N demo events instead of reading stdin")
-		ooo      = flag.Float64("ooo", 0, "fraction of demo events delivered out of order")
-		lateness = flag.Int64("lateness", 2000, "allowed lateness (ms)")
-		wmEvery  = flag.Int64("watermark", 1000, "watermark period (ms of event time)")
+		winType  = fs.String("window", "tumbling", "tumbling | sliding | session | count")
+		length   = fs.Int64("length", 5000, "window length (ms, or tuples for -window count)")
+		slide    = fs.Int64("slide", 0, "slide step for sliding windows (ms)")
+		gap      = fs.Int64("gap", 1000, "inactivity gap for session windows (ms)")
+		aggName  = fs.String("agg", "sum", "sum | count | mean | min | max | median | p90 | m4")
+		demo     = fs.Int("demo", 0, "generate N demo events instead of reading stdin")
+		ooo      = fs.Float64("ooo", 0, "fraction of demo events delivered out of order")
+		lateness = fs.Int64("lateness", 2000, "allowed lateness (ms)")
+		wmEvery  = fs.Int64("watermark", 1000, "watermark period (ms of event time)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
-	def := makeWindow(*winType, *length, *slide, *gap)
-	events := readOrGenerate(*demo, *ooo)
+	def := makeWindow(*winType, *length, *slide, *gap, stderr)
+	if def == nil {
+		return 2
+	}
+	events := readOrGenerate(*demo, *ooo, stdin, stderr)
 
-	run := func(op func(stream.Item[float64])) {
+	runItems := func(op func(stream.Item[float64])) {
 		items := stream.Prepare(stream.Watermarker{Period: *wmEvery, Lag: 2001}, events)
 		for _, it := range items {
 			op(it)
@@ -51,30 +64,30 @@ func main() {
 
 	switch *aggName {
 	case "sum":
-		runQuery(def, aggregate.Sum[float64](ident), *lateness, run)
+		return runQuery(def, aggregate.Sum[float64](ident), *lateness, runItems, stdout, stderr)
 	case "count":
-		runQuery(def, aggregate.Count[float64](), *lateness, run)
+		return runQuery(def, aggregate.Count[float64](), *lateness, runItems, stdout, stderr)
 	case "mean":
-		runQuery(def, aggregate.Mean[float64](ident), *lateness, run)
+		return runQuery(def, aggregate.Mean[float64](ident), *lateness, runItems, stdout, stderr)
 	case "min":
-		runQuery(def, aggregate.Min[float64](ident), *lateness, run)
+		return runQuery(def, aggregate.Min[float64](ident), *lateness, runItems, stdout, stderr)
 	case "max":
-		runQuery(def, aggregate.Max[float64](ident), *lateness, run)
+		return runQuery(def, aggregate.Max[float64](ident), *lateness, runItems, stdout, stderr)
 	case "median":
-		runQuery(def, aggregate.Median[float64](ident), *lateness, run)
+		return runQuery(def, aggregate.Median[float64](ident), *lateness, runItems, stdout, stderr)
 	case "p90":
-		runQuery(def, aggregate.Percentile[float64](0.9, ident), *lateness, run)
+		return runQuery(def, aggregate.Percentile[float64](0.9, ident), *lateness, runItems, stdout, stderr)
 	case "m4":
-		runQuery(def, aggregate.M4[float64](ident), *lateness, run)
+		return runQuery(def, aggregate.M4[float64](ident), *lateness, runItems, stdout, stderr)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown aggregation %q\n", *aggName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown aggregation %q\n", *aggName)
+		return 2
 	}
 }
 
 func ident(v float64) float64 { return v }
 
-func makeWindow(kind string, length, slide, gap int64) window.Definition {
+func makeWindow(kind string, length, slide, gap int64, stderr io.Writer) window.Definition {
 	switch kind {
 	case "tumbling":
 		return window.Tumbling(stream.Time, length)
@@ -88,19 +101,18 @@ func makeWindow(kind string, length, slide, gap int64) window.Definition {
 	case "count":
 		return window.Tumbling(stream.Count, length)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown window type %q\n", kind)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown window type %q\n", kind)
 		return nil
 	}
 }
 
-func runQuery[A any, Out any](def window.Definition, f aggregate.Function[float64, A, Out], lateness int64, run func(func(stream.Item[float64]))) {
+func runQuery[A any, Out any](def window.Definition, f aggregate.Function[float64, A, Out], lateness int64, runItems func(func(stream.Item[float64])), stdout, stderr io.Writer) int {
 	ag := core.New(f, core.Options{Lateness: lateness})
 	if _, err := ag.AddQuery(def); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
-	out := bufio.NewWriter(os.Stdout)
+	out := bufio.NewWriter(stdout)
 	defer out.Flush()
 	emit := func(rs []core.Result[Out]) {
 		for _, r := range rs {
@@ -111,16 +123,17 @@ func runQuery[A any, Out any](def window.Definition, f aggregate.Function[float6
 			fmt.Fprintf(out, "[%d, %d)\t n=%d\t %v%s\n", r.Start, r.End, r.N, r.Value, tag)
 		}
 	}
-	run(func(it stream.Item[float64]) {
+	runItems(func(it stream.Item[float64]) {
 		if it.Kind == stream.KindEvent {
 			emit(ag.ProcessElement(it.Event))
 		} else {
 			emit(ag.ProcessWatermark(it.Watermark))
 		}
 	})
+	return 0
 }
 
-func readOrGenerate(demo int, ooo float64) []stream.Event[float64] {
+func readOrGenerate(demo int, ooo float64, stdin io.Reader, stderr io.Writer) []stream.Event[float64] {
 	if demo > 0 {
 		raw := stream.Generate(stream.Football(), demo, 1)
 		ev := make([]stream.Event[float64], len(raw))
@@ -130,7 +143,7 @@ func readOrGenerate(demo int, ooo float64) []stream.Event[float64] {
 		return stream.Apply(stream.Disorder{Fraction: ooo, MaxDelay: 2000, Seed: 7}, ev)
 	}
 	var ev []stream.Event[float64]
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(stdin)
 	seq := int64(0)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -139,13 +152,13 @@ func readOrGenerate(demo int, ooo float64) []stream.Event[float64] {
 		}
 		parts := strings.Split(line, ",")
 		if len(parts) < 2 {
-			fmt.Fprintf(os.Stderr, "skipping malformed line: %q\n", line)
+			fmt.Fprintf(stderr, "skipping malformed line: %q\n", line)
 			continue
 		}
 		ts, err1 := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
 		v, err2 := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
 		if err1 != nil || err2 != nil {
-			fmt.Fprintf(os.Stderr, "skipping malformed line: %q\n", line)
+			fmt.Fprintf(stderr, "skipping malformed line: %q\n", line)
 			continue
 		}
 		ev = append(ev, stream.Event[float64]{Time: ts, Seq: seq, Value: v})

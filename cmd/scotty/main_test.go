@@ -1,0 +1,75 @@
+package main
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// resultLine matches one emitted window row: "[start, end)\t n=N\t value".
+var resultLine = regexp.MustCompile(`^\[-?\d+, -?\d+\)\t n=\d+\t \S`)
+
+func runScotty(t *testing.T, args []string, stdin string) string {
+	t.Helper()
+	var out, errOut strings.Builder
+	code := run(args, strings.NewReader(stdin), &out, &errOut)
+	if code != 0 {
+		t.Fatalf("scotty %v exited %d: %s", args, code, errOut.String())
+	}
+	return out.String()
+}
+
+func checkRows(t *testing.T, output string) int {
+	t.Helper()
+	rows := 0
+	for _, line := range strings.Split(strings.TrimRight(output, "\n"), "\n") {
+		if !resultLine.MatchString(line) {
+			t.Fatalf("malformed result row %q", line)
+		}
+		rows++
+	}
+	if rows == 0 {
+		t.Fatal("no window results emitted")
+	}
+	return rows
+}
+
+func TestDemoStreamEmitsWellFormedResults(t *testing.T) {
+	out := runScotty(t, []string{"-window", "tumbling", "-length", "5000", "-agg", "sum", "-demo", "2000"}, "")
+	checkRows(t, out)
+}
+
+func TestCSVStdinTumblingSum(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&b, "%d,1\n", i*100)
+	}
+	out := runScotty(t, []string{"-window", "tumbling", "-length", "2000", "-agg", "count"}, b.String())
+	rows := checkRows(t, out)
+	// 200 events at 100ms spacing cover [0, 20000): ten 2s windows, the
+	// last closed by the final watermark.
+	if rows < 9 {
+		t.Fatalf("expected ~10 tumbling windows, got %d rows:\n%s", rows, out)
+	}
+	if !strings.Contains(out, "n=20") {
+		t.Fatalf("each full window should count 20 events:\n%s", out)
+	}
+}
+
+func TestSessionAndHolisticAggregates(t *testing.T) {
+	for _, agg := range []string{"median", "p90", "m4", "mean"} {
+		out := runScotty(t, []string{"-window", "session", "-gap", "1000", "-agg", agg, "-demo", "1000", "-ooo", "0.1"}, "")
+		checkRows(t, out)
+	}
+}
+
+func TestUnknownFlagsExitNonZero(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-agg", "nope", "-demo", "10"}, strings.NewReader(""), &out, &errOut); code == 0 {
+		t.Fatal("unknown aggregation should exit non-zero")
+	}
+	if code := run([]string{"-window", "heptagonal", "-demo", "10"}, strings.NewReader(""), &out, &errOut); code == 0 {
+		t.Fatal("unknown window type should exit non-zero")
+	}
+}

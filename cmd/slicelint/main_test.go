@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errOut.String())
+	}
+	for _, name := range []string{"aggcontract", "nondeterminism", "chanhygiene", "floateq"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"./internal/aggregate"}, &out, &errOut); code != 0 {
+		t.Fatalf("linting internal/aggregate exited %d:\n%s%s", code, out.String(), errOut.String())
+	}
+}
+
+func TestViolationExitsNonZero(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module fixturemod\n\ngo 1.22\n")
+	write("internal/core/clock.go", `package core
+
+import "time"
+
+func stamp() int64 { return time.Now().UnixNano() }
+`)
+	var out, errOut strings.Builder
+	code := run([]string{"-C", dir, "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("want exit 1 on violation, got %d:\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "nondeterminism") {
+		t.Errorf("finding output missing analyzer name:\n%s", out.String())
+	}
+}

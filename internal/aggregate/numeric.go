@@ -248,6 +248,7 @@ func (x extremumCount[V]) Combine(a, b ExtremumCount) ExtremumCount {
 		return b
 	case b.N == 0:
 		return a
+	//lint:ignore floateq exact tie detection is the semantics (counting tuples attaining the extremum); NaN never ties and loses both orderings below, so NaN input degrades consistently
 	case a.V == b.V:
 		return ExtremumCount{V: a.V, N: a.N + b.N}
 	case (a.V < b.V) != x.max:
@@ -304,6 +305,7 @@ func (x argExtremum[V]) Combine(a, b ArgAgg) ArgAgg {
 		return b
 	case !b.Set:
 		return a
+	//lint:ignore floateq exact ties must resolve on the total (time, seq) order to keep ArgMin/ArgMax commutative; NaN never ties and falls through deterministically
 	case a.V == b.V:
 		if b.Time < a.Time || (b.Time == a.Time && b.Seq < a.Seq) {
 			return b

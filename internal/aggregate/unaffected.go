@@ -42,6 +42,7 @@ func (x argExtremum[V]) Unaffected(a ArgAgg, e stream.Event[V]) bool {
 		return false
 	}
 	v := x.get(e.Value)
+	//lint:ignore floateq ties are exactly the removals that can matter; NaN compares unequal and is then treated as affected below, the conservative direction
 	if v == a.V {
 		return !(e.Time == a.Time && e.Seq == a.Seq)
 	}

@@ -90,6 +90,15 @@ func checkAgainst(t *testing.T, finals finalMap, qid int, want []reference.Final
 	}
 }
 
+// streamLen scales a randomized-stream length down under -short so the
+// -race leg finishes in seconds; default runs keep the full-size streams.
+func streamLen(full int) int {
+	if testing.Short() {
+		return full / 3
+	}
+	return full
+}
+
 // genEvents builds a random in-order event stream with occasional gaps (so
 // sessions appear) and occasional equal timestamps.
 func genEvents(rng *rand.Rand, n int) []stream.Event[float64] {
@@ -237,7 +246,7 @@ func TestDecisionMatrix(t *testing.T) {
 
 func goldenAgainst(t *testing.T, ordered, eager bool, d stream.Disorder) {
 	rng := rand.New(rand.NewSource(7))
-	ev := genEvents(rng, 3000)
+	ev := genEvents(rng, streamLen(3000))
 
 	sum := aggregate.Sum[float64](ident)
 
@@ -291,7 +300,7 @@ func TestGoldenHeavyDisorder(t *testing.T) {
 func goldenFn[A any](t *testing.T, f aggregate.Function[float64, A, float64], d stream.Disorder) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(23))
-	ev := genEvents(rng, 2000)
+	ev := genEvents(rng, streamLen(2000))
 	ag := New[float64](f, Options{Lateness: 1 << 40})
 	qid := ag.MustAddQuery(window.Sliding(stream.Time, 120, 40))
 	items := stream.Prepare(stream.Watermarker{Period: 100, Lag: d.MaxDelay + 1}, stream.Apply(d, ev))

@@ -18,9 +18,13 @@ type KeyedResult[K comparable, Out any] struct {
 // idle past the allowed lateness and hold no unemitted state worth keeping
 // (bounding state for rotating key spaces).
 type Keyed[K comparable, V, A, Out any] struct {
-	newOp   func() *Aggregator[V, A, Out]
-	keyOf   func(V) K
-	ops     map[K]*keyedEntry[V, A, Out]
+	newOp func() *Aggregator[V, A, Out]
+	keyOf func(V) K
+	ops   map[K]*keyedEntry[V, A, Out]
+	// order lists live keys by first appearance so watermark broadcasts
+	// emit results in a deterministic order (map iteration order would
+	// leak into the output stream).
+	order   []K
 	results []KeyedResult[K, Out]
 	currWM  int64
 	// idleTTL is how long (in event time) a key may be silent before its
@@ -58,6 +62,7 @@ func (k *Keyed[K, V, A, Out]) ProcessElement(e stream.Event[V]) []KeyedResult[K,
 	if !ok {
 		ent = &keyedEntry[V, A, Out]{op: k.newOp()}
 		k.ops[key] = ent
+		k.order = append(k.order, key)
 	}
 	ent.lastSeen = e.Time
 	for _, r := range ent.op.ProcessElement(e) {
@@ -71,14 +76,19 @@ func (k *Keyed[K, V, A, Out]) ProcessElement(e stream.Event[V]) []KeyedResult[K,
 func (k *Keyed[K, V, A, Out]) ProcessWatermark(wm int64) []KeyedResult[K, Out] {
 	k.results = k.results[:0]
 	k.currWM = wm
-	for key, ent := range k.ops {
+	live := k.order[:0]
+	for _, key := range k.order {
+		ent := k.ops[key]
 		for _, r := range ent.op.ProcessWatermark(wm) {
 			k.results = append(k.results, KeyedResult[K, Out]{Key: key, Result: r})
 		}
 		if k.idleTTL > 0 && wm != stream.MaxTime && wm-ent.lastSeen > k.idleTTL+ent.op.opts.Lateness {
 			delete(k.ops, key)
+			continue
 		}
+		live = append(live, key)
 	}
+	k.order = live
 	return k.results
 }
 

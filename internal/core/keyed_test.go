@@ -80,6 +80,39 @@ func TestKeyedMatchesPerKeyOracle(t *testing.T) {
 	}
 }
 
+// TestKeyedWatermarkEmissionOrderIsDeterministic replays the same stream
+// twice and requires identical result sequences: watermark broadcasts must
+// iterate keys in first-appearance order, not map order (slicelint's
+// nondeterminism analyzer flags the map-order version).
+func TestKeyedWatermarkEmissionOrderIsDeterministic(t *testing.T) {
+	replay := func() []KeyedResult[int, float64] {
+		op := NewKeyed(func(v kv) int { return v.Key }, 0, func() *Aggregator[kv, float64, float64] {
+			ag := New(keyedSum(), Options{Lateness: 0})
+			ag.MustAddQuery(window.Tumbling(stream.Time, 100))
+			return ag
+		})
+		var out []KeyedResult[int, float64]
+		for i := int64(0); i < 2000; i++ {
+			e := stream.Event[kv]{Time: i, Seq: i, Value: kv{Key: int(i * 7 % 13), V: 1}}
+			out = append(out, op.ProcessElement(e)...)
+			if i%100 == 99 {
+				out = append(out, op.ProcessWatermark(i)...)
+			}
+		}
+		out = append(out, op.ProcessWatermark(stream.MaxTime)...)
+		return out
+	}
+	a, b := replay(), replay()
+	if len(a) != len(b) {
+		t.Fatalf("replays emitted %d vs %d results", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result %d differs across replays: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
 func TestKeyedExpiresIdleKeys(t *testing.T) {
 	op := NewKeyed(func(v kv) int { return v.Key }, 1000, func() *Aggregator[kv, float64, float64] {
 		ag := New(keyedSum(), Options{Lateness: 100})

@@ -16,7 +16,7 @@ import (
 // the interest-horizon computation never drops a slice that is still needed.
 func TestGoldenWithTightEviction(t *testing.T) {
 	rng := rand.New(rand.NewSource(71))
-	ev := genEvents(rng, 4000)
+	ev := genEvents(rng, streamLen(4000))
 	d := stream.Disorder{Fraction: 0.25, MaxDelay: 400, Seed: 73}
 	f := aggregate.Sum[float64](ident)
 
@@ -48,7 +48,7 @@ func TestGoldenWithTightEviction(t *testing.T) {
 // TestGoldenCountWithTightEviction is the count-measure variant.
 func TestGoldenCountWithTightEviction(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
-	ev := genEvents(rng, 3000)
+	ev := genEvents(rng, streamLen(3000))
 	d := stream.Disorder{Fraction: 0.2, MaxDelay: 300, Seed: 79}
 	f := aggregate.Sum[float64](ident)
 

@@ -45,6 +45,10 @@ type Config[V any] struct {
 	BatchSize int
 	// QueueLen is the channel capacity in batches; 0 selects 8.
 	QueueLen int
+	// Clock supplies the timestamps behind Stats.Elapsed; nil selects
+	// time.Now. Tests inject a fake clock to make timing-derived stats
+	// deterministic.
+	Clock func() time.Time
 }
 
 // Stats summarizes a pipeline run.
@@ -94,6 +98,10 @@ func Run[V any](cfg Config[V], items []stream.Item[V]) Stats {
 	if queue <= 0 {
 		queue = 8
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
 
 	chans := make([]chan []stream.Item[V], par)
 	for i := range chans {
@@ -117,7 +125,7 @@ func Run[V any](cfg Config[V], items []stream.Item[V]) Stats {
 	}
 
 	startCPU := processCPUTime()
-	start := time.Now()
+	start := clock()
 
 	// Source: route events by key hash, broadcast watermarks. Batches are
 	// flushed when full and before every watermark so ordering between
@@ -160,7 +168,7 @@ func Run[V any](cfg Config[V], items []stream.Item[V]) Stats {
 	return Stats{
 		Events:  events,
 		Results: results.Load(),
-		Elapsed: time.Since(start),
+		Elapsed: clock().Sub(start),
 		CPUTime: processCPUTime() - startCPU,
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"scotty/internal/stream"
 )
@@ -126,6 +127,32 @@ func TestWatermarksBroadcastInOrderPerPartition(t *testing.T) {
 		if wms[p].Load() == 0 {
 			t.Fatalf("partition %d received no watermarks", p)
 		}
+	}
+}
+
+// TestInjectedClockMakesStatsDeterministic drives Run with a fake clock and
+// asserts the timing-derived stats are an exact function of its ticks — the
+// property the nondeterminism analyzer exists to protect.
+func TestInjectedClockMakesStatsDeterministic(t *testing.T) {
+	items := makeItems(1_000, 4)
+	base := time.Unix(0, 0)
+	var ticks atomic.Int64
+	stats := Run(Config[stream.Tuple]{
+		Parallelism: 2,
+		Key:         func(e stream.Event[stream.Tuple]) uint64 { return uint64(e.Value.Key) },
+		NewProcessor: func(p int) Processor[stream.Tuple] {
+			return ProcessorFunc[stream.Tuple](func(it stream.Item[stream.Tuple]) int { return 1 })
+		},
+		Clock: func() time.Time {
+			return base.Add(time.Duration(ticks.Add(1)) * time.Second)
+		},
+	}, items)
+	// Run reads the clock exactly twice: once at start, once at the end.
+	if stats.Elapsed != time.Second {
+		t.Fatalf("Elapsed = %v, want exactly 1s from the fake clock", stats.Elapsed)
+	}
+	if stats.Throughput() != 1000 {
+		t.Fatalf("Throughput = %v, want exactly 1000 events/s", stats.Throughput())
 	}
 }
 

@@ -1,0 +1,364 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// AggContract checks, at compile time, that every aggregate.Function
+// implementation's declared Props() literal agrees with what the type
+// actually implements. The paper's general slicing operator trusts Props to
+// pick its slice-maintenance cascade (§4, Fig 4): a Props lie does not
+// crash — it silently corrupts window results (a lossy "invert", a
+// recompute skipped for a non-commutative combine). Until now the contract
+// was only enforced by runtime tests (aggregate.Invertible + the property
+// suite); this analyzer enforces it on every build.
+//
+// For each type that declares the Function method set (Lift, Combine,
+// Lower, Identity, Props) with Props returning aggregate.Props, and whose
+// Props body yields a Props composite literal with statically-known flags:
+//
+//   - Invertible: true  ⇔ the type (or an embedded field) declares Invert.
+//   - Kind: Distributive ⇒ the partial-aggregate type equals the result
+//     type (a distributive partial IS the final aggregate).
+//   - A slice- or map-typed partial aggregate (unbounded size) ⇒ Kind must
+//     be Holistic.
+//   - Commutative: true with a slice-typed partial whose Combine is pure
+//     concatenation (appends of both arguments, no element comparisons) is
+//     flagged: concatenation is order-sensitive, the textbook
+//     non-commutative associative function.
+//
+// Props bodies that compute flags dynamically (the Compose wrappers) are
+// skipped: only literal claims are auditable statically.
+var AggContract = &Analyzer{
+	Name: "aggcontract",
+	Doc:  "checks Props() literals of aggregate.Function implementations against the interfaces the type implements",
+	Run:  runAggContract,
+}
+
+// aggImpl gathers the per-type facts the checks need.
+type aggImpl struct {
+	typeName *types.TypeName
+	methods  map[string]*ast.FuncDecl // declared directly on the type
+	embedded []*types.TypeName        // embedded named fields (promotion)
+}
+
+func runAggContract(p *Pass) {
+	impls := map[*types.TypeName]*aggImpl{}
+	// Group method declarations by receiver origin type.
+	for _, f := range p.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			tn := receiverTypeName(p.TypesInfo(), fd)
+			if tn == nil {
+				continue
+			}
+			im := impls[tn]
+			if im == nil {
+				im = &aggImpl{typeName: tn, methods: map[string]*ast.FuncDecl{}}
+				impls[tn] = im
+			}
+			im.methods[fd.Name.Name] = fd
+		}
+	}
+	for _, im := range impls {
+		im.embedded = embeddedNamed(im.typeName)
+	}
+	for _, im := range impls {
+		checkImpl(p, im, impls)
+	}
+}
+
+// receiverTypeName resolves a method's receiver to its origin *types.TypeName
+// (generic receivers like count[V] resolve to count).
+func receiverTypeName(info *types.Info, fd *ast.FuncDecl) *types.TypeName {
+	def, _ := info.Defs[fd.Name].(*types.Func)
+	if def == nil {
+		return nil
+	}
+	recv := def.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return named.Origin().Obj()
+}
+
+// embeddedNamed lists the named types embedded in a struct type (one level:
+// enough for the invertible-wrapper idiom).
+func embeddedNamed(tn *types.TypeName) []*types.TypeName {
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []*types.TypeName
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Embedded() {
+			continue
+		}
+		t := f.Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			out = append(out, named.Origin().Obj())
+		}
+	}
+	return out
+}
+
+// hasMethod reports whether the implementation declares name directly or
+// promotes it from an embedded field.
+func hasMethod(im *aggImpl, impls map[*types.TypeName]*aggImpl, name string) bool {
+	if _, ok := im.methods[name]; ok {
+		return true
+	}
+	for _, emb := range im.embedded {
+		if sub, ok := impls[emb]; ok {
+			if _, ok := sub.methods[name]; ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func checkImpl(p *Pass, im *aggImpl, impls map[*types.TypeName]*aggImpl) {
+	propsDecl, ok := im.methods["Props"]
+	if !ok || !returnsAggregateProps(p, propsDecl) {
+		return
+	}
+	// Require the full Function method set so unrelated types with a
+	// Props() method are not audited.
+	for _, required := range []string{"Lift", "Combine", "Lower", "Identity"} {
+		if !hasMethod(im, impls, required) {
+			return
+		}
+	}
+
+	lit := propsLiteral(p, propsDecl)
+	if lit == nil {
+		return // dynamic Props (compose wrappers): not statically auditable
+	}
+	invertible, invertibleKnown := boolField(p, lit, "Invertible")
+	commutative, commutativeKnown := boolField(p, lit, "Commutative")
+	kind, kindKnown := kindField(p, lit)
+
+	hasInvert := hasMethod(im, impls, "Invert")
+	if invertibleKnown {
+		if invertible && !hasInvert {
+			p.Reportf(lit.Pos(), "%s declares Props.Invertible: true but implements no Invert method: slicing would call a missing ⊖ and fall back incorrectly", im.typeName.Name())
+		}
+		if !invertible && hasInvert {
+			p.Reportf(lit.Pos(), "%s implements Invert but declares Props.Invertible: false: the O(1) invert cascade is silently disabled", im.typeName.Name())
+		}
+	}
+
+	partial, result := partialAndResult(p, im)
+	if partial == nil {
+		return
+	}
+	unbounded := isSliceOrMap(partial)
+	if kindKnown {
+		if kind == "Distributive" && result != nil && !types.Identical(partial, result) {
+			p.Reportf(lit.Pos(), "%s declares Kind: Distributive but partial type %s differs from result type %s: distributive partials are the final aggregates", im.typeName.Name(), partial, result)
+		}
+		if unbounded && kind != "Holistic" {
+			p.Reportf(lit.Pos(), "%s declares Kind: %s but its partial aggregate %s has unbounded size: declare Holistic so stores budget memory correctly", im.typeName.Name(), kind, partial)
+		}
+	}
+	if commutativeKnown && commutative && unbounded {
+		if combine, ok := im.methods["Combine"]; ok && isPureConcatenation(p, combine) {
+			p.Reportf(lit.Pos(), "%s declares Commutative: true but Combine concatenates slices: concatenation is order-sensitive, so out-of-order merging corrupts results", im.typeName.Name())
+		}
+	}
+}
+
+// returnsAggregateProps reports whether the method's single result is the
+// Props type of an aggregate package.
+func returnsAggregateProps(p *Pass, fd *ast.FuncDecl) bool {
+	def, _ := p.TypesInfo().Defs[fd.Name].(*types.Func)
+	if def == nil {
+		return false
+	}
+	res := def.Type().(*types.Signature).Results()
+	if res.Len() != 1 {
+		return false
+	}
+	named, ok := res.At(0).Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != "Props" || obj.Pkg() == nil {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "internal/aggregate" || pathHasSuffix(path, "internal/aggregate")
+}
+
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || (len(path) > len(suffix) && path[len(path)-len(suffix)-1] == '/' && path[len(path)-len(suffix):] == suffix)
+}
+
+// propsLiteral finds the Props composite literal the method returns; nil if
+// the body builds Props any other way.
+func propsLiteral(p *Pass, fd *ast.FuncDecl) *ast.CompositeLit {
+	if fd.Body == nil {
+		return nil
+	}
+	var lit *ast.CompositeLit
+	count := 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		if named, ok := p.TypesInfo().TypeOf(cl).(*types.Named); ok && named.Obj().Name() == "Props" {
+			lit = cl
+			count++
+		}
+		return true
+	})
+	if count != 1 {
+		return nil
+	}
+	return lit
+}
+
+// boolField extracts a statically-known bool field from the literal. An
+// absent field is the zero value, false, and counts as known.
+func boolField(p *Pass, lit *ast.CompositeLit, name string) (value, known bool) {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			return false, false // positional literal: give up
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != name {
+			continue
+		}
+		tv := p.TypesInfo().Types[kv.Value]
+		if tv.Value == nil {
+			return false, false // computed flag
+		}
+		return constBoolValue(tv), true
+	}
+	return false, true
+}
+
+func constBoolValue(tv types.TypeAndValue) bool {
+	return tv.Value.String() == "true"
+}
+
+// kindField extracts the Kind field as the constant's name ("Distributive",
+// "Algebraic", "Holistic"). Absent means the zero value, Distributive.
+func kindField(p *Pass, lit *ast.CompositeLit) (string, bool) {
+	names := [...]string{"Distributive", "Algebraic", "Holistic"}
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			return "", false
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Kind" {
+			continue
+		}
+		tv := p.TypesInfo().Types[kv.Value]
+		if tv.Value == nil {
+			return "", false
+		}
+		k, ok := constIntValue(tv)
+		if !ok || k < 0 || int(k) >= len(names) {
+			return "", false
+		}
+		return names[k], true
+	}
+	return "Distributive", true
+}
+
+func constIntValue(tv types.TypeAndValue) (int64, bool) {
+	if tv.Value == nil {
+		return 0, false
+	}
+	return constant.Int64Val(constant.ToInt(tv.Value))
+}
+
+// partialAndResult reads the partial-aggregate type (Identity's result) and
+// the final result type (Lower's result) off the declared methods.
+func partialAndResult(p *Pass, im *aggImpl) (partial, result types.Type) {
+	if fd, ok := im.methods["Identity"]; ok {
+		partial = firstResultType(p, fd)
+	}
+	if fd, ok := im.methods["Lower"]; ok {
+		result = firstResultType(p, fd)
+	}
+	return partial, result
+}
+
+func firstResultType(p *Pass, fd *ast.FuncDecl) types.Type {
+	def, _ := p.TypesInfo().Defs[fd.Name].(*types.Func)
+	if def == nil {
+		return nil
+	}
+	res := def.Type().(*types.Signature).Results()
+	if res.Len() != 1 {
+		return nil
+	}
+	return res.At(0).Type()
+}
+
+func isSliceOrMap(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// isPureConcatenation reports whether a Combine body over slice partials
+// only concatenates: it appends spreads of its parameters and contains no
+// comparison between indexed elements (a sorted merge compares; a
+// concatenation does not).
+func isPureConcatenation(p *Pass, fd *ast.FuncDecl) bool {
+	if fd.Body == nil {
+		return false
+	}
+	spreads := 0
+	comparisons := 0
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" && n.Ellipsis != token.NoPos {
+				spreads++
+			}
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+				if isIndexed(n.X) || isIndexed(n.Y) {
+					comparisons++
+				}
+			}
+		}
+		return true
+	})
+	return spreads > 0 && comparisons == 0
+}
+
+func isIndexed(e ast.Expr) bool {
+	_, ok := ast.Unparen(e).(*ast.IndexExpr)
+	return ok
+}

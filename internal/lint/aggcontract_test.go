@@ -1,0 +1,244 @@
+package lint
+
+import "testing"
+
+// fakeAggregate is a minimal stand-in for scotty/internal/aggregate: the
+// analyzer matches the Props type by package-path suffix, so fixtures under
+// the "fixture" module exercise exactly the production matching logic.
+const fakeAggregate = `package aggregate
+
+type Kind uint8
+
+const (
+	Distributive Kind = iota
+	Algebraic
+	Holistic
+)
+
+type Props struct {
+	Name        string
+	Commutative bool
+	Invertible  bool
+	Kind        Kind
+}
+`
+
+func aggOverlay(src string) map[string]map[string]string {
+	return map[string]map[string]string{
+		"fixture/internal/aggregate": {"aggregate.go": fakeAggregate},
+		"fixture/fns":                {"fns.go": src},
+	}
+}
+
+func TestAggContractInvertibleWithoutInvert(t *testing.T) {
+	got := findingsOf(t, AggContract, aggOverlay(`package fns
+
+import "fixture/internal/aggregate"
+
+type liar struct{}
+
+func (liar) Lift(e int) float64        { return float64(e) }
+func (liar) Combine(a, b float64) float64 { return a + b }
+func (liar) Lower(a float64) float64   { return a }
+func (liar) Identity() float64         { return 0 }
+func (liar) Props() aggregate.Props {
+	return aggregate.Props{Name: "liar", Commutative: true, Invertible: true}
+}
+`), "fixture/fns")
+	wantFindings(t, got, "declares Props.Invertible: true but implements no Invert")
+}
+
+func TestAggContractInvertWithoutFlag(t *testing.T) {
+	got := findingsOf(t, AggContract, aggOverlay(`package fns
+
+import "fixture/internal/aggregate"
+
+type shy struct{}
+
+func (shy) Lift(e int) float64        { return float64(e) }
+func (shy) Combine(a, b float64) float64 { return a + b }
+func (shy) Lower(a float64) float64   { return a }
+func (shy) Identity() float64         { return 0 }
+func (shy) Invert(a, b float64) float64 { return a - b }
+func (shy) Props() aggregate.Props {
+	return aggregate.Props{Name: "shy", Commutative: true, Invertible: false}
+}
+`), "fixture/fns")
+	wantFindings(t, got, "implements Invert but declares Props.Invertible: false")
+}
+
+func TestAggContractDistributivePartialMustEqualResult(t *testing.T) {
+	got := findingsOf(t, AggContract, aggOverlay(`package fns
+
+import "fixture/internal/aggregate"
+
+type meanish struct{}
+
+type pair struct{ S float64; N int64 }
+
+func (meanish) Lift(e int) pair        { return pair{float64(e), 1} }
+func (meanish) Combine(a, b pair) pair { return pair{a.S + b.S, a.N + b.N} }
+func (meanish) Lower(a pair) float64   { return a.S / float64(a.N) }
+func (meanish) Identity() pair         { return pair{} }
+func (meanish) Props() aggregate.Props {
+	return aggregate.Props{Name: "meanish", Commutative: true, Kind: aggregate.Distributive}
+}
+`), "fixture/fns")
+	wantFindings(t, got, "Kind: Distributive but partial type")
+}
+
+func TestAggContractUnboundedPartialMustBeHolistic(t *testing.T) {
+	got := findingsOf(t, AggContract, aggOverlay(`package fns
+
+import "fixture/internal/aggregate"
+
+type gather struct{}
+
+func (gather) Lift(e int) []float64 { return []float64{float64(e)} }
+func (gather) Combine(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+func (gather) Lower(a []float64) float64 { return 0 }
+func (gather) Identity() []float64       { return nil }
+func (gather) Props() aggregate.Props {
+	return aggregate.Props{Name: "gather", Commutative: true, Kind: aggregate.Algebraic}
+}
+`), "fixture/fns")
+	wantFindings(t, got, "unbounded size")
+}
+
+func TestAggContractConcatenationIsNotCommutative(t *testing.T) {
+	got := findingsOf(t, AggContract, aggOverlay(`package fns
+
+import "fixture/internal/aggregate"
+
+type concat struct{}
+
+func (concat) Lift(e int) []float64 { return []float64{float64(e)} }
+func (concat) Combine(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+func (concat) Lower(a []float64) []float64 { return a }
+func (concat) Identity() []float64         { return nil }
+func (concat) Props() aggregate.Props {
+	return aggregate.Props{Name: "concat", Commutative: true, Kind: aggregate.Holistic}
+}
+`), "fixture/fns")
+	wantFindings(t, got, "Combine concatenates slices")
+}
+
+func TestAggContractCleanImplementations(t *testing.T) {
+	got := findingsOf(t, AggContract, aggOverlay(`package fns
+
+import "fixture/internal/aggregate"
+
+// sum: invertible and says so.
+type sum struct{}
+
+func (sum) Lift(e int) float64        { return float64(e) }
+func (sum) Combine(a, b float64) float64 { return a + b }
+func (sum) Lower(a float64) float64   { return a }
+func (sum) Identity() float64         { return 0 }
+func (sum) Invert(a, b float64) float64 { return a - b }
+func (sum) Props() aggregate.Props {
+	return aggregate.Props{Name: "sum", Commutative: true, Invertible: true}
+}
+
+// collect: honest about non-commutative concatenation.
+type collect struct{}
+
+func (collect) Lift(e int) []float64 { return []float64{float64(e)} }
+func (collect) Combine(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+func (collect) Lower(a []float64) []float64 { return a }
+func (collect) Identity() []float64         { return nil }
+func (collect) Props() aggregate.Props {
+	return aggregate.Props{Name: "collect", Commutative: false, Kind: aggregate.Holistic}
+}
+
+// merge: commutative sorted merge over slices — comparisons exempt it
+// from the concatenation check.
+type merge struct{}
+
+func (merge) Lift(e int) []float64 { return []float64{float64(e)} }
+func (merge) Combine(a, b []float64) []float64 {
+	out := make([]float64, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+func (merge) Lower(a []float64) float64 { return 0 }
+func (merge) Identity() []float64       { return nil }
+func (merge) Props() aggregate.Props {
+	return aggregate.Props{Name: "merge", Commutative: true, Kind: aggregate.Holistic}
+}
+
+// dynamic: computes Props at runtime — not statically auditable, skipped.
+type dynamic struct{ inner sum }
+
+func (d dynamic) Lift(e int) float64        { return d.inner.Lift(e) }
+func (d dynamic) Combine(a, b float64) float64 { return d.inner.Combine(a, b) }
+func (d dynamic) Lower(a float64) float64   { return d.inner.Lower(a) }
+func (d dynamic) Identity() float64         { return d.inner.Identity() }
+func (d dynamic) Props() aggregate.Props {
+	p := d.inner.Props()
+	p.Name = "dynamic:" + p.Name
+	return p
+}
+`), "fixture/fns")
+	wantFindings(t, got)
+}
+
+func TestAggContractGenericReceiversAndEmbedding(t *testing.T) {
+	got := findingsOf(t, AggContract, aggOverlay(`package fns
+
+import "fixture/internal/aggregate"
+
+// generic sum mirroring the production code's type-parameterized receivers.
+type gsum[V any] struct{ get func(V) float64 }
+
+func (s gsum[V]) Lift(e V) float64        { return s.get(e) }
+func (gsum[V]) Combine(a, b float64) float64 { return a + b }
+func (gsum[V]) Lower(a float64) float64   { return a }
+func (gsum[V]) Identity() float64         { return 0 }
+func (gsum[V]) Invert(a, b float64) float64 { return a - b }
+func (gsum[V]) Props() aggregate.Props {
+	return aggregate.Props{Name: "gsum", Commutative: true, Invertible: true}
+}
+
+// wrapper embeds gsum's methods (including Invert) and claims invertible:
+// promotion must satisfy the check.
+type wrapper[V any] struct{ gsum[V] }
+
+func (wrapper[V]) Props() aggregate.Props {
+	return aggregate.Props{Name: "wrapper", Commutative: true, Invertible: true}
+}
+`), "fixture/fns")
+	wantFindings(t, got)
+}

@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ChanHygiene audits the concurrency-bearing dataflow code — package
+// internal/engine and the baselines' engine.go — for the two leak patterns
+// that bite tuple-at-a-time pipelines:
+//
+//  1. Goroutines launched with no completion accounting. A worker the
+//     pipeline cannot wait for outlives Run() and races the next benchmark
+//     iteration. Accepted accounting: the enclosing function calls
+//     (*sync.WaitGroup).Add, or the goroutine body signals a done channel
+//     (defer close(...) / send of struct{}).
+//  2. Channels that are made and sent on in the audited code but never
+//     closed there. The owning (sending) side must close, or every
+//     range-based consumer blocks forever on drain.
+//
+// Both checks are package-local heuristics: a channel handed to another
+// package for closing will false-positive and should carry a
+// //lint:ignore chanhygiene <reason>.
+var ChanHygiene = &Analyzer{
+	Name: "chanhygiene",
+	Doc:  "flags unaccounted goroutines and send-but-never-close channels in the dataflow engines",
+	Applies: func(pkg *Package) bool {
+		return PkgPathHasSuffix(pkg, "internal/engine") || PkgPathHasSuffix(pkg, "internal/baselines")
+	},
+	Run: runChanHygiene,
+}
+
+func runChanHygiene(p *Pass) {
+	for _, f := range p.Files() {
+		// In internal/baselines only engine.go is dataflow code; the rest
+		// of the package is sequential operators.
+		if PkgPathHasSuffix(p.Pkg, "internal/baselines") {
+			name := p.Fset().Position(f.Pos()).Filename
+			if !strings.HasSuffix(name, "/engine.go") && !strings.HasSuffix(name, "engine.go") {
+				continue
+			}
+		}
+		checkGoroutines(p, f)
+		checkChannelClose(p, f)
+	}
+}
+
+// ----------------------------------------------------------- goroutines ---
+
+func checkGoroutines(p *Pass, f *ast.File) {
+	// Walk function by function so "enclosing function" is well-defined.
+	ast.Inspect(f, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		default:
+			return true
+		}
+		if body == nil {
+			return true
+		}
+		hasWGAdd := containsWaitGroupAdd(p, body)
+		for _, stmt := range body.List {
+			visitGoStmts(stmt, func(g *ast.GoStmt) {
+				if hasWGAdd || goroutineSignalsDone(p, g) {
+					return
+				}
+				p.Reportf(g.Pos(), "goroutine without completion accounting: pair it with a sync.WaitGroup or a done channel so the pipeline can drain")
+			})
+		}
+		return true
+	})
+}
+
+// visitGoStmts finds go statements within stmt without descending into
+// nested function literals (their goroutines belong to the nested scope).
+func visitGoStmts(stmt ast.Stmt, fn func(*ast.GoStmt)) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			fn(n)
+		}
+		return true
+	})
+}
+
+// containsWaitGroupAdd reports whether body calls Add on a sync.WaitGroup
+// (directly, not inside nested function literals).
+func containsWaitGroupAdd(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != body.Pos() {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return true
+		}
+		if isWaitGroup(p.TypesInfo().TypeOf(sel.X)) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// goroutineSignalsDone reports whether the spawned function's body closes a
+// channel or sends on one (the done-channel idiom), or calls a WaitGroup's
+// Done (covers goroutines receiving the WaitGroup from an outer scope).
+func goroutineSignalsDone(p *Pass, g *ast.GoStmt) bool {
+	lit, ok := g.Call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false // go f(...): cannot see into f; require wg in caller
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if b, ok := p.TypesInfo().Uses[id].(*types.Builtin); ok && b.Name() == "close" {
+					found = true
+				}
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" && isWaitGroup(p.TypesInfo().TypeOf(sel.X)) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// ------------------------------------------------------- channel closing ---
+
+// checkChannelClose tracks, per root variable, channels made, sent on, and
+// closed within the file, and flags make-sites whose channel is sent on but
+// never closed.
+func checkChannelClose(p *Pass, f *ast.File) {
+	info := p.TypesInfo()
+	made := map[types.Object]ast.Expr{} // root object -> make site
+	sent := map[types.Object]bool{}
+	closed := map[types.Object]bool{}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if !isMakeChan(info, rhs) || i >= len(n.Lhs) {
+					continue
+				}
+				if obj := rootObjectOrDef(info, n.Lhs[i]); obj != nil {
+					made[obj] = rhs
+				}
+			}
+		case *ast.SendStmt:
+			if obj := rootObject(info, n.Chan); obj != nil {
+				sent[obj] = true
+			}
+		case *ast.CallExpr:
+			id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+			if !ok || id.Name != "close" || len(n.Args) != 1 {
+				return true
+			}
+			if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "close" {
+				return true
+			}
+			if obj := rootObject(info, n.Args[0]); obj != nil {
+				closed[obj] = true
+			}
+		}
+		return true
+	})
+
+	for obj, site := range made {
+		if sent[obj] && !closed[obj] {
+			p.Reportf(site.Pos(), "channel %q is sent on but never closed in this file: the owning side must close it or consumers cannot drain", obj.Name())
+		}
+	}
+}
+
+func isMakeChan(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "make" {
+		return false
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+		return false
+	}
+	t := info.TypeOf(call.Args[0])
+	if t == nil {
+		return false
+	}
+	_, isChan := t.Underlying().(*types.Chan)
+	return isChan
+}
+
+// rootObjectOrDef is rootObject but also resolves := definitions.
+func rootObjectOrDef(info *types.Info, e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+	}
+	return rootObject(info, e)
+}

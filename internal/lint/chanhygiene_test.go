@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func enginePkg(src string) map[string]map[string]string {
+	return map[string]map[string]string{"fixture/internal/engine": {"engine.go": src}}
+}
+
+func TestChanHygieneFlagsUnaccountedGoroutine(t *testing.T) {
+	got := findingsOf(t, ChanHygiene, enginePkg(`package engine
+
+func fire(work func()) {
+	go work()
+}
+`), "fixture/internal/engine")
+	wantFindings(t, got, "goroutine without completion accounting")
+}
+
+func TestChanHygieneFlagsSendWithoutClose(t *testing.T) {
+	got := findingsOf(t, ChanHygiene, enginePkg(`package engine
+
+import "sync"
+
+func produce(n int) <-chan int {
+	ch := make(chan int, n)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			ch <- i
+		}
+	}()
+	return ch
+}
+`), "fixture/internal/engine")
+	wantFindings(t, got, "sent on but never closed")
+}
+
+func TestChanHygieneCleanPipeline(t *testing.T) {
+	got := findingsOf(t, ChanHygiene, enginePkg(`package engine
+
+import "sync"
+
+// WaitGroup-accounted workers draining a channel the owner closes: the
+// shape of Run() in the real engine.
+func pipeline(items []int, par int) int {
+	chans := make([]chan int, par)
+	for i := range chans {
+		chans[i] = make(chan int, 8)
+	}
+	var total int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for p := 0; p < par; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			n := 0
+			for v := range chans[p] {
+				n += v
+			}
+			mu.Lock()
+			total += n
+			mu.Unlock()
+		}(p)
+	}
+	for i, v := range items {
+		chans[i%par] <- v
+	}
+	for p := 0; p < par; p++ {
+		close(chans[p])
+	}
+	wg.Wait()
+	return total
+}
+
+// A done-channel goroutine accounts for itself without a WaitGroup.
+func background() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	return done
+}
+
+// Receive-only use of a channel made here imposes no close obligation.
+func drain(n int) int {
+	ch := make(chan int, n)
+	close(ch)
+	total := 0
+	for v := range ch {
+		total += v
+	}
+	return total
+}
+`), "fixture/internal/engine")
+	wantFindings(t, got)
+}
+
+func TestChanHygieneOnlyAuditsEngineFileInBaselines(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"fixture/internal/baselines": {
+			"engine.go": `package baselines
+
+func fire(work func()) { go work() }
+`,
+			"cutty.go": `package baselines
+
+func alsoFires(work func()) { go work() }
+`,
+		},
+	}
+	got := findingsOf(t, ChanHygiene, overlay, "fixture/internal/baselines")
+	wantFindings(t, got, "goroutine without completion accounting")
+	if !strings.Contains(got[0], "engine.go") {
+		t.Errorf("finding should be in engine.go, got %q", got[0])
+	}
+}

@@ -1,0 +1,39 @@
+package lint
+
+import "testing"
+
+func TestFloatEqFlagsEqualityBothOps(t *testing.T) {
+	got := findingsOf(t, FloatEq, corePkg(`package core
+
+type agg struct{ V float64 }
+
+func same(a, b agg) bool  { return a.V == b.V }
+func diff(a, b float32) bool { return a != b }
+`), "fixture/internal/core")
+	wantFindings(t, got,
+		"floating-point == comparison",
+		"floating-point != comparison")
+}
+
+func TestFloatEqCleanComparisons(t *testing.T) {
+	got := findingsOf(t, FloatEq, corePkg(`package core
+
+import "math"
+
+// Ordering comparisons, integer equality, and IsNaN are all fine.
+func ordered(a, b float64) bool { return a < b }
+func counts(a, b int64) bool    { return a == b }
+func nan(a float64) bool        { return math.IsNaN(a) }
+`), "fixture/internal/core")
+	wantFindings(t, got)
+}
+
+func TestFloatEqScopedToKernelPackages(t *testing.T) {
+	got := findingsOf(t, FloatEq, map[string]map[string]string{
+		"fixture/internal/experiments": {"f.go": `package experiments
+
+func same(a, b float64) bool { return a == b }
+`},
+	}, "fixture/internal/experiments")
+	wantFindings(t, got)
+}

@@ -1,0 +1,209 @@
+// Package lint is a small static-analysis framework for this repository,
+// built only on the standard library (go/parser, go/ast, go/types, go/token).
+// It exists because the correctness of general stream slicing hinges on
+// per-function algebraic contracts — invertibility, commutativity, order
+// sensitivity (§4 of the paper) — that select which slice-maintenance cascade
+// is legal. Violating them does not crash; it silently corrupts window
+// results. The analyzers in this package move those contracts from
+// runtime-test enforcement to compile-time checking.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis at a
+// fraction of its surface: a Loader type-checks packages from source, each
+// Analyzer inspects one type-checked package at a time, and findings carry
+// file:line positions. Findings can be suppressed in source with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed on the offending line or on the line directly above it; the reason
+// is mandatory.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Pass carries one type-checked package through one analyzer run.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Pkg is the loaded package under analysis.
+	Pkg *Package
+	// findings accumulates reports.
+	findings *[]Finding
+}
+
+// Fset returns the file set positions resolve against.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Files returns the package's parsed syntax trees.
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// TypesInfo returns the type information recorded during checking.
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
+
+// TypesPkg returns the type-checked package object.
+func (p *Pass) TypesPkg() *types.Package { return p.Pkg.Types }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and ignore directives.
+	Name string
+	// Doc is a one-line description shown by the driver.
+	Doc string
+	// Applies reports whether the analyzer audits the package at all;
+	// nil means every package.
+	Applies func(pkg *Package) bool
+	// Run inspects the package and reports findings through the pass.
+	Run func(p *Pass)
+}
+
+// Finding is one reported violation.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// All returns the repository's analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{AggContract, Nondeterminism, ChanHygiene, FloatEq}
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// (non-suppressed) findings sorted by position.
+func Run(analyzers []*Analyzer, pkgs []*Package) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		ig := collectIgnores(pkg)
+		var raw []Finding
+		for _, a := range analyzers {
+			if a.Applies != nil && !a.Applies(pkg) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, findings: &raw}
+			a.Run(pass)
+		}
+		for _, f := range raw {
+			if !ig.suppresses(f) {
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// ---------------------------------------------------------- suppressions ---
+
+// ignoreSet records //lint:ignore directives per file and line.
+type ignoreSet struct {
+	// byLine maps filename -> line -> analyzer names ignored there.
+	byLine map[string]map[int][]string
+}
+
+// collectIgnores scans every comment in the package for ignore directives.
+// A directive suppresses matching findings on its own line and on the line
+// immediately below (the conventional "comment above the statement" form).
+func collectIgnores(pkg *Package) ignoreSet {
+	ig := ignoreSet{byLine: map[string]map[int][]string{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "lint:ignore ") {
+					continue
+				}
+				rest := strings.TrimPrefix(text, "lint:ignore ")
+				parts := strings.Fields(rest)
+				if len(parts) < 2 {
+					// A directive without a reason is itself reported by
+					// the driver via CheckDirectives; ignore it here.
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				m := ig.byLine[pos.Filename]
+				if m == nil {
+					m = map[int][]string{}
+					ig.byLine[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], parts[0])
+				m[pos.Line+1] = append(m[pos.Line+1], parts[0])
+			}
+		}
+	}
+	return ig
+}
+
+func (ig ignoreSet) suppresses(f Finding) bool {
+	for _, name := range ig.byLine[f.Pos.Filename][f.Pos.Line] {
+		if name == f.Analyzer || name == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckDirectives reports malformed //lint:ignore directives (missing
+// analyzer name or missing reason) so suppressions stay auditable.
+func CheckDirectives(pkgs []*Package) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "lint:ignore") {
+						continue
+					}
+					parts := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
+					if len(parts) < 2 {
+						out = append(out, Finding{
+							Analyzer: "directive",
+							Pos:      pkg.Fset.Position(c.Pos()),
+							Message:  "malformed //lint:ignore directive: want //lint:ignore <analyzer> <reason>",
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// PkgPathHasSuffix reports whether the package's import path ends with
+// suffix at a path-segment boundary; analyzers use it so fixtures under any
+// module name match the same packages as the real tree.
+func PkgPathHasSuffix(pkg *Package, suffix string) bool {
+	return pkg.Path == suffix || strings.HasSuffix(pkg.Path, "/"+suffix)
+}

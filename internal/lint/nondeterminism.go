@@ -1,0 +1,203 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// deterministicPkgs are the packages whose outputs must be a pure function
+// of the input stream: the slicing core, the aggregate kernels, the baseline
+// operators, the window definitions, and (after clock injection) the engine.
+// internal/benchutil is deliberately absent — it measures wall-clock time,
+// which is its job.
+var deterministicPkgs = []string{
+	"internal/core",
+	"internal/aggregate",
+	"internal/baselines",
+	"internal/window",
+	"internal/engine",
+}
+
+// Nondeterminism flags the three ways nondeterminism leaks into the
+// deterministic packages:
+//
+//  1. time.Now() — wall-clock reads; inject a clock (func() time.Time)
+//     instead, as internal/engine.Config.Clock does.
+//  2. Calls to math/rand package-level functions, which draw from the
+//     process-global source; use rand.New(rand.NewSource(seed)).
+//  3. Ranging over a map where the iteration order can flow into emitted
+//     results — appending to an outer slice, sending on a channel, or
+//     invoking a callback inside the loop body. Commutative folds
+//     (total.X += s.X) are fine and not flagged.
+var Nondeterminism = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "flags wall-clock reads, global rand sources, and order-leaking map iteration in deterministic packages",
+	Applies: func(pkg *Package) bool {
+		for _, s := range deterministicPkgs {
+			if PkgPathHasSuffix(pkg, s) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runNondeterminism,
+}
+
+func runNondeterminism(p *Pass) {
+	info := p.TypesInfo()
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := staticCallee(info, n); fn != nil {
+					checkNondetCall(p, n, fn)
+				}
+			case *ast.RangeStmt:
+				checkMapRange(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// staticCallee resolves a call to the *types.Func it invokes, or nil for
+// calls through function values, built-ins, and type conversions.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+func checkNondetCall(p *Pass, call *ast.CallExpr, fn *types.Func) {
+	pkg := fn.Pkg()
+	if pkg == nil || fn.Type().(*types.Signature).Recv() != nil {
+		return // stdlib method (e.g. (*rand.Rand).Intn) — seeded use is fine
+	}
+	switch pkg.Path() {
+	case "time":
+		if fn.Name() == "Now" {
+			p.Reportf(call.Pos(), "time.Now() in deterministic package %s: inject a clock (func() time.Time) instead", p.Pkg.Path)
+		}
+	case "math/rand", "math/rand/v2":
+		switch fn.Name() {
+		case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+			// Constructors take an explicit, seedable source.
+		default:
+			p.Reportf(call.Pos(), "rand.%s() draws from the global source: use rand.New(rand.NewSource(seed)) for replayable streams", fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags map-range loops whose body lets iteration order
+// escape: appends to variables declared outside the loop, channel sends, and
+// calls through function values (emit callbacks). Deleting keys and
+// commutative accumulation do not trip it.
+func checkMapRange(p *Pass, rng *ast.RangeStmt) {
+	t := p.TypesInfo().TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	var reason string
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			reason = "sends on a channel"
+		case *ast.CallExpr:
+			fun := ast.Unparen(n.Fun)
+			if isAppendToOuter(p, rng, n) {
+				reason = "appends to a slice declared outside the loop"
+				return false
+			}
+			// A call through a function value (callback) observes order.
+			if staticCallee(p.TypesInfo(), n) == nil && !isBuiltinOrConversion(p, fun) {
+				reason = "invokes a function value"
+				return false
+			}
+		}
+		return true
+	})
+	if reason != "" {
+		p.Reportf(rng.For, "map iteration order %s: results depend on nondeterministic order; iterate keys in a deterministic order", reason)
+	}
+}
+
+// isAppendToOuter reports whether call is append(...) whose first argument's
+// root variable is declared outside the range body (so the append order —
+// i.e. map order — is observable after the loop).
+func isAppendToOuter(p *Pass, rng *ast.RangeStmt, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if b, ok := p.TypesInfo().Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	obj := rootObject(p.TypesInfo(), call.Args[0])
+	if obj == nil {
+		return false
+	}
+	// Declared inside the loop body → order cannot escape via this slice
+	// unless something else in the body leaks it (caught separately).
+	return obj.Pos() < rng.Body.Pos() || obj.Pos() > rng.Body.End()
+}
+
+func isBuiltinOrConversion(p *Pass, fun ast.Expr) bool {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		switch p.TypesInfo().Uses[fun].(type) {
+		case *types.Builtin, *types.TypeName:
+			return true
+		case nil:
+			// Conversion to an unnamed type or unresolved — be quiet.
+			return p.TypesInfo().Types[fun].IsType()
+		}
+	case *ast.ArrayType, *ast.MapType, *ast.ChanType, *ast.FuncType, *ast.InterfaceType, *ast.StructType:
+		return true
+	case *ast.SelectorExpr:
+		if _, ok := p.TypesInfo().Uses[fun.Sel].(*types.TypeName); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// rootObject unwraps selectors and index expressions to the base variable.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.Uses[x]
+		case *ast.SelectorExpr:
+			// For k.results the root is the field selection itself; use
+			// the selected object (the field) so distinct fields of the
+			// same receiver stay distinct.
+			if sel, ok := info.Selections[x]; ok {
+				return sel.Obj()
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

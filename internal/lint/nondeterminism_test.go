@@ -1,0 +1,114 @@
+package lint
+
+import "testing"
+
+func corePkg(src string) map[string]map[string]string {
+	return map[string]map[string]string{"fixture/internal/core": {"f.go": src}}
+}
+
+func TestNondeterminismFlagsTimeNow(t *testing.T) {
+	got := findingsOf(t, Nondeterminism, corePkg(`package core
+
+import "time"
+
+func stamp() int64 { return time.Now().UnixNano() }
+`), "fixture/internal/core")
+	wantFindings(t, got, "time.Now() in deterministic package")
+}
+
+func TestNondeterminismFlagsGlobalRand(t *testing.T) {
+	got := findingsOf(t, Nondeterminism, corePkg(`package core
+
+import "math/rand"
+
+func jitter() int { return rand.Intn(10) }
+`), "fixture/internal/core")
+	wantFindings(t, got, "rand.Intn() draws from the global source")
+}
+
+func TestNondeterminismFlagsOrderLeakingMapRange(t *testing.T) {
+	got := findingsOf(t, Nondeterminism, corePkg(`package core
+
+type op struct{ results []int }
+
+func (o *op) flush(m map[string]int) {
+	for _, v := range m {
+		o.results = append(o.results, v)
+	}
+}
+
+func send(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v
+	}
+}
+
+func callback(m map[string]int, emit func(int)) {
+	for _, v := range m {
+		emit(v)
+	}
+}
+`), "fixture/internal/core")
+	wantFindings(t, got,
+		"appends to a slice declared outside the loop",
+		"sends on a channel",
+		"invokes a function value")
+}
+
+func TestNondeterminismCleanPatterns(t *testing.T) {
+	got := findingsOf(t, Nondeterminism, corePkg(`package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Seeded source: replayable, allowed.
+func seeded() int { return rand.New(rand.NewSource(7)).Intn(10) }
+
+// Function value handed onward, never called here: allowed.
+var clock func() time.Time = time.Now
+
+// Commutative fold over a map: order cannot escape.
+func total(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// Appends to a slice declared inside the loop body: order stays local.
+func localAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		local := []int{}
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// Deleting while ranging is the documented-safe idiom.
+func expire(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+`), "fixture/internal/core")
+	wantFindings(t, got)
+}
+
+func TestNondeterminismDoesNotAuditBenchutil(t *testing.T) {
+	got := findingsOf(t, Nondeterminism, map[string]map[string]string{
+		"fixture/internal/benchutil": {"f.go": `package benchutil
+
+import "time"
+
+func stamp() int64 { return time.Now().UnixNano() }
+`},
+	}, "fixture/internal/benchutil")
+	wantFindings(t, got)
+}

@@ -1,0 +1,33 @@
+package lint
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestRepositoryIsLintClean runs the full analyzer suite over the real
+// module, wiring slicelint into the tier-1 `go test ./...` gate: a contract
+// violation anywhere in the tree fails this test even if nobody runs the
+// standalone driver.
+func TestRepositoryIsLintClean(t *testing.T) {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate source file")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(file))) // internal/lint -> repo root
+	mod, err := ModulePathFromGoMod(root)
+	if err != nil {
+		t.Fatalf("read module path: %v", err)
+	}
+	loader := NewLoader(mod, root)
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	findings := Run(All(), pkgs)
+	findings = append(findings, CheckDirectives(pkgs)...)
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# check.sh — the tier-1 verification gate. Everything CI runs is here, so
+# "./scripts/check.sh passes" locally means the push will be green.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo '== go build ./...'
+go build ./...
+
+echo '== go vet ./...'
+go vet ./...
+
+echo '== slicelint ./...'
+go run ./cmd/slicelint ./...
+
+echo '== go test ./...'
+go test ./...
+
+echo '== go test -race -short (engine, core, stream)'
+go test -race -short ./internal/engine ./internal/core ./internal/stream
+
+echo 'OK'
