@@ -21,6 +21,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -42,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fig := fs.String("fig", "", "experiment id: 8..17, table1, ablation, or all")
 	full := fs.Bool("full", false, "run at the paper-sized scale")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonPath := fs.String("json", "", "also write the results as machine-readable JSON to this path")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -52,14 +55,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	sc := experiments.Quick()
+	scaleName := "quick"
 	if *full {
 		sc = experiments.Full()
+		scaleName = "full"
+	}
+	if *jsonPath != "" {
+		benchutil.StartRecording(*fig, scaleName)
+		defer benchutil.StopRecording()
 	}
 	fmt.Fprintf(stdout, "general stream slicing benchmark — GOMAXPROCS=%d, scale=%s\n",
-		runtime.GOMAXPROCS(0), map[bool]string{false: "quick", true: "full"}[*full])
+		runtime.GOMAXPROCS(0), scaleName)
 	if !experiments.Run(*fig, stdout, sc) {
 		fmt.Fprintf(stderr, "unknown experiment %q\n", *fig)
 		return 2
 	}
+	if *jsonPath != "" {
+		if err := writeRecording(benchutil.StopRecording(), *jsonPath); err != nil {
+			fmt.Fprintf(stderr, "writing %s: %v\n", *jsonPath, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *jsonPath)
+	}
 	return 0
+}
+
+// writeRecording renders the recording to path and verifies the artifact is
+// parseable, non-empty JSON — the file is a CI contract, not just a log.
+func writeRecording(rec *benchutil.Recording, path string) error {
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		return err
+	}
+	if !json.Valid(buf.Bytes()) {
+		return fmt.Errorf("recording is not valid JSON")
+	}
+	if len(rec.Points) == 0 {
+		return fmt.Errorf("recording holds no data points")
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
 }

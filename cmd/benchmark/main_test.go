@@ -1,8 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"scotty/internal/benchutil"
 )
 
 func TestTable1SmokeRun(t *testing.T) {
@@ -39,5 +44,36 @@ func TestUnknownFigureExitsNonZero(t *testing.T) {
 	}
 	if code := run(nil, &out, &errOut); code == 0 {
 		t.Fatal("missing -fig should exit non-zero")
+	}
+}
+
+func TestJSONRecordingArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_fig15.json")
+	var out, errOut strings.Builder
+	if code := run([]string{"-fig", "15", "-json", path}, &out, &errOut); code != 0 {
+		t.Fatalf("benchmark -json exited %d: %s", code, errOut.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec benchutil.Recording
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v\n%s", err, raw)
+	}
+	if rec.Figure != "15" || rec.Scale != "quick" || len(rec.Points) == 0 {
+		t.Fatalf("unexpected recording: figure=%q scale=%q points=%d", rec.Figure, rec.Scale, len(rec.Points))
+	}
+	for _, p := range rec.Points {
+		if p.Series == "" {
+			t.Fatalf("point without series: %+v", p)
+		}
+	}
+	if !strings.Contains(out.String(), "wrote "+path) {
+		t.Fatalf("missing confirmation line:\n%s", out.String())
+	}
+	// The recording must be detached after the run.
+	if benchutil.Rec != nil {
+		t.Fatal("recording left active after run")
 	}
 }

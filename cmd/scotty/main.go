@@ -8,20 +8,28 @@
 //	scotty -window sliding -length 10000 -slide 2000 -agg p90 -ooo 0.2
 //
 // Input events may arrive out of order; results are emitted on periodic
-// watermarks, late events produce update rows.
+// watermarks, late events produce update rows. Epoch-millisecond timestamps
+// are fine: time windows are internally rebased by a multiple of the slide
+// (bounds print unchanged), so the run does not walk the empty windows
+// between time zero and the first tuple.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"scotty/internal/aggregate"
 	"scotty/internal/core"
+	"scotty/internal/obs"
 	"scotty/internal/stream"
 	"scotty/internal/window"
 )
@@ -44,70 +52,172 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		ooo      = fs.Float64("ooo", 0, "fraction of demo events delivered out of order")
 		lateness = fs.Int64("lateness", 2000, "allowed lateness (ms)")
 		wmEvery  = fs.Int64("watermark", 1000, "watermark period (ms of event time)")
+		metrics  = fs.String("metrics", "", "serve /metrics and /debug/slices on this address (:0 picks a free port; the URL is printed to stderr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	def := makeWindow(*winType, *length, *slide, *gap, stderr)
+	def, step := makeWindow(*winType, *length, *slide, *gap, stderr)
 	if def == nil {
 		return 2
 	}
-	events := readOrGenerate(*demo, *ooo, stdin, stderr)
 
-	runItems := func(op func(stream.Item[float64])) {
-		items := stream.Prepare(stream.Watermarker{Period: *wmEvery, Lag: 2001}, events)
-		for _, it := range items {
-			op(it)
+	var ms *metricsServer
+	if *metrics != "" {
+		var err error
+		if ms, err = startMetrics(*metrics, stderr); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer ms.stop()
+	}
+
+	wm := stream.Watermarker{Period: *wmEvery, Lag: 2001}
+	// Epoch-scale timestamps are rebased before they reach the operator:
+	// window starts are absolute multiples of the slide, so a tumbling or
+	// sliding query fed raw epoch milliseconds would otherwise emit (and
+	// walk) hundreds of millions of a-priori-empty windows between time
+	// zero and the first tuple. Shifting by a multiple of the slide maps
+	// onto the identical window family; the offset is added back on output.
+	rb := &rebaser{step: step, margin: wm.Lag + *lateness}
+	var runItems func(op func(stream.Item[float64]))
+	if *demo > 0 {
+		events := demoEvents(*demo, *ooo)
+		runItems = func(op func(stream.Item[float64])) {
+			for _, it := range stream.Prepare(wm, events) {
+				op(it)
+			}
+		}
+	} else {
+		// CSV input streams: each line is parsed, watermarked, and
+		// processed as it arrives, so a live -metrics endpoint observes
+		// the run in progress instead of a post-hoc summary.
+		runItems = func(op func(stream.Item[float64])) {
+			feedCSV(stdin, stderr, wm, rb, op)
 		}
 	}
 
 	switch *aggName {
 	case "sum":
-		return runQuery(def, aggregate.Sum[float64](ident), *lateness, runItems, stdout, stderr)
+		return runQuery(def, aggregate.Sum[float64](ident), *lateness, runItems, rb, ms, stdout, stderr)
 	case "count":
-		return runQuery(def, aggregate.Count[float64](), *lateness, runItems, stdout, stderr)
+		return runQuery(def, aggregate.Count[float64](), *lateness, runItems, rb, ms, stdout, stderr)
 	case "mean":
-		return runQuery(def, aggregate.Mean[float64](ident), *lateness, runItems, stdout, stderr)
+		return runQuery(def, aggregate.Mean[float64](ident), *lateness, runItems, rb, ms, stdout, stderr)
 	case "min":
-		return runQuery(def, aggregate.Min[float64](ident), *lateness, runItems, stdout, stderr)
+		return runQuery(def, aggregate.Min[float64](ident), *lateness, runItems, rb, ms, stdout, stderr)
 	case "max":
-		return runQuery(def, aggregate.Max[float64](ident), *lateness, runItems, stdout, stderr)
+		return runQuery(def, aggregate.Max[float64](ident), *lateness, runItems, rb, ms, stdout, stderr)
 	case "median":
-		return runQuery(def, aggregate.Median[float64](ident), *lateness, runItems, stdout, stderr)
+		return runQuery(def, aggregate.Median[float64](ident), *lateness, runItems, rb, ms, stdout, stderr)
 	case "p90":
-		return runQuery(def, aggregate.Percentile[float64](0.9, ident), *lateness, runItems, stdout, stderr)
+		return runQuery(def, aggregate.Percentile[float64](0.9, ident), *lateness, runItems, rb, ms, stdout, stderr)
 	case "m4":
-		return runQuery(def, aggregate.M4[float64](ident), *lateness, runItems, stdout, stderr)
+		return runQuery(def, aggregate.M4[float64](ident), *lateness, runItems, rb, ms, stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "unknown aggregation %q\n", *aggName)
 		return 2
 	}
 }
 
+// metricsServer owns the optional observability endpoint: the operator's
+// registry on /metrics (Prometheus text or JSON) and the latest slice-layout
+// snapshot on /debug/slices.
+type metricsServer struct {
+	reg    *obs.Registry
+	slices atomic.Value // []core.SliceInfo, published from the processing loop
+	srv    *http.Server
+}
+
+func startMetrics(addr string, stderr io.Writer) (*metricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics listener: %w", err)
+	}
+	ms := &metricsServer{reg: obs.NewRegistry()}
+	ms.slices.Store([]core.SliceInfo{})
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(ms.reg))
+	mux.HandleFunc("/debug/slices", func(w http.ResponseWriter, r *http.Request) {
+		sl := ms.slices.Load().([]core.SliceInfo)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Count  int              `json:"count"`
+			Slices []core.SliceInfo `json:"slices"`
+		}{len(sl), sl})
+	})
+	ms.srv = &http.Server{Handler: mux}
+	go ms.srv.Serve(ln)
+	fmt.Fprintf(stderr, "metrics: http://%s/metrics\n", ln.Addr())
+	return ms, nil
+}
+
+func (ms *metricsServer) stop() { ms.srv.Close() }
+
 func ident(v float64) float64 { return v }
 
-func makeWindow(kind string, length, slide, gap int64, stderr io.Writer) window.Definition {
+// makeWindow builds the window definition and reports the rebase step: the
+// slide for time-measure periodic windows (whose edges are absolute multiples
+// of it), 0 for windows that are translation-invariant (sessions) or rank-
+// based (count) and need no rebasing.
+func makeWindow(kind string, length, slide, gap int64, stderr io.Writer) (window.Definition, int64) {
 	switch kind {
 	case "tumbling":
-		return window.Tumbling(stream.Time, length)
+		return window.Tumbling(stream.Time, length), length
 	case "sliding":
 		if slide <= 0 {
 			slide = length / 2
 		}
-		return window.Sliding(stream.Time, length, slide)
+		return window.Sliding(stream.Time, length, slide), slide
 	case "session":
-		return window.Session[float64](gap)
+		return window.Session[float64](gap), 0
 	case "count":
-		return window.Tumbling(stream.Count, length)
+		return window.Tumbling(stream.Count, length), 0
 	default:
 		fmt.Fprintf(stderr, "unknown window type %q\n", kind)
-		return nil
+		return nil, 0
 	}
 }
 
-func runQuery[A any, Out any](def window.Definition, f aggregate.Function[float64, A, Out], lateness int64, runItems func(func(stream.Item[float64])), stdout, stderr io.Writer) int {
-	ag := core.New(f, core.Options{Lateness: lateness})
+// rebaser shifts event timestamps into a small range before they reach the
+// watermarker and operator, and shifts window bounds back on the way out.
+// The offset is fixed at the first event: the largest multiple of step at or
+// below firstTS-margin (clamped to 0, so small-timestamp streams pass through
+// untouched). The margin covers the watermark lag plus the allowed lateness,
+// so every event the operator would accept still rebases to a non-negative
+// time. Because the offset is a multiple of the slide, the rebased window
+// family maps one-to-one onto the absolute one — printed bounds are exact;
+// the only difference is that the a-priori-empty windows between time zero
+// and the first tuple are never materialized.
+type rebaser struct {
+	step   int64 // 0 disables rebasing
+	margin int64
+	off    int64
+	set    bool
+}
+
+func (rb *rebaser) shift(ts int64) int64 {
+	if rb.step <= 0 {
+		return ts
+	}
+	if !rb.set {
+		rb.set = true
+		if lo := ts - rb.margin; lo > 0 {
+			rb.off = lo - (lo % rb.step)
+		}
+	}
+	return ts - rb.off
+}
+
+func (rb *rebaser) unshift(t int64) int64 { return t + rb.off }
+
+func runQuery[A any, Out any](def window.Definition, f aggregate.Function[float64, A, Out], lateness int64, runItems func(func(stream.Item[float64])), rb *rebaser, ms *metricsServer, stdout, stderr io.Writer) int {
+	opts := core.Options{Lateness: lateness}
+	if ms != nil {
+		opts.Metrics = ms.reg
+	}
+	ag := core.New(f, opts)
 	if _, err := ag.AddQuery(def); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
@@ -120,29 +230,55 @@ func runQuery[A any, Out any](def window.Definition, f aggregate.Function[float6
 			if r.Update {
 				tag = "  (update)"
 			}
-			fmt.Fprintf(out, "[%d, %d)\t n=%d\t %v%s\n", r.Start, r.End, r.N, r.Value, tag)
+			s, e := r.Start, r.End
+			if r.Measure == stream.Time {
+				s, e = rb.unshift(s), rb.unshift(e)
+			}
+			fmt.Fprintf(out, "[%d, %d)\t n=%d\t %v%s\n", s, e, r.N, r.Value, tag)
 		}
+	}
+	snapshot := func() []core.SliceInfo {
+		sl := ag.SliceSnapshot()
+		for i := range sl {
+			sl[i].Start = rb.unshift(sl[i].Start)
+			sl[i].End = rb.unshift(sl[i].End)
+		}
+		return sl
 	}
 	runItems(func(it stream.Item[float64]) {
 		if it.Kind == stream.KindEvent {
 			emit(ag.ProcessElement(it.Event))
-		} else {
-			emit(ag.ProcessWatermark(it.Watermark))
+			return
+		}
+		emit(ag.ProcessWatermark(it.Watermark))
+		// Watermarks bound the output and debug staleness for a streaming
+		// source: flush emitted rows and publish a fresh slice snapshot.
+		out.Flush()
+		if ms != nil {
+			ms.slices.Store(snapshot())
 		}
 	})
+	if ms != nil {
+		ms.slices.Store(snapshot())
+	}
 	return 0
 }
 
-func readOrGenerate(demo int, ooo float64, stdin io.Reader, stderr io.Writer) []stream.Event[float64] {
-	if demo > 0 {
-		raw := stream.Generate(stream.Football(), demo, 1)
-		ev := make([]stream.Event[float64], len(raw))
-		for i, e := range raw {
-			ev[i] = stream.Event[float64]{Time: e.Time, Seq: e.Seq, Value: e.Value.V}
-		}
-		return stream.Apply(stream.Disorder{Fraction: ooo, MaxDelay: 2000, Seed: 7}, ev)
+func demoEvents(demo int, ooo float64) []stream.Event[float64] {
+	raw := stream.Generate(stream.Football(), demo, 1)
+	ev := make([]stream.Event[float64], len(raw))
+	for i, e := range raw {
+		ev[i] = stream.Event[float64]{Time: e.Time, Seq: e.Seq, Value: e.Value.V}
 	}
-	var ev []stream.Event[float64]
+	return stream.Apply(stream.Disorder{Fraction: ooo, MaxDelay: 2000, Seed: 7}, ev)
+}
+
+// feedCSV parses "timestamp-ms,value" lines as they arrive and hands each
+// event — interleaved with due watermarks — to op immediately. Timestamps
+// are rebased before the watermarker so epoch-scale inputs stay cheap.
+func feedCSV(stdin io.Reader, stderr io.Writer, wm stream.Watermarker, rb *rebaser, op func(stream.Item[float64])) {
+	feeder := stream.NewFeeder[float64](wm)
+	var buf []stream.Item[float64]
 	sc := bufio.NewScanner(stdin)
 	seq := int64(0)
 	for sc.Scan() {
@@ -161,8 +297,13 @@ func readOrGenerate(demo int, ooo float64, stdin io.Reader, stderr io.Writer) []
 			fmt.Fprintf(stderr, "skipping malformed line: %q\n", line)
 			continue
 		}
-		ev = append(ev, stream.Event[float64]{Time: ts, Seq: seq, Value: v})
+		buf = feeder.Feed(buf[:0], stream.Event[float64]{Time: rb.shift(ts), Seq: seq, Value: v})
 		seq++
+		for _, it := range buf {
+			op(it)
+		}
 	}
-	return ev
+	for _, it := range feeder.Close(buf[:0]) {
+		op(it)
+	}
 }

@@ -73,3 +73,37 @@ func TestUnknownFlagsExitNonZero(t *testing.T) {
 		t.Fatal("unknown window type should exit non-zero")
 	}
 }
+
+// TestEpochTimestampsRebased guards the epoch-scale path end to end: raw
+// epoch-millisecond CSV must finish in O(events) — the window sequence is
+// rebased near the first tuple instead of being walked up from time zero
+// (hundreds of millions of empty windows) — while printed bounds stay
+// absolute.
+func TestEpochTimestampsRebased(t *testing.T) {
+	const base = int64(1_700_000_000_000)
+	var b strings.Builder
+	for i := 0; i < 1000; i++ {
+		fmt.Fprintf(&b, "%d,1\n", base+int64(i)*10)
+	}
+	out := runScotty(t, []string{"-window", "tumbling", "-length", "2000", "-agg", "count"}, b.String())
+	rows := checkRows(t, out)
+	// 1000 events over 10s: five full 2s windows plus at most a couple of
+	// margin windows around the edges — anything large means the leading
+	// empty-window flood is back.
+	if rows < 5 || rows > 12 {
+		t.Fatalf("expected ~5 tumbling windows, got %d rows:\n%s", rows, out)
+	}
+	if !strings.Contains(out, fmt.Sprintf("[%d, %d)\t n=200\t 200", base, base+2000)) {
+		t.Fatalf("first full window should print absolute epoch bounds:\n%s", out)
+	}
+}
+
+// TestSmallTimestampsNotRebased pins the rebase no-op: streams starting near
+// time zero keep the historical output byte for byte.
+func TestSmallTimestampsNotRebased(t *testing.T) {
+	out := runScotty(t, []string{"-window", "tumbling", "-length", "2000", "-agg", "sum"}, "1000,3.5\n2000,4.5\n")
+	want := "[0, 2000)\t n=1\t 3.5\n[2000, 4000)\t n=1\t 4.5\n"
+	if out != want {
+		t.Fatalf("output changed:\n got %q\nwant %q", out, want)
+	}
+}

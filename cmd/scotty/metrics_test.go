@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"scotty/internal/core"
+	"scotty/internal/obs"
+)
+
+// syncBuffer lets the test read stderr while run() is still writing it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var metricsURL = regexp.MustCompile(`metrics: (http://\S+)/metrics`)
+
+// TestMetricsEndpointDuringRun drives scotty through a stdin pipe and polls
+// the -metrics endpoint while the stream is still open: the counters and
+// gauges must show the run in progress, and /debug/slices must serve the
+// live slice layout.
+func TestMetricsEndpointDuringRun(t *testing.T) {
+	pr, pw := io.Pipe()
+	var out, errOut syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{"-window", "tumbling", "-length", "2000", "-agg", "sum", "-metrics", "127.0.0.1:0"}, pr, &out, &errOut)
+	}()
+
+	// The endpoint URL appears on stderr as soon as the listener is up.
+	var base string
+	deadline := time.Now().Add(5 * time.Second)
+	for base == "" {
+		if m := metricsURL.FindStringSubmatch(errOut.String()); m != nil {
+			base = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("no metrics URL on stderr:\n%s", errOut.String())
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Stream events spanning many watermark periods, keeping stdin open.
+	for i := 0; i < 200; i++ {
+		if _, err := fmt.Fprintf(pw, "%d,1\n", i*100); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fetch := func(path string) []byte {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	metricValue := func(doc []obs.MetricJSON, name string) int64 {
+		for _, m := range doc {
+			if m.Name == name && m.Value != nil {
+				return *m.Value
+			}
+		}
+		return -1
+	}
+
+	// Poll until the run is visibly in progress: tuples ingested, live
+	// slices, and a non-zero watermark lag (events at 19.9s, lag 2001ms).
+	var snap struct {
+		Metrics []obs.MetricJSON `json:"metrics"`
+	}
+	for {
+		if err := json.Unmarshal(fetch("/metrics?format=json"), &snap); err != nil {
+			t.Fatalf("metrics JSON: %v", err)
+		}
+		if metricValue(snap.Metrics, "core_tuples_total") > 0 &&
+			metricValue(snap.Metrics, "core_slices") > 0 &&
+			metricValue(snap.Metrics, "core_watermark_lag_ms") > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("metrics never became non-zero mid-run: %s", fetch("/metrics?format=json"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(string(fetch("/metrics")), "# TYPE core_tuples_total counter") {
+		t.Fatal("/metrics default format is not Prometheus text")
+	}
+
+	var slices struct {
+		Count  int              `json:"count"`
+		Slices []core.SliceInfo `json:"slices"`
+	}
+	if err := json.Unmarshal(fetch("/debug/slices"), &slices); err != nil {
+		t.Fatalf("/debug/slices JSON: %v", err)
+	}
+	if slices.Count == 0 || len(slices.Slices) != slices.Count {
+		t.Fatalf("debug snapshot empty or inconsistent: %+v", slices)
+	}
+
+	pw.Close()
+	if code := <-done; code != 0 {
+		t.Fatalf("scotty exited %d: %s", code, errOut.String())
+	}
+	checkRows(t, out.String())
+}

@@ -1,0 +1,119 @@
+package benchutil
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"scotty/internal/obs"
+	"scotty/internal/stream"
+)
+
+// Measurement is one recorded data point of a figure: a (series, x)
+// coordinate with throughput, result/event counts, sampled per-item
+// processing-latency quantiles (nanoseconds), and heap bytes allocated
+// during the run.
+type Measurement struct {
+	Series       string             `json:"series"`
+	X            any                `json:"x"`
+	TuplesPerSec float64            `json:"tuples_per_sec"`
+	Results      int64              `json:"results,omitempty"`
+	Events       int                `json:"events,omitempty"`
+	LatencyNS    map[string]float64 `json:"latency_ns,omitempty"`
+	BytesAlloc   uint64             `json:"bytes_alloc,omitempty"`
+	Extra        map[string]float64 `json:"extra,omitempty"`
+}
+
+// Recording accumulates the machine-readable mirror of one experiment run
+// (cmd/benchmark -json). The text tables remain the human-facing output;
+// the recording carries the same numbers plus latency quantiles and
+// allocation counts for trend tracking across commits.
+type Recording struct {
+	Figure     string        `json:"figure"`
+	Scale      string        `json:"scale"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Points     []Measurement `json:"points"`
+}
+
+// Rec is the active recording; nil (the default) disables recording and
+// keeps Measure on the plain Throughput fast path. Like CSVMode it is
+// package-level state set once by cmd/benchmark before experiments run —
+// experiments stay signature-compatible either way.
+var Rec *Recording
+
+// StartRecording installs a fresh active recording and returns it.
+func StartRecording(figure, scale string) *Recording {
+	Rec = &Recording{Figure: figure, Scale: scale, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	return Rec
+}
+
+// StopRecording detaches and returns the active recording.
+func StopRecording() *Recording {
+	r := Rec
+	Rec = nil
+	return r
+}
+
+// WriteJSON renders the recording as indented JSON.
+func (r *Recording) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// RecordPoint appends an externally measured point (e.g. the engine stats
+// of the parallel experiment) to the active recording, if any.
+func RecordPoint(m Measurement) {
+	if Rec != nil {
+		Rec.Points = append(Rec.Points, m)
+	}
+}
+
+// latencySampleEvery controls per-item latency sampling in Measure: every
+// Kth event is timed individually. Sparse sampling keeps the clock calls
+// from perturbing the throughput number the same run reports.
+const latencySampleEvery = 64
+
+// Measure replays the input like Throughput and, when a recording is
+// active, also records the point under (series, x) with sampled per-item
+// latency quantiles and heap allocation. With no active recording it is
+// exactly Throughput.
+func Measure(series string, x any, op Op, in Input) (tuplesPerSec float64, results int64) {
+	if Rec == nil {
+		return Throughput(op, in)
+	}
+	lat := obs.NewHistogram(nil)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	var r int64
+	sampled := 0
+	for _, it := range in.Items {
+		if it.Kind == stream.KindEvent {
+			sampled++
+			if sampled%latencySampleEvery == 0 {
+				t0 := time.Now()
+				r += int64(op(it))
+				lat.Observe(float64(time.Since(t0).Nanoseconds()))
+				continue
+			}
+		}
+		r += int64(op(it))
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	if elapsed > 0 {
+		tuplesPerSec = float64(in.Events) / elapsed.Seconds()
+	}
+	RecordPoint(Measurement{
+		Series:       series,
+		X:            x,
+		TuplesPerSec: tuplesPerSec,
+		Results:      r,
+		Events:       in.Events,
+		LatencyNS:    lat.Quantiles(),
+		BytesAlloc:   ms1.TotalAlloc - ms0.TotalAlloc,
+	})
+	return tuplesPerSec, r
+}

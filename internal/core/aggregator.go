@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"scotty/internal/aggregate"
+	"scotty/internal/obs"
 	"scotty/internal/stream"
 	"scotty/internal/window"
 )
@@ -31,6 +32,13 @@ type Options struct {
 	// query on every tuple instead of caching it (§5.3 step 1). Exists
 	// only for the ablation benchmark quantifying the cache's value.
 	DisableEdgeCache bool
+	// Metrics is the registry the operator's counters and gauges are
+	// registered in (core_tuples_total, core_splits_total, core_slices,
+	// core_watermark_lag_ms, ...). Nil creates a private registry,
+	// reachable through Registry(). Sharing one registry across several
+	// aggregators (e.g. the per-key operators of Keyed) aggregates the
+	// counters across all of them.
+	Metrics *obs.Registry
 }
 
 // Result is one window aggregate emitted by the operator.
@@ -51,7 +59,9 @@ type Result[Out any] struct {
 	Update bool
 }
 
-// Stats exposes operator counters for tests and the benchmark harness.
+// Stats exposes operator counters for tests and the benchmark harness. It is
+// a point-in-time view of the registry-backed metrics (see Options.Metrics);
+// the live view of the same counters is the obs registry itself.
 type Stats struct {
 	Slices     int
 	Splits     int64
@@ -109,7 +119,13 @@ type Aggregator[V, A, Out any] struct {
 	// Watermark bookkeeping.
 	currWM int64
 
-	dropped int64
+	// Registry-backed instrumentation (Options.Metrics). tuplesPublished
+	// tracks how much of totalCount has been flushed to the shared tuples
+	// counter (synced at watermark granularity to keep the per-element
+	// path free of atomic operations).
+	reg             *obs.Registry
+	m               *metricsSet
+	tuplesPublished int64
 
 	results        []Result[Out]
 	pendingUpdates []pendingUpdate
@@ -128,13 +144,20 @@ func New[V, A, Out any](f aggregate.Function[V, A, Out], opts Options) *Aggregat
 	if opts.KeepTuples != nil {
 		keep = *opts.KeepTuples
 	}
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m := newMetricsSet(reg)
 	ag := &Aggregator[V, A, Out]{
 		f:                 f,
 		opts:              opts,
-		st:                newStore(f, opts.Eager, keep),
+		st:                newStore(f, opts.Eager, keep, m),
 		cachedCFTimeEdge:  stream.MaxTime,
 		cachedCFCountEdge: stream.MaxTime,
 		currWM:            stream.MinTime,
+		reg:               reg,
+		m:                 m,
 		evictCountdown:    evictEvery,
 	}
 	return ag
@@ -146,11 +169,11 @@ const evictEvery = 1024 // tuples between eviction passes in ordered mode
 func (ag *Aggregator[V, A, Out]) Stats() Stats {
 	return Stats{
 		Slices:     ag.st.Len(),
-		Splits:     ag.st.splits,
-		Merges:     ag.st.merges,
-		Recomputes: ag.st.recomputes,
-		Shifts:     ag.st.shifts,
-		Dropped:    ag.dropped,
+		Splits:     ag.m.splits.Value(),
+		Merges:     ag.m.merges.Value(),
+		Recomputes: ag.m.recomputes.Value(),
+		Shifts:     ag.m.shifts.Value(),
+		Dropped:    ag.m.dropped.Value(),
 		Tuples:     ag.st.totalCount,
 	}
 }
@@ -374,7 +397,7 @@ func (ag *Aggregator[V, A, Out]) ProcessElement(e stream.Event[V]) []Result[Out]
 		ag.processInOrder(e)
 	} else {
 		if ag.currWM != stream.MinTime && e.Time <= ag.currWM-ag.opts.Lateness {
-			ag.dropped++
+			ag.m.dropped.Inc()
 			return ag.results
 		}
 		ag.processOutOfOrder(e)
@@ -399,6 +422,7 @@ func (ag *Aggregator[V, A, Out]) ProcessWatermark(wm int64) []Result[Out] {
 	ag.currWM = wm
 	ag.flushUpdates()
 	ag.evict()
+	ag.publishGauges()
 	return ag.results
 }
 

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"scotty/internal/aggregate"
+	"scotty/internal/obs"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+// TestMetricsRegistryView: the registry-backed counters must agree with the
+// legacy Stats() accessor, and the gauges must track the live slice count and
+// watermark lag.
+func TestMetricsRegistryView(t *testing.T) {
+	reg := obs.NewRegistry()
+	ag := New[float64](aggregate.Sum[float64](ident), Options{Metrics: reg, Lateness: 5})
+	ag.MustAddQuery(window.Tumbling(stream.Time, 10))
+	if ag.Registry() != reg {
+		t.Fatal("Registry() must return the registry passed in Options.Metrics")
+	}
+
+	for _, e := range []stream.Event[float64]{
+		{Time: 1, Seq: 0, Value: 1}, {Time: 12, Seq: 1, Value: 2}, {Time: 25, Seq: 2, Value: 3},
+	} {
+		ag.ProcessElement(e)
+	}
+	ag.ProcessWatermark(20)
+	// Out-of-order within lateness splits/updates; far too late is dropped.
+	ag.ProcessElement(stream.Event[float64]{Time: 18, Seq: 3, Value: 4})
+	ag.ProcessElement(stream.Event[float64]{Time: 2, Seq: 4, Value: 9}) // < 20-5: dropped
+	// The tuple counter is flushed to the registry at watermark granularity.
+	ag.ProcessWatermark(22)
+
+	st := ag.Stats()
+	snap := map[string]obs.MetricJSON{}
+	for _, m := range reg.Snapshot() {
+		snap[m.Name] = m
+	}
+	for name, want := range map[string]int64{
+		"core_tuples_total":       st.Tuples,
+		"core_splits_total":       st.Splits,
+		"core_merges_total":       st.Merges,
+		"core_recomputes_total":   st.Recomputes,
+		"core_dropped_late_total": st.Dropped,
+	} {
+		m, ok := snap[name]
+		if !ok || m.Value == nil {
+			t.Fatalf("metric %s missing from registry snapshot", name)
+		}
+		if *m.Value != want {
+			t.Errorf("%s = %d, Stats() says %d", name, *m.Value, want)
+		}
+	}
+	if st.Tuples != 4 {
+		t.Errorf("tuples = %d, want 4 (late tuple dropped)", st.Tuples)
+	}
+	if st.Dropped != 1 {
+		t.Errorf("dropped = %d, want 1", st.Dropped)
+	}
+	if g := *snap["core_slices"].Value; g != int64(st.Slices) {
+		t.Errorf("core_slices gauge = %d, Stats().Slices = %d", g, st.Slices)
+	}
+	// maxSeen is 25, watermark is 22: lag gauge must read 3.
+	if g := *snap["core_watermark_lag_ms"].Value; g != 3 {
+		t.Errorf("core_watermark_lag_ms = %d, want 3", g)
+	}
+}
+
+// TestSliceSnapshotMatchesStore: the debug snapshot reflects the live slice
+// layout and is a copy (mutating it does not touch the store).
+func TestSliceSnapshotMatchesStore(t *testing.T) {
+	ag := New[float64](aggregate.Sum[float64](ident), Options{Ordered: true})
+	ag.MustAddQuery(window.Tumbling(stream.Time, 10))
+	for ts := int64(0); ts < 35; ts += 5 {
+		ag.ProcessElement(stream.Event[float64]{Time: ts, Seq: ts, Value: 1})
+	}
+	snap := ag.SliceSnapshot()
+	if len(snap) != ag.Stats().Slices {
+		t.Fatalf("snapshot has %d slices, store has %d", len(snap), ag.Stats().Slices)
+	}
+	var n int64
+	for i, s := range snap {
+		if s.Start >= s.End {
+			t.Errorf("slice %d: empty interval [%d,%d)", i, s.Start, s.End)
+		}
+		if i > 0 && snap[i-1].End > s.Start {
+			t.Errorf("slice %d overlaps predecessor", i)
+		}
+		n += s.N
+	}
+	if n != 7 {
+		t.Errorf("snapshot accounts for %d tuples, want 7", n)
+	}
+	snap[0].Start = -999
+	if ag.SliceSnapshot()[0].Start == -999 {
+		t.Fatal("SliceSnapshot must return a copy")
+	}
+}
+
+// TestSharedRegistryAggregates: two operators on one registry accumulate into
+// the same counter series (the documented Keyed semantics).
+func TestSharedRegistryAggregates(t *testing.T) {
+	reg := obs.NewRegistry()
+	a := New[float64](aggregate.Sum[float64](ident), Options{Metrics: reg, Ordered: true})
+	b := New[float64](aggregate.Sum[float64](ident), Options{Metrics: reg, Ordered: true})
+	a.MustAddQuery(window.Tumbling(stream.Time, 10))
+	b.MustAddQuery(window.Tumbling(stream.Time, 10))
+	a.ProcessElement(stream.Event[float64]{Time: 1, Value: 1})
+	b.ProcessElement(stream.Event[float64]{Time: 2, Value: 1})
+	a.ProcessWatermark(5)
+	b.ProcessWatermark(5)
+	if got := reg.Counter("core_tuples_total").Value(); got != 2 {
+		t.Fatalf("shared core_tuples_total = %d, want 2", got)
+	}
+
+	var txt strings.Builder
+	if err := reg.WritePrometheus(&txt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "core_tuples_total 2") {
+		t.Fatalf("prometheus text missing shared counter:\n%s", txt.String())
+	}
+}

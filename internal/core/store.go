@@ -30,8 +30,10 @@ type store[V, A, Out any] struct {
 	totalCount int64
 	maxSeen    int64
 
-	// stats for the benchmark harness
-	splits, merges, recomputes, shifts int64
+	// Registry-backed operator counters (shared with the owning Aggregator;
+	// see metricsSet). Increments are uncontended atomic adds, so a metrics
+	// endpoint can read them while the processing goroutine writes.
+	m *metricsSet
 }
 
 // shrinker mirrors aggregate functions' optional "removal does not affect the
@@ -42,13 +44,17 @@ type shrinker[V, A any] interface {
 	Unaffected(a A, e stream.Event[V]) bool
 }
 
-func newStore[V, A, Out any](f aggregate.Function[V, A, Out], eager, keepTuples bool) *store[V, A, Out] {
+func newStore[V, A, Out any](f aggregate.Function[V, A, Out], eager, keepTuples bool, m *metricsSet) *store[V, A, Out] {
+	if m == nil {
+		m = newMetricsSet(nil)
+	}
 	st := &store[V, A, Out]{
 		f:          f,
 		props:      f.Props(),
 		eager:      eager,
 		keepTuples: keepTuples,
 		maxSeen:    stream.MinTime,
+		m:          m,
 	}
 	if inv, ok := any(f).(aggregate.Inverter[A]); ok {
 		st.inv = inv
@@ -204,7 +210,7 @@ func (st *store[V, A, Out]) recomputeSlice(s *Slice[V, A]) {
 	if !st.keepTuples {
 		panic("core: recompute requires stored tuples (workload characterization bug)")
 	}
-	st.recomputes++
+	st.m.recomputes.Inc()
 	s.Agg = aggregate.Recompute(st.f, s.Events)
 }
 
@@ -219,7 +225,7 @@ func (st *store[V, A, Out]) splitTime(pos int64) {
 	if pos <= s.Start || pos >= s.End {
 		return // already an edge
 	}
-	st.splits++
+	st.m.splits.Inc()
 	right := st.newSlice(pos, s.End, s.CEnd())
 	s.End = pos
 	switch {
@@ -262,7 +268,7 @@ func (st *store[V, A, Out]) splitCount(c int64) {
 	if !st.keepTuples {
 		panic("core: count split requires stored tuples")
 	}
-	st.splits++
+	st.m.splits.Inc()
 	k := int(c - s.CStart)
 	right := st.newSlice(0, s.End, c)
 	right.Events = append(right.Events, s.Events[k:]...)
@@ -293,7 +299,7 @@ func (st *store[V, A, Out]) insertSliceAfter(i int, right *Slice[V, A]) {
 // delete B).
 func (st *store[V, A, Out]) mergeWith(i int) {
 	a, b := st.slices[i], st.slices[i+1]
-	st.merges++
+	st.m.merges.Inc()
 	a.End = b.End
 	a.Agg = st.f.Combine(a.Agg, b.Agg)
 	if b.N > 0 {
@@ -325,7 +331,7 @@ func (st *store[V, A, Out]) shiftCascade(i int) {
 			continue
 		}
 		moved := s.popLast()
-		st.shifts++
+		st.m.shifts.Inc()
 		switch {
 		case st.inv != nil:
 			s.Agg = st.inv.Invert(s.Agg, st.f.Lift(moved))

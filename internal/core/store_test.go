@@ -8,7 +8,7 @@ import (
 )
 
 func sumStore(eager, keep bool) *store[float64, float64, float64] {
-	return newStore[float64, float64, float64](aggregate.Sum[float64](ident), eager, keep)
+	return newStore[float64, float64, float64](aggregate.Sum[float64](ident), eager, keep, nil)
 }
 
 func addSeq(st *store[float64, float64, float64], times ...int64) {
@@ -84,8 +84,8 @@ func TestSplitTimePartitionsStoredTuples(t *testing.T) {
 	if l.CStart != 0 || r.CStart != 2 {
 		t.Fatalf("count ranges: %d / %d", l.CStart, r.CStart)
 	}
-	if st.recomputes != 2 {
-		t.Fatalf("split must recompute both halves, got %d", st.recomputes)
+	if st.m.recomputes.Value() != 2 {
+		t.Fatalf("split must recompute both halves, got %d", st.m.recomputes.Value())
 	}
 }
 
@@ -115,8 +115,8 @@ func TestMergeWith(t *testing.T) {
 	if s.Start != 0 || s.End != 10 || s.N != 3 || s.Agg != 9 || len(s.Events) != 3 {
 		t.Fatalf("merged slice: %+v", s)
 	}
-	if st.merges != 1 {
-		t.Fatalf("merge counter: %d", st.merges)
+	if st.m.merges.Value() != 1 {
+		t.Fatalf("merge counter: %d", st.m.merges.Value())
 	}
 }
 
@@ -141,11 +141,11 @@ func TestShiftCascadeInvertible(t *testing.T) {
 	if st.slices[0].Agg != 25 || st.slices[1].Agg != 50 || st.slices[2].Agg != 90 {
 		t.Fatalf("aggs after cascade: %v %v %v", st.slices[0].Agg, st.slices[1].Agg, st.slices[2].Agg)
 	}
-	if st.recomputes != 0 {
-		t.Fatalf("invertible cascade must not recompute, got %d", st.recomputes)
+	if st.m.recomputes.Value() != 0 {
+		t.Fatalf("invertible cascade must not recompute, got %d", st.m.recomputes.Value())
 	}
-	if st.shifts != 2 {
-		t.Fatalf("shifts: %d", st.shifts)
+	if st.m.shifts.Value() != 2 {
+		t.Fatalf("shifts: %d", st.m.shifts.Value())
 	}
 	// Count coordinates stay pinned.
 	if st.slices[1].CStart != 2 || st.slices[2].CStart != 4 {
@@ -154,14 +154,14 @@ func TestShiftCascadeInvertible(t *testing.T) {
 }
 
 func TestShiftCascadeNonInvertibleRecomputes(t *testing.T) {
-	st := newStore[float64, float64, float64](aggregate.NaiveSum[float64](ident), false, true)
+	st := newStore[float64, float64, float64](aggregate.NaiveSum[float64](ident), false, true, nil)
 	addSeq(st, 10, 20)
 	st.cutCount()
 	addSeq2(st, 2, 30)
 
 	st.addOutOfOrder(0, stream.Event[float64]{Time: 5, Seq: 9, Value: 5})
 	st.shiftCascade(0)
-	if st.recomputes == 0 {
+	if st.m.recomputes.Value() == 0 {
 		t.Fatal("non-invertible cascade must recompute")
 	}
 	if st.slices[0].Agg != 15 || st.slices[1].Agg != 50 {

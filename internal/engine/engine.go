@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"scotty/internal/obs"
 	"scotty/internal/stream"
 )
 
@@ -37,6 +38,9 @@ type Config[V any] struct {
 	Parallelism int
 	// Key extracts the partitioning key of an event; events with equal
 	// keys are processed by the same instance, watermarks are broadcast.
+	// A nil Key with Parallelism > 1 distributes events round-robin across
+	// the instances (watermarks are still broadcast); use this only for
+	// operators whose state does not depend on co-locating equal keys.
 	Key func(e stream.Event[V]) uint64
 	// NewProcessor builds the operator instance for one partition.
 	NewProcessor func(partition int) Processor[V]
@@ -47,8 +51,17 @@ type Config[V any] struct {
 	QueueLen int
 	// Clock supplies the timestamps behind Stats.Elapsed; nil selects
 	// time.Now. Tests inject a fake clock to make timing-derived stats
-	// deterministic.
+	// deterministic. With a nil Metrics registry the clock is read exactly
+	// twice (run start and end); enabling metrics adds reads around channel
+	// sends and result emissions.
 	Clock func() time.Time
+	// Metrics, when non-nil, receives the engine's instrumentation:
+	// per-partition engine_events_total / engine_results_total /
+	// engine_batches_total / engine_queue_stall_ns_total counters, the
+	// engine_batch_occupancy histogram, and — for processors implementing
+	// WindowEndReporter — the end-to-end engine_latency_ms histogram. A nil
+	// registry keeps the hot path free of any instrumentation cost.
+	Metrics *obs.Registry
 }
 
 // Stats summarizes a pipeline run.
@@ -103,6 +116,11 @@ func Run[V any](cfg Config[V], items []stream.Item[V]) Stats {
 		clock = time.Now
 	}
 
+	var em *engineMetrics
+	if cfg.Metrics != nil {
+		em = newEngineMetrics(cfg.Metrics, par)
+	}
+
 	chans := make([]chan []stream.Item[V], par)
 	for i := range chans {
 		chans[i] = make(chan []stream.Item[V], queue)
@@ -114,13 +132,24 @@ func Run[V any](cfg Config[V], items []stream.Item[V]) Stats {
 		go func(p int) {
 			defer wg.Done()
 			proc := cfg.NewProcessor(p)
+			reporter, _ := proc.(WindowEndReporter)
 			var n int64
 			for batch := range chans[p] {
 				for _, it := range batch {
-					n += int64(proc.ProcessItem(it))
+					k := proc.ProcessItem(it)
+					n += int64(k)
+					if em != nil && k > 0 && reporter != nil {
+						nowMS := clock().UnixMilli()
+						for _, end := range reporter.LastWindowEnds() {
+							em.latency.Observe(float64(nowMS - end))
+						}
+					}
 				}
 			}
 			results.Add(n)
+			if em != nil {
+				em.results[p].Add(n)
+			}
 		}(p)
 	}
 
@@ -131,9 +160,20 @@ func Run[V any](cfg Config[V], items []stream.Item[V]) Stats {
 	// flushed when full and before every watermark so ordering between
 	// events and watermarks is preserved per partition.
 	buffers := make([][]stream.Item[V], par)
+	send := func(p int, b []stream.Item[V]) {
+		if em == nil {
+			chans[p] <- b
+			return
+		}
+		t0 := clock()
+		chans[p] <- b
+		em.stallNS[p].Add(clock().Sub(t0).Nanoseconds())
+		em.batches[p].Inc()
+		em.occupancy.Observe(float64(len(b)))
+	}
 	flush := func(p int) {
 		if len(buffers[p]) > 0 {
-			chans[p] <- buffers[p]
+			send(p, buffers[p])
 			buffers[p] = make([]stream.Item[V], 0, batch)
 		}
 	}
@@ -145,14 +185,23 @@ func Run[V any](cfg Config[V], items []stream.Item[V]) Stats {
 		if it.Kind == stream.KindWatermark {
 			for p := 0; p < par; p++ {
 				flush(p)
-				chans[p] <- []stream.Item[V]{it}
+				send(p, []stream.Item[V]{it})
 			}
 			continue
 		}
-		events++
 		p := 0
-		if par > 1 && cfg.Key != nil {
-			p = int(cfg.Key(it.Event) % uint64(par))
+		if par > 1 {
+			if cfg.Key != nil {
+				p = int(cfg.Key(it.Event) % uint64(par))
+			} else {
+				// Round-robin fallback: a nil Key used to route every
+				// event to partition 0, silently serializing the run.
+				p = int(events % int64(par))
+			}
+		}
+		events++
+		if em != nil {
+			em.events[p].Inc()
 		}
 		buffers[p] = append(buffers[p], it)
 		if len(buffers[p]) >= batch {

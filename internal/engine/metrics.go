@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"strconv"
+
+	"scotty/internal/obs"
+)
+
+// WindowEndReporter is an optional Processor extension. A processor that
+// remembers the window-end timestamps of the results emitted by its most
+// recent ProcessItem call enables the engine's end-to-end latency histogram:
+// the sink samples emission wall time minus window end for each reported
+// result. Processors that do not implement it simply produce no latency
+// samples.
+type WindowEndReporter interface {
+	// LastWindowEnds returns the window ends (event-time ms) of the results
+	// emitted by the last ProcessItem call. The engine calls it at most once
+	// per ProcessItem call that returned a positive count; the returned
+	// slice is only read before the next ProcessItem call.
+	LastWindowEnds() []int64
+}
+
+// engineMetrics carries the per-partition instrumentation of one Run. All
+// series live in the caller-supplied registry, so repeated runs against the
+// same registry accumulate (counters) or overwrite (gauges/histograms share
+// series per partition index).
+type engineMetrics struct {
+	events    []*obs.Counter // data tuples routed to each partition
+	results   []*obs.Counter // window results emitted by each partition
+	batches   []*obs.Counter // channel batches shipped to each partition
+	stallNS   []*obs.Counter // time the source spent blocked sending to each partition
+	occupancy *obs.Histogram // items per shipped batch (watermark batches count as 1)
+	latency   *obs.Histogram // end-to-end result latency in ms (see WindowEndReporter)
+}
+
+func newEngineMetrics(r *obs.Registry, par int) *engineMetrics {
+	m := &engineMetrics{
+		occupancy: r.Histogram("engine_batch_occupancy", obs.ExponentialBounds(1, 2, 11)),
+		latency:   r.Histogram("engine_latency_ms", nil),
+	}
+	for p := 0; p < par; p++ {
+		l := obs.L("partition", strconv.Itoa(p))
+		m.events = append(m.events, r.Counter("engine_events_total", l))
+		m.results = append(m.results, r.Counter("engine_results_total", l))
+		m.batches = append(m.batches, r.Counter("engine_batches_total", l))
+		m.stallNS = append(m.stallNS, r.Counter("engine_queue_stall_ns_total", l))
+	}
+	return m
+}

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"scotty/internal/obs"
+	"scotty/internal/stream"
+)
+
+func partitionEvents(r *obs.Registry, par int) []int64 {
+	out := make([]int64, par)
+	for p := 0; p < par; p++ {
+		out[p] = r.Counter("engine_events_total", obs.L("partition", fmt.Sprint(p))).Value()
+	}
+	return out
+}
+
+// TestRoundRobinWhenKeyNil is the regression test for the partition-0 skew
+// bug: Parallelism > 1 with a nil Key must spread events round-robin instead
+// of silently serializing the run on partition 0.
+func TestRoundRobinWhenKeyNil(t *testing.T) {
+	for _, par := range []int{2, 4} {
+		reg := obs.NewRegistry()
+		const n = 8_000
+		stats := Run(Config[stream.Tuple]{
+			Parallelism: par,
+			Metrics:     reg,
+			NewProcessor: func(p int) Processor[stream.Tuple] {
+				return ProcessorFunc[stream.Tuple](func(it stream.Item[stream.Tuple]) int { return 0 })
+			},
+		}, makeItems(n, 8))
+		if stats.Events != n {
+			t.Fatalf("par=%d: events %d", par, stats.Events)
+		}
+		for p, got := range partitionEvents(reg, par) {
+			if got != n/int64(par) {
+				t.Errorf("par=%d partition %d: %d events, want exactly %d (round-robin)",
+					par, p, got, n/int64(par))
+			}
+		}
+	}
+}
+
+// TestKeyRoutingMetricsPerPartition checks the keyed mode through the same
+// counters: every partition processes the events of its own keys and the
+// per-partition counts sum to the total.
+func TestKeyRoutingMetricsPerPartition(t *testing.T) {
+	for _, par := range []int{1, 2, 4} {
+		reg := obs.NewRegistry()
+		const n, keys = 8_000, 16
+		Run(Config[stream.Tuple]{
+			Parallelism: par,
+			Metrics:     reg,
+			Key:         func(e stream.Event[stream.Tuple]) uint64 { return uint64(e.Value.Key) },
+			NewProcessor: func(p int) Processor[stream.Tuple] {
+				return ProcessorFunc[stream.Tuple](func(it stream.Item[stream.Tuple]) int { return 0 })
+			},
+		}, makeItems(n, keys))
+		var total int64
+		counts := partitionEvents(reg, par)
+		for p, got := range counts {
+			total += got
+			// makeItems assigns keys i%16 uniformly, and key k hashes to
+			// partition k%par, so each partition owns keys/par keys and an
+			// equal share of events.
+			if want := int64(n) / int64(par); got != want {
+				t.Errorf("par=%d partition %d: %d events, want %d", par, p, got, want)
+			}
+		}
+		if total != n {
+			t.Fatalf("par=%d: per-partition counts sum to %d, want %d", par, total, n)
+		}
+	}
+}
+
+// endReporter counts events and reports a fixed window end for every third
+// event, exercising the sink-side latency sampling.
+type endReporter struct {
+	n    int
+	ends []int64
+}
+
+func (r *endReporter) ProcessItem(it stream.Item[stream.Tuple]) int {
+	if it.Kind != stream.KindEvent {
+		return 0
+	}
+	r.n++
+	if r.n%3 == 0 {
+		r.ends = []int64{int64(r.n)}
+		return 1
+	}
+	r.ends = nil
+	return 0
+}
+
+func (r *endReporter) LastWindowEnds() []int64 { return r.ends }
+
+// TestLatencyHistogramAtSink: with a frozen injected clock the end-to-end
+// latency of each emitted result is exactly wallMS - windowEnd, so the
+// histogram contents are a deterministic function of the stream.
+func TestLatencyHistogramAtSink(t *testing.T) {
+	reg := obs.NewRegistry()
+	base := time.UnixMilli(5_000)
+	const n = 300
+	stats := Run(Config[stream.Tuple]{
+		Parallelism: 1,
+		Metrics:     reg,
+		NewProcessor: func(p int) Processor[stream.Tuple] {
+			return &endReporter{}
+		},
+		Clock: func() time.Time { return base },
+	}, makeItems(n, 4))
+	h := reg.Histogram("engine_latency_ms", nil)
+	if h.Count() != n/3 {
+		t.Fatalf("latency samples %d, want %d", h.Count(), n/3)
+	}
+	// Window ends are 3,6,...,300; latency = 5000 - end, so the extremes are
+	// exact: max at end=3, min at end=300.
+	if h.Max() != 5000-3 || h.Min() != 5000-300 {
+		t.Fatalf("latency min/max = %v/%v, want %v/%v", h.Min(), h.Max(), 5000-300, 5000-3)
+	}
+	if stats.Results != n/3 {
+		t.Fatalf("results %d", stats.Results)
+	}
+	if got := reg.Counter("engine_results_total", obs.L("partition", "0")).Value(); got != n/3 {
+		t.Fatalf("engine_results_total = %d, want %d", got, n/3)
+	}
+	// Batch accounting: every shipped batch was observed with its occupancy
+	// and a stall counter exists (zero is fine with a frozen clock).
+	batches := reg.Counter("engine_batches_total", obs.L("partition", "0")).Value()
+	occ := reg.Histogram("engine_batch_occupancy", obs.ExponentialBounds(1, 2, 11))
+	if batches == 0 || occ.Count() != batches {
+		t.Fatalf("batches %d, occupancy samples %d", batches, occ.Count())
+	}
+}

@@ -36,7 +36,7 @@ func Ablations(w io.Writer, sc Scale) {
 	} {
 		in := benchutil.MakeInput(stream.Football(), sc.Events/2, disorder20(29), 42)
 		op := benchutil.NewOp(benchutil.LazySlicing, v.f, benchutil.Workload{Lateness: 4000, Defs: countDefs})
-		tps, _ := benchutil.Throughput(op, in)
+		tps, _ := benchutil.Measure("count-shift cascade", v.name, op, in)
 		tab.Add("count-shift cascade", v.name, tps, "")
 	}
 
@@ -46,12 +46,12 @@ func Ablations(w io.Writer, sc Scale) {
 	{
 		in := benchutil.MakeInput(stream.Machine(), sc.Events/8, disorder20(31), 42)
 		op := benchutil.NewOp(benchutil.LazySlicing, aggregate.Median(stream.Val), benchutil.Workload{Lateness: 4000, Defs: timeDefs})
-		tps, _ := benchutil.Throughput(op, in)
+		tps, _ := benchutil.Measure("holistic slices", "RLE multiset", op, in)
 		tab.Add("holistic slices", "RLE multiset", tps, "")
 
 		in = benchutil.MakeInput(stream.Machine(), sc.Events/8, disorder20(31), 42)
 		op = benchutil.NewOp(benchutil.LazySlicing, aggregate.MedianNaive(stream.Val), benchutil.Workload{Lateness: 4000, Defs: timeDefs})
-		tps, _ = benchutil.Throughput(op, in)
+		tps, _ = benchutil.Measure("holistic slices", "plain sorted values", op, in)
 		tab.Add("holistic slices", "plain sorted values", tps, "")
 	}
 
@@ -69,7 +69,7 @@ func Ablations(w io.Writer, sc Scale) {
 			ag.MustAddQuery(d)
 		}
 		in := benchutil.MakeInput(stream.Football(), sc.Events/2, disorder20(37), 42)
-		tps, _ := benchutil.Throughput(func(it stream.Item[stream.Tuple]) int {
+		tps, _ := benchutil.Measure("Fig 4 adaptivity", v.name, func(it stream.Item[stream.Tuple]) int {
 			if it.Kind == stream.KindEvent {
 				return len(ag.ProcessElement(it.Event))
 			}
@@ -91,7 +91,7 @@ func Ablations(w io.Writer, sc Scale) {
 			ag.MustAddQuery(d)
 		}
 		in := benchutil.MakeInput(stream.Football(), sc.Events/2, stream.Disorder{}, 42)
-		tps, _ := benchutil.Throughput(func(it stream.Item[stream.Tuple]) int {
+		tps, _ := benchutil.Measure("slicer edge cache", v.name, func(it stream.Item[stream.Tuple]) int {
 			if it.Kind == stream.KindEvent {
 				return len(ag.ProcessElement(it.Event))
 			}

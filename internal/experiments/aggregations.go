@@ -13,7 +13,7 @@ import (
 // fig13Row measures general (lazy) slicing throughput for one aggregation
 // function on time-based and count-based windows (20 concurrent windows, 20%
 // out-of-order tuples with delays up to 2 s — the §6.3.2 setup).
-func fig13Row[A, Out any](sc Scale, f aggregate.Function[stream.Tuple, A, Out]) (timeTps, countTps float64) {
+func fig13Row[A, Out any](sc Scale, name string, f aggregate.Function[stream.Tuple, A, Out]) (timeTps, countTps float64) {
 	events := sc.Events
 	if f.Props().Kind == aggregate.Holistic {
 		events = sc.Events / 4 // holistic merges dominate; keep runtime bounded
@@ -24,7 +24,11 @@ func fig13Row[A, Out any](sc Scale, f aggregate.Function[stream.Tuple, A, Out]) 
 	} {
 		in := benchutil.MakeInput(stream.Football(), events, disorder20(19), 42)
 		op := benchutil.NewOp(benchutil.LazySlicing, f, benchutil.Workload{Lateness: 4000, Defs: defs})
-		tps, _ := benchutil.Throughput(op, in)
+		measure := "time"
+		if i == 1 {
+			measure = "count"
+		}
+		tps, _ := benchutil.Measure(measure, name, op, in)
 		if i == 0 {
 			timeTps = tps
 		} else {
@@ -45,39 +49,39 @@ func Fig13(w io.Writer, sc Scale) {
 	}
 	v := stream.Val
 
-	t1, c1 := fig13Row(sc, aggregate.Count[stream.Tuple]())
+	t1, c1 := fig13Row(sc, "count", aggregate.Count[stream.Tuple]())
 	add("count", "distributive", true, t1, c1)
-	t2, c2 := fig13Row(sc, aggregate.Sum(v))
+	t2, c2 := fig13Row(sc, "sum", aggregate.Sum(v))
 	add("sum", "distributive", true, t2, c2)
-	t3, c3 := fig13Row(sc, aggregate.NaiveSum(v))
+	t3, c3 := fig13Row(sc, "sum w/o invert", aggregate.NaiveSum(v))
 	add("sum w/o invert", "distributive", false, t3, c3)
-	t4, c4 := fig13Row(sc, aggregate.Min(v))
+	t4, c4 := fig13Row(sc, "min", aggregate.Min(v))
 	add("min", "distributive", false, t4, c4)
-	t5, c5 := fig13Row(sc, aggregate.Max(v))
+	t5, c5 := fig13Row(sc, "max", aggregate.Max(v))
 	add("max", "distributive", false, t5, c5)
-	t6, c6 := fig13Row(sc, aggregate.Mean(v))
+	t6, c6 := fig13Row(sc, "mean", aggregate.Mean(v))
 	add("mean", "algebraic", true, t6, c6)
-	t7, c7 := fig13Row(sc, aggregate.GeoMean(v))
+	t7, c7 := fig13Row(sc, "geomean", aggregate.GeoMean(v))
 	add("geomean", "algebraic", true, t7, c7)
-	t8, c8 := fig13Row(sc, aggregate.StdDev(v))
+	t8, c8 := fig13Row(sc, "stddev", aggregate.StdDev(v))
 	add("stddev", "algebraic", true, t8, c8)
-	t9, c9 := fig13Row(sc, aggregate.MinCount(v))
+	t9, c9 := fig13Row(sc, "mincount", aggregate.MinCount(v))
 	add("mincount", "algebraic", false, t9, c9)
-	t10, c10 := fig13Row(sc, aggregate.MaxCount(v))
+	t10, c10 := fig13Row(sc, "maxcount", aggregate.MaxCount(v))
 	add("maxcount", "algebraic", false, t10, c10)
-	t11, c11 := fig13Row(sc, aggregate.ArgMin(v))
+	t11, c11 := fig13Row(sc, "argmin", aggregate.ArgMin(v))
 	add("argmin", "algebraic", false, t11, c11)
-	t12, c12 := fig13Row(sc, aggregate.ArgMax(v))
+	t12, c12 := fig13Row(sc, "argmax", aggregate.ArgMax(v))
 	add("argmax", "algebraic", false, t12, c12)
-	t13, c13 := fig13Row(sc, aggregate.First(v))
+	t13, c13 := fig13Row(sc, "first", aggregate.First(v))
 	add("first", "algebraic", false, t13, c13)
-	t14, c14 := fig13Row(sc, aggregate.Last(v))
+	t14, c14 := fig13Row(sc, "last", aggregate.Last(v))
 	add("last", "algebraic", false, t14, c14)
-	t15, c15 := fig13Row(sc, aggregate.M4(v))
+	t15, c15 := fig13Row(sc, "m4", aggregate.M4(v))
 	add("m4", "algebraic", false, t15, c15)
-	t16, c16 := fig13Row(sc, aggregate.Median(v))
+	t16, c16 := fig13Row(sc, "median", aggregate.Median(v))
 	add("median", "holistic", true, t16, c16)
-	t17, c17 := fig13Row(sc, aggregate.Percentile(0.9, v))
+	t17, c17 := fig13Row(sc, "90-percentile", aggregate.Percentile(0.9, v))
 	add("90-percentile", "holistic", true, t17, c17)
 
 	tab.Print(w)
@@ -113,7 +117,7 @@ func Fig14(w io.Writer, sc Scale) {
 					Lateness: 4000,
 					Defs:     func() []window.Definition { return benchutil.WithSession(benchutil.TumblingQueries(20)) },
 				})
-				tps, _ := benchutil.Throughput(op, in)
+				tps, _ := benchutil.Measure(q.name+"/"+string(t), p.Name, op, in)
 				row = append(row, tps)
 			}
 			tab.Add(row...)

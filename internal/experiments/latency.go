@@ -82,6 +82,17 @@ func fig11For[A any](w io.Writer, sc Scale, title string, sweep []int, f aggrega
 		}, 2, rounds*100)
 		_ = out
 
+		for _, pt := range []struct {
+			series string
+			d      time.Duration
+		}{
+			{"lazy-slicing", lazy}, {"eager-slicing", eager}, {"buckets", bucket},
+		} {
+			benchutil.RecordPoint(benchutil.Measurement{
+				Series: title + "/" + pt.series, X: entries,
+				Extra: map[string]float64{"output_latency_ns": float64(pt.d.Nanoseconds())},
+			})
+		}
 		tab.Add(entries,
 			float64(lazy.Nanoseconds()),
 			float64(eager.Nanoseconds()),
@@ -115,6 +126,15 @@ func Fig15(w io.Writer, sc Scale) {
 		med := benchutil.MeasureLatency(func() {
 			s = medF.Lower(aggregate.Recompute[stream.Tuple, *rle.Multiset, float64](medF, ev))
 		}, 1, rounds)
+		for _, pt := range []struct {
+			series string
+			d      time.Duration
+		}{{"sum", sum}, {"median", med}} {
+			benchutil.RecordPoint(benchutil.Measurement{
+				Series: pt.series, X: n,
+				Extra: map[string]float64{"recompute_ns": float64(pt.d.Nanoseconds())},
+			})
+		}
 		tab.Add(n, float64(sum)/float64(time.Microsecond), float64(med)/float64(time.Microsecond))
 	}
 	tab.Print(w)

@@ -42,6 +42,14 @@ func Fig17(w io.Writer, sc Scale) {
 					return engine.ProcessorFunc[stream.Tuple](func(it stream.Item[stream.Tuple]) int { return op(it) })
 				},
 			}, in.Items)
+			benchutil.RecordPoint(benchutil.Measurement{
+				Series:       string(t),
+				X:            dop,
+				TuplesPerSec: stats.Throughput(),
+				Results:      stats.Results,
+				Events:       in.Events,
+				Extra:        map[string]float64{"cpu_percent": stats.CPUUtilization()},
+			})
 			row = append(row, stats.Throughput(), stats.CPUUtilization())
 		}
 		tab.Add(row...)

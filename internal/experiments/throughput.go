@@ -24,7 +24,7 @@ func Fig8(w io.Writer, sc Scale) {
 				Ordered: true,
 				Defs:    func() []window.Definition { return benchutil.TumblingQueries(n) },
 			})
-			tps, _ := benchutil.Throughput(op, in)
+			tps, _ := benchutil.Measure(string(t), n, op, in)
 			row = append(row, tps)
 		}
 		tab.Add(row...)
@@ -55,7 +55,7 @@ func Fig9(w io.Writer, sc Scale) {
 						return benchutil.WithSession(benchutil.TumblingQueries(n))
 					},
 				})
-				tps, _ := benchutil.Throughput(op, in)
+				tps, _ := benchutil.Measure(p.Name+"/"+string(t), n, op, in)
 				row = append(row, tps)
 			}
 			tab.Add(row...)
@@ -82,7 +82,7 @@ func Fig12(w io.Writer, sc Scale) {
 			d := stream.Disorder{Fraction: frac, MaxDelay: 2000, Seed: 11}
 			in := benchutil.MakeInput(stream.Football(), max(sc.events(t, 20), slowEvents), d, 42)
 			op := benchutil.NewOp(t, benchutil.SumFn(), benchutil.Workload{Lateness: 4000, Defs: defs})
-			tps, _ := benchutil.Throughput(op, in)
+			tps, _ := benchutil.Measure("fraction/"+string(t), int(frac*100), op, in)
 			row = append(row, tps)
 		}
 		tabA.Add(row...)
@@ -97,7 +97,7 @@ func Fig12(w io.Writer, sc Scale) {
 			d := stream.Disorder{Fraction: 0.2, MaxDelay: delay, Seed: 13}
 			in := benchutil.MakeInput(stream.Football(), max(sc.events(t, 20), slowEvents), d, 42)
 			op := benchutil.NewOp(t, benchutil.SumFn(), benchutil.Workload{Lateness: 2 * delay, Defs: defs})
-			tps, _ := benchutil.Throughput(op, in)
+			tps, _ := benchutil.Measure("delay/"+string(t), delay, op, in)
 			row = append(row, tps)
 		}
 		tabB.Add(row...)
@@ -123,7 +123,11 @@ func Fig16(w io.Writer, sc Scale) {
 					return benchutil.CountQueries(n)
 				}
 				op := benchutil.NewOp(t, benchutil.SumFn(), benchutil.Workload{Lateness: 4000, Defs: defs})
-				tps, _ := benchutil.Throughput(op, in)
+				mname := "time"
+				if measure == stream.Count {
+					mname = "count"
+				}
+				tps, _ := benchutil.Measure(string(t)+"-"+mname, n, op, in)
 				row = append(row, tps)
 			}
 		}

@@ -1,0 +1,201 @@
+// Package obs is the repository's observability substrate: atomic counters,
+// gauges, and fixed-boundary bucketed histograms with quantile estimation,
+// collected in a Registry that renders both a Prometheus text exposition and
+// a JSON document. Everything is standard-library Go — the module stays
+// fully offline — and every metric is safe for concurrent use, so a metrics
+// endpoint can read while the processing goroutine writes.
+//
+// The package deliberately mirrors the shape (not the API) of the Prometheus
+// client: metrics are registered once with a name and optional labels, the
+// hot path touches only a single atomic per update, and encodings are derived
+// from consistent point-in-time reads of those atomics.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a metric.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// kind discriminates registered metrics for the encoders.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registry entry.
+type metric struct {
+	name   string
+	labels []Label
+	kind   kind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// fullName renders name{k="v",...} — the Prometheus series identity, also
+// used as the JSON key.
+func (m *metric) fullName() string {
+	return seriesName(m.name, m.labels)
+}
+
+func seriesName(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Name, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Registry holds a set of named metrics. Registration order is preserved so
+// encodings are deterministic. Registering the same (name, labels) twice
+// returns the existing metric; registering it with a different metric type
+// panics (a programming error).
+type Registry struct {
+	mu      sync.Mutex
+	metrics []*metric
+	byName  map[string]*metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*metric{}}
+}
+
+func (r *Registry) lookup(name string, labels []Label, k kind) (*metric, bool) {
+	full := seriesName(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[full]; ok {
+		if m.kind != k {
+			panic(fmt.Sprintf("obs: metric %s re-registered with a different type", full))
+		}
+		return m, true
+	}
+	m := &metric{name: name, labels: append([]Label(nil), labels...), kind: k}
+	r.metrics = append(r.metrics, m)
+	r.byName[full] = m
+	return m, false
+}
+
+// Counter returns the counter with the given name and labels, registering it
+// on first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	m, ok := r.lookup(name, labels, kindCounter)
+	if !ok {
+		m.c = &Counter{}
+	}
+	return m.c
+}
+
+// Gauge returns the gauge with the given name and labels, registering it on
+// first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	m, ok := r.lookup(name, labels, kindGauge)
+	if !ok {
+		m.g = &Gauge{}
+	}
+	return m.g
+}
+
+// Histogram returns the histogram with the given name and labels, registering
+// it with the given bucket boundaries on first use (boundaries are ignored on
+// subsequent lookups).
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	m, ok := r.lookup(name, labels, kindHistogram)
+	if !ok {
+		m.h = NewHistogram(bounds)
+	}
+	return m.h
+}
+
+// each calls fn for every registered metric in registration order.
+func (r *Registry) each(fn func(*metric)) {
+	r.mu.Lock()
+	ms := append([]*metric(nil), r.metrics...)
+	r.mu.Unlock()
+	for _, m := range ms {
+		fn(m)
+	}
+}
+
+// formatValue renders a float64 the way the Prometheus text format expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// sortedQuantiles is the fixed quantile set reported by the JSON encodings.
+var sortedQuantiles = []struct {
+	Name string
+	Q    float64
+}{
+	{"p50", 0.50}, {"p90", 0.90}, {"p95", 0.95}, {"p99", 0.99},
+}
+
+// mergeLabels returns base plus extra, for per-bucket/per-quantile series.
+func mergeLabels(base []Label, extra ...Label) []Label {
+	out := make([]Label, 0, len(base)+len(extra))
+	out = append(out, base...)
+	out = append(out, extra...)
+	return out
+}

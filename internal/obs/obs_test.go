@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCounters hammers one counter, one gauge, and one histogram
+// from many goroutines; run under -race this is the data-race certificate for
+// the whole package, and the final values must be exact.
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events_total")
+	g := r.Gauge("depth")
+	h := r.Histogram("lat", LinearBounds(1, 1, 64))
+	const workers, per = 8, 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Set(int64(w))
+				h.Observe(float64(i%64 + 1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Fatalf("counter %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Fatalf("histogram count %d, want %d", h.Count(), workers*per)
+	}
+	var sum float64
+	for i := 0; i < per; i++ {
+		sum += float64(i%64 + 1)
+	}
+	if h.Sum() != sum*workers {
+		t.Fatalf("histogram sum %v, want %v", h.Sum(), sum*workers)
+	}
+	if g.Value() < 0 || g.Value() >= workers {
+		t.Fatalf("gauge %d out of range", g.Value())
+	}
+}
+
+func TestRegistryIdempotentAndTypeChecked(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x", L("p", "0"))
+	b := r.Counter("x", L("p", "0"))
+	if a != b {
+		t.Fatal("same (name, labels) must return the same counter")
+	}
+	if r.Counter("x", L("p", "1")) == a {
+		t.Fatal("different labels must create a distinct series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("x", L("p", "0"))
+}
+
+// TestPrometheusTextGolden pins the exact /metrics text encoding: the golden
+// output is the contract scrape targets parse.
+func TestPrometheusTextGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("core_splits_total").Add(3)
+	r.Gauge("core_watermark_lag_ms", L("q", "s1")).Set(-7)
+	h := r.Histogram("engine_latency_ms", []float64{10, 100}, L("partition", "0"))
+	h.Observe(5)
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(1e6)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden := `# TYPE core_splits_total counter
+core_splits_total 3
+# TYPE core_watermark_lag_ms gauge
+core_watermark_lag_ms{q="s1"} -7
+# TYPE engine_latency_ms histogram
+engine_latency_ms_bucket{partition="0",le="10"} 2
+engine_latency_ms_bucket{partition="0",le="100"} 3
+engine_latency_ms_bucket{partition="0",le="+Inf"} 4
+engine_latency_ms_sum{partition="0"} 1000060
+engine_latency_ms_count{partition="0"} 4
+`
+	if b.String() != golden {
+		t.Fatalf("prometheus text drifted from golden:\n--- got ---\n%s--- want ---\n%s", b.String(), golden)
+	}
+}
+
+func TestJSONSnapshotAndHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(2)
+	h := r.Histogram("lat_ns", LinearBounds(10, 10, 10))
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+
+	// JSON body must parse and carry the metrics with quantiles.
+	req := httptest.NewRequest("GET", "/metrics?format=json", nil)
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var doc struct {
+		Metrics []MetricJSON `json:"metrics"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(doc.Metrics) != 2 || doc.Metrics[0].Name != "a_total" || *doc.Metrics[0].Value != 2 {
+		t.Fatalf("unexpected snapshot: %+v", doc.Metrics)
+	}
+	hist := doc.Metrics[1]
+	if hist.Type != "histogram" || *hist.Count != 100 {
+		t.Fatalf("histogram entry: %+v", hist)
+	}
+	if p50 := hist.Quants["p50"]; p50 < 40 || p50 > 60 {
+		t.Fatalf("p50 = %v, want ~50", p50)
+	}
+
+	// Default (no Accept) serves the Prometheus text format.
+	rec2 := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec2, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec2.Body.String(), "# TYPE a_total counter") {
+		t.Fatalf("default format is not Prometheus text:\n%s", rec2.Body.String())
+	}
+}

@@ -169,3 +169,94 @@ func TestBeforeIsTotalOrder(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPrepareEpochTimestampsNoWatermarkFlood is the regression test for the
+// watermark-alignment fix: with epoch-millisecond timestamps (~1.7e12) the
+// old zero-aligned Prepare emitted ~1.7 billion catch-up watermarks before
+// the first event. Aligned emission must stay O(events) and fast.
+func TestPrepareEpochTimestampsNoWatermarkFlood(t *testing.T) {
+	const epoch = int64(1_700_000_000_000) // 2023-11-14 in epoch ms
+	const n = 10_000
+	ev := make([]Event[float64], n)
+	for i := range ev {
+		ev[i] = Event[float64]{Time: epoch + int64(i*3), Seq: int64(i), Value: 1}
+	}
+	w := Watermarker{Period: 1000, Lag: 100}
+	items := Prepare(w, ev)
+
+	// O(events): event-time span is ~30s, so at most ~30 periodic watermarks
+	// plus the closing MaxTime one — nowhere near the 1.7e9 of the flood.
+	if wms := len(items) - n; wms < 2 || wms > 64 {
+		t.Fatalf("prepared stream has %d watermarks for a 30s span, want a handful", wms)
+	}
+	// Alignment: the first watermark sits on the first Period boundary after
+	// firstTS-Lag, and every watermark is covered by the stream's maximum
+	// timestamp minus Lag (Prepare emits a watermark just before the event
+	// that unlocked it, so the running max lags by one event).
+	globalMax := MinTime
+	for _, e := range ev {
+		if e.Time > globalMax {
+			globalMax = e.Time
+		}
+	}
+	first := true
+	for _, it := range items {
+		if it.Kind == KindEvent {
+			continue
+		}
+		if it.Watermark == MaxTime {
+			continue
+		}
+		if first {
+			wantFirst := w.firstBoundary(epoch)
+			if it.Watermark != wantFirst {
+				t.Fatalf("first watermark %d, want %d", it.Watermark, wantFirst)
+			}
+			first = false
+		}
+		if it.Watermark%w.Period != 0 {
+			t.Errorf("watermark %d not on a Period boundary", it.Watermark)
+		}
+		if it.Watermark > globalMax-w.Lag {
+			t.Errorf("watermark %d ahead of max-Lag = %d", it.Watermark, globalMax-w.Lag)
+		}
+	}
+	if first {
+		t.Fatal("no periodic watermarks emitted at all")
+	}
+}
+
+// TestPrepareSmallTimestampsUnchanged pins the historical sequence for
+// streams that start near time zero: the alignment clamp keeps the first
+// boundary at Period, so the golden benchmark streams are byte-identical.
+func TestPrepareSmallTimestampsUnchanged(t *testing.T) {
+	ev := []Event[float64]{
+		{Time: 1, Seq: 0}, {Time: 900, Seq: 1}, {Time: 1600, Seq: 2},
+		{Time: 2400, Seq: 3}, {Time: 3100, Seq: 4},
+	}
+	items := Prepare(Watermarker{Period: 1000, Lag: 100}, ev)
+	var wms []int64
+	for _, it := range items {
+		if it.Kind == KindWatermark && it.Watermark != MaxTime {
+			wms = append(wms, it.Watermark)
+		}
+	}
+	want := []int64{1000, 2000, 3000}
+	if len(wms) != len(want) {
+		t.Fatalf("watermarks %v, want %v", wms, want)
+	}
+	for i := range want {
+		if wms[i] != want[i] {
+			t.Fatalf("watermarks %v, want %v", wms, want)
+		}
+	}
+	// Negative timestamps must not panic or misalign (floor division).
+	neg := Prepare(Watermarker{Period: 1000, Lag: 100}, []Event[float64]{
+		{Time: -5000, Seq: 0}, {Time: 2500, Seq: 1},
+	})
+	for _, it := range neg {
+		if it.Kind == KindWatermark && it.Watermark != MaxTime && it.Watermark < 1000 {
+			t.Fatalf("clamp violated: watermark %d below Period", it.Watermark)
+		}
+	}
+}

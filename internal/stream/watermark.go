@@ -4,6 +4,14 @@ package stream
 // stream, mirroring the periodic watermark assigners of dataflow systems: a
 // watermark is emitted every Period milliseconds of observed event time and
 // carries the maximum observed timestamp minus Lag.
+//
+// Watermark emission is aligned to the first observed timestamp: the first
+// watermark is placed on the first Period boundary after firstTS-Lag (never
+// below Period), and boundaries advance from there. Aligning to the stream
+// start instead of to event time zero keeps the prepared stream O(events)
+// for arbitrary timestamp origins — a stream of epoch-millisecond events
+// would otherwise begin with ~1.7 billion catch-up watermarks covering the
+// decades between 1970 and the first event.
 type Watermarker struct {
 	// Period is the event-time distance between consecutive watermarks.
 	Period int64
@@ -14,26 +22,75 @@ type Watermarker struct {
 	Lag int64
 }
 
+// firstBoundary returns the first multiple of period strictly greater than
+// ts-lag, clamped to at least period (so streams that start near time zero
+// keep their historical watermark sequence). Floor division keeps the
+// boundary arithmetic correct for negative timestamps.
+func (w Watermarker) firstBoundary(ts int64) int64 {
+	q := floorDiv(ts-w.Lag, w.Period)
+	next := (q + 1) * w.Period
+	if next < w.Period {
+		return w.Period
+	}
+	return next
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
 // Prepare interleaves periodic watermarks with an arrival-ordered event
 // stream and appends a final watermark at MaxTime so that every window is
 // eventually emitted. The result is the replayable input of the benchmark
 // drivers.
 func Prepare[V any](w Watermarker, events []Event[V]) []Item[V] {
 	items := make([]Item[V], 0, len(events)+len(events)/16+1)
-	maxTS := MinTime
-	nextWM := w.Period
+	f := NewFeeder[V](w)
 	for _, e := range events {
-		if e.Time > maxTS {
-			maxTS = e.Time
-		}
-		for w.Period > 0 && maxTS-w.Lag >= nextWM {
-			items = append(items, WatermarkItem[V](nextWM))
-			nextWM += w.Period
-		}
-		items = append(items, EventItem(e))
+		items = f.Feed(items, e)
 	}
-	items = append(items, WatermarkItem[V](MaxTime))
-	return items
+	return f.Close(items)
+}
+
+// Feeder is the incremental form of Prepare for sources that cannot be
+// materialized up front (e.g. a CSV stream on stdin): feed arriving events
+// one at a time and receive them back interleaved with the periodic
+// watermarks that became due.
+type Feeder[V any] struct {
+	w      Watermarker
+	maxTS  int64
+	nextWM int64
+}
+
+// NewFeeder creates a Feeder emitting watermarks per w's schedule.
+func NewFeeder[V any](w Watermarker) *Feeder[V] {
+	return &Feeder[V]{w: w, maxTS: MinTime}
+}
+
+// Feed appends any watermarks due before e, then e itself, to items and
+// returns the extended slice (append-style, so callers can reuse one
+// buffer).
+func (f *Feeder[V]) Feed(items []Item[V], e Event[V]) []Item[V] {
+	if f.nextWM == 0 && f.w.Period > 0 {
+		f.nextWM = f.w.firstBoundary(e.Time)
+	}
+	if e.Time > f.maxTS {
+		f.maxTS = e.Time
+	}
+	for f.w.Period > 0 && f.maxTS-f.w.Lag >= f.nextWM {
+		items = append(items, WatermarkItem[V](f.nextWM))
+		f.nextWM += f.w.Period
+	}
+	return append(items, EventItem(e))
+}
+
+// Close appends the final MaxTime watermark that flushes every window.
+func (f *Feeder[V]) Close(items []Item[V]) []Item[V] {
+	return append(items, WatermarkItem[V](MaxTime))
 }
 
 // EventsOnly strips watermarks from a prepared stream.

@@ -17,7 +17,12 @@ go run ./cmd/slicelint ./...
 echo '== go test ./...'
 go test ./...
 
-echo '== go test -race -short (engine, core, stream)'
-go test -race -short ./internal/engine ./internal/core ./internal/stream
+echo '== go test -race -short (engine, core, stream, obs)'
+go test -race -short ./internal/engine ./internal/core ./internal/stream ./internal/obs
+
+echo '== benchmark smoke (fig 8 quick, JSON artifact)'
+go run ./cmd/benchmark -fig 8 -json BENCH_fig8.json > /dev/null
+# The artifact must be parseable JSON with at least one data point.
+go run ./scripts/checkbench.go BENCH_fig8.json
 
 echo 'OK'

@@ -1,0 +1,47 @@
+// Command checkbench asserts that a BENCH_*.json artifact written by
+// cmd/benchmark -json is parseable and carries at least one data point with
+// a named series — the CI contract for the benchmark smoke step.
+//
+// Usage: go run ./scripts/checkbench.go BENCH_fig8.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: checkbench <bench.json>")
+		os.Exit(2)
+	}
+	raw, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var rec struct {
+		Figure string `json:"figure"`
+		Points []struct {
+			Series       string  `json:"series"`
+			TuplesPerSec float64 `json:"tuples_per_sec"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: invalid JSON: %v\n", os.Args[1], err)
+		os.Exit(1)
+	}
+	if rec.Figure == "" || len(rec.Points) == 0 {
+		fmt.Fprintf(os.Stderr, "%s: empty recording (figure=%q, %d points)\n",
+			os.Args[1], rec.Figure, len(rec.Points))
+		os.Exit(1)
+	}
+	for _, p := range rec.Points {
+		if p.Series == "" {
+			fmt.Fprintf(os.Stderr, "%s: point without series\n", os.Args[1])
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("%s: figure %s, %d points ok\n", os.Args[1], rec.Figure, len(rec.Points))
+}
