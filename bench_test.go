@@ -56,6 +56,20 @@ func BenchmarkFig8Throughput(b *testing.B) {
 			}, stream.Disorder{})
 		})
 	}
+	// The batched run fast path over the same workload — the lazy-slicing-batch
+	// series of cmd/benchmark, pinned at the engine's default 256-item batch.
+	b.Run("lazy-slicing-batch/w20", func(b *testing.B) {
+		w := benchutil.Workload{
+			Ordered: true,
+			Defs:    func() []window.Definition { return benchutil.TumblingQueries(20) },
+		}
+		in := benchutil.MakeInput(stream.Football(), b.N, stream.Disorder{}, 42)
+		op := benchutil.NewBatchOp(benchutil.LazySlicing, benchutil.SumFn(), w)
+		b.ResetTimer()
+		benchutil.ThroughputBatched(op, in, 256)
+		b.StopTimer()
+		b.ReportMetric(float64(in.Events)/b.Elapsed().Seconds(), "tuples/s")
+	})
 }
 
 // ----------------------------------------------------------------- Fig 9 ---

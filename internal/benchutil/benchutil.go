@@ -88,6 +88,36 @@ func NewOp[A, Out any](t Technique, f aggregate.Function[stream.Tuple, A, Out], 
 	}
 }
 
+// BatchOp drives one operator instance with whole arrival-ordered batches:
+// feed a chunk of items, learn how many results it emitted.
+type BatchOp func(items []stream.Item[stream.Tuple]) int
+
+// NewBatchOp builds a batch-driven operator of the given technique. The
+// slicing techniques route through core's ProcessBatch run fast path; the
+// baselines loop per item behind the same signature (their per-tuple work is
+// the cost the batch path exists to amortize away).
+func NewBatchOp[A, Out any](t Technique, f aggregate.Function[stream.Tuple, A, Out], w Workload) BatchOp {
+	switch t {
+	case LazySlicing, EagerSlicing:
+		ag := core.New(f, core.Options{Ordered: w.Ordered, Lateness: w.Lateness, Eager: t == EagerSlicing})
+		for _, d := range w.Defs() {
+			ag.MustAddQuery(d)
+		}
+		return func(items []stream.Item[stream.Tuple]) int {
+			return len(ag.ProcessBatch(items))
+		}
+	default:
+		op := NewOp(t, f, w)
+		return func(items []stream.Item[stream.Tuple]) int {
+			n := 0
+			for _, it := range items {
+				n += op(it)
+			}
+			return n
+		}
+	}
+}
+
 func feedBaseline[Out any](op baselines.Operator[stream.Tuple, Out], defs []window.Definition) Op {
 	for _, d := range defs {
 		op.AddQuery(d)
@@ -168,6 +198,28 @@ func Throughput(op Op, in Input) (tuplesPerSec float64, results int64) {
 	var r int64
 	for _, it := range in.Items {
 		r += int64(op(it))
+	}
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		return 0, r
+	}
+	return float64(in.Events) / elapsed.Seconds(), r
+}
+
+// ThroughputBatched replays the input through the batch operator in chunks
+// of batchSize items and returns tuples per second of wall-clock time.
+func ThroughputBatched(op BatchOp, in Input, batchSize int) (tuplesPerSec float64, results int64) {
+	if batchSize <= 0 {
+		batchSize = 256
+	}
+	start := time.Now()
+	var r int64
+	for i := 0; i < len(in.Items); i += batchSize {
+		j := i + batchSize
+		if j > len(in.Items) {
+			j = len(in.Items)
+		}
+		r += int64(op(in.Items[i:j]))
 	}
 	elapsed := time.Since(start)
 	if elapsed <= 0 {

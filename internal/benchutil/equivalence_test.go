@@ -93,3 +93,87 @@ func TestTechniquesAgreeUnderDisorder(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchReplayAgreesWithTupleAtATime replays a disordered, watermark-
+// interleaved workload through the core batch path at several chunkings —
+// every chunk boundary lands mid-stream, so batches mix events, late tuples,
+// and watermarks — and requires the same final windows as the per-element
+// path. It then checks the BatchOp harness wrappers of every technique emit
+// exactly as many results as their tuple-at-a-time Op.
+func TestBatchReplayAgreesWithTupleAtATime(t *testing.T) {
+	d := stream.Disorder{Fraction: 0.25, MaxDelay: 800, Seed: 91}
+	in := MakeInput(stream.Football(), 60_000, d, 42)
+	defs := func() []window.Definition { return WithSession(TumblingQueries(4)) }
+	const lateness = 2000
+	chunkings := []int{1, 7, 256, len(in.Items)}
+
+	runCore := func(eager bool, bs int) map[wkey]float64 {
+		op := core.New(SumFn(), core.Options{Eager: eager, Lateness: lateness})
+		for _, def := range defs() {
+			op.MustAddQuery(def)
+		}
+		finals := map[wkey]float64{}
+		feed := func(rs []core.Result[float64]) {
+			for _, r := range rs {
+				finals[wkey{r.Query, r.Start, r.End}] = r.Value
+			}
+		}
+		if bs == 0 { // per element
+			for _, it := range in.Items {
+				if it.Kind == stream.KindEvent {
+					feed(op.ProcessElement(it.Event))
+				} else {
+					feed(op.ProcessWatermark(it.Watermark))
+				}
+			}
+			return finals
+		}
+		for i := 0; i < len(in.Items); i += bs {
+			j := i + bs
+			if j > len(in.Items) {
+				j = len(in.Items)
+			}
+			feed(op.ProcessBatch(in.Items[i:j]))
+		}
+		return finals
+	}
+
+	for _, eager := range []bool{false, true} {
+		base := runCore(eager, 0)
+		if len(base) < 30 {
+			t.Fatalf("suspiciously few windows: %d", len(base))
+		}
+		for _, bs := range chunkings {
+			got := runCore(eager, bs)
+			if len(got) != len(base) {
+				t.Fatalf("eager=%v bs=%d: %d windows, per-element %d", eager, bs, len(got), len(base))
+			}
+			for k, v := range base {
+				g, ok := got[k]
+				if !ok {
+					t.Fatalf("eager=%v bs=%d: missing window %+v", eager, bs, k)
+				}
+				if math.Abs(g-v) > 1e-6 {
+					t.Fatalf("eager=%v bs=%d window %+v: %v, per-element %v", eager, bs, k, g, v)
+				}
+			}
+		}
+	}
+
+	// Harness plumbing: BatchOp must count the same emissions as Op for every
+	// technique, slicing fast path and baseline fallback alike.
+	w := Workload{Lateness: lateness, Defs: defs}
+	for _, tech := range []Technique{LazySlicing, EagerSlicing, TupleBuffer, AggTree} {
+		op := NewOp(tech, SumFn(), w)
+		var want int64
+		for _, it := range in.Items {
+			want += int64(op(it))
+		}
+		for _, bs := range []int{7, 256} {
+			_, got := ThroughputBatched(NewBatchOp(tech, SumFn(), w), in, bs)
+			if got != want {
+				t.Fatalf("%s bs=%d: BatchOp emitted %d results, Op emitted %d", tech, bs, got, want)
+			}
+		}
+	}
+}

@@ -75,6 +75,59 @@ func RecordPoint(m Measurement) {
 // from perturbing the throughput number the same run reports.
 const latencySampleEvery = 64
 
+// latencyBatchSampleEvery controls per-batch latency sampling in
+// MeasureBatch: every Kth batch is timed and its per-tuple share observed.
+const latencyBatchSampleEvery = 4
+
+// MeasureBatch replays the input through the batch operator in chunks of
+// batchSize like ThroughputBatched and, when a recording is active, records
+// the point. Per-item latency is sampled at batch granularity (batch wall
+// time divided by batch length), so the quantiles are amortized per-tuple
+// costs — directly comparable to Measure's numbers for batch-friendly loads.
+func MeasureBatch(series string, x any, op BatchOp, in Input, batchSize int) (tuplesPerSec float64, results int64) {
+	if Rec == nil {
+		return ThroughputBatched(op, in, batchSize)
+	}
+	if batchSize <= 0 {
+		batchSize = 256
+	}
+	lat := obs.NewHistogram(nil)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	var r int64
+	batches := 0
+	for i := 0; i < len(in.Items); i += batchSize {
+		j := i + batchSize
+		if j > len(in.Items) {
+			j = len(in.Items)
+		}
+		batches++
+		if batches%latencyBatchSampleEvery == 0 {
+			t0 := time.Now()
+			r += int64(op(in.Items[i:j]))
+			lat.Observe(float64(time.Since(t0).Nanoseconds()) / float64(j-i))
+		} else {
+			r += int64(op(in.Items[i:j]))
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	if elapsed > 0 {
+		tuplesPerSec = float64(in.Events) / elapsed.Seconds()
+	}
+	RecordPoint(Measurement{
+		Series:       series,
+		X:            x,
+		TuplesPerSec: tuplesPerSec,
+		Results:      r,
+		Events:       in.Events,
+		LatencyNS:    lat.Quantiles(),
+		BytesAlloc:   ms1.TotalAlloc - ms0.TotalAlloc,
+	})
+	return tuplesPerSec, r
+}
+
 // Measure replays the input like Throughput and, when a recording is
 // active, also records the point under (series, x) with sampled per-item
 // latency quantiles and heap allocation. With no active recording it is

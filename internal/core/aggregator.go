@@ -95,7 +95,11 @@ type Aggregator[V, A, Out any] struct {
 	st   *store[V, A, Out]
 
 	queries []*query[V]
-	nextID  int
+	// ctxQueries is the subset of queries with a context (context-aware
+	// windows), precomputed in reconfigure so the per-tuple path does not
+	// scan all queries just to skip the context-free ones.
+	ctxQueries []*query[V]
+	nextID     int
 
 	// Workload-derived state (§5.1): re-evaluated on AddQuery/RemoveQuery.
 	hasCFTime  bool
@@ -247,6 +251,7 @@ func (ag *Aggregator[V, A, Out]) extentMeasure() stream.Measure {
 // reconfigure re-derives workload flags and the Fig 4 tuple-storage decision.
 func (ag *Aggregator[V, A, Out]) reconfigure() {
 	ag.hasCFTime, ag.hasCFCount, ag.hasCA, ag.needRank = false, false, false, false
+	ag.ctxQueries = ag.ctxQueries[:0]
 	defs := make([]window.Definition, 0, len(ag.queries))
 	for _, q := range ag.queries {
 		defs = append(defs, q.def)
@@ -257,6 +262,7 @@ func (ag *Aggregator[V, A, Out]) reconfigure() {
 			ag.hasCFCount = true
 		default:
 			ag.hasCA = true
+			ag.ctxQueries = append(ag.ctxQueries, q)
 		}
 		if q.def.Measure() == stream.Count {
 			ag.needRank = true
@@ -330,8 +336,8 @@ func (ag *Aggregator[V, A, Out]) triggerDue(wm int64) bool {
 	if wm >= ag.cfTriggerWakeTime {
 		return true
 	}
-	for _, q := range ag.queries {
-		if q.ctx != nil && q.ctx.NextTrigger(ag.currWM) <= wm {
+	for _, q := range ag.ctxQueries {
+		if q.ctx.NextTrigger(ag.currWM) <= wm {
 			return true
 		}
 	}
@@ -379,6 +385,14 @@ func (ag *Aggregator[V, A, Out]) compact() {
 // calls.
 func (ag *Aggregator[V, A, Out]) ProcessElement(e stream.Event[V]) []Result[Out] {
 	ag.results = ag.results[:0]
+	ag.ingestElement(e)
+	return ag.results
+}
+
+// ingestElement is ProcessElement without the result-buffer reset: results
+// accumulate in ag.results, so batch ingestion can interleave elements and
+// watermarks into one result run.
+func (ag *Aggregator[V, A, Out]) ingestElement(e stream.Event[V]) {
 	inOrder := e.Time >= ag.st.maxSeen
 	if ag.opts.Ordered && !inOrder {
 		panic(fmt.Sprintf("core: out-of-order tuple (t=%d < max=%d) on a stream declared Ordered", e.Time, ag.st.maxSeen))
@@ -398,7 +412,7 @@ func (ag *Aggregator[V, A, Out]) ProcessElement(e stream.Event[V]) []Result[Out]
 	} else {
 		if ag.currWM != stream.MinTime && e.Time <= ag.currWM-ag.opts.Lateness {
 			ag.m.dropped.Inc()
-			return ag.results
+			return
 		}
 		ag.processOutOfOrder(e)
 	}
@@ -406,7 +420,6 @@ func (ag *Aggregator[V, A, Out]) ProcessElement(e stream.Event[V]) []Result[Out]
 		ag.evict()
 		ag.evictCountdown = evictEvery
 	}
-	return ag.results
 }
 
 // ProcessWatermark ingests a low watermark: no later tuple will carry a time
@@ -414,8 +427,14 @@ func (ag *Aggregator[V, A, Out]) ProcessElement(e stream.Event[V]) []Result[Out]
 // every window completed since the previous watermark.
 func (ag *Aggregator[V, A, Out]) ProcessWatermark(wm int64) []Result[Out] {
 	ag.results = ag.results[:0]
+	ag.ingestWatermark(wm)
+	return ag.results
+}
+
+// ingestWatermark is ProcessWatermark without the result-buffer reset.
+func (ag *Aggregator[V, A, Out]) ingestWatermark(wm int64) {
 	if wm <= ag.currWM {
-		return ag.results
+		return
 	}
 	ag.trigger(ag.currWM, wm, wm)
 	ag.refreshTriggerWake()
@@ -423,7 +442,6 @@ func (ag *Aggregator[V, A, Out]) ProcessWatermark(wm int64) []Result[Out] {
 	ag.flushUpdates()
 	ag.evict()
 	ag.publishGauges()
-	return ag.results
 }
 
 // processInOrder is the §5.3 pipeline for in-order tuples: slice on the fly,
@@ -445,10 +463,8 @@ func (ag *Aggregator[V, A, Out]) processInOrder(e stream.Event[V]) {
 		}
 	}
 	rank := ag.st.totalCount
-	for _, q := range ag.queries {
-		if q.ctx != nil {
-			ag.applyChanges(q, q.ctx.Observe(e, rank, true))
-		}
+	for _, q := range ag.ctxQueries {
+		ag.applyChanges(q, q.ctx.Observe(e, rank, true))
 	}
 	ag.st.addInOrder(e)
 	ag.advanceCountEdges()
@@ -468,17 +484,25 @@ func (ag *Aggregator[V, A, Out]) processInOrder(e stream.Event[V]) {
 // count-based measure is in play, then update emissions for windows already
 // behind the watermark.
 func (ag *Aggregator[V, A, Out]) processOutOfOrder(e stream.Event[V]) {
-	rank := int64(-1)
+	// The insertion slice is located once and threaded through: rank
+	// derivation and the insert both need it. Context observations below may
+	// split or merge slices, so the cached index is revalidated against the
+	// store's structural version and re-searched only if the sequence
+	// actually changed.
+	rank, idx := int64(-1), -1
+	version := ag.st.version
 	if ag.needRank || ag.st.keepTuples {
-		rank = ag.rankOf(e)
+		idx = ag.st.sliceForInsert(e)
+		rank = ag.rankAt(idx, e)
 	}
-	for _, q := range ag.queries {
-		if q.ctx != nil {
-			ag.applyChanges(q, q.ctx.Observe(e, rank, false))
-		}
+	for _, q := range ag.ctxQueries {
+		ag.applyChanges(q, q.ctx.Observe(e, rank, false))
 	}
 	if ag.needRank {
-		i := ag.st.sliceForInsert(e)
+		i := idx
+		if i < 0 || ag.st.version != version {
+			i = ag.st.sliceForInsert(e)
+		}
 		ag.st.addOutOfOrder(i, e)
 		ag.st.shiftCascade(i)
 		ag.advanceCountEdges()
@@ -513,9 +537,9 @@ func (ag *Aggregator[V, A, Out]) processOutOfOrder(e stream.Event[V]) {
 	ag.flushUpdates()
 }
 
-// rankOf computes the canonical rank an out-of-order event will occupy.
-func (ag *Aggregator[V, A, Out]) rankOf(e stream.Event[V]) int64 {
-	i := ag.st.sliceForInsert(e)
+// rankAt computes the canonical rank an out-of-order event will occupy given
+// its insertion slice index i (from sliceForInsert).
+func (ag *Aggregator[V, A, Out]) rankAt(i int, e stream.Event[V]) int64 {
 	s := ag.st.slices[i]
 	if len(s.Events) > 0 {
 		k := sort.Search(len(s.Events), func(k int) bool { return e.Before(s.Events[k]) })
@@ -541,10 +565,7 @@ func (ag *Aggregator[V, A, Out]) advanceTimeEdges(ts int64) {
 		if len(ag.dynamicTimeEdges) > 0 && ag.dynamicTimeEdges[0] < edge {
 			edge = ag.dynamicTimeEdges[0]
 		}
-		for _, q := range ag.queries {
-			if q.ctx == nil {
-				continue
-			}
+		for _, q := range ag.ctxQueries {
 			if e := q.ctx.NextEdge(open); e < edge {
 				edge = e
 			}
@@ -774,12 +795,7 @@ func (ag *Aggregator[V, A, Out]) evict() {
 		}
 		k++
 	}
-	if k > 0 {
-		ag.st.slices = append(ag.st.slices[:0], ag.st.slices[k:]...)
-		if ag.st.eager {
-			ag.st.tree.RemoveFront(k)
-		}
-	}
+	ag.st.dropFront(k)
 	for _, q := range ag.queries {
 		if q.ctx != nil {
 			q.ctx.Evict(minTime, minCount)

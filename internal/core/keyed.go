@@ -30,6 +30,15 @@ type Keyed[K comparable, V, A, Out any] struct {
 	// idleTTL is how long (in event time) a key may be silent before its
 	// operator is discarded; 0 disables expiry.
 	idleTTL int64
+
+	// Batch grouping scratch state: runs[i] collects the sub-batch of the
+	// i-th distinct key of the current segment (buffers are reused across
+	// batches), runKeys records those keys in first-appearance order so
+	// per-key emission stays deterministic, and scratch maps a key to its
+	// run index for the duration of one segment.
+	runs    [][]stream.Item[V]
+	runKeys []K
+	scratch map[K]int
 }
 
 type keyedEntry[V, A, Out any] struct {
@@ -53,17 +62,23 @@ func NewKeyed[K comparable, V, A, Out any](keyOf func(V) K, idleTTL int64, newOp
 // Keys returns the number of live keys.
 func (k *Keyed[K, V, A, Out]) Keys() int { return len(k.ops) }
 
-// ProcessElement routes the tuple to its key's aggregator. The returned
-// slice is reused across calls.
-func (k *Keyed[K, V, A, Out]) ProcessElement(e stream.Event[V]) []KeyedResult[K, Out] {
-	k.results = k.results[:0]
-	key := k.keyOf(e.Value)
+// entry returns the key's aggregator, creating it on first use.
+func (k *Keyed[K, V, A, Out]) entry(key K) *keyedEntry[V, A, Out] {
 	ent, ok := k.ops[key]
 	if !ok {
 		ent = &keyedEntry[V, A, Out]{op: k.newOp()}
 		k.ops[key] = ent
 		k.order = append(k.order, key)
 	}
+	return ent
+}
+
+// ProcessElement routes the tuple to its key's aggregator. The returned
+// slice is reused across calls.
+func (k *Keyed[K, V, A, Out]) ProcessElement(e stream.Event[V]) []KeyedResult[K, Out] {
+	k.results = k.results[:0]
+	key := k.keyOf(e.Value)
+	ent := k.entry(key)
 	ent.lastSeen = e.Time
 	for _, r := range ent.op.ProcessElement(e) {
 		k.results = append(k.results, KeyedResult[K, Out]{Key: key, Result: r})
@@ -75,6 +90,11 @@ func (k *Keyed[K, V, A, Out]) ProcessElement(e stream.Event[V]) []KeyedResult[K,
 // keys. The returned slice is reused across calls.
 func (k *Keyed[K, V, A, Out]) ProcessWatermark(wm int64) []KeyedResult[K, Out] {
 	k.results = k.results[:0]
+	k.broadcastWatermark(wm)
+	return k.results
+}
+
+func (k *Keyed[K, V, A, Out]) broadcastWatermark(wm int64) {
 	k.currWM = wm
 	live := k.order[:0]
 	for _, key := range k.order {
@@ -83,13 +103,92 @@ func (k *Keyed[K, V, A, Out]) ProcessWatermark(wm int64) []KeyedResult[K, Out] {
 			k.results = append(k.results, KeyedResult[K, Out]{Key: key, Result: r})
 		}
 		if k.idleTTL > 0 && wm != stream.MaxTime && wm-ent.lastSeen > k.idleTTL+ent.op.opts.Lateness {
+			// Drain before deleting: an idle key may still hold unemitted
+			// state — a session whose gap exceeds the TTL, or the partial
+			// window holding its last tuples. The synthetic MaxTime
+			// watermark emits exactly the windows the stream-final
+			// watermark would have (triggers cap at the last observed
+			// tuple), so expiry never silently discards aggregated data.
+			for _, r := range ent.op.ProcessWatermark(stream.MaxTime) {
+				k.results = append(k.results, KeyedResult[K, Out]{Key: key, Result: r})
+			}
 			delete(k.ops, key)
 			continue
 		}
 		live = append(live, key)
 	}
 	k.order = live
+}
+
+// ProcessBatch ingests a whole arrival-ordered batch. Events are grouped by
+// key — one scratch-map lookup per key-run rather than one per tuple — and
+// each key's sub-batch is handed to its aggregator's ProcessBatch, so the
+// per-key fast path sees maximal runs. Watermarks segment the batch: all
+// events before a watermark are flushed to their keys first, then the
+// watermark is broadcast.
+//
+// Results arrive grouped by key (keys in first-appearance order within each
+// segment), not interleaved in per-tuple arrival order; the set of results
+// and every per-key subsequence match the per-element path exactly. The
+// returned slice is reused across calls.
+func (k *Keyed[K, V, A, Out]) ProcessBatch(batch []stream.Item[V]) []KeyedResult[K, Out] {
+	k.results = k.results[:0]
+	for len(batch) > 0 {
+		if batch[0].Kind != stream.KindEvent {
+			k.broadcastWatermark(batch[0].Watermark)
+			batch = batch[1:]
+			continue
+		}
+		n := 1
+		for n < len(batch) && batch[n].Kind == stream.KindEvent {
+			n++
+		}
+		k.processEventSegment(batch[:n])
+		batch = batch[n:]
+	}
 	return k.results
+}
+
+// processEventSegment groups an event-only segment by key and feeds each
+// key's sub-batch to its aggregator. Grouping buffers are reused across
+// segments; the scratch map is left empty for the next one.
+func (k *Keyed[K, V, A, Out]) processEventSegment(seg []stream.Item[V]) {
+	if k.scratch == nil {
+		k.scratch = map[K]int{}
+	}
+	n := 0 // distinct keys in this segment
+	var curKey K
+	cur := -1
+	for i := range seg {
+		key := k.keyOf(seg[i].Event.Value)
+		if cur < 0 || key != curKey {
+			idx, ok := k.scratch[key]
+			if !ok {
+				idx = n
+				n++
+				if idx < len(k.runs) {
+					k.runs[idx] = k.runs[idx][:0]
+					k.runKeys[idx] = key
+				} else {
+					k.runs = append(k.runs, nil)
+					k.runKeys = append(k.runKeys, key)
+				}
+				k.scratch[key] = idx
+			}
+			cur, curKey = idx, key
+		}
+		k.runs[cur] = append(k.runs[cur], seg[i])
+	}
+	for idx := 0; idx < n; idx++ {
+		key := k.runKeys[idx]
+		delete(k.scratch, key)
+		items := k.runs[idx]
+		ent := k.entry(key)
+		ent.lastSeen = items[len(items)-1].Event.Time
+		for _, r := range ent.op.ProcessBatch(items) {
+			k.results = append(k.results, KeyedResult[K, Out]{Key: key, Result: r})
+		}
+	}
 }
 
 // Stats sums the per-key operator statistics.

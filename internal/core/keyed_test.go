@@ -137,6 +137,117 @@ func TestKeyedExpiresIdleKeys(t *testing.T) {
 	}
 }
 
+// TestKeyedExpiryDrainsUnemittedSessions is the regression test for idle-key
+// expiry silently dropping state: a session whose gap exceeds the idle TTL
+// used to be deleted with its final window still open. Expiry must drain the
+// key first.
+func TestKeyedExpiryDrainsUnemittedSessions(t *testing.T) {
+	op := NewKeyed(func(v kv) int { return v.Key }, 500, func() *Aggregator[kv, float64, float64] {
+		ag := New(keyedSum(), Options{Lateness: 0})
+		ag.MustAddQuery(window.Session[kv](1000))
+		return ag
+	})
+	op.ProcessElement(stream.Event[kv]{Time: 10, Seq: 1, Value: kv{Key: 1, V: 5}})
+	op.ProcessElement(stream.Event[kv]{Time: 20, Seq: 2, Value: kv{Key: 1, V: 7}})
+	// Key 2 keeps the stream alive while key 1 goes idle.
+	op.ProcessElement(stream.Event[kv]{Time: 590, Seq: 3, Value: kv{Key: 2, V: 1}})
+	// At wm=600 key 1 is expired (600-20 > 500) but its session window
+	// [10, 1020) is not yet due (600 < 1019): the drain must emit it.
+	rs := op.ProcessWatermark(600)
+	if op.Keys() != 1 {
+		t.Fatalf("idle key not expired: %d live", op.Keys())
+	}
+	found := false
+	for _, r := range rs {
+		if r.Key == 1 && r.N == 2 {
+			found = true
+			if !approx(r.Value, 12) {
+				t.Fatalf("drained session value = %v want 12 (%+v)", r.Value, r)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("expired key's unemitted session window was dropped; results: %+v", rs)
+	}
+}
+
+// TestKeyedBatchEquivalence replays a keyed multi-query stream through
+// ProcessBatch at several batch sizes and requires, per key, the exact result
+// subsequence of the per-element path (the documented guarantee: batching may
+// regroup results across keys but never within one).
+func TestKeyedBatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const keys = 7
+	var events []stream.Event[kv]
+	ts := int64(0)
+	for i := 0; i < 4000; i++ {
+		ts += int64(rng.Intn(15))
+		events = append(events, stream.Event[kv]{
+			Time: ts, Seq: int64(i),
+			Value: kv{Key: rng.Intn(keys), V: float64(rng.Intn(100))},
+		})
+	}
+	d := stream.Disorder{Fraction: 0.15, MaxDelay: 300, Seed: 78}
+	items := stream.Prepare(stream.Watermarker{Period: 250, Lag: 301}, stream.Apply(d, events))
+
+	mk := func() *Keyed[int, kv, float64, float64] {
+		return NewKeyed(func(v kv) int { return v.Key }, 2000, func() *Aggregator[kv, float64, float64] {
+			ag := New(keyedSum(), Options{Lateness: 1 << 40})
+			ag.MustAddQuery(window.Sliding(stream.Time, 400, 150))
+			ag.MustAddQuery(window.Session[kv](120))
+			return ag
+		})
+	}
+
+	perKey := func(rs []KeyedResult[int, float64]) map[int][]KeyedResult[int, float64] {
+		m := map[int][]KeyedResult[int, float64]{}
+		for _, r := range rs {
+			m[r.Key] = append(m[r.Key], r)
+		}
+		return m
+	}
+
+	op := mk()
+	var baseSeq []KeyedResult[int, float64]
+	for _, it := range items {
+		if it.Kind == stream.KindEvent {
+			baseSeq = append(baseSeq, op.ProcessElement(it.Event)...)
+		} else {
+			baseSeq = append(baseSeq, op.ProcessWatermark(it.Watermark)...)
+		}
+	}
+	base := perKey(baseSeq)
+
+	for _, bs := range []int{1, 7, 256, len(items)} {
+		op := mk()
+		var seq []KeyedResult[int, float64]
+		for i := 0; i < len(items); i += bs {
+			j := i + bs
+			if j > len(items) {
+				j = len(items)
+			}
+			seq = append(seq, op.ProcessBatch(items[i:j])...)
+		}
+		got := perKey(seq)
+		if len(got) != len(base) {
+			t.Fatalf("bs=%d: results for %d keys, want %d", bs, len(got), len(base))
+		}
+		for key, want := range base {
+			have := got[key]
+			if len(have) != len(want) {
+				t.Fatalf("bs=%d key %d: %d results want %d", bs, key, len(have), len(want))
+			}
+			for i := range want {
+				w, h := want[i], have[i]
+				if w.Query != h.Query || w.Start != h.Start || w.End != h.End ||
+					w.N != h.N || w.Update != h.Update || !approx(w.Value, h.Value) {
+					t.Fatalf("bs=%d key %d result %d: got %+v want %+v", bs, key, i, h, w)
+				}
+			}
+		}
+	}
+}
+
 func TestKeyedStatsAggregate(t *testing.T) {
 	op := NewKeyed(func(v kv) int { return v.Key }, 0, func() *Aggregator[kv, float64, float64] {
 		ag := New(keyedSum(), Options{Ordered: true})

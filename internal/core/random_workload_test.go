@@ -55,37 +55,54 @@ func runRandomWorkload(t *testing.T, seed int64) {
 	// one extent measure only.
 	countRegime := rng.Intn(3) == 0
 
+	// Window definitions are stateful (periodic windows track their next
+	// trigger), so the pool holds factories and every aggregator gets fresh
+	// instances.
 	punctPred := func(v float64) bool { return v == 7 }
-	var pool []trialQuery
+	var pool []func() trialQuery
 	if countRegime {
-		pool = []trialQuery{
-			countTumblingQ(int64(20 + rng.Intn(200))),
-			countSlidingQ(int64(30+rng.Intn(100)), int64(10+rng.Intn(50))),
-			citQ(int64(10+rng.Intn(50)), int64(200+rng.Intn(600))),
+		ctl := int64(20 + rng.Intn(200))
+		csl, css := int64(30+rng.Intn(100)), int64(10+rng.Intn(50))
+		cn, ce := int64(10+rng.Intn(50)), int64(200+rng.Intn(600))
+		pool = []func() trialQuery{
+			func() trialQuery { return countTumblingQ(ctl) },
+			func() trialQuery { return countSlidingQ(csl, css) },
+			func() trialQuery { return citQ(cn, ce) },
 		}
 	} else {
-		pool = []trialQuery{
-			timeTumblingQ(int64(20 + rng.Intn(300))),
-			timeSlidingQ(int64(50+rng.Intn(300)), int64(10+rng.Intn(120))),
-			timeSlidingQ(int64(40+rng.Intn(60)), int64(100+rng.Intn(100))), // slide > length: sampling
-			sessionQ(int64(100 + rng.Intn(200))),
-			punctQ(punctPred),
+		ttl := int64(20 + rng.Intn(300))
+		tsl, tss := int64(50+rng.Intn(300)), int64(10+rng.Intn(120))
+		tsl2, tss2 := int64(40+rng.Intn(60)), int64(100+rng.Intn(100)) // slide > length: sampling
+		gap := int64(100 + rng.Intn(200))
+		pool = []func() trialQuery{
+			func() trialQuery { return timeTumblingQ(ttl) },
+			func() trialQuery { return timeSlidingQ(tsl, tss) },
+			func() trialQuery { return timeSlidingQ(tsl2, tss2) },
+			func() trialQuery { return sessionQ(gap) },
+			func() trialQuery { return punctQ(punctPred) },
 		}
 		if ordered {
 			// Ordered streams may mix measures freely.
+			ctl := int64(20 + rng.Intn(200))
+			cn, ce := int64(10+rng.Intn(50)), int64(200+rng.Intn(600))
 			pool = append(pool,
-				countTumblingQ(int64(20+rng.Intn(200))),
-				citQ(int64(10+rng.Intn(50)), int64(200+rng.Intn(600))))
+				func() trialQuery { return countTumblingQ(ctl) },
+				func() trialQuery { return citQ(cn, ce) })
 		}
 	}
 	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
-	qs := pool[:1+rng.Intn(len(pool))]
+	mks := pool[:1+rng.Intn(len(pool))]
 
 	f := aggregate.Sum[float64](ident)
-	ag := New[float64](f, Options{Ordered: ordered, Eager: eager, Lateness: 1 << 40})
-	ids := make([]int, len(qs))
-	for i, q := range qs {
-		ids[i] = ag.MustAddQuery(q.def)
+	newAgg := func() (*Aggregator[float64, float64, float64], []int, []trialQuery) {
+		ag := New[float64](f, Options{Ordered: ordered, Eager: eager, Lateness: 1 << 40})
+		ids := make([]int, len(mks))
+		qs := make([]trialQuery, len(mks))
+		for i, mk := range mks {
+			qs[i] = mk()
+			ids[i] = ag.MustAddQuery(qs[i].def)
+		}
+		return ag, ids, qs
 	}
 
 	ev := genEvents(rng, 1200+rng.Intn(1200))
@@ -94,14 +111,30 @@ func runRandomWorkload(t *testing.T, seed int64) {
 		wmPeriod = int64(50 + rng.Intn(300))
 	}
 	items := stream.Prepare(stream.Watermarker{Period: wmPeriod, Lag: d.MaxDelay + 1}, stream.Apply(d, ev))
-	finals := run(ag, items)
 
+	ag, ids, qs := newAgg()
+	finals := run(ag, items)
+	wants := make([][]reference.Final[float64], len(qs))
 	for i, q := range qs {
-		want := reference.Finals(f, q.ref, ev, stream.MaxTime)
-		checkAgainst(t, finals, ids[i], want)
+		wants[i] = reference.Finals(f, q.ref, ev, stream.MaxTime)
+		checkAgainst(t, finals, ids[i], wants[i])
 		if t.Failed() {
 			t.Fatalf("seed %d: query %d (%v) diverged (ordered=%v eager=%v countRegime=%v disorder=%+v)",
 				seed, i, q.def, ordered, eager, countRegime, d)
+		}
+	}
+
+	// The same stream replayed through ProcessBatch must match the oracle
+	// too, at whichever batch size this trial draws.
+	bss := []int{1, 7, 256, len(items)}
+	bs := bss[rng.Intn(len(bss))]
+	agB, idsB, qsB := newAgg()
+	finalsB := runBatch(agB, items, bs)
+	for i, q := range qsB {
+		checkAgainst(t, finalsB, idsB[i], wants[i])
+		if t.Failed() {
+			t.Fatalf("seed %d: query %d (%v) diverged on batched replay bs=%d (ordered=%v eager=%v countRegime=%v disorder=%+v)",
+				seed, i, q.def, bs, ordered, eager, countRegime, d)
 		}
 	}
 }

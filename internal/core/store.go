@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"scotty/internal/aggregate"
 	"scotty/internal/fat"
@@ -21,11 +22,37 @@ type store[V, A, Out any] struct {
 	shr   shrinker[V, A]        // nil when not available
 	props aggregate.Props
 
+	// add folds one event into a partial aggregate. It is the devirtualized
+	// form of aggregate.Add: the Accumulator type assertion happens once in
+	// newStore instead of once per tuple, so the in-order hot loop calls a
+	// plain func value.
+	add func(a A, e stream.Event[V]) A
+
 	eager      bool
 	keepTuples bool
 
+	// The slice sequence is a ring over buf: buf[:head] are dead (evicted)
+	// entries awaiting compaction, buf[head:] are the live slices. slices is
+	// maintained as the live view buf[head:] after every mutation, so all
+	// read paths index a plain dense slice. Front eviction advances head in
+	// O(1) per evicted slice; compaction runs when the dead prefix dominates
+	// (amortized O(1) per operation).
+	buf    []*Slice[V, A]
+	head   int
 	slices []*Slice[V, A]
 	tree   *fat.Tree[A] // non-nil iff eager
+
+	// pool recycles Slice structs together with their Events backing arrays
+	// (reset to length zero on release), cutting steady-state allocation of
+	// the cut/evict cycle to near zero. Stores are single-goroutine, but the
+	// pool survives GC pressure gracefully and is safe if an engine shares
+	// one store's results across partitions.
+	pool sync.Pool
+
+	// version counts structural mutations of the slice sequence (insert,
+	// remove, eviction). Callers that cache a slice index across code that
+	// may reshape the sequence revalidate against it.
+	version int64
 
 	totalCount int64
 	maxSeen    int64
@@ -62,11 +89,16 @@ func newStore[V, A, Out any](f aggregate.Function[V, A, Out], eager, keepTuples 
 	if shr, ok := any(f).(shrinker[V, A]); ok {
 		st.shr = shr
 	}
+	if acc, ok := any(f).(aggregate.Accumulator[V, A]); ok {
+		st.add = acc.Accumulate
+	} else {
+		st.add = func(a A, e stream.Event[V]) A { return f.Combine(a, f.Lift(e)) }
+	}
 	if eager {
 		st.tree = fat.New(f.Combine, f.Identity())
 	}
 	// The initial open slice starts at the stream origin.
-	st.slices = append(st.slices, st.newSlice(0, stream.MaxTime, 0))
+	st.pushSlice(st.newSlice(0, stream.MaxTime, 0))
 	if eager {
 		st.tree.Push(st.slices[0].Agg)
 	}
@@ -74,7 +106,100 @@ func newStore[V, A, Out any](f aggregate.Function[V, A, Out], eager, keepTuples 
 }
 
 func (st *store[V, A, Out]) newSlice(start, end, cstart int64) *Slice[V, A] {
-	return &Slice[V, A]{Start: start, End: end, CStart: cstart, Agg: st.f.Identity()}
+	s, _ := st.pool.Get().(*Slice[V, A])
+	if s == nil {
+		s = &Slice[V, A]{}
+	}
+	s.Start, s.End, s.CStart = start, end, cstart
+	s.Agg = st.f.Identity()
+	return s
+}
+
+// releaseSlice returns a slice to the pool. The Events backing array stays
+// attached (truncated to length zero), so a recycled slice reuses it — the
+// pooling rule callers must respect is that evicted slices' Events arrays are
+// recycled and must not be retained.
+func (st *store[V, A, Out]) releaseSlice(s *Slice[V, A]) {
+	ev := s.Events
+	if ev != nil {
+		clear(ev)
+		ev = ev[:0]
+	}
+	*s = Slice[V, A]{Events: ev}
+	st.pool.Put(s)
+}
+
+// ------------------------------------------------------- ring maintenance ---
+
+// refreshView re-derives the live view after a buf/head mutation.
+func (st *store[V, A, Out]) refreshView() { st.slices = st.buf[st.head:] }
+
+// pushSlice appends a slice at the open end.
+func (st *store[V, A, Out]) pushSlice(s *Slice[V, A]) {
+	st.reserveSpace()
+	st.buf = append(st.buf, s)
+	st.refreshView()
+	st.version++
+}
+
+// insertSliceAt places s at logical index i, shifting later slices right.
+func (st *store[V, A, Out]) insertSliceAt(i int, s *Slice[V, A]) {
+	st.reserveSpace()
+	st.buf = append(st.buf, nil)
+	st.refreshView()
+	copy(st.slices[i+1:], st.slices[i:])
+	st.slices[i] = s
+	st.version++
+}
+
+// removeSliceAt deletes the slice at logical index i, shifting later slices
+// left. The caller owns the removed slice (release it when done).
+func (st *store[V, A, Out]) removeSliceAt(i int) {
+	copy(st.slices[i:], st.slices[i+1:])
+	st.buf[len(st.buf)-1] = nil
+	st.buf = st.buf[:len(st.buf)-1]
+	st.refreshView()
+	st.version++
+}
+
+// dropFront evicts the first k live slices in O(k): advance the ring head,
+// recycle the evicted slices, and sync the eager tree. The dead prefix is
+// compacted away once it dominates the buffer (amortized O(1) per eviction,
+// replacing the previous O(live) front-copy).
+func (st *store[V, A, Out]) dropFront(k int) {
+	if k <= 0 {
+		return
+	}
+	for j := 0; j < k; j++ {
+		st.releaseSlice(st.buf[st.head+j])
+		st.buf[st.head+j] = nil
+	}
+	st.head += k
+	st.refreshView()
+	st.version++
+	if st.eager {
+		st.tree.RemoveFront(k)
+	}
+}
+
+// reserveSpace compacts the dead prefix before an append would reallocate,
+// reusing the buffer instead of growing it. Compaction only runs when the
+// dead prefix is at least a quarter of the capacity, so its O(live) cost is
+// amortized over the appends that refilled the reclaimed space.
+func (st *store[V, A, Out]) reserveSpace() {
+	if len(st.buf) < cap(st.buf) || st.head == 0 {
+		return
+	}
+	if st.head*4 < cap(st.buf) {
+		return // small dead prefix: let append grow the buffer
+	}
+	n := copy(st.buf, st.buf[st.head:])
+	for j := n; j < len(st.buf); j++ {
+		st.buf[j] = nil
+	}
+	st.buf = st.buf[:n]
+	st.head = 0
+	st.refreshView()
 }
 
 // open returns the currently open (last) slice.
@@ -151,7 +276,7 @@ func (st *store[V, A, Out]) cutTime(pos int64) {
 		// slicing pays for the tree only on out-of-order updates).
 		st.tree.Set(len(st.slices)-1, cur.Agg)
 	}
-	st.slices = append(st.slices, next)
+	st.pushSlice(next)
 	if st.eager {
 		st.tree.Push(next.Agg)
 	}
@@ -171,7 +296,7 @@ func (st *store[V, A, Out]) cutCount() {
 	if st.eager {
 		st.tree.Set(len(st.slices)-1, cur.Agg)
 	}
-	st.slices = append(st.slices, next)
+	st.pushSlice(next)
 	if st.eager {
 		st.tree.Push(next.Agg)
 	}
@@ -182,7 +307,7 @@ func (st *store[V, A, Out]) cutCount() {
 func (st *store[V, A, Out]) addInOrder(e stream.Event[V]) {
 	s := st.open()
 	s.appendEvent(e, st.keepTuples)
-	s.Agg = aggregate.Add(st.f, s.Agg, e)
+	s.Agg = st.add(s.Agg, e)
 	st.totalCount++
 	if e.Time > st.maxSeen {
 		st.maxSeen = e.Time
@@ -197,7 +322,7 @@ func (st *store[V, A, Out]) addOutOfOrder(i int, e stream.Event[V]) {
 	s := st.slices[i]
 	s.insertEvent(e, st.keepTuples)
 	if st.props.Commutative {
-		s.Agg = aggregate.Add(st.f, s.Agg, e)
+		s.Agg = st.add(s.Agg, e)
 	} else {
 		st.recomputeSlice(s)
 	}
@@ -232,9 +357,10 @@ func (st *store[V, A, Out]) splitTime(pos int64) {
 	case s.N == 0 || pos > s.TLast:
 		// All tuples stay left; right is empty. Nothing to recompute.
 	case pos <= s.TFirst:
-		// All tuples move right.
+		// All tuples move right. Swap Events so both slices keep a pooled
+		// backing array.
 		right.Agg, s.Agg = s.Agg, st.f.Identity()
-		right.Events, s.Events = s.Events, nil
+		right.Events, s.Events = s.Events, right.Events
 		right.N, s.N = s.N, 0
 		right.TFirst, right.TLast = s.TFirst, s.TLast
 		right.CStart = s.CStart
@@ -286,9 +412,7 @@ func (st *store[V, A, Out]) splitCount(c int64) {
 }
 
 func (st *store[V, A, Out]) insertSliceAfter(i int, right *Slice[V, A]) {
-	st.slices = append(st.slices, nil)
-	copy(st.slices[i+2:], st.slices[i+1:])
-	st.slices[i+1] = right
+	st.insertSliceAt(i+1, right)
 	if st.eager {
 		st.tree.Set(i, st.slices[i].Agg)
 		st.tree.Insert(i+1, right.Agg)
@@ -312,7 +436,8 @@ func (st *store[V, A, Out]) mergeWith(i int) {
 	if st.keepTuples {
 		a.Events = append(a.Events, b.Events...)
 	}
-	st.slices = append(st.slices[:i+1], st.slices[i+2:]...)
+	st.removeSliceAt(i + 1)
+	st.releaseSlice(b)
 	if st.eager {
 		st.tree.Set(i, a.Agg)
 		st.tree.Remove(i + 1)

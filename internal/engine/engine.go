@@ -32,6 +32,30 @@ type ProcessorFunc[V any] func(it stream.Item[V]) int
 // ProcessItem implements Processor.
 func (f ProcessorFunc[V]) ProcessItem(it stream.Item[V]) int { return f(it) }
 
+// BatchProcessor is an optional Processor extension. A processor that
+// implements it receives each channel batch whole instead of item by item,
+// letting batch-aware operators (core.Aggregator.ProcessBatch, core.Keyed)
+// amortize their per-tuple overhead across the run. The batch buffer is
+// recycled by the engine after the call returns, so implementations must not
+// retain it.
+type BatchProcessor[V any] interface {
+	// ProcessBatch ingests a whole arrival-ordered batch and returns the
+	// number of window results it emitted.
+	ProcessBatch(items []stream.Item[V]) int
+}
+
+// BatchProcessorFunc adapts a function to both Processor and BatchProcessor,
+// so batch-aware operators plug into Config.NewProcessor unchanged.
+type BatchProcessorFunc[V any] func(items []stream.Item[V]) int
+
+// ProcessBatch implements BatchProcessor.
+func (f BatchProcessorFunc[V]) ProcessBatch(items []stream.Item[V]) int { return f(items) }
+
+// ProcessItem implements Processor as a single-item batch.
+func (f BatchProcessorFunc[V]) ProcessItem(it stream.Item[V]) int {
+	return f([]stream.Item[V]{it})
+}
+
 // Config controls a pipeline run.
 type Config[V any] struct {
 	// Parallelism is the number of parallel operator instances.
@@ -125,6 +149,21 @@ func Run[V any](cfg Config[V], items []stream.Item[V]) Stats {
 	for i := range chans {
 		chans[i] = make(chan []stream.Item[V], queue)
 	}
+	// Batch buffers cycle source → channel → worker → pool → source: each
+	// buffer is owned by exactly one goroutine at a time, so the worker can
+	// hand it back once the batch is consumed instead of the source
+	// allocating a fresh backing array per flush.
+	bufPool := sync.Pool{New: func() any {
+		s := make([]stream.Item[V], 0, batch)
+		return &s
+	}}
+	getBuf := func() []stream.Item[V] {
+		return (*bufPool.Get().(*[]stream.Item[V]))[:0]
+	}
+	putBuf := func(b []stream.Item[V]) {
+		b = b[:0]
+		bufPool.Put(&b)
+	}
 	var results atomic.Int64
 	var wg sync.WaitGroup
 	for p := 0; p < par; p++ {
@@ -132,19 +171,30 @@ func Run[V any](cfg Config[V], items []stream.Item[V]) Stats {
 		go func(p int) {
 			defer wg.Done()
 			proc := cfg.NewProcessor(p)
+			bp, _ := proc.(BatchProcessor[V])
 			reporter, _ := proc.(WindowEndReporter)
-			var n int64
-			for batch := range chans[p] {
-				for _, it := range batch {
-					k := proc.ProcessItem(it)
-					n += int64(k)
-					if em != nil && k > 0 && reporter != nil {
-						nowMS := clock().UnixMilli()
-						for _, end := range reporter.LastWindowEnds() {
-							em.latency.Observe(float64(nowMS - end))
-						}
+			observe := func(k int) {
+				if em != nil && k > 0 && reporter != nil {
+					nowMS := clock().UnixMilli()
+					for _, end := range reporter.LastWindowEnds() {
+						em.latency.Observe(float64(nowMS - end))
 					}
 				}
+			}
+			var n int64
+			for b := range chans[p] {
+				if bp != nil {
+					k := bp.ProcessBatch(b)
+					n += int64(k)
+					observe(k)
+				} else {
+					for _, it := range b {
+						k := proc.ProcessItem(it)
+						n += int64(k)
+						observe(k)
+					}
+				}
+				putBuf(b)
 			}
 			results.Add(n)
 			if em != nil {
@@ -174,18 +224,18 @@ func Run[V any](cfg Config[V], items []stream.Item[V]) Stats {
 	flush := func(p int) {
 		if len(buffers[p]) > 0 {
 			send(p, buffers[p])
-			buffers[p] = make([]stream.Item[V], 0, batch)
+			buffers[p] = getBuf()
 		}
 	}
 	for i := range buffers {
-		buffers[i] = make([]stream.Item[V], 0, batch)
+		buffers[i] = getBuf()
 	}
 	var events int64
 	for _, it := range items {
 		if it.Kind == stream.KindWatermark {
 			for p := 0; p < par; p++ {
 				flush(p)
-				send(p, []stream.Item[V]{it})
+				send(p, append(getBuf(), it))
 			}
 			continue
 		}

@@ -92,6 +92,38 @@ func TestKeyRouting(t *testing.T) {
 	}
 }
 
+// TestBatchProcessorReceivesWholeBatches pins the batch handoff: a processor
+// implementing BatchProcessor must see channel batches whole (far fewer calls
+// than items) and still observe every event exactly once.
+func TestBatchProcessorReceivesWholeBatches(t *testing.T) {
+	items := makeItems(10_000, 8)
+	var events, calls atomic.Int64
+	stats := Run(Config[stream.Tuple]{
+		Parallelism: 2,
+		BatchSize:   128,
+		Key:         func(e stream.Event[stream.Tuple]) uint64 { return uint64(e.Value.Key) },
+		NewProcessor: func(p int) Processor[stream.Tuple] {
+			return BatchProcessorFunc[stream.Tuple](func(b []stream.Item[stream.Tuple]) int {
+				calls.Add(1)
+				n := 0
+				for _, it := range b {
+					if it.Kind == stream.KindEvent {
+						events.Add(1)
+						n++
+					}
+				}
+				return n
+			})
+		},
+	}, items)
+	if events.Load() != 10_000 || stats.Results != 10_000 {
+		t.Fatalf("events=%d stats=%+v", events.Load(), stats)
+	}
+	if c := calls.Load(); c >= int64(len(items)) {
+		t.Fatalf("batch processor called %d times for %d items — batches not delivered whole", c, len(items))
+	}
+}
+
 func TestWatermarksBroadcastInOrderPerPartition(t *testing.T) {
 	items := makeItems(3_000, 4)
 	const par = 3

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -70,23 +71,57 @@ func TestParallelEqualsSerialWindowResults(t *testing.T) {
 		return finals
 	}
 
+	// The batched pipeline hands whole channel batches to the keyed
+	// operator's ProcessBatch; final windows must be identical.
+	runBatched := func(par int) map[rkey]float64 {
+		finals := map[rkey]float64{}
+		var mu sync.Mutex
+		Run(Config[stream.Tuple]{
+			Parallelism: par,
+			Key:         func(e stream.Event[stream.Tuple]) uint64 { return uint64(e.Value.Key) },
+			NewProcessor: func(p int) Processor[stream.Tuple] {
+				keyed := core.NewKeyed(func(v stream.Tuple) int32 { return v.Key }, 0,
+					func() *core.Aggregator[stream.Tuple, float64, float64] {
+						ag, _ := mkOp()
+						return ag
+					})
+				return BatchProcessorFunc[stream.Tuple](func(b []stream.Item[stream.Tuple]) int {
+					rs := keyed.ProcessBatch(b)
+					mu.Lock()
+					for _, r := range rs {
+						finals[rkey{r.Key, r.Query, r.Start, r.End}] = r.Value
+					}
+					mu.Unlock()
+					return len(rs)
+				})
+			},
+		}, items)
+		return finals
+	}
+
 	serial := run(1)
 	if len(serial) < 100 {
 		t.Fatalf("suspiciously few windows: %d", len(serial))
 	}
-	for _, par := range []int{2, 4} {
-		parallel := run(par)
-		if len(parallel) != len(serial) {
-			t.Fatalf("par=%d: %d windows, serial %d", par, len(parallel), len(serial))
+	check := func(label string, got map[rkey]float64) {
+		t.Helper()
+		if len(got) != len(serial) {
+			t.Fatalf("%s: %d windows, serial %d", label, len(got), len(serial))
 		}
 		for k, v := range serial {
-			got, ok := parallel[k]
+			g, ok := got[k]
 			if !ok {
-				t.Fatalf("par=%d: missing window %+v", par, k)
+				t.Fatalf("%s: missing window %+v", label, k)
 			}
-			if got != v {
-				t.Fatalf("par=%d: window %+v = %v, serial %v", par, k, got, v)
+			if g != v {
+				t.Fatalf("%s: window %+v = %v, serial %v", label, k, g, v)
 			}
 		}
+	}
+	for _, par := range []int{2, 4} {
+		check(fmt.Sprintf("par=%d", par), run(par))
+	}
+	for _, par := range []int{1, 4} {
+		check(fmt.Sprintf("batched par=%d", par), runBatched(par))
 	}
 }

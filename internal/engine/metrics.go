@@ -14,9 +14,10 @@ import (
 // samples.
 type WindowEndReporter interface {
 	// LastWindowEnds returns the window ends (event-time ms) of the results
-	// emitted by the last ProcessItem call. The engine calls it at most once
-	// per ProcessItem call that returned a positive count; the returned
-	// slice is only read before the next ProcessItem call.
+	// emitted by the last ProcessItem (or ProcessBatch, for batch-aware
+	// processors) call. The engine calls it at most once per processing call
+	// that returned a positive count; the returned slice is only read before
+	// the next processing call.
 	LastWindowEnds() []int64
 }
 

@@ -8,25 +8,40 @@ import (
 	"scotty/internal/window"
 )
 
+// fig8BatchSize is the chunking of the lazy-slicing-batch series — the
+// engine's default channel batch, so the series measures exactly what the
+// batched pipeline hands one operator instance.
+const fig8BatchSize = 256
+
 // Fig8 — §6.2.1: throughput of in-order processing with context-free
 // windows, sweeping the number of concurrent tumbling windows (lengths
 // equally distributed between 1 and 20 s), sum aggregation, football stream.
 // Series: lazy/eager general slicing, Pairs, Cutty, buckets, tuple buffer,
-// aggregate tree.
+// aggregate tree, plus lazy slicing driven through the ProcessBatch run fast
+// path (lazy-slicing-batch) to quantify the batch amortization.
 func Fig8(w io.Writer, sc Scale) {
 	tab := benchutil.NewTable("Fig 8 — in-order throughput, context-free windows (tuples/s)",
-		append([]string{"windows"}, techniqueNames(benchutil.AllTechniques)...)...)
+		append(append([]string{"windows"}, techniqueNames(benchutil.AllTechniques)...), "lazy-slicing-batch")...)
 	for _, n := range sc.windowsSweep() {
 		row := []any{n}
+		wl := benchutil.Workload{
+			Ordered: true,
+			Defs:    func() []window.Definition { return benchutil.TumblingQueries(n) },
+		}
 		for _, t := range benchutil.AllTechniques {
 			in := benchutil.MakeInput(stream.Football(), sc.events(t, n), stream.Disorder{}, 42)
-			op := benchutil.NewOp(t, benchutil.SumFn(), benchutil.Workload{
-				Ordered: true,
-				Defs:    func() []window.Definition { return benchutil.TumblingQueries(n) },
-			})
+			op := benchutil.NewOp(t, benchutil.SumFn(), wl)
 			tps, _ := benchutil.Measure(string(t), n, op, in)
 			row = append(row, tps)
 		}
+		// 4x the slicing budget: the batched series is fast enough that the
+		// plain budget finishes in under a millisecond at quick scale, too
+		// short for the benchdiff regression gate to separate signal from
+		// timer noise.
+		in := benchutil.MakeInput(stream.Football(), 4*sc.events(benchutil.LazySlicing, n), stream.Disorder{}, 42)
+		bop := benchutil.NewBatchOp(benchutil.LazySlicing, benchutil.SumFn(), wl)
+		tps, _ := benchutil.MeasureBatch("lazy-slicing-batch", n, bop, in, fig8BatchSize)
+		row = append(row, tps)
 		tab.Add(row...)
 	}
 	tab.Print(w)

@@ -19,8 +19,9 @@ type Tree[A any] struct {
 	combine  func(a, b A) A
 	identity A
 	capacity int // leaf capacity; always a power of two, >= 1
+	head     int // physical index of logical leaf 0 (ring head; see RemoveFront)
 	length   int // leaves in use
-	nodes    []A // 1-based heap layout; leaves occupy [capacity, capacity+length)
+	nodes    []A // 1-based heap layout; leaves occupy [capacity+head, capacity+head+length)
 	// combines counts combine invocations; the benchmark harness uses it
 	// to attribute aggregation work.
 	combines int64
@@ -37,6 +38,7 @@ func New[A any](combine func(a, b A) A, identity A) *Tree[A] {
 
 func (t *Tree[A]) reset(capacity int) {
 	t.capacity = capacity
+	t.head = 0
 	t.nodes = make([]A, 2*capacity)
 	for i := range t.nodes {
 		t.nodes[i] = t.identity
@@ -59,7 +61,7 @@ func (t *Tree[A]) Get(i int) A {
 	if i < 0 || i >= t.length {
 		panic("fat: leaf index out of range")
 	}
-	return t.nodes[t.capacity+i]
+	return t.nodes[t.capacity+t.head+i]
 }
 
 // Set replaces the i-th leaf and updates the path to the root in O(log n).
@@ -67,17 +69,28 @@ func (t *Tree[A]) Set(i int, a A) {
 	if i < 0 || i >= t.length {
 		panic("fat: leaf index out of range")
 	}
-	p := t.capacity + i
+	t.setLeaf(t.capacity+t.head+i, a)
+}
+
+// setLeaf writes the physical leaf node p and refreshes its root path.
+func (t *Tree[A]) setLeaf(p int, a A) {
 	t.nodes[p] = a
 	for p >>= 1; p >= 1; p >>= 1 {
 		t.nodes[p] = t.comb(t.nodes[2*p], t.nodes[2*p+1])
 	}
 }
 
-// Push appends a leaf at the end, growing the tree if necessary.
+// Push appends a leaf at the end, compacting the ring or growing the tree
+// when the physical leaf space is exhausted.
 func (t *Tree[A]) Push(a A) {
-	if t.length == t.capacity {
-		t.grow()
+	if t.head+t.length == t.capacity {
+		if t.head*4 >= t.capacity {
+			// Enough dead space at the front: reclaim it instead of
+			// growing (amortized — at least capacity/4 slots come free).
+			t.compact(t.capacity)
+		} else {
+			t.grow()
+		}
 	}
 	t.length++
 	t.Set(t.length-1, a)
@@ -94,14 +107,18 @@ func (t *Tree[A]) Insert(i int, a A) {
 		t.Push(a)
 		return
 	}
-	if t.length == t.capacity {
-		t.grow()
+	if t.head+t.length == t.capacity {
+		if t.head*4 >= t.capacity {
+			t.compact(t.capacity)
+		} else {
+			t.grow()
+		}
 	}
-	leaves := t.nodes[t.capacity : t.capacity+t.length+1]
+	leaves := t.nodes[t.capacity+t.head : t.capacity+t.head+t.length+1]
 	copy(leaves[i+1:], leaves[i:t.length])
 	leaves[i] = a
 	t.length++
-	t.rebuildFrom(i)
+	t.rebuildFrom(t.head + i)
 }
 
 // Remove deletes the leaf at index i, shifting subsequent leaves left (O(n)).
@@ -109,14 +126,18 @@ func (t *Tree[A]) Remove(i int) {
 	if i < 0 || i >= t.length {
 		panic("fat: remove index out of range")
 	}
-	leaves := t.nodes[t.capacity : t.capacity+t.length]
+	leaves := t.nodes[t.capacity+t.head : t.capacity+t.head+t.length]
 	copy(leaves[i:], leaves[i+1:])
 	t.length--
 	leaves[t.length] = t.identity
-	t.rebuildFrom(i)
+	t.rebuildFrom(t.head + i)
 }
 
-// RemoveFront evicts the first k leaves (window expiry). O(n).
+// RemoveFront evicts the first k leaves (window expiry) by advancing the
+// ring head: each evicted leaf is reset to the identity with one O(log n)
+// path update, so steady-state eviction costs O(k log n) instead of the
+// previous O(capacity) suffix rebuild. The dead prefix is compacted away
+// once it dominates the leaf space (amortized O(1) per eviction).
 func (t *Tree[A]) RemoveFront(k int) {
 	if k <= 0 {
 		return
@@ -124,13 +145,14 @@ func (t *Tree[A]) RemoveFront(k int) {
 	if k > t.length {
 		k = t.length
 	}
-	leaves := t.nodes[t.capacity : t.capacity+t.length]
-	copy(leaves, leaves[k:])
-	for i := t.length - k; i < t.length; i++ {
-		leaves[i] = t.identity
+	for j := 0; j < k; j++ {
+		t.setLeaf(t.capacity+t.head+j, t.identity)
 	}
+	t.head += k
 	t.length -= k
-	t.rebuildFrom(0)
+	if t.head*2 >= t.capacity {
+		t.compact(t.capacity)
+	}
 	t.maybeShrink()
 }
 
@@ -141,7 +163,7 @@ func (t *Tree[A]) Query(i, j int) A {
 		panic("fat: query range out of bounds")
 	}
 	resL, resR := t.identity, t.identity
-	l, r := t.capacity+i, t.capacity+j
+	l, r := t.capacity+t.head+i, t.capacity+t.head+j
 	for l < r {
 		if l&1 == 1 {
 			resL = t.comb(resL, t.nodes[l])
@@ -165,12 +187,20 @@ func (t *Tree[A]) Aggregate() A {
 	return t.nodes[1]
 }
 
-// grow doubles the leaf capacity and rebuilds in O(n).
+// grow doubles the leaf capacity and rebuilds in O(n). Live leaves move to
+// the front (head resets to zero).
 func (t *Tree[A]) grow() {
-	old := t.nodes[t.capacity : t.capacity+t.length]
-	saved := make([]A, len(old))
-	copy(saved, old)
-	t.reset(t.capacity * 2)
+	t.compact(t.capacity * 2)
+}
+
+// compact rebuilds the tree at the given capacity with the live leaves moved
+// to the front (head = 0). O(capacity).
+func (t *Tree[A]) compact(capacity int) {
+	saved := make([]A, t.length)
+	copy(saved, t.nodes[t.capacity+t.head:t.capacity+t.head+t.length])
+	n := t.length
+	t.reset(capacity)
+	t.length = n
 	copy(t.nodes[t.capacity:], saved)
 	t.rebuildFrom(0)
 }
@@ -185,19 +215,14 @@ func (t *Tree[A]) maybeShrink() {
 	for capacity > 1 && t.length <= capacity/4 {
 		capacity /= 2
 	}
-	saved := make([]A, t.length)
-	copy(saved, t.nodes[t.capacity:t.capacity+t.length])
-	n := t.length
-	t.reset(capacity)
-	copy(t.nodes[t.capacity:], saved)
-	t.length = n
-	t.rebuildFrom(0)
+	t.compact(capacity)
 }
 
-// rebuildFrom recomputes all inner nodes that cover leaves at indices >= i.
-// Shifting operations (Insert, Remove, RemoveFront) dirty an arbitrary suffix
-// of the leaf level, so the whole suffix of every inner level is refreshed;
-// the cost is O(capacity - i).
+// rebuildFrom recomputes all inner nodes that cover physical leaf offsets
+// >= i (i is relative to the leaf level, i.e. head-inclusive). Shifting
+// operations (Insert, Remove) dirty an arbitrary suffix of the leaf level,
+// so the whole suffix of every inner level is refreshed; the cost is
+// O(capacity - i).
 func (t *Tree[A]) rebuildFrom(i int) {
 	lo := t.capacity + i
 	hi := 2 * t.capacity

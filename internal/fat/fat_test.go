@@ -95,6 +95,95 @@ func TestRemoveFront(t *testing.T) {
 	}
 }
 
+// TestTreeMatchesModelWithRingEviction interleaves RemoveFront with every
+// other operation so the logical→physical leaf translation (head offset),
+// ring compaction, and shrinking are all exercised against the naive model.
+func TestTreeMatchesModelWithRingEviction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tree := New(concat, "")
+	m := &model{}
+	next := 'a'
+	for step := 0; step < 8000; step++ {
+		switch op := rng.Intn(12); {
+		case op < 5 || tree.Len() == 0: // push
+			s := string(next)
+			next++
+			if next > 'z' {
+				next = 'a'
+			}
+			tree.Push(s)
+			m.leaves = append(m.leaves, s)
+		case op < 7: // evict a front run (the ring-head path)
+			k := 1 + rng.Intn(tree.Len())
+			tree.RemoveFront(k)
+			m.leaves = m.leaves[k:]
+		case op < 9: // set
+			i := rng.Intn(tree.Len())
+			s := string(rune('A' + rng.Intn(26)))
+			tree.Set(i, s)
+			m.leaves[i] = s
+		case op < 11: // insert
+			i := rng.Intn(tree.Len() + 1)
+			s := string(rune('0' + rng.Intn(10)))
+			tree.Insert(i, s)
+			m.insert(i, s)
+		default: // remove
+			i := rng.Intn(tree.Len())
+			tree.Remove(i)
+			m.remove(i)
+		}
+		if tree.Len() != len(m.leaves) {
+			t.Fatalf("step %d: length %d want %d", step, tree.Len(), len(m.leaves))
+		}
+		if tree.Len() > 0 {
+			i := rng.Intn(tree.Len())
+			if got, want := tree.Get(i), m.leaves[i]; got != want {
+				t.Fatalf("step %d: get(%d)=%q want %q", step, i, got, want)
+			}
+		}
+		if step%5 == 0 {
+			i := 0
+			if tree.Len() > 0 {
+				i = rng.Intn(tree.Len())
+			}
+			j := i + rng.Intn(tree.Len()-i+1)
+			if got, want := tree.Query(i, j), m.query(i, j); got != want {
+				t.Fatalf("step %d: query(%d,%d)=%q want %q", step, i, j, got, want)
+			}
+			if got, want := tree.Aggregate(), m.query(0, len(m.leaves)); got != want {
+				t.Fatalf("step %d: aggregate %q want %q", step, got, want)
+			}
+		}
+	}
+}
+
+// TestRemoveFrontIsAmortizedO1 pushes and evicts in lockstep at a fixed
+// window size and checks the combine count stays linear-ish in the number of
+// operations — the old implementation rebuilt the whole suffix per eviction,
+// which is quadratic overall and fails this bound by a wide margin.
+func TestRemoveFrontIsAmortizedO1(t *testing.T) {
+	tree := New(func(a, b int) int { return a + b }, 0)
+	const window, ops = 256, 20000
+	for i := 0; i < window; i++ {
+		tree.Push(1)
+	}
+	base := tree.Combines()
+	for i := 0; i < ops; i++ {
+		tree.Push(1)
+		tree.RemoveFront(1)
+	}
+	if tree.Len() != window {
+		t.Fatalf("len=%d want %d", tree.Len(), window)
+	}
+	// Each push/evict pair costs O(log window) path updates plus amortized
+	// compaction; 64 combines per pair is a generous linear bound that the
+	// old O(window) per-evict rebuild (≈256/pair) cannot meet.
+	perPair := float64(tree.Combines()-base) / ops
+	if perPair > 64 {
+		t.Fatalf("combines per push+evict pair = %.1f, want amortized O(log n) (<= 64)", perPair)
+	}
+}
+
 func TestQueryEmptyRangeIsIdentity(t *testing.T) {
 	tree := New(concat, "")
 	tree.Push("x")

@@ -92,6 +92,23 @@ func f() {}
 	}
 }
 
+// TestLoaderSkipsBuildIgnoredFiles pins the go-run-only tool-file
+// convention: a `//go:build ignore` file (scripts/benchdiff.go style) must
+// not be compiled into its directory's package — here it would redeclare
+// main and fail type-checking.
+func TestLoaderSkipsBuildIgnoredFiles(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"fixture/tools": {
+			"main.go": "package main\n\nfunc main() {}\n",
+			"gen.go":  "//go:build ignore\n\npackage main\n\nfunc main() {}\n",
+		},
+	}
+	l := &Loader{ModulePath: "fixture", Overlay: overlay}
+	if _, err := l.Load("fixture/tools"); err != nil {
+		t.Fatalf("build-ignored file was compiled into the package: %v", err)
+	}
+}
+
 func TestLoaderRejectsTypeErrors(t *testing.T) {
 	overlay := map[string]map[string]string{
 		"fixture/bad": {"a.go": "package bad\n\nvar x undefinedType\n"},

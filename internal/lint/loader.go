@@ -263,6 +263,9 @@ func (l *Loader) sources(path string) (map[string]string, string, error) {
 	if ov, ok := l.Overlay[path]; ok {
 		out := map[string]string{}
 		for name, src := range ov {
+			if buildIgnored(src) {
+				continue
+			}
 			out[path+"/"+name] = src
 		}
 		return out, "", nil
@@ -294,9 +297,30 @@ func (l *Loader) sources(path string) (map[string]string, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
+		if buildIgnored(string(data)) {
+			continue
+		}
 		out[filepath.Join(dir, name)] = string(data)
 	}
 	return out, dir, nil
+}
+
+// buildIgnored reports whether the source file excludes itself from the
+// package with a `//go:build ignore` constraint — the convention for
+// go-run-only tool files (e.g. scripts/benchdiff.go), which the go toolchain
+// never compiles into the surrounding package. Only the bare `ignore` tag is
+// recognized; the loader does not evaluate general build expressions.
+func buildIgnored(src string) bool {
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "package ") {
+			return false
+		}
+		if line == "//go:build ignore" || line == "// +build ignore" {
+			return true
+		}
+	}
+	return false
 }
 
 // ModulePathFromGoMod reads the module path declared in dir/go.mod.

@@ -1,0 +1,32 @@
+package stream
+
+import "sort"
+
+// EventPrefix returns the length of the longest prefix of items that consists
+// solely of events in monotone arrival order starting from floor: times are
+// non-decreasing and >= floor, or — when strict is true — strictly increasing
+// and > floor. Batch-ingesting operators use it to carve the region of a batch
+// their in-order fast path may cover; strict mode serves workloads where a
+// timestamp tie must take the out-of-order path (non-commutative aggregation
+// or count-measure ranking).
+func EventPrefix[V any](items []Item[V], floor int64, strict bool) int {
+	prev := floor
+	for i, it := range items {
+		if it.Kind != KindEvent {
+			return i
+		}
+		t := it.Event.Time
+		if t < prev || (strict && t == prev) {
+			return i
+		}
+		prev = t
+	}
+	return len(items)
+}
+
+// SearchTime returns the index of the first item whose event time is >= ts.
+// items must be an event-only run with non-decreasing times (an EventPrefix);
+// the lookup is a binary search.
+func SearchTime[V any](items []Item[V], ts int64) int {
+	return sort.Search(len(items), func(i int) bool { return items[i].Event.Time >= ts })
+}

@@ -1,0 +1,130 @@
+//go:build ignore
+
+// Command benchdiff compares two BENCH_*.json artifacts written by
+// cmd/benchmark -json and fails when any series of the new run regressed
+// beyond the tolerance. It is the CI guard keeping the committed reference
+// honest: a change that slows a recorded series by more than the tolerance
+// turns the build red instead of silently shifting the baseline.
+//
+// Usage: go run ./scripts/benchdiff.go [-tol 0.30] old.json new.json
+//
+// Points are matched on (series, x); points present in only one file are
+// reported but not fatal (new series may be added, retired ones removed).
+// The gate is the geometric mean of the per-point throughput ratios of each
+// series: quick-scale single-shot points jitter by 2x under scheduler noise,
+// but a real regression shifts a whole series, so the mean separates the two
+// where a per-point gate cannot. Only tuples_per_sec is compared — latency
+// quantiles and allocation counts are too noisy even in aggregate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+)
+
+type recording struct {
+	Figure string `json:"figure"`
+	Scale  string `json:"scale"`
+	Points []struct {
+		Series       string  `json:"series"`
+		X            any     `json:"x"`
+		TuplesPerSec float64 `json:"tuples_per_sec"`
+	} `json:"points"`
+}
+
+func load(path string) (recording, error) {
+	var rec recording
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return rec, err
+	}
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return rec, fmt.Errorf("%s: invalid JSON: %w", path, err)
+	}
+	return rec, nil
+}
+
+func main() {
+	tol := flag.Float64("tol", 0.30, "allowed fractional regression per point")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol 0.30] <old.json> <new.json>")
+		os.Exit(2)
+	}
+	oldRec, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	newRec, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if oldRec.Figure != newRec.Figure {
+		fmt.Fprintf(os.Stderr, "figure mismatch: %q vs %q\n", oldRec.Figure, newRec.Figure)
+		os.Exit(1)
+	}
+
+	type key struct{ series, x string }
+	pt := func(series string, x any) key { return key{series, fmt.Sprint(x)} }
+	olds := map[key]float64{}
+	for _, p := range oldRec.Points {
+		olds[pt(p.Series, p.X)] = p.TuplesPerSec
+	}
+	matched := 0
+	seen := map[key]bool{}
+	logRatios := map[string][]float64{}
+	var order []string
+	for _, p := range newRec.Points {
+		k := pt(p.Series, p.X)
+		seen[k] = true
+		old, ok := olds[k]
+		if !ok {
+			fmt.Printf("  new point %s x=%s (no reference)\n", k.series, k.x)
+			continue
+		}
+		if old <= 0 || p.TuplesPerSec <= 0 {
+			continue
+		}
+		matched++
+		if _, ok := logRatios[k.series]; !ok {
+			order = append(order, k.series)
+		}
+		logRatios[k.series] = append(logRatios[k.series], math.Log(p.TuplesPerSec/old))
+	}
+	for k := range olds {
+		if !seen[k] {
+			fmt.Printf("  reference point %s x=%s missing from new run\n", k.series, k.x)
+		}
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "no comparable points between the two recordings")
+		os.Exit(1)
+	}
+	regressed := 0
+	for _, series := range order {
+		logs := logRatios[series]
+		sum := 0.0
+		for _, l := range logs {
+			sum += l
+		}
+		mean := math.Exp(sum / float64(len(logs)))
+		if mean < 1-*tol {
+			regressed++
+			fmt.Printf("REGRESSION %s: geomean %.2fx over %d points (tolerance %.2fx)\n",
+				series, mean, len(logs), 1-*tol)
+		} else {
+			fmt.Printf("  %-24s geomean %.2fx over %d points\n", series, mean, len(logs))
+		}
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "%d series regressed beyond %.0f%%\n", regressed, *tol*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d series (%d points) within %.0f%% of %s\n",
+		len(order), matched, *tol*100, flag.Arg(0))
+}

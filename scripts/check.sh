@@ -18,11 +18,18 @@ echo '== go test ./...'
 go test ./...
 
 echo '== go test -race -short (engine, core, stream, obs)'
+# The engine leg covers the batched pipeline too (BatchProcessor handoff,
+# buffer-pool recycling, keyed ProcessBatch behind parallel partitions).
 go test -race -short ./internal/engine ./internal/core ./internal/stream ./internal/obs
 
 echo '== benchmark smoke (fig 8 quick, JSON artifact)'
+# Stash the committed reference before regenerating in place.
+cp BENCH_fig8.json BENCH_fig8.ref.json
 go run ./cmd/benchmark -fig 8 -json BENCH_fig8.json > /dev/null
-# The artifact must be parseable JSON with at least one data point.
+# The artifact must be parseable JSON carrying the expected series.
 go run ./scripts/checkbench.go BENCH_fig8.json
+# No recorded series may regress more than 30% against the committed run.
+go run ./scripts/benchdiff.go -tol 0.30 BENCH_fig8.ref.json BENCH_fig8.json
+rm BENCH_fig8.ref.json
 
 echo 'OK'

@@ -37,10 +37,26 @@ func main() {
 			os.Args[1], rec.Figure, len(rec.Points))
 		os.Exit(1)
 	}
+	series := map[string]bool{}
 	for _, p := range rec.Points {
 		if p.Series == "" {
 			fmt.Fprintf(os.Stderr, "%s: point without series\n", os.Args[1])
 			os.Exit(1)
+		}
+		if p.TuplesPerSec > 0 {
+			series[p.Series] = true
+		}
+	}
+	// Figure 8 carries the batch-amortization contract: both the
+	// tuple-at-a-time and the batched lazy-slicing series must be present
+	// with positive throughput, or the fig-8 artifact can no longer answer
+	// "what did batching buy".
+	if rec.Figure == "8" {
+		for _, want := range []string{"lazy-slicing", "lazy-slicing-batch"} {
+			if !series[want] {
+				fmt.Fprintf(os.Stderr, "%s: figure 8 is missing series %q\n", os.Args[1], want)
+				os.Exit(1)
+			}
 		}
 	}
 	fmt.Printf("%s: figure %s, %d points ok\n", os.Args[1], rec.Figure, len(rec.Points))
