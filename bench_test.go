@@ -39,10 +39,26 @@ func feed(b *testing.B, t benchutil.Technique, f func() benchutil.Op, in benchut
 	b.ReportMetric(float64(in.Events)/b.Elapsed().Seconds(), "tuples/s")
 }
 
+// mustOp unwraps a NewOp result inside benchmarks, where the technique is
+// fixed and a constructor error is a harness bug.
+func mustOp(op benchutil.Op, err error) benchutil.Op {
+	if err != nil {
+		panic(err)
+	}
+	return op
+}
+
+func mustBatchOp(op benchutil.BatchOp, err error) benchutil.BatchOp {
+	if err != nil {
+		panic(err)
+	}
+	return op
+}
+
 func throughputBench(b *testing.B, t benchutil.Technique, w benchutil.Workload, d stream.Disorder) {
 	b.Helper()
 	in := benchutil.MakeInput(stream.Football(), b.N, d, 42)
-	feed(b, t, func() benchutil.Op { return benchutil.NewOp(t, benchutil.SumFn(), w) }, in)
+	feed(b, t, func() benchutil.Op { return mustOp(benchutil.NewOp(t, benchutil.SumFn(), w)) }, in)
 }
 
 // ----------------------------------------------------------------- Fig 8 ---
@@ -64,7 +80,7 @@ func BenchmarkFig8Throughput(b *testing.B) {
 			Defs:    func() []window.Definition { return benchutil.TumblingQueries(20) },
 		}
 		in := benchutil.MakeInput(stream.Football(), b.N, stream.Disorder{}, 42)
-		op := benchutil.NewBatchOp(benchutil.LazySlicing, benchutil.SumFn(), w)
+		op := mustBatchOp(benchutil.NewBatchOp(benchutil.LazySlicing, benchutil.SumFn(), w))
 		b.ResetTimer()
 		benchutil.ThroughputBatched(op, in, 256)
 		b.StopTimer()
@@ -262,7 +278,7 @@ func BenchmarkFig12bDelay(b *testing.B) {
 func fig13Bench[A any](b *testing.B, f aggregate.Function[stream.Tuple, A, float64], m stream.Measure) {
 	b.Helper()
 	in := benchutil.MakeInput(stream.Football(), b.N, stream.Disorder{Fraction: 0.2, MaxDelay: 2000, Seed: 19}, 42)
-	op := benchutil.NewOp(benchutil.LazySlicing, f, benchutil.Workload{
+	op := mustOp(benchutil.NewOp(benchutil.LazySlicing, f, benchutil.Workload{
 		Lateness: 4000,
 		Defs: func() []window.Definition {
 			if m == stream.Time {
@@ -270,7 +286,7 @@ func fig13Bench[A any](b *testing.B, f aggregate.Function[stream.Tuple, A, float
 			}
 			return benchutil.CountQueries(20)
 		},
-	})
+	}))
 	b.ResetTimer()
 	for _, it := range in.Items {
 		op(it)
@@ -297,10 +313,10 @@ func BenchmarkFig14Holistic(b *testing.B) {
 		for _, p := range []stream.Profile{stream.Football(), stream.Machine()} {
 			b.Run(string(t)+"/"+p.Name, func(b *testing.B) {
 				in := benchutil.MakeInput(p, b.N, stream.Disorder{Fraction: 0.2, MaxDelay: 2000, Seed: 23}, 42)
-				op := benchutil.NewOp(t, aggregate.Median(stream.Val), benchutil.Workload{
+				op := mustOp(benchutil.NewOp(t, aggregate.Median(stream.Val), benchutil.Workload{
 					Lateness: 4000,
 					Defs:     func() []window.Definition { return benchutil.TumblingQueries(20) },
-				})
+				}))
 				b.ResetTimer()
 				for _, it := range in.Items {
 					op(it)
@@ -342,7 +358,7 @@ func BenchmarkFig16Measures(b *testing.B) {
 		m := m
 		b.Run("slicing/"+m.String()+"/w20", func(b *testing.B) {
 			in := benchutil.MakeInput(stream.Football(), b.N, stream.Disorder{Fraction: 0.2, MaxDelay: 2000, Seed: 17}, 42)
-			op := benchutil.NewOp(benchutil.LazySlicing, benchutil.SumFn(), benchutil.Workload{
+			op := mustOp(benchutil.NewOp(benchutil.LazySlicing, benchutil.SumFn(), benchutil.Workload{
 				Lateness: 4000,
 				Defs: func() []window.Definition {
 					if m == stream.Time {
@@ -350,7 +366,7 @@ func BenchmarkFig16Measures(b *testing.B) {
 					}
 					return benchutil.CountQueries(20)
 				},
-			})
+			}))
 			b.ResetTimer()
 			for _, it := range in.Items {
 				op(it)
@@ -368,17 +384,20 @@ func BenchmarkFig17Parallel(b *testing.B) {
 		b.Run("slicing/dop"+itoa(int64(dop)), func(b *testing.B) {
 			in := benchutil.MakeInput(stream.Football(), b.N, stream.Disorder{}, 42)
 			b.ResetTimer()
-			stats := engine.Run(engine.Config[stream.Tuple]{
+			stats, err := engine.Run(engine.Config[stream.Tuple]{
 				Parallelism: dop,
 				Key:         func(e stream.Event[stream.Tuple]) uint64 { return uint64(e.Value.Key) },
 				NewProcessor: func(p int) engine.Processor[stream.Tuple] {
-					op := benchutil.NewOp(benchutil.LazySlicing, aggregate.M4(stream.Val), benchutil.Workload{
+					op := mustOp(benchutil.NewOp(benchutil.LazySlicing, aggregate.M4(stream.Val), benchutil.Workload{
 						Lateness: 1000,
 						Defs:     func() []window.Definition { return benchutil.TumblingQueries(80) },
-					})
+					}))
 					return engine.ProcessorFunc[stream.Tuple](func(it stream.Item[stream.Tuple]) int { return op(it) })
 				},
 			}, in.Items)
+			if err != nil {
+				b.Fatal(err)
+			}
 			b.StopTimer()
 			b.ReportMetric(stats.Throughput(), "tuples/s")
 			b.ReportMetric(stats.CPUUtilization(), "cpu-%")
@@ -435,7 +454,7 @@ func BenchmarkAblationRLE(b *testing.B) {
 	defs := func() []window.Definition { return benchutil.TumblingQueries(20) }
 	b.Run("rle", func(b *testing.B) {
 		input := in(b.N)
-		op := benchutil.NewOp(benchutil.LazySlicing, aggregate.Median(stream.Val), benchutil.Workload{Lateness: 4000, Defs: defs})
+		op := mustOp(benchutil.NewOp(benchutil.LazySlicing, aggregate.Median(stream.Val), benchutil.Workload{Lateness: 4000, Defs: defs}))
 		b.ResetTimer()
 		for _, it := range input.Items {
 			op(it)
@@ -443,7 +462,7 @@ func BenchmarkAblationRLE(b *testing.B) {
 	})
 	b.Run("plain", func(b *testing.B) {
 		input := in(b.N)
-		op := benchutil.NewOp(benchutil.LazySlicing, aggregate.MedianNaive(stream.Val), benchutil.Workload{Lateness: 4000, Defs: defs})
+		op := mustOp(benchutil.NewOp(benchutil.LazySlicing, aggregate.MedianNaive(stream.Val), benchutil.Workload{Lateness: 4000, Defs: defs}))
 		b.ResetTimer()
 		for _, it := range input.Items {
 			op(it)
@@ -465,7 +484,7 @@ func BenchmarkAblationInvert(b *testing.B) {
 func fig13BenchWithDefs[A any](b *testing.B, f aggregate.Function[stream.Tuple, A, float64], defs func() []window.Definition, d stream.Disorder) {
 	b.Helper()
 	in := benchutil.MakeInput(stream.Football(), b.N, d, 42)
-	op := benchutil.NewOp(benchutil.LazySlicing, f, benchutil.Workload{Lateness: 4000, Defs: defs})
+	op := mustOp(benchutil.NewOp(benchutil.LazySlicing, f, benchutil.Workload{Lateness: 4000, Defs: defs}))
 	b.ResetTimer()
 	for _, it := range in.Items {
 		op(it)

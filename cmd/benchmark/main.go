@@ -66,9 +66,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "general stream slicing benchmark — GOMAXPROCS=%d, scale=%s\n",
 		runtime.GOMAXPROCS(0), scaleName)
-	if !experiments.Run(*fig, stdout, sc) {
+	known, err := experiments.Run(*fig, stdout, sc)
+	if !known {
 		fmt.Fprintf(stderr, "unknown experiment %q\n", *fig)
 		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "experiment %s: %v\n", *fig, err)
+		return 1
 	}
 	if *jsonPath != "" {
 		if err := writeRecording(benchutil.StopRecording(), *jsonPath); err != nil {

@@ -12,10 +12,16 @@
 // are fine: time windows are internally rebased by a multiple of the slide
 // (bounds print unchanged), so the run does not walk the empty windows
 // between time zero and the first tuple.
+//
+// SIGINT or SIGTERM drains instead of killing: the feed stops, pending
+// windows are flushed with a final watermark, and — when -checkpoint-dir is
+// set — the operator state is snapshotted to <dir>/final.sck before the
+// process exits 0. A later run with the same flags restores that snapshot.
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,11 +29,16 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
+	"time"
 
 	"scotty/internal/aggregate"
+	"scotty/internal/checkpoint"
 	"scotty/internal/core"
 	"scotty/internal/obs"
 	"scotty/internal/stream"
@@ -35,11 +46,15 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
-// run is the testable command body: flags in, exit code out.
-func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+// run is the testable command body: flags in, exit code out. Canceling ctx
+// (a signal in production, a test hook here) stops the feed and triggers the
+// drain-and-checkpoint shutdown path.
+func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("scotty", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -53,6 +68,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		lateness = fs.Int64("lateness", 2000, "allowed lateness (ms)")
 		wmEvery  = fs.Int64("watermark", 1000, "watermark period (ms of event time)")
 		metrics  = fs.String("metrics", "", "serve /metrics and /debug/slices on this address (:0 picks a free port; the URL is printed to stderr)")
+		ckptDir  = fs.String("checkpoint-dir", "", "write a final operator snapshot to <dir>/final.sck on exit or SIGINT/SIGTERM, and restore it on start if present")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -86,6 +102,15 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		events := demoEvents(*demo, *ooo)
 		runItems = func(op func(stream.Item[float64])) {
 			for _, it := range stream.Prepare(wm, events) {
+				if ctx.Err() != nil {
+					return
+				}
+				// The stream's closing MaxTime watermark is withheld
+				// here (as in feedCSV): shutdown drains the operator
+				// itself, after the resumable snapshot is taken.
+				if it.Kind == stream.KindWatermark && it.Watermark == stream.MaxTime {
+					return
+				}
 				op(it)
 			}
 		}
@@ -94,27 +119,28 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		// processed as it arrives, so a live -metrics endpoint observes
 		// the run in progress instead of a post-hoc summary.
 		runItems = func(op func(stream.Item[float64])) {
-			feedCSV(stdin, stderr, wm, rb, op)
+			feedCSV(ctx, stdin, stderr, wm, rb, op)
 		}
 	}
 
+	q := queryEnv{lateness: *lateness, ckptDir: *ckptDir, runItems: runItems, rb: rb, ms: ms, stdout: stdout, stderr: stderr}
 	switch *aggName {
 	case "sum":
-		return runQuery(def, aggregate.Sum[float64](ident), *lateness, runItems, rb, ms, stdout, stderr)
+		return runQuery(def, aggregate.Sum[float64](ident), q)
 	case "count":
-		return runQuery(def, aggregate.Count[float64](), *lateness, runItems, rb, ms, stdout, stderr)
+		return runQuery(def, aggregate.Count[float64](), q)
 	case "mean":
-		return runQuery(def, aggregate.Mean[float64](ident), *lateness, runItems, rb, ms, stdout, stderr)
+		return runQuery(def, aggregate.Mean[float64](ident), q)
 	case "min":
-		return runQuery(def, aggregate.Min[float64](ident), *lateness, runItems, rb, ms, stdout, stderr)
+		return runQuery(def, aggregate.Min[float64](ident), q)
 	case "max":
-		return runQuery(def, aggregate.Max[float64](ident), *lateness, runItems, rb, ms, stdout, stderr)
+		return runQuery(def, aggregate.Max[float64](ident), q)
 	case "median":
-		return runQuery(def, aggregate.Median[float64](ident), *lateness, runItems, rb, ms, stdout, stderr)
+		return runQuery(def, aggregate.Median[float64](ident), q)
 	case "p90":
-		return runQuery(def, aggregate.Percentile[float64](0.9, ident), *lateness, runItems, rb, ms, stdout, stderr)
+		return runQuery(def, aggregate.Percentile[float64](0.9, ident), q)
 	case "m4":
-		return runQuery(def, aggregate.M4[float64](ident), *lateness, runItems, rb, ms, stdout, stderr)
+		return runQuery(def, aggregate.M4[float64](ident), q)
 	default:
 		fmt.Fprintf(stderr, "unknown aggregation %q\n", *aggName)
 		return 2
@@ -212,8 +238,21 @@ func (rb *rebaser) shift(ts int64) int64 {
 
 func (rb *rebaser) unshift(t int64) int64 { return t + rb.off }
 
-func runQuery[A any, Out any](def window.Definition, f aggregate.Function[float64, A, Out], lateness int64, runItems func(func(stream.Item[float64])), rb *rebaser, ms *metricsServer, stdout, stderr io.Writer) int {
-	opts := core.Options{Lateness: lateness}
+// queryEnv carries the aggregation-independent plumbing of one scotty run
+// into runQuery, which is generic over the aggregate's partial/result types.
+type queryEnv struct {
+	lateness int64
+	ckptDir  string
+	runItems func(func(stream.Item[float64]))
+	rb       *rebaser
+	ms       *metricsServer
+	stdout   io.Writer
+	stderr   io.Writer
+}
+
+func runQuery[A any, Out any](def window.Definition, f aggregate.Function[float64, A, Out], q queryEnv) int {
+	rb, ms, stdout, stderr := q.rb, q.ms, q.stdout, q.stderr
+	opts := core.Options{Lateness: q.lateness}
 	if ms != nil {
 		opts.Metrics = ms.reg
 	}
@@ -222,6 +261,37 @@ func runQuery[A any, Out any](def window.Definition, f aggregate.Function[float6
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+
+	// The same recovery metric series the dataflow engine exposes, so a
+	// scraped scotty run reports its checkpoint activity under familiar
+	// names: restores count as recoveries, the final snapshot observes its
+	// size and write latency.
+	var recoveries *obs.Counter
+	var ckptBytes, ckptDurMS *obs.Histogram
+	if ms != nil && q.ckptDir != "" {
+		recoveries = ms.reg.Counter("engine_recoveries_total")
+		ckptBytes = ms.reg.Histogram("checkpoint_bytes", obs.ExponentialBounds(64, 4, 12))
+		ckptDurMS = ms.reg.Histogram("checkpoint_duration_ms", nil)
+	}
+	ckptPath := ""
+	if q.ckptDir != "" {
+		if err := os.MkdirAll(q.ckptDir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "checkpoint: %v\n", err)
+			return 1
+		}
+		ckptPath = filepath.Join(q.ckptDir, "final.sck")
+		if data, err := os.ReadFile(ckptPath); err == nil {
+			if err := restoreFinal(ag, rb, data); err != nil {
+				fmt.Fprintf(stderr, "checkpoint: ignoring %s: %v\n", ckptPath, err)
+			} else {
+				fmt.Fprintf(stderr, "checkpoint: restored state from %s\n", ckptPath)
+				if recoveries != nil {
+					recoveries.Inc()
+				}
+			}
+		}
+	}
+
 	out := bufio.NewWriter(stdout)
 	defer out.Flush()
 	emit := func(rs []core.Result[Out]) {
@@ -245,7 +315,7 @@ func runQuery[A any, Out any](def window.Definition, f aggregate.Function[float6
 		}
 		return sl
 	}
-	runItems(func(it stream.Item[float64]) {
+	q.runItems(func(it stream.Item[float64]) {
 		if it.Kind == stream.KindEvent {
 			emit(ag.ProcessElement(it.Event))
 			return
@@ -258,10 +328,84 @@ func runQuery[A any, Out any](def window.Definition, f aggregate.Function[float6
 			ms.slices.Store(snapshot())
 		}
 	})
+
+	// Shutdown: snapshot first, then drain. The snapshot captures the
+	// resumable mid-stream state (buffered slices plus the true watermark
+	// position); the MaxTime drain that follows flushes every pending
+	// window as a provisional final row. A restored run re-emits those
+	// windows once the continuation stream completes them for real.
+	if ckptPath != "" {
+		start := time.Now()
+		data, err := sealFinal(ag, rb)
+		if err == nil {
+			err = writeFileAtomic(ckptPath, data)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "checkpoint: %v\n", err)
+			return 1
+		}
+		if ckptBytes != nil {
+			ckptBytes.Observe(float64(len(data)))
+			ckptDurMS.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+		}
+		fmt.Fprintf(stderr, "checkpoint: wrote %s (%d bytes)\n", ckptPath, len(data))
+	}
+	emit(ag.ProcessWatermark(stream.MaxTime))
+	out.Flush()
 	if ms != nil {
 		ms.slices.Store(snapshot())
 	}
 	return 0
+}
+
+// sealFinal wraps the operator snapshot together with the rebase offset.
+// The snapshot stores rebased window bounds and the watermark position, so a
+// resumed run must keep shifting by the same offset: recomputing it from the
+// continuation's first (later) event would misalign the restored state and
+// the new tuples, and every printed bound would be off by the difference.
+func sealFinal[A any, Out any](ag *core.Aggregator[float64, A, Out], rb *rebaser) ([]byte, error) {
+	state, err := ag.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	enc := checkpoint.NewEncoder()
+	enc.Int64(rb.off)
+	enc.Bool(rb.set)
+	enc.Bytes(state)
+	return enc.Seal(), nil
+}
+
+// restoreFinal is the inverse of sealFinal: operator state into ag, the
+// recorded rebase offset into rb (pinned, so the first continuation event
+// does not recompute it).
+func restoreFinal[A any, Out any](ag *core.Aggregator[float64, A, Out], rb *rebaser, data []byte) error {
+	dec, err := checkpoint.NewDecoder(data)
+	if err != nil {
+		return err
+	}
+	off := dec.Int64()
+	set := dec.Bool()
+	state := dec.Bytes()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if err := ag.Restore(state); err != nil {
+		return err
+	}
+	rb.off, rb.set = off, set
+	return nil
+}
+
+// writeFileAtomic writes data via a temp file and rename, so a crash during
+// shutdown never leaves a half-written final.sck for the next run to trust
+// (the snapshot codec would reject a torn file anyway; this avoids even
+// producing one).
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func demoEvents(demo int, ooo float64) []stream.Event[float64] {
@@ -276,13 +420,41 @@ func demoEvents(demo int, ooo float64) []stream.Event[float64] {
 // feedCSV parses "timestamp-ms,value" lines as they arrive and hands each
 // event — interleaved with due watermarks — to op immediately. Timestamps
 // are rebased before the watermarker so epoch-scale inputs stay cheap.
-func feedCSV(stdin io.Reader, stderr io.Writer, wm stream.Watermarker, rb *rebaser, op func(stream.Item[float64])) {
+// Canceling ctx abandons the (possibly blocked) read and returns without the
+// Close watermark: shutdown drains the operator explicitly, and the snapshot
+// written there must not see MaxTime as the restored watermark position.
+func feedCSV(ctx context.Context, stdin io.Reader, stderr io.Writer, wm stream.Watermarker, rb *rebaser, op func(stream.Item[float64])) {
+	// The scanner blocks in Read with no way to interrupt it, so it runs in
+	// its own goroutine; the processing loop below stays responsive to ctx.
+	// After cancellation the goroutine parks on the unbuffered send until
+	// the input closes — for a real process that is at exit anyway.
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(stdin)
+		for sc.Scan() {
+			select {
+			case lines <- sc.Text():
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
 	feeder := stream.NewFeeder[float64](wm)
 	var buf []stream.Item[float64]
-	sc := bufio.NewScanner(stdin)
 	seq := int64(0)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
+	for {
+		var line string
+		var ok bool
+		select {
+		case <-ctx.Done():
+			return
+		case line, ok = <-lines:
+		}
+		if !ok {
+			break
+		}
+		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
@@ -303,7 +475,6 @@ func feedCSV(stdin io.Reader, stderr io.Writer, wm stream.Watermarker, rb *rebas
 			op(it)
 		}
 	}
-	for _, it := range feeder.Close(buf[:0]) {
-		op(it)
-	}
+	// No feeder.Close here: EOF and cancellation share the shutdown path in
+	// runQuery, which snapshots the resumable state and then drains.
 }

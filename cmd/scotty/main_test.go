@@ -1,10 +1,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
+	"time"
 )
 
 // resultLine matches one emitted window row: "[start, end)\t n=N\t value".
@@ -13,7 +18,7 @@ var resultLine = regexp.MustCompile(`^\[-?\d+, -?\d+\)\t n=\d+\t \S`)
 func runScotty(t *testing.T, args []string, stdin string) string {
 	t.Helper()
 	var out, errOut strings.Builder
-	code := run(args, strings.NewReader(stdin), &out, &errOut)
+	code := run(context.Background(), args, strings.NewReader(stdin), &out, &errOut)
 	if code != 0 {
 		t.Fatalf("scotty %v exited %d: %s", args, code, errOut.String())
 	}
@@ -66,10 +71,10 @@ func TestSessionAndHolisticAggregates(t *testing.T) {
 
 func TestUnknownFlagsExitNonZero(t *testing.T) {
 	var out, errOut strings.Builder
-	if code := run([]string{"-agg", "nope", "-demo", "10"}, strings.NewReader(""), &out, &errOut); code == 0 {
+	if code := run(context.Background(), []string{"-agg", "nope", "-demo", "10"}, strings.NewReader(""), &out, &errOut); code == 0 {
 		t.Fatal("unknown aggregation should exit non-zero")
 	}
-	if code := run([]string{"-window", "heptagonal", "-demo", "10"}, strings.NewReader(""), &out, &errOut); code == 0 {
+	if code := run(context.Background(), []string{"-window", "heptagonal", "-demo", "10"}, strings.NewReader(""), &out, &errOut); code == 0 {
 		t.Fatal("unknown window type should exit non-zero")
 	}
 }
@@ -105,5 +110,102 @@ func TestSmallTimestampsNotRebased(t *testing.T) {
 	want := "[0, 2000)\t n=1\t 3.5\n[2000, 4000)\t n=1\t 4.5\n"
 	if out != want {
 		t.Fatalf("output changed:\n got %q\nwant %q", out, want)
+	}
+}
+
+// TestCancelDrainsAndWritesCheckpoint drives run() the way a SIGINT does:
+// cancel the context mid-stream (stdin still open, scanner blocked) and
+// require a clean exit that flushed pending windows and wrote final.sck.
+func TestCancelDrainsAndWritesCheckpoint(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	dir := t.TempDir()
+	var out, errOut syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-window", "tumbling", "-length", "1000", "-agg", "sum", "-checkpoint-dir", dir}, pr, &out, &errOut)
+	}()
+
+	// Stream 10s of events; the 2001ms watermark lag means rows for the
+	// early windows appear (and are flushed) while the feed is running.
+	for ts := int64(0); ts <= 10_000; ts += 250 {
+		if _, err := fmt.Fprintf(pw, "%d,1\n", ts); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(out.String(), "[0, 1000)") {
+		if time.Now().After(deadline) {
+			t.Fatalf("no window rows before cancel; stdout %q stderr %q", out.String(), errOut.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancel() // the signal: stdin is still open, the scanner still blocked
+	var code int
+	select {
+	case code = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after cancel")
+	}
+	if code != 0 {
+		t.Fatalf("canceled run exited %d: %s", code, errOut.String())
+	}
+	// The drain must have emitted the windows the watermark had not reached
+	// yet — the last full window ends at 10000 and only a MaxTime flush
+	// closes it this early.
+	if !strings.Contains(out.String(), "[9000, 10000)") {
+		t.Fatalf("pending windows not drained on cancel:\n%s", out.String())
+	}
+	checkRows(t, out.String())
+	if !strings.Contains(errOut.String(), "checkpoint: wrote") {
+		t.Fatalf("no final checkpoint logged: %s", errOut.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "final.sck")); err != nil {
+		t.Fatalf("final.sck missing: %v", err)
+	}
+}
+
+// TestCheckpointRestoreResumesRun pins the restart half of the contract: a
+// second run over the same checkpoint dir restores the snapshot instead of
+// starting cold, and keeps producing windows for the continuation stream.
+// Epoch-scale timestamps make the internal rebase offset non-zero, so this
+// also pins that the offset is persisted with the snapshot: a resumed run
+// that recomputed it from its own (later) first event would print every
+// window bound shifted by the difference.
+func TestCheckpointRestoreResumesRun(t *testing.T) {
+	const t0 = int64(1722470400000) // 2024-08-01 00:00:00 UTC, ms
+	dir := t.TempDir()
+	args := []string{"-window", "tumbling", "-length", "1000", "-agg", "sum", "-checkpoint-dir", dir}
+	feed := func(offsets ...int64) string {
+		var b strings.Builder
+		for _, off := range offsets {
+			fmt.Fprintf(&b, "%d,1\n", t0+off)
+		}
+		return b.String()
+	}
+
+	var out1, err1 strings.Builder
+	if code := run(context.Background(), args, strings.NewReader(feed(0, 500, 1500, 2500)), &out1, &err1); code != 0 {
+		t.Fatalf("first run exited %d: %s", code, err1.String())
+	}
+	if want := fmt.Sprintf("[%d, %d)", t0, t0+1000); !strings.Contains(out1.String(), want) {
+		t.Fatalf("first run missing window %s:\n%s", want, out1.String())
+	}
+	if !strings.Contains(err1.String(), "checkpoint: wrote") {
+		t.Fatalf("first run wrote no checkpoint: %s", err1.String())
+	}
+
+	var out2, err2 strings.Builder
+	if code := run(context.Background(), args, strings.NewReader(feed(3500, 4500, 9000)), &out2, &err2); code != 0 {
+		t.Fatalf("second run exited %d: %s", code, err2.String())
+	}
+	if !strings.Contains(err2.String(), "checkpoint: restored state from") {
+		t.Fatalf("second run did not restore: %s", err2.String())
+	}
+	if want := fmt.Sprintf("[%d, %d)", t0+4000, t0+5000); !strings.Contains(out2.String(), want) {
+		t.Fatalf("restored run missing continuation window %s (rebase offset not resumed?):\n%s", want, out2.String())
 	}
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -44,7 +45,7 @@ func TestMetricsEndpointDuringRun(t *testing.T) {
 	var out, errOut syncBuffer
 	done := make(chan int, 1)
 	go func() {
-		done <- run([]string{"-window", "tumbling", "-length", "2000", "-agg", "sum", "-metrics", "127.0.0.1:0"}, pr, &out, &errOut)
+		done <- run(context.Background(), []string{"-window", "tumbling", "-length", "2000", "-agg", "sum", "-metrics", "127.0.0.1:0"}, pr, &out, &errOut)
 	}()
 
 	// The endpoint URL appears on stderr as soon as the listener is up.

@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"sync"
 
 	"scotty/internal/aggregate"
@@ -38,7 +39,7 @@ func main() {
 	var mu sync.Mutex
 	series := map[int64][]point{}
 
-	stats := engine.Run(engine.Config[stream.Tuple]{
+	stats, err := engine.Run(engine.Config[stream.Tuple]{
 		Parallelism: engine.Cores(),
 		Key:         func(e stream.Event[stream.Tuple]) uint64 { return uint64(e.Value.Key) },
 		NewProcessor: func(partition int) engine.Processor[stream.Tuple] {
@@ -64,6 +65,10 @@ func main() {
 			})
 		},
 	}, items)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dashboard pipeline failed: %v\n", err)
+		os.Exit(1)
+	}
 
 	fmt.Printf("processed %d tuples at %.0f tuples/s across %d cores (%.0f%% CPU)\n",
 		stats.Events, stats.Throughput(), engine.Cores(), stats.CPUUtilization())

@@ -1,0 +1,123 @@
+package aggregate
+
+import (
+	"scotty/internal/checkpoint"
+	"scotty/internal/rle"
+)
+
+// Codec registrations for every partial-aggregate type this package defines,
+// so operators built from the built-in aggregation functions are
+// snapshottable out of the box. User-defined Function implementations with
+// custom partials opt in the same way: checkpoint.Register in their package.
+//
+// Composed partials (Pair, Triple) are generic over their component types and
+// cannot be pre-registered for every instantiation; callers that snapshot a
+// composed operator register the concrete Pair/Triple instantiation
+// themselves.
+func init() {
+	checkpoint.Register("aggregate.MeanAgg",
+		func(e *checkpoint.Encoder, a MeanAgg) {
+			e.Float64(a.Sum)
+			e.Int64(a.N)
+		},
+		func(d *checkpoint.Decoder) (MeanAgg, error) {
+			a := MeanAgg{Sum: d.Float64(), N: d.Int64()}
+			return a, d.Err()
+		})
+	checkpoint.Register("aggregate.VarAgg",
+		func(e *checkpoint.Encoder, a VarAgg) {
+			e.Int64(a.N)
+			e.Float64(a.Sum)
+			e.Float64(a.SumSq)
+		},
+		func(d *checkpoint.Decoder) (VarAgg, error) {
+			a := VarAgg{N: d.Int64(), Sum: d.Float64(), SumSq: d.Float64()}
+			return a, d.Err()
+		})
+	checkpoint.Register("aggregate.ExtremumCount",
+		func(e *checkpoint.Encoder, a ExtremumCount) {
+			e.Float64(a.V)
+			e.Int64(a.N)
+		},
+		func(d *checkpoint.Decoder) (ExtremumCount, error) {
+			a := ExtremumCount{V: d.Float64(), N: d.Int64()}
+			return a, d.Err()
+		})
+	checkpoint.Register("aggregate.ArgAgg",
+		func(e *checkpoint.Encoder, a ArgAgg) {
+			e.Float64(a.V)
+			e.Int64(a.Time)
+			e.Int64(a.Seq)
+			e.Bool(a.Set)
+		},
+		func(d *checkpoint.Decoder) (ArgAgg, error) {
+			a := ArgAgg{V: d.Float64(), Time: d.Int64(), Seq: d.Int64(), Set: d.Bool()}
+			return a, d.Err()
+		})
+	checkpoint.Register("aggregate.Sample", encodeSample, decodeSample)
+	checkpoint.Register("aggregate.M4Agg",
+		func(e *checkpoint.Encoder, a M4Agg) {
+			e.Float64(a.Min)
+			e.Float64(a.Max)
+			encodeSample(e, a.First)
+			encodeSample(e, a.Last)
+			e.Int64(a.N)
+		},
+		func(d *checkpoint.Decoder) (M4Agg, error) {
+			var a M4Agg
+			a.Min, a.Max = d.Float64(), d.Float64()
+			a.First, _ = decodeSample(d)
+			a.Last, _ = decodeSample(d)
+			a.N = d.Int64()
+			return a, d.Err()
+		})
+	checkpoint.Register("rle.Multiset",
+		func(e *checkpoint.Encoder, m *rle.Multiset) {
+			if m == nil {
+				e.Int64(0)
+				return
+			}
+			e.Int64(int64(m.Runs()))
+			m.EachRun(func(r rle.Run) {
+				e.Float64(r.Value)
+				e.Int64(r.Count)
+			})
+		},
+		func(d *checkpoint.Decoder) (*rle.Multiset, error) {
+			m := rle.New()
+			for i, n := 0, d.Count(); i < n; i++ {
+				m.AddN(d.Float64(), d.Int64())
+			}
+			return m, d.Err()
+		})
+	checkpoint.Register("[]float64",
+		func(e *checkpoint.Encoder, vs []float64) {
+			e.Int64(int64(len(vs)))
+			for _, v := range vs {
+				e.Float64(v)
+			}
+		},
+		func(d *checkpoint.Decoder) ([]float64, error) {
+			n := d.Count()
+			if n == 0 {
+				return nil, d.Err()
+			}
+			vs := make([]float64, n)
+			for i := range vs {
+				vs[i] = d.Float64()
+			}
+			return vs, d.Err()
+		})
+}
+
+func encodeSample(e *checkpoint.Encoder, s Sample) {
+	e.Int64(s.Time)
+	e.Int64(s.Seq)
+	e.Float64(s.V)
+	e.Bool(s.Set)
+}
+
+func decodeSample(d *checkpoint.Decoder) (Sample, error) {
+	s := Sample{Time: d.Int64(), Seq: d.Int64(), V: d.Float64(), Set: d.Bool()}
+	return s, d.Err()
+}

@@ -71,10 +71,28 @@ type bucketQuery[V, A any] struct {
 	length  int64
 	slide   int64
 	gap     int64
-	// buckets is keyed by window start (periodic); sessions are kept
-	// sorted by start.
+	// buckets is keyed by window start (periodic); order holds the same
+	// buckets sorted by start, because every emitting walk must be
+	// deterministic (map iteration order is randomized per operator
+	// instance, and the output order would otherwise differ between a
+	// fresh run and a recovery replay of the same stream). Sessions are
+	// kept sorted by start.
 	buckets  map[int64]*bucket[V, A]
+	order    []*bucket[V, A]
 	sessions []*bucket[V, A]
+}
+
+// insertOrdered places bk into q.order keeping it sorted by start. Buckets
+// are created in near-increasing start order, so the common case appends.
+func (q *bucketQuery[V, A]) insertOrdered(bk *bucket[V, A]) {
+	if n := len(q.order); n == 0 || q.order[n-1].start < bk.start {
+		q.order = append(q.order, bk)
+		return
+	}
+	i := sort.Search(len(q.order), func(i int) bool { return q.order[i].start > bk.start })
+	q.order = append(q.order, nil)
+	copy(q.order[i+1:], q.order[i:])
+	q.order[i] = bk
 }
 
 // NewBuckets creates a bucket operator. Supported window types: Tumbling,
@@ -180,8 +198,8 @@ func (b *Buckets[V, A, Out]) assign(q *bucketQuery[V, A], e stream.Event[V], ran
 		if !inOrder {
 			// The insertion shifted the rank of every later tuple:
 			// every bucket covering ranks beyond it changed content.
-			for start, bk := range q.buckets {
-				if start+q.length > rank {
+			for _, bk := range q.order {
+				if bk.start+q.length > rank {
 					bk.dirty = true
 					if bk.emitted {
 						b.emitBucket(q, bk, true)
@@ -199,6 +217,7 @@ func (b *Buckets[V, A, Out]) addToBucket(q *bucketQuery[V, A], start, end int64,
 	if !ok {
 		bk = &bucket[V, A]{start: start, end: end, agg: b.f.Identity(), lastTime: stream.MinTime}
 		q.buckets[start] = bk
+		q.insertOrdered(bk)
 	}
 	b.assigns++
 	bk.n++
@@ -270,14 +289,19 @@ func (b *Buckets[V, A, Out]) triggerAll(wm int64) {
 	for _, q := range b.queries {
 		switch q.kind {
 		case bucketPeriodicTime:
-			for _, bk := range q.buckets {
-				if !bk.emitted && bk.end-1 <= wm {
+			for _, bk := range q.order {
+				if bk.end-1 > wm {
+					// Starts (and therefore ends) are sorted: nothing
+					// further can have completed.
+					break
+				}
+				if !bk.emitted {
 					bk.emitted = true
 					b.emitBucket(q, bk, false)
 				}
 			}
 		case bucketPeriodicCount:
-			for _, bk := range q.buckets {
+			for _, bk := range q.order {
 				if !bk.emitted && b.countComplete(q, bk, wm) {
 					bk.emitted = true
 					b.emitBucket(q, bk, false)
@@ -300,7 +324,7 @@ func (b *Buckets[V, A, Out]) triggerCount(now int64) {
 		if q.kind != bucketPeriodicCount {
 			continue
 		}
-		for _, bk := range q.buckets {
+		for _, bk := range q.order {
 			if !bk.emitted && bk.end <= b.total && bk.lastTime <= now {
 				bk.emitted = true
 				b.emitBucket(q, bk, false)
@@ -350,17 +374,25 @@ func (b *Buckets[V, A, Out]) evict() {
 	for _, q := range b.queries {
 		switch q.kind {
 		case bucketPeriodicTime:
-			for start, bk := range q.buckets {
+			keep := q.order[:0]
+			for _, bk := range q.order {
 				if bk.emitted && bk.end-1 < horizon {
-					delete(q.buckets, start)
+					delete(q.buckets, bk.start)
+				} else {
+					keep = append(keep, bk)
 				}
 			}
+			q.order = keep
 		case bucketPeriodicCount:
-			for start, bk := range q.buckets {
+			keep := q.order[:0]
+			for _, bk := range q.order {
 				if bk.emitted && bk.lastTime < horizon {
-					delete(q.buckets, start)
+					delete(q.buckets, bk.start)
+				} else {
+					keep = append(keep, bk)
 				}
 			}
+			q.order = keep
 		case bucketSession:
 			keep := q.sessions[:0]
 			for _, bk := range q.sessions {

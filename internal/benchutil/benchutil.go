@@ -50,8 +50,10 @@ type Workload struct {
 }
 
 // NewOp builds an operator of the given technique for the workload, using
-// the aggregation function f.
-func NewOp[A, Out any](t Technique, f aggregate.Function[stream.Tuple, A, Out], w Workload) Op {
+// the aggregation function f. An unknown technique is a caller error and is
+// reported as one, not a panic: cmd/benchmark takes technique names from the
+// command line.
+func NewOp[A, Out any](t Technique, f aggregate.Function[stream.Tuple, A, Out], w Workload) (Op, error) {
 	defs := w.Defs()
 	switch t {
 	case LazySlicing, EagerSlicing:
@@ -64,27 +66,27 @@ func NewOp[A, Out any](t Technique, f aggregate.Function[stream.Tuple, A, Out], 
 				return len(ag.ProcessElement(it.Event))
 			}
 			return len(ag.ProcessWatermark(it.Watermark))
-		}
+		}, nil
 	case Pairs:
 		op := baselines.NewPairs(f)
-		return feedBaseline(op, defs)
+		return feedBaseline(op, defs), nil
 	case Cutty:
 		op := baselines.NewCutty(f)
-		return feedBaseline(op, defs)
+		return feedBaseline(op, defs), nil
 	case Buckets:
 		op := baselines.NewBuckets(f, false, w.Ordered, w.Lateness)
-		return feedBaseline(op, defs)
+		return feedBaseline(op, defs), nil
 	case TupleBuckets:
 		op := baselines.NewBuckets(f, true, w.Ordered, w.Lateness)
-		return feedBaseline(op, defs)
+		return feedBaseline(op, defs), nil
 	case TupleBuffer:
 		op := baselines.NewTupleBuffer(f, w.Ordered, w.Lateness)
-		return feedBaseline(op, defs)
+		return feedBaseline(op, defs), nil
 	case AggTree:
 		op := baselines.NewAggTree(f, w.Ordered, w.Lateness)
-		return feedBaseline(op, defs)
+		return feedBaseline(op, defs), nil
 	default:
-		panic(fmt.Sprintf("benchutil: unknown technique %q", t))
+		return nil, fmt.Errorf("benchutil: unknown technique %q", t)
 	}
 }
 
@@ -96,7 +98,7 @@ type BatchOp func(items []stream.Item[stream.Tuple]) int
 // slicing techniques route through core's ProcessBatch run fast path; the
 // baselines loop per item behind the same signature (their per-tuple work is
 // the cost the batch path exists to amortize away).
-func NewBatchOp[A, Out any](t Technique, f aggregate.Function[stream.Tuple, A, Out], w Workload) BatchOp {
+func NewBatchOp[A, Out any](t Technique, f aggregate.Function[stream.Tuple, A, Out], w Workload) (BatchOp, error) {
 	switch t {
 	case LazySlicing, EagerSlicing:
 		ag := core.New(f, core.Options{Ordered: w.Ordered, Lateness: w.Lateness, Eager: t == EagerSlicing})
@@ -105,16 +107,19 @@ func NewBatchOp[A, Out any](t Technique, f aggregate.Function[stream.Tuple, A, O
 		}
 		return func(items []stream.Item[stream.Tuple]) int {
 			return len(ag.ProcessBatch(items))
-		}
+		}, nil
 	default:
-		op := NewOp(t, f, w)
+		op, err := NewOp(t, f, w)
+		if err != nil {
+			return nil, err
+		}
 		return func(items []stream.Item[stream.Tuple]) int {
 			n := 0
 			for _, it := range items {
 				n += op(it)
 			}
 			return n
-		}
+		}, nil
 	}
 }
 

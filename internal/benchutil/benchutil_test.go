@@ -22,7 +22,10 @@ func TestAllTechniquesProduceResults(t *testing.T) {
 				d = stream.Disorder{Fraction: 0.1, MaxDelay: 1000, Seed: 1}
 			}
 			in := MakeInput(stream.Machine(), 3000, d, 42)
-			op := NewOp(tech, SumFn(), w)
+			op, err := NewOp(tech, SumFn(), w)
+			if err != nil {
+				t.Fatalf("NewOp: %v", err)
+			}
 			_, results := Throughput(op, in)
 			if results == 0 {
 				t.Fatalf("%s emitted no results", tech)
@@ -37,10 +40,13 @@ func TestTechniquesAgreeOnFinalWindowCount(t *testing.T) {
 	counts := map[Technique]int64{}
 	for _, tech := range []Technique{LazySlicing, EagerSlicing, Pairs, Cutty, TupleBuffer} {
 		in := MakeInput(stream.Football(), 20_000, stream.Disorder{}, 42)
-		op := NewOp(tech, SumFn(), Workload{
+		op, err := NewOp(tech, SumFn(), Workload{
 			Ordered: true,
 			Defs:    func() []window.Definition { return TumblingQueries(3) },
 		})
+		if err != nil {
+			t.Fatalf("NewOp: %v", err)
+		}
 		_, results := Throughput(op, in)
 		counts[tech] = results
 	}
@@ -49,6 +55,16 @@ func TestTechniquesAgreeOnFinalWindowCount(t *testing.T) {
 		if n != base {
 			t.Errorf("%s emitted %d windows, lazy slicing %d", tech, n, base)
 		}
+	}
+}
+
+func TestUnknownTechniqueIsAnError(t *testing.T) {
+	w := Workload{Defs: func() []window.Definition { return TumblingQueries(1) }}
+	if _, err := NewOp(Technique("bogus"), SumFn(), w); err == nil {
+		t.Fatal("NewOp accepted an unknown technique")
+	}
+	if _, err := NewBatchOp(Technique("bogus"), SumFn(), w); err == nil {
+		t.Fatal("NewBatchOp accepted an unknown technique")
 	}
 }
 

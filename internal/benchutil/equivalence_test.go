@@ -164,13 +164,20 @@ func TestBatchReplayAgreesWithTupleAtATime(t *testing.T) {
 	// technique, slicing fast path and baseline fallback alike.
 	w := Workload{Lateness: lateness, Defs: defs}
 	for _, tech := range []Technique{LazySlicing, EagerSlicing, TupleBuffer, AggTree} {
-		op := NewOp(tech, SumFn(), w)
+		op, err := NewOp(tech, SumFn(), w)
+		if err != nil {
+			t.Fatalf("NewOp: %v", err)
+		}
 		var want int64
 		for _, it := range in.Items {
 			want += int64(op(it))
 		}
 		for _, bs := range []int{7, 256} {
-			_, got := ThroughputBatched(NewBatchOp(tech, SumFn(), w), in, bs)
+			bop, err := NewBatchOp(tech, SumFn(), w)
+			if err != nil {
+				t.Fatalf("NewBatchOp: %v", err)
+			}
+			_, got := ThroughputBatched(bop, in, bs)
 			if got != want {
 				t.Fatalf("%s bs=%d: BatchOp emitted %d results, Op emitted %d", tech, bs, got, want)
 			}

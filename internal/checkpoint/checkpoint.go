@@ -1,0 +1,95 @@
+// Package checkpoint defines the snapshot format used to externalize window
+// operator state: a versioned, self-describing binary envelope plus a codec
+// registry for the partial-aggregate types stored inside slices.
+//
+// The format is deliberately gob-free and deterministic: the same operator
+// state always serializes to the same bytes, so recovery tests can compare
+// snapshots directly and checkpoint files deduplicate trivially. Every
+// snapshot is framed as
+//
+//	magic "SCKP" | version u16 | crc32(payload) u32 | payload
+//
+// with all integers little-endian and fixed-width. The CRC turns torn or
+// bit-flipped files into a clean ErrCorruptSnapshot instead of a panic deep
+// inside a decoder.
+//
+// Payload contents are written through Encoder and read back through Decoder.
+// Composite state (slices, per-key operators, window contexts) is serialized
+// by its owning package; the payload types inside slices — the partial
+// aggregates of aggregate.Function implementations — opt in through the
+// Register/For codec registry, keyed by their Go type.
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+)
+
+// ErrCorruptSnapshot reports a snapshot that cannot be decoded: truncated,
+// bit-flipped, wrong magic, or internally inconsistent. Recovery code treats
+// it as "this checkpoint is unusable, fall back to an earlier one".
+var ErrCorruptSnapshot = errors.New("checkpoint: corrupt snapshot")
+
+// ErrVersion reports a snapshot written by an incompatible format version.
+var ErrVersion = errors.New("checkpoint: unsupported snapshot version")
+
+// ErrNoCodec reports a partial-aggregate type without a registered codec.
+var ErrNoCodec = errors.New("checkpoint: no codec registered")
+
+// Codec serializes values of one partial-aggregate (or payload, or key) type.
+// Name identifies the codec inside snapshots, making them self-describing: a
+// restore against a differently-typed operator fails with a clear mismatch
+// error instead of misinterpreting bytes.
+type Codec[T any] struct {
+	Name   string
+	Encode func(*Encoder, T)
+	Decode func(*Decoder) (T, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[reflect.Type]any{} // reflect.Type -> Codec[T]
+	regNames = map[string]reflect.Type{}
+)
+
+// Register installs the codec for type T under the given name. Aggregate
+// packages call it from init for their partial types; user code registers
+// custom Function partials the same way. Registering the same type or name
+// twice is a programming error and panics.
+func Register[T any](name string, enc func(*Encoder, T), dec func(*Decoder) (T, error)) {
+	t := reflect.TypeOf((*T)(nil)).Elem()
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[t]; dup {
+		panic(fmt.Sprintf("checkpoint: codec for %v registered twice", t))
+	}
+	if prev, dup := regNames[name]; dup {
+		panic(fmt.Sprintf("checkpoint: codec name %q already used by %v", name, prev))
+	}
+	registry[t] = Codec[T]{Name: name, Encode: enc, Decode: dec}
+	regNames[name] = t
+}
+
+// For returns the registered codec for type T, or an error wrapping ErrNoCodec
+// naming the missing type.
+func For[T any]() (Codec[T], error) {
+	t := reflect.TypeOf((*T)(nil)).Elem()
+	regMu.RLock()
+	c, ok := registry[t]
+	regMu.RUnlock()
+	if !ok {
+		return Codec[T]{}, fmt.Errorf("%w for partial type %v (checkpoint.Register it)", ErrNoCodec, t)
+	}
+	return c.(Codec[T]), nil
+}
+
+// Registered reports whether type T has a codec.
+func Registered[T any]() bool {
+	t := reflect.TypeOf((*T)(nil)).Elem()
+	regMu.RLock()
+	_, ok := registry[t]
+	regMu.RUnlock()
+	return ok
+}

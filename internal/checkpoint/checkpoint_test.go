@@ -1,0 +1,182 @@
+package checkpoint
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"scotty/internal/stream"
+)
+
+func TestRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.Int64(-42)
+	e.Uint64(1 << 63)
+	e.Uint32(7)
+	e.Bool(true)
+	e.Bool(false)
+	e.Float64(math.Inf(-1))
+	e.Float64(3.5)
+	e.String("hello")
+	e.Bytes([]byte{1, 2, 3})
+	e.Int(99)
+	data := e.Seal()
+
+	d, err := NewDecoder(data)
+	if err != nil {
+		t.Fatalf("NewDecoder: %v", err)
+	}
+	if v := d.Int64(); v != -42 {
+		t.Errorf("Int64 = %d", v)
+	}
+	if v := d.Uint64(); v != 1<<63 {
+		t.Errorf("Uint64 = %d", v)
+	}
+	if v := d.Uint32(); v != 7 {
+		t.Errorf("Uint32 = %d", v)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Error("Bool round-trip failed")
+	}
+	if v := d.Float64(); !math.IsInf(v, -1) {
+		t.Errorf("Float64 = %v", v)
+	}
+	if v := d.Float64(); v != 3.5 {
+		t.Errorf("Float64 = %v", v)
+	}
+	if v := d.String(); v != "hello" {
+		t.Errorf("String = %q", v)
+	}
+	if b := d.Bytes(); len(b) != 3 || b[0] != 1 || b[2] != 3 {
+		t.Errorf("Bytes = %v", b)
+	}
+	if v := d.Int(); v != 99 {
+		t.Errorf("Int = %d", v)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("Remaining = %d", d.Remaining())
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	mk := func() []byte {
+		e := NewEncoder()
+		e.Int64(123)
+		e.String("abc")
+		return e.Seal()
+	}
+	a, b := mk(), mk()
+	if string(a) != string(b) {
+		t.Error("identical payloads serialized differently")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	e := NewEncoder()
+	e.Int64(1)
+	e.String("payload")
+	data := e.Seal()
+
+	// Truncations at every length, including mid-header.
+	for n := 0; n < len(data); n++ {
+		if _, err := NewDecoder(data[:n]); !errors.Is(err, ErrCorruptSnapshot) {
+			t.Errorf("truncated at %d: err = %v, want ErrCorruptSnapshot", n, err)
+		}
+	}
+	// A single flipped payload bit.
+	flip := append([]byte(nil), data...)
+	flip[len(flip)-1] ^= 0x40
+	if _, err := NewDecoder(flip); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Errorf("bit flip: err = %v, want ErrCorruptSnapshot", err)
+	}
+	// Wrong magic.
+	bad := append([]byte(nil), data...)
+	bad[0] = 'X'
+	if _, err := NewDecoder(bad); !errors.Is(err, ErrCorruptSnapshot) {
+		t.Errorf("bad magic: err = %v, want ErrCorruptSnapshot", err)
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	data := NewEncoder().Seal()
+	data[4] = 0xFF // fake future version; CRC does not cover the header
+	if _, err := NewDecoder(data); !errors.Is(err, ErrVersion) {
+		t.Errorf("err = %v, want ErrVersion", err)
+	}
+}
+
+func TestStickyDecodeErrors(t *testing.T) {
+	e := NewEncoder()
+	e.Int64(5)
+	d, err := NewDecoder(e.Seal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Int64()
+	// Reading past the end must poison, not panic, and stay poisoned.
+	if v := d.Int64(); v != 0 {
+		t.Errorf("overread returned %d, want 0", v)
+	}
+	if !errors.Is(d.Err(), ErrCorruptSnapshot) {
+		t.Errorf("Err = %v, want ErrCorruptSnapshot", d.Err())
+	}
+	if v := d.String(); v != "" {
+		t.Errorf("read after poison returned %q", v)
+	}
+}
+
+func TestImplausibleLengths(t *testing.T) {
+	e := NewEncoder()
+	e.Uint32(1 << 30) // a string length far beyond the payload
+	d, err := NewDecoder(e.Seal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := d.String(); s != "" || !errors.Is(d.Err(), ErrCorruptSnapshot) {
+		t.Errorf("String = %q, Err = %v", s, d.Err())
+	}
+
+	e = NewEncoder()
+	e.Int64(1 << 40) // an element count no payload of this size can hold
+	d, err = NewDecoder(e.Seal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := d.Count(); n != 0 || !errors.Is(d.Err(), ErrCorruptSnapshot) {
+		t.Errorf("Count = %d, Err = %v", n, d.Err())
+	}
+}
+
+func TestCodecRegistry(t *testing.T) {
+	c, err := For[stream.Tuple]()
+	if err != nil {
+		t.Fatalf("For[stream.Tuple]: %v", err)
+	}
+	e := NewEncoder()
+	c.Encode(e, stream.Tuple{Key: 3, V: 2.5})
+	d, err := NewDecoder(e.Seal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decode(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != 3 || got.V != 2.5 {
+		t.Errorf("decoded %+v", got)
+	}
+
+	type unregistered struct{ X int }
+	if _, err := For[unregistered](); !errors.Is(err, ErrNoCodec) {
+		t.Errorf("For[unregistered] err = %v, want ErrNoCodec", err)
+	}
+	if Registered[unregistered]() {
+		t.Error("Registered[unregistered] = true")
+	}
+	if !Registered[float64]() {
+		t.Error("Registered[float64] = false")
+	}
+}

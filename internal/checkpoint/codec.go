@@ -1,0 +1,39 @@
+package checkpoint
+
+import "scotty/internal/stream"
+
+// Built-in codecs for the primitive partial/key types and the benchmark
+// payload type. Composite partials (MeanAgg, VarAgg, multisets, ...) register
+// in their owning packages.
+func init() {
+	Register("int64",
+		func(e *Encoder, v int64) { e.Int64(v) },
+		func(d *Decoder) (int64, error) { return d.Int64(), d.Err() })
+	Register("int32",
+		func(e *Encoder, v int32) { e.Int64(int64(v)) },
+		func(d *Decoder) (int32, error) { return int32(d.Int64()), d.Err() })
+	Register("int",
+		func(e *Encoder, v int) { e.Int(v) },
+		func(d *Decoder) (int, error) { return d.Int(), d.Err() })
+	Register("uint64",
+		func(e *Encoder, v uint64) { e.Uint64(v) },
+		func(d *Decoder) (uint64, error) { return d.Uint64(), d.Err() })
+	Register("float64",
+		func(e *Encoder, v float64) { e.Float64(v) },
+		func(d *Decoder) (float64, error) { return d.Float64(), d.Err() })
+	Register("bool",
+		func(e *Encoder, v bool) { e.Bool(v) },
+		func(d *Decoder) (bool, error) { return d.Bool(), d.Err() })
+	Register("string",
+		func(e *Encoder, v string) { e.String(v) },
+		func(d *Decoder) (string, error) { return d.String(), d.Err() })
+	Register("stream.Tuple",
+		func(e *Encoder, v stream.Tuple) {
+			e.Int64(int64(v.Key))
+			e.Float64(v.V)
+		},
+		func(d *Decoder) (stream.Tuple, error) {
+			t := stream.Tuple{Key: int32(d.Int64()), V: d.Float64()}
+			return t, d.Err()
+		})
+}

@@ -1,0 +1,223 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+const (
+	magic      = "SCKP"
+	version    = 1
+	headerSize = 4 + 2 + 4 // magic + version + crc32
+)
+
+// Encoder accumulates a snapshot payload. All integers are fixed-width
+// little-endian; floats are IEEE 754 bit patterns; strings and byte slices
+// are length-prefixed. Seal frames the payload with the format header.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with the header region reserved.
+func NewEncoder() *Encoder {
+	return &Encoder{buf: make([]byte, headerSize, 256)}
+}
+
+// Uint64 appends v.
+func (e *Encoder) Uint64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// Int64 appends v.
+func (e *Encoder) Int64(v int64) { e.Uint64(uint64(v)) }
+
+// Uint32 appends v.
+func (e *Encoder) Uint32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// Int appends v as an int64.
+func (e *Encoder) Int(v int) { e.Int64(int64(v)) }
+
+// Byte appends one byte.
+func (e *Encoder) Byte(v byte) { e.buf = append(e.buf, v) }
+
+// Bool appends v as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.Byte(1)
+	} else {
+		e.Byte(0)
+	}
+}
+
+// Float64 appends the IEEE 754 bit pattern of v.
+func (e *Encoder) Float64(v float64) { e.Uint64(math.Float64bits(v)) }
+
+// Bytes appends b with a length prefix.
+func (e *Encoder) Bytes(b []byte) {
+	e.Uint32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String appends s with a length prefix.
+func (e *Encoder) String(s string) {
+	e.Uint32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Len returns the payload size accumulated so far.
+func (e *Encoder) Len() int { return len(e.buf) - headerSize }
+
+// Seal writes the header (magic, version, payload CRC) and returns the framed
+// snapshot. The encoder must not be used afterwards.
+func (e *Encoder) Seal() []byte {
+	copy(e.buf[:4], magic)
+	binary.LittleEndian.PutUint16(e.buf[4:6], version)
+	crc := crc32.ChecksumIEEE(e.buf[headerSize:])
+	binary.LittleEndian.PutUint32(e.buf[6:10], crc)
+	return e.buf
+}
+
+// Decoder reads a snapshot payload back. Errors are sticky: the first
+// malformed read poisons the decoder, every later read returns zero values,
+// and Err reports the failure — so decoding code can read a whole structure
+// and check once.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder validates the frame (magic, version, CRC) and returns a decoder
+// positioned at the start of the payload. Truncated or corrupted data yields
+// ErrCorruptSnapshot; a newer format version yields ErrVersion.
+func NewDecoder(data []byte) (*Decoder, error) {
+	if len(data) < headerSize || string(data[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad header", ErrCorruptSnapshot)
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != version {
+		return nil, fmt.Errorf("%w: snapshot version %d, this build reads %d", ErrVersion, v, version)
+	}
+	want := binary.LittleEndian.Uint32(data[6:10])
+	if got := crc32.ChecksumIEEE(data[headerSize:]); got != want {
+		return nil, fmt.Errorf("%w: payload checksum mismatch (torn or bit-flipped file)", ErrCorruptSnapshot)
+	}
+	return &Decoder{buf: data[headerSize:]}, nil
+}
+
+// fail poisons the decoder.
+func (d *Decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s at offset %d", ErrCorruptSnapshot, what, d.off)
+	}
+}
+
+// Err returns the first decoding error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread payload bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.Remaining() < n {
+		d.fail("truncated payload")
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// Uint64 reads a fixed-width uint64.
+func (d *Decoder) Uint64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Int64 reads a fixed-width int64.
+func (d *Decoder) Int64() int64 { return int64(d.Uint64()) }
+
+// Uint32 reads a fixed-width uint32.
+func (d *Decoder) Uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// Int reads an int64 and narrows it to int.
+func (d *Decoder) Int() int { return int(d.Int64()) }
+
+// Byte reads one byte.
+func (d *Decoder) Byte() byte {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads one byte as a bool; values other than 0/1 poison the decoder.
+func (d *Decoder) Bool() bool {
+	switch d.Byte() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("invalid bool")
+		return false
+	}
+}
+
+// Float64 reads an IEEE 754 bit pattern.
+func (d *Decoder) Float64() float64 { return math.Float64frombits(d.Uint64()) }
+
+// Bytes reads a length-prefixed byte slice (copied out of the snapshot).
+func (d *Decoder) Bytes() []byte {
+	n := int(d.Uint32())
+	if d.err != nil {
+		return nil
+	}
+	if n > d.Remaining() {
+		d.fail("byte slice length exceeds payload")
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.take(n))
+	return out
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := int(d.Uint32())
+	if d.err != nil {
+		return ""
+	}
+	if n > d.Remaining() {
+		d.fail("string length exceeds payload")
+		return ""
+	}
+	return string(d.take(n))
+}
+
+// Count reads a non-negative element count and bounds it by the bytes left in
+// the payload (each element costs at least one byte), so a corrupted count can
+// never drive a giant allocation.
+func (d *Decoder) Count() int {
+	n := d.Int64()
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || n > int64(d.Remaining()) {
+		d.fail("implausible element count")
+		return 0
+	}
+	return int(n)
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"scotty/internal/checkpoint"
+	"scotty/internal/fat"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+// ErrSnapshotMismatch reports a structurally valid snapshot that does not
+// belong to the operator it is being restored into: different query set,
+// different partial-aggregate type, or different keyed configuration.
+var ErrSnapshotMismatch = errors.New("core: snapshot does not match operator configuration")
+
+// Per-query state discriminators in the snapshot payload.
+const (
+	queryStateNone = byte(iota) // stateless context-free definition
+	queryStateCF                // stateful context-free definition (trigger cursor)
+	queryStateCtx               // context-aware: serialized window context
+)
+
+// Snapshot serializes the aggregator's complete mutable state — the slice
+// ring with partial aggregates (and stored tuples when the Fig 4 decision
+// demands them), the watermark, pending slicer edges, and every context-aware
+// query's context state — into a framed checkpoint snapshot.
+//
+// The partial-aggregate type A (and, when tuples are stored, the payload type
+// V) must have a registered checkpoint codec; ErrNoCodec names the missing
+// one otherwise.
+func (ag *Aggregator[V, A, Out]) Snapshot() ([]byte, error) {
+	enc := checkpoint.NewEncoder()
+	if err := ag.encodeState(enc); err != nil {
+		return nil, err
+	}
+	return enc.Seal(), nil
+}
+
+// Restore loads a snapshot produced by Snapshot into this aggregator. The
+// receiver must be freshly constructed with the same Options and the same
+// AddQuery sequence as the snapshotted operator; mismatches are detected and
+// reported as ErrSnapshotMismatch, corrupted data as
+// checkpoint.ErrCorruptSnapshot. After a successful restore the aggregator
+// behaves identically to the snapshotted one for any suffix stream.
+func (ag *Aggregator[V, A, Out]) Restore(data []byte) error {
+	dec, err := checkpoint.NewDecoder(data)
+	if err != nil {
+		return err
+	}
+	if err := ag.decodeState(dec); err != nil {
+		return err
+	}
+	return dec.Err()
+}
+
+// describeQuery is the self-description recorded per query for restore-time
+// validation: the window definition's measure and printed form.
+func describeQuery(def window.Definition) string {
+	return fmt.Sprintf("%v:%v", def.Measure(), def)
+}
+
+// encodeState appends the aggregator's state to enc (no framing), so it can
+// be embedded both in a standalone snapshot and in a Keyed composite.
+func (ag *Aggregator[V, A, Out]) encodeState(enc *checkpoint.Encoder) error {
+	aggC, err := checkpoint.For[A]()
+	if err != nil {
+		return err
+	}
+	evC, evErr := checkpoint.For[V]()
+
+	enc.String(aggC.Name)
+	enc.Int64(ag.currWM)
+	enc.Int64(int64(ag.evictCountdown))
+
+	enc.Int64(int64(len(ag.dynamicTimeEdges)))
+	for _, e := range ag.dynamicTimeEdges {
+		enc.Int64(e)
+	}
+	enc.Int64(int64(len(ag.pendingUpdates)))
+	for _, u := range ag.pendingUpdates {
+		enc.Int(u.id)
+		enc.Byte(byte(u.meas))
+		enc.Int64(u.span.Start)
+		enc.Int64(u.span.End)
+	}
+
+	enc.Int(len(ag.queries))
+	for _, q := range ag.queries {
+		enc.Int(q.id)
+		enc.String(describeQuery(q.def))
+		if q.ctx != nil {
+			// Context-aware: the context holds the mutable state.
+			ss, ok := q.ctx.(window.StateSnapshot)
+			if !ok {
+				return fmt.Errorf("core: context of query %d (%v) does not implement window.StateSnapshot", q.id, q.def)
+			}
+			enc.Byte(queryStateCtx)
+			ss.SnapshotState(enc)
+		} else if ss, ok := q.cf.(window.StateSnapshot); ok {
+			// Context-free but stateful (periodic trigger cursors).
+			enc.Byte(queryStateCF)
+			ss.SnapshotState(enc)
+		} else {
+			enc.Byte(queryStateNone)
+		}
+	}
+
+	st := ag.st
+	enc.Bool(st.keepTuples)
+	enc.Int64(st.totalCount)
+	enc.Int64(st.maxSeen)
+	enc.Int(len(st.slices))
+	for _, s := range st.slices {
+		enc.Int64(s.Start)
+		enc.Int64(s.End)
+		enc.Int64(s.CStart)
+		enc.Int64(s.TFirst)
+		enc.Int64(s.TLast)
+		enc.Int64(s.N)
+		aggC.Encode(enc, s.Agg)
+		enc.Int64(int64(len(s.Events)))
+		if len(s.Events) > 0 {
+			if evErr != nil {
+				return evErr
+			}
+			for _, ev := range s.Events {
+				enc.Int64(ev.Time)
+				enc.Int64(ev.Seq)
+				evC.Encode(enc, ev.Value)
+			}
+		}
+	}
+	return nil
+}
+
+// decodeState restores state written by encodeState into a fresh aggregator.
+func (ag *Aggregator[V, A, Out]) decodeState(dec *checkpoint.Decoder) error {
+	if ag.st.totalCount > 0 || ag.currWM != stream.MinTime {
+		return fmt.Errorf("%w: restore target has already ingested data", ErrSnapshotMismatch)
+	}
+	aggC, err := checkpoint.For[A]()
+	if err != nil {
+		return err
+	}
+	evC, evErr := checkpoint.For[V]()
+
+	if name := dec.String(); dec.Err() == nil && name != aggC.Name {
+		return fmt.Errorf("%w: snapshot partial type %q, operator uses %q", ErrSnapshotMismatch, name, aggC.Name)
+	}
+	ag.currWM = dec.Int64()
+	ag.evictCountdown = int(dec.Int64())
+
+	ag.dynamicTimeEdges = ag.dynamicTimeEdges[:0]
+	for i, n := 0, dec.Count(); i < n; i++ {
+		ag.dynamicTimeEdges = append(ag.dynamicTimeEdges, dec.Int64())
+	}
+	ag.pendingUpdates = ag.pendingUpdates[:0]
+	for i, n := 0, dec.Count(); i < n; i++ {
+		ag.pendingUpdates = append(ag.pendingUpdates, pendingUpdate{
+			id:   dec.Int(),
+			meas: stream.Measure(dec.Byte()),
+			span: window.Span{Start: dec.Int64(), End: dec.Int64()},
+		})
+	}
+
+	nq := dec.Count()
+	if dec.Err() == nil && nq != len(ag.queries) {
+		return fmt.Errorf("%w: snapshot has %d queries, operator has %d", ErrSnapshotMismatch, nq, len(ag.queries))
+	}
+	for i := 0; i < nq; i++ {
+		q := ag.queries[i]
+		id, desc, kind := dec.Int(), dec.String(), dec.Byte()
+		if dec.Err() != nil {
+			return dec.Err()
+		}
+		if id != q.id || desc != describeQuery(q.def) || (kind == queryStateCtx) != (q.ctx != nil) {
+			return fmt.Errorf("%w: query %d is %q in the snapshot, %q in the operator", ErrSnapshotMismatch, i, desc, describeQuery(q.def))
+		}
+		switch kind {
+		case queryStateNone:
+		case queryStateCtx:
+			ss, ok := q.ctx.(window.StateSnapshot)
+			if !ok {
+				return fmt.Errorf("core: context of query %d (%v) does not implement window.StateSnapshot", q.id, q.def)
+			}
+			if err := ss.RestoreState(dec); err != nil {
+				return err
+			}
+		case queryStateCF:
+			ss, ok := q.cf.(window.StateSnapshot)
+			if !ok {
+				return fmt.Errorf("%w: query %d carries context-free state the operator's definition cannot load", ErrSnapshotMismatch, i)
+			}
+			if err := ss.RestoreState(dec); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: unknown query state kind %d", checkpoint.ErrCorruptSnapshot, kind)
+		}
+	}
+
+	st := ag.st
+	keep := dec.Bool()
+	total := dec.Int64()
+	maxSeen := dec.Int64()
+	ns := dec.Count()
+	if dec.Err() != nil {
+		return dec.Err()
+	}
+	if ns < 1 {
+		return fmt.Errorf("%w: snapshot without an open slice", checkpoint.ErrCorruptSnapshot)
+	}
+	slices := make([]*Slice[V, A], 0, ns)
+	for i := 0; i < ns; i++ {
+		s := st.newSlice(0, 0, 0)
+		s.Start = dec.Int64()
+		s.End = dec.Int64()
+		s.CStart = dec.Int64()
+		s.TFirst = dec.Int64()
+		s.TLast = dec.Int64()
+		s.N = dec.Int64()
+		a, err := aggC.Decode(dec)
+		if err != nil {
+			return err
+		}
+		s.Agg = a
+		ne := dec.Count()
+		if ne > 0 && evErr != nil {
+			return evErr
+		}
+		for j := 0; j < ne; j++ {
+			ev := stream.Event[V]{Time: dec.Int64(), Seq: dec.Int64()}
+			v, err := evC.Decode(dec)
+			if err != nil {
+				return err
+			}
+			ev.Value = v
+			s.Events = append(s.Events, ev)
+		}
+		slices = append(slices, s)
+	}
+	if err := dec.Err(); err != nil {
+		return err
+	}
+
+	st.keepTuples = keep
+	st.totalCount = total
+	st.maxSeen = maxSeen
+	st.replaceSlices(slices)
+
+	// Derived state: the slicer's edge caches and the trigger wake positions
+	// are recomputed from the restored queries and slices, and the shared
+	// tuples counter is considered already published (a shared registry must
+	// not re-count restored tuples).
+	ag.tuplesPublished = total
+	ag.refreshCFEdges()
+	ag.refreshTriggerWake()
+	return nil
+}
+
+// replaceSlices swaps in a restored slice sequence wholesale, releasing the
+// previous ring and rebuilding the eager tree from the restored aggregates.
+func (st *store[V, A, Out]) replaceSlices(slices []*Slice[V, A]) {
+	for _, s := range st.buf[st.head:] {
+		st.releaseSlice(s)
+	}
+	st.buf = append(st.buf[:0], slices...)
+	st.head = 0
+	st.refreshView()
+	st.version++
+	if st.eager {
+		st.tree = fat.New(st.f.Combine, st.f.Identity())
+		for _, s := range st.slices {
+			st.tree.Push(s.Agg)
+		}
+	}
+}
+
+// ------------------------------------------------------------------ keyed ---
+
+// Snapshot serializes the keyed operator: every live key's aggregator state
+// plus the idle clocks, in deterministic first-appearance order. The key type
+// K needs a registered checkpoint codec.
+func (k *Keyed[K, V, A, Out]) Snapshot() ([]byte, error) {
+	keyC, err := checkpoint.For[K]()
+	if err != nil {
+		return nil, err
+	}
+	enc := checkpoint.NewEncoder()
+	enc.String(keyC.Name)
+	enc.Int64(k.currWM)
+	enc.Int64(k.idleTTL)
+	enc.Int(len(k.order))
+	for _, key := range k.order {
+		keyC.Encode(enc, key)
+		ent := k.ops[key]
+		enc.Int64(ent.lastSeen)
+		if err := ent.op.encodeState(enc); err != nil {
+			return nil, err
+		}
+	}
+	return enc.Seal(), nil
+}
+
+// Restore loads a keyed snapshot. The receiver must be freshly constructed
+// with the same keyOf/newOp/idleTTL configuration; per-key aggregators are
+// rebuilt through newOp and restored in place.
+func (k *Keyed[K, V, A, Out]) Restore(data []byte) error {
+	if len(k.ops) > 0 {
+		return fmt.Errorf("%w: restore target has live keys", ErrSnapshotMismatch)
+	}
+	keyC, err := checkpoint.For[K]()
+	if err != nil {
+		return err
+	}
+	dec, err := checkpoint.NewDecoder(data)
+	if err != nil {
+		return err
+	}
+	if name := dec.String(); dec.Err() == nil && name != keyC.Name {
+		return fmt.Errorf("%w: snapshot key type %q, operator uses %q", ErrSnapshotMismatch, name, keyC.Name)
+	}
+	k.currWM = dec.Int64()
+	if ttl := dec.Int64(); dec.Err() == nil && ttl != k.idleTTL {
+		return fmt.Errorf("%w: snapshot idleTTL %d, operator uses %d", ErrSnapshotMismatch, ttl, k.idleTTL)
+	}
+	n := dec.Count()
+	for i := 0; i < n; i++ {
+		key, err := keyC.Decode(dec)
+		if err != nil {
+			return err
+		}
+		lastSeen := dec.Int64()
+		op := k.newOp()
+		if err := op.decodeState(dec); err != nil {
+			return fmt.Errorf("key %v: %w", key, err)
+		}
+		k.ops[key] = &keyedEntry[V, A, Out]{op: op, lastSeen: lastSeen}
+		k.order = append(k.order, key)
+	}
+	return dec.Err()
+}

@@ -5,10 +5,21 @@
 // across cores, which is "the common approach used in stream processing
 // systems" (§5.3 Parallelization) and is reproduced here with goroutines and
 // channels.
+//
+// The engine is fault tolerant in the aligned-checkpoint style the paper
+// inherits from Flink: the source injects watermark-aligned barriers, every
+// partition snapshots its operator state at the barrier (Snapshottable), and
+// a supervisor restarts failed runs from the last completed checkpoint,
+// replaying exactly the uncheckpointed suffix of the input. See
+// docs/ROBUSTNESS.md for the protocol.
 package engine
 
 import (
+	"errors"
+	"fmt"
+	"os"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,7 +77,9 @@ type Config[V any] struct {
 	// the instances (watermarks are still broadcast); use this only for
 	// operators whose state does not depend on co-locating equal keys.
 	Key func(e stream.Event[V]) uint64
-	// NewProcessor builds the operator instance for one partition.
+	// NewProcessor builds the operator instance for one partition. Recovery
+	// rebuilds processors, so the function must be callable repeatedly for
+	// the same partition.
 	NewProcessor func(partition int) Processor[V]
 	// BatchSize is the number of items shipped per channel message
 	// (network-buffer analog); 0 selects a default of 256.
@@ -75,32 +88,41 @@ type Config[V any] struct {
 	QueueLen int
 	// Clock supplies the timestamps behind Stats.Elapsed; nil selects
 	// time.Now. Tests inject a fake clock to make timing-derived stats
-	// deterministic. With a nil Metrics registry the clock is read exactly
-	// twice (run start and end); enabling metrics adds reads around channel
-	// sends and result emissions.
+	// deterministic. With a nil Metrics registry and checkpointing disabled
+	// the clock is read exactly twice (run start and end); enabling metrics
+	// adds reads around channel sends, result emissions, and snapshot
+	// writes.
 	Clock func() time.Time
 	// Metrics, when non-nil, receives the engine's instrumentation:
 	// per-partition engine_events_total / engine_results_total /
 	// engine_batches_total / engine_queue_stall_ns_total counters, the
-	// engine_batch_occupancy histogram, and — for processors implementing
-	// WindowEndReporter — the end-to-end engine_latency_ms histogram. A nil
-	// registry keeps the hot path free of any instrumentation cost.
+	// engine_batch_occupancy histogram, for processors implementing
+	// WindowEndReporter the end-to-end engine_latency_ms histogram, and the
+	// recovery series engine_recoveries_total / checkpoint_bytes /
+	// checkpoint_duration_ms. A nil registry keeps the hot path free of any
+	// instrumentation cost.
 	Metrics *obs.Registry
+	// Checkpoint configures watermark-aligned checkpoints and supervised
+	// restart after partition failures; the zero value disables both.
+	Checkpoint CheckpointConfig
 }
 
 // Stats summarizes a pipeline run.
 type Stats struct {
-	// Events is the number of data tuples processed.
+	// Events is the number of data tuples processed (replayed tuples are
+	// counted once).
 	Events int64
 	// Results is the number of window aggregates emitted across all
-	// partitions.
+	// partitions (replayed emissions are counted once).
 	Results int64
-	// Elapsed is the wall-clock duration of the run.
+	// Elapsed is the wall-clock duration of the run's final attempt.
 	Elapsed time.Duration
-	// CPUTime is the process CPU time consumed during the run (user +
-	// system across all cores); CPUTime/Elapsed approximates the CPU
-	// utilization of Fig 17b.
+	// CPUTime is the process CPU time consumed during the final attempt
+	// (user + system across all cores); CPUTime/Elapsed approximates the
+	// CPU utilization of Fig 17b.
 	CPUTime time.Duration
+	// Recoveries is the number of supervised restarts the run needed.
+	Recoveries int
 }
 
 // Throughput returns processed events per second of wall-clock time.
@@ -121,12 +143,161 @@ func (s Stats) CPUUtilization() float64 {
 }
 
 // Run replays a prepared stream through the parallel pipeline and blocks
-// until every partition has drained.
-func Run[V any](cfg Config[V], items []stream.Item[V]) Stats {
+// until every partition has drained. A processor panic no longer tears down
+// the process: it is confined to its worker as a PartitionError, and — with
+// Config.Checkpoint enabled — the supervisor restarts the run from the last
+// completed checkpoint with capped exponential backoff, replaying exactly the
+// uncheckpointed suffix. When the restart budget is exhausted (or
+// checkpointing is disabled) Run returns a RunError wrapping the last
+// partition failure.
+func Run[V any](cfg Config[V], items []stream.Item[V]) (Stats, error) {
+	if cfg.NewProcessor == nil {
+		return Stats{}, errors.New("engine: Config.NewProcessor is required")
+	}
 	par := cfg.Parallelism
 	if par <= 0 {
 		par = 1
 	}
+	ck := cfg.Checkpoint
+	ckOn := ck.Interval > 0
+	if ckOn {
+		if ck.Dir == "" {
+			return Stats{}, errors.New("engine: Checkpoint.Interval requires Checkpoint.Dir")
+		}
+		if err := os.MkdirAll(ck.Dir, 0o755); err != nil {
+			return Stats{}, fmt.Errorf("engine: checkpoint dir: %w", err)
+		}
+	}
+	restarts := ck.MaxRestarts
+	if restarts == 0 && ckOn {
+		restarts = 3
+	}
+	if restarts < 0 {
+		restarts = 0
+	}
+	sleep := ck.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	backoff := ck.Backoff
+	if backoff <= 0 {
+		backoff = 10 * time.Millisecond
+	}
+	var em *engineMetrics
+	if cfg.Metrics != nil {
+		em = newEngineMetrics(cfg.Metrics, par)
+	}
+
+	// maxEmitted tracks, per partition, the furthest point (in results since
+	// the stream origin) any failed attempt reached — the high-water mark of
+	// external side effects that replay suppression must cover.
+	maxEmitted := make([]int64, par)
+	for attempt := 0; ; attempt++ {
+		var rp *restorePoint
+		var procs []Processor[V]
+		if attempt > 0 && ckOn {
+			rp, procs = pickRestart(cfg, par)
+		}
+		if procs == nil {
+			rp = nil
+			procs = make([]Processor[V], par)
+			for p := range procs {
+				procs[p] = cfg.NewProcessor(p)
+			}
+		}
+		if attempt > 0 {
+			for p, proc := range procs {
+				tr, ok := proc.(ReplayTrimmer)
+				if !ok {
+					continue
+				}
+				base := int64(0)
+				if rp != nil {
+					base = rp.emitted[p]
+				}
+				if n := maxEmitted[p] - base; n > 0 {
+					tr.TrimReplay(n)
+				}
+			}
+		}
+
+		res := runAttempt(cfg, items, procs, rp, em)
+		res.stats.Recoveries = attempt
+		if res.fatal != nil {
+			return res.stats, res.fatal
+		}
+		if res.perr == nil {
+			return res.stats, nil
+		}
+		for p, n := range res.emitted {
+			if n > maxEmitted[p] {
+				maxEmitted[p] = n
+			}
+		}
+		if ck.OnFailure != nil {
+			ck.OnFailure(res.perr)
+		}
+		if attempt >= restarts {
+			return res.stats, &RunError{Attempts: attempt + 1, Cause: res.perr}
+		}
+		if em != nil {
+			em.recoveries.Inc()
+		}
+		shift := attempt
+		if shift > 6 {
+			shift = 6
+		}
+		sleep(backoff << shift)
+	}
+}
+
+// pickRestart finds the newest usable checkpoint: processors are rebuilt and
+// restored candidate by candidate, newest first, so a checkpoint whose state
+// fails to load falls back to its predecessor. It returns (nil, nil) when no
+// checkpoint is usable or the processors cannot load state at all — the
+// caller then replays from the stream origin with fresh processors.
+func pickRestart[V any](cfg Config[V], par int) (*restorePoint, []Processor[V]) {
+	for _, cand := range scanCheckpoints(cfg.Checkpoint.Dir, par) {
+		procs := make([]Processor[V], par)
+		ok := true
+		for p := range procs {
+			procs[p] = cfg.NewProcessor(p)
+			sn, is := procs[p].(Snapshottable)
+			if !is {
+				return nil, nil
+			}
+			if err := sn.Restore(cand.states[p]); err != nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rp := cand
+			return &rp, procs
+		}
+	}
+	return nil, nil
+}
+
+// message is one channel element: a batch of items, a checkpoint barrier, or
+// both never at once (barriers travel alone, after the triggering watermark).
+type message[V any] struct {
+	items   []stream.Item[V]
+	barrier *barrier
+}
+
+// attemptResult is one processing attempt's outcome for the supervisor.
+type attemptResult struct {
+	stats   Stats
+	perr    *PartitionError // restartable partition failure
+	fatal   error           // checkpoint I/O or codec failure: not restartable
+	emitted []int64         // per-partition results since origin, at exit or crash
+}
+
+// runAttempt executes one full pass of the pipeline: restored processors in,
+// stats or a classified failure out.
+func runAttempt[V any](cfg Config[V], items []stream.Item[V], procs []Processor[V], rp *restorePoint, em *engineMetrics) attemptResult {
+	par := len(procs)
 	batch := cfg.BatchSize
 	if batch <= 0 {
 		batch = 256
@@ -139,15 +310,16 @@ func Run[V any](cfg Config[V], items []stream.Item[V]) Stats {
 	if clock == nil {
 		clock = time.Now
 	}
-
-	var em *engineMetrics
-	if cfg.Metrics != nil {
-		em = newEngineMetrics(cfg.Metrics, par)
+	ck := cfg.Checkpoint
+	ckOn := ck.Interval > 0
+	writeFile := ck.WriteFile
+	if writeFile == nil {
+		writeFile = atomicWriteFile
 	}
 
-	chans := make([]chan []stream.Item[V], par)
+	chans := make([]chan message[V], par)
 	for i := range chans {
-		chans[i] = make(chan []stream.Item[V], queue)
+		chans[i] = make(chan message[V], queue)
 	}
 	// Batch buffers cycle source → channel → worker → pool → source: each
 	// buffer is owned by exactly one goroutine at a time, so the worker can
@@ -164,14 +336,27 @@ func Run[V any](cfg Config[V], items []stream.Item[V]) Stats {
 		b = b[:0]
 		bufPool.Put(&b)
 	}
-	var results atomic.Int64
+
+	// failed flips on the first worker death; the source checks it per item
+	// and aborts dispatch instead of feeding a dead pipeline. Dead workers
+	// keep draining their queue so the source never blocks on a full channel.
+	var failed atomic.Bool
+	wErr := make([]*PartitionError, par)
+	wFatal := make([]error, par)
+	emitted := make([]int64, par)
+	if rp != nil {
+		copy(emitted, rp.emitted)
+	}
+	tracker := &ckptTracker{par: par, acks: map[int]int{}}
+
 	var wg sync.WaitGroup
 	for p := 0; p < par; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			proc := cfg.NewProcessor(p)
+			proc := procs[p]
 			bp, _ := proc.(BatchProcessor[V])
+			sn, _ := proc.(Snapshottable)
 			reporter, _ := proc.(WindowEndReporter)
 			observe := func(k int) {
 				if em != nil && k > 0 && reporter != nil {
@@ -181,24 +366,70 @@ func Run[V any](cfg Config[V], items []stream.Item[V]) Stats {
 					}
 				}
 			}
-			var n int64
-			for b := range chans[p] {
-				if bp != nil {
-					k := bp.ProcessBatch(b)
-					n += int64(k)
-					observe(k)
-				} else {
-					for _, it := range b {
-						k := proc.ProcessItem(it)
+			// n counts results since the stream origin: restored runs resume
+			// at the checkpoint's count so Stats.Results stays exact across
+			// recoveries.
+			n := emitted[p]
+			defer func() {
+				emitted[p] = n
+				if r := recover(); r != nil {
+					// Failure containment: the panic stays confined to this
+					// partition, re-wrapped as a typed PartitionError for the
+					// supervisor.
+					wErr[p] = &PartitionError{Partition: p, Cause: r, Stack: debug.Stack()}
+					failed.Store(true)
+					drainMessages(chans[p], putBuf)
+				}
+			}()
+			for m := range chans[p] {
+				if len(m.items) > 0 {
+					if bp != nil {
+						k := bp.ProcessBatch(m.items)
 						n += int64(k)
 						observe(k)
+					} else {
+						for _, it := range m.items {
+							k := proc.ProcessItem(it)
+							n += int64(k)
+							observe(k)
+						}
 					}
 				}
-				putBuf(b)
+				if m.items != nil {
+					putBuf(m.items)
+				}
+				if m.barrier != nil && sn != nil {
+					// Barrier alignment: snapshot exactly here, between two
+					// batches, so the persisted state covers items[:offset]
+					// and nothing else.
+					t0 := clock()
+					state, err := sn.Snapshot()
+					if err != nil {
+						wFatal[p] = fmt.Errorf("engine: checkpoint %d partition %d: %w", m.barrier.id, p, err)
+						failed.Store(true)
+						drainMessages(chans[p], putBuf)
+						return
+					}
+					data := encodeCkptFile(ckptFile{
+						id: m.barrier.id, par: par, part: p,
+						offset: m.barrier.offset, events: m.barrier.events,
+						wm: m.barrier.wm, emitted: n, state: state,
+					})
+					if err := writeFile(ckptPath(ck.Dir, m.barrier.id, p), data); err != nil {
+						wFatal[p] = fmt.Errorf("engine: checkpoint %d partition %d: %w", m.barrier.id, p, err)
+						failed.Store(true)
+						drainMessages(chans[p], putBuf)
+						return
+					}
+					if em != nil {
+						em.ckptBytes.Observe(float64(len(data)))
+						em.ckptDurMS.Observe(float64(clock().Sub(t0).Milliseconds()))
+					}
+					tracker.ack(m.barrier.id)
+				}
 			}
-			results.Add(n)
 			if em != nil {
-				em.results[p].Add(n)
+				em.results[p].Add(n - emitted[p])
 			}
 		}(p)
 	}
@@ -206,17 +437,21 @@ func Run[V any](cfg Config[V], items []stream.Item[V]) Stats {
 	startCPU := processCPUTime()
 	start := clock()
 
-	// Source: route events by key hash, broadcast watermarks. Batches are
-	// flushed when full and before every watermark so ordering between
-	// events and watermarks is preserved per partition.
+	// Source: route events by key hash, broadcast watermarks, and — at
+	// checkpoint intervals — inject barriers after the aligning watermark.
+	// Batches are flushed when full and before every watermark so ordering
+	// between events, watermarks, and barriers is preserved per partition.
+	// A restored run resumes at the checkpoint's offset with the
+	// checkpoint's event count, so round-robin routing replays
+	// deterministically.
 	buffers := make([][]stream.Item[V], par)
 	send := func(p int, b []stream.Item[V]) {
 		if em == nil {
-			chans[p] <- b
+			chans[p] <- message[V]{items: b}
 			return
 		}
 		t0 := clock()
-		chans[p] <- b
+		chans[p] <- message[V]{items: b}
 		em.stallNS[p].Add(clock().Sub(t0).Nanoseconds())
 		em.batches[p].Inc()
 		em.occupancy.Observe(float64(len(b)))
@@ -230,13 +465,59 @@ func Run[V any](cfg Config[V], items []stream.Item[V]) Stats {
 	for i := range buffers {
 		buffers[i] = getBuf()
 	}
-	var events int64
-	for _, it := range items {
+	offset := 0
+	events := int64(0)
+	barrierID := 0
+	lastBarrierWM := int64(0)
+	haveBarrierWM := false
+	if rp != nil {
+		offset = rp.offset
+		events = rp.events
+		barrierID = rp.id
+		lastBarrierWM = rp.wm
+		haveBarrierWM = true
+	}
+	for _, it := range items[offset:] {
+		if failed.Load() {
+			break
+		}
+		offset++
 		if it.Kind == stream.KindWatermark {
 			for p := 0; p < par; p++ {
 				flush(p)
 				send(p, append(getBuf(), it))
 			}
+			if !ckOn {
+				continue
+			}
+			if !haveBarrierWM {
+				// The first watermark anchors the barrier schedule; the
+				// stream origin is the implicit checkpoint zero.
+				haveBarrierWM = true
+				lastBarrierWM = it.Watermark
+				continue
+			}
+			if it.Watermark-lastBarrierWM < ck.Interval {
+				continue
+			}
+			lastBarrierWM = it.Watermark
+			barrierID++
+			b := barrier{id: barrierID, offset: offset, events: events, wm: it.Watermark}
+			for p := 0; p < par; p++ {
+				action := BarrierDeliver
+				if ck.BarrierFault != nil {
+					action = ck.BarrierFault(b.id, p)
+				}
+				switch action {
+				case BarrierDrop:
+				case BarrierDuplicate:
+					chans[p] <- message[V]{barrier: &b}
+					chans[p] <- message[V]{barrier: &b}
+				default:
+					chans[p] <- message[V]{barrier: &b}
+				}
+			}
+			tracker.gc(ck.Dir)
 			continue
 		}
 		p := 0
@@ -263,12 +544,39 @@ func Run[V any](cfg Config[V], items []stream.Item[V]) Stats {
 		close(chans[p])
 	}
 	wg.Wait()
+	if ckOn {
+		tracker.gc(ck.Dir)
+	}
 
-	return Stats{
+	res := attemptResult{emitted: emitted}
+	var results int64
+	for _, n := range emitted {
+		results += n
+	}
+	res.stats = Stats{
 		Events:  events,
-		Results: results.Load(),
+		Results: results,
 		Elapsed: clock().Sub(start),
 		CPUTime: processCPUTime() - startCPU,
+	}
+	for p := 0; p < par; p++ {
+		if wFatal[p] != nil && res.fatal == nil {
+			res.fatal = wFatal[p]
+		}
+		if wErr[p] != nil && res.perr == nil {
+			res.perr = wErr[p]
+		}
+	}
+	return res
+}
+
+// drainMessages consumes the remaining queue of a dead partition so the
+// source never blocks on it; batch buffers still return to the pool.
+func drainMessages[V any](ch <-chan message[V], putBuf func([]stream.Item[V])) {
+	for m := range ch {
+		if m.items != nil {
+			putBuf(m.items)
+		}
 	}
 }
 

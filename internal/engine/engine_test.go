@@ -9,6 +9,16 @@ import (
 	"scotty/internal/stream"
 )
 
+// mustRun is the test harness for configs that are expected to succeed.
+func mustRun(t testing.TB, cfg Config[stream.Tuple], items []stream.Item[stream.Tuple]) Stats {
+	t.Helper()
+	stats, err := Run(cfg, items)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return stats
+}
+
 func makeItems(n int, keys int) []stream.Item[stream.Tuple] {
 	items := make([]stream.Item[stream.Tuple], 0, n+n/100+1)
 	for i := 0; i < n; i++ {
@@ -29,7 +39,7 @@ func TestParallelismPreservesEventsAndResults(t *testing.T) {
 	items := makeItems(10_000, 8)
 	run := func(par int) (int64, Stats) {
 		var results atomic.Int64
-		stats := Run(Config[stream.Tuple]{
+		stats := mustRun(t, Config[stream.Tuple]{
 			Parallelism: par,
 			Key:         func(e stream.Event[stream.Tuple]) uint64 { return uint64(e.Value.Key) },
 			NewProcessor: func(p int) Processor[stream.Tuple] {
@@ -60,7 +70,7 @@ func TestKeyRouting(t *testing.T) {
 	const par = 4
 	var mu sync.Mutex
 	keysPerPartition := make([]map[int32]bool, par)
-	Run(Config[stream.Tuple]{
+	mustRun(t, Config[stream.Tuple]{
 		Parallelism: par,
 		Key:         func(e stream.Event[stream.Tuple]) uint64 { return uint64(e.Value.Key) },
 		NewProcessor: func(p int) Processor[stream.Tuple] {
@@ -98,7 +108,7 @@ func TestKeyRouting(t *testing.T) {
 func TestBatchProcessorReceivesWholeBatches(t *testing.T) {
 	items := makeItems(10_000, 8)
 	var events, calls atomic.Int64
-	stats := Run(Config[stream.Tuple]{
+	stats := mustRun(t, Config[stream.Tuple]{
 		Parallelism: 2,
 		BatchSize:   128,
 		Key:         func(e stream.Event[stream.Tuple]) uint64 { return uint64(e.Value.Key) },
@@ -129,7 +139,7 @@ func TestWatermarksBroadcastInOrderPerPartition(t *testing.T) {
 	const par = 3
 	var violations atomic.Int64
 	var wms [par]atomic.Int64
-	Run(Config[stream.Tuple]{
+	mustRun(t, Config[stream.Tuple]{
 		Parallelism: par,
 		Key:         func(e stream.Event[stream.Tuple]) uint64 { return uint64(e.Value.Key) },
 		NewProcessor: func(p int) Processor[stream.Tuple] {
@@ -169,7 +179,7 @@ func TestInjectedClockMakesStatsDeterministic(t *testing.T) {
 	items := makeItems(1_000, 4)
 	base := time.Unix(0, 0)
 	var ticks atomic.Int64
-	stats := Run(Config[stream.Tuple]{
+	stats := mustRun(t, Config[stream.Tuple]{
 		Parallelism: 2,
 		Key:         func(e stream.Event[stream.Tuple]) uint64 { return uint64(e.Value.Key) },
 		NewProcessor: func(p int) Processor[stream.Tuple] {

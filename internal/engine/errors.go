@@ -1,0 +1,38 @@
+package engine
+
+import "fmt"
+
+// PartitionError is a worker failure confined to its partition: the worker
+// goroutine recovered a processor panic and re-wrapped it instead of letting
+// it tear down the process. With checkpointing enabled the supervisor
+// restarts the run from the last completed checkpoint; otherwise (or once the
+// restart budget is exhausted) the error propagates out of Run wrapped in a
+// RunError.
+type PartitionError struct {
+	// Partition is the index of the failed operator instance.
+	Partition int
+	// Cause is the recovered panic value.
+	Cause any
+	// Stack is the stack trace of the panicking goroutine.
+	Stack []byte
+}
+
+func (e *PartitionError) Error() string {
+	return fmt.Sprintf("engine: partition %d panicked: %v", e.Partition, e.Cause)
+}
+
+// RunError is the structured terminal failure of a run: every processing
+// attempt (the initial one plus up to MaxRestarts recoveries) ended in a
+// partition failure.
+type RunError struct {
+	// Attempts is the number of processing attempts made.
+	Attempts int
+	// Cause is the partition failure of the last attempt.
+	Cause *PartitionError
+}
+
+func (e *RunError) Error() string {
+	return fmt.Sprintf("engine: run failed after %d attempts: %v", e.Attempts, e.Cause)
+}
+
+func (e *RunError) Unwrap() error { return e.Cause }

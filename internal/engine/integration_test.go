@@ -41,7 +41,7 @@ func TestParallelEqualsSerialWindowResults(t *testing.T) {
 	run := func(par int) map[rkey]float64 {
 		finals := map[rkey]float64{}
 		var mu sync.Mutex
-		Run(Config[stream.Tuple]{
+		mustRun(t, Config[stream.Tuple]{
 			Parallelism: par,
 			Key:         func(e stream.Event[stream.Tuple]) uint64 { return uint64(e.Value.Key) },
 			NewProcessor: func(p int) Processor[stream.Tuple] {
@@ -76,7 +76,7 @@ func TestParallelEqualsSerialWindowResults(t *testing.T) {
 	runBatched := func(par int) map[rkey]float64 {
 		finals := map[rkey]float64{}
 		var mu sync.Mutex
-		Run(Config[stream.Tuple]{
+		mustRun(t, Config[stream.Tuple]{
 			Parallelism: par,
 			Key:         func(e stream.Event[stream.Tuple]) uint64 { return uint64(e.Value.Key) },
 			NewProcessor: func(p int) Processor[stream.Tuple] {

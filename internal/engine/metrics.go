@@ -26,18 +26,24 @@ type WindowEndReporter interface {
 // same registry accumulate (counters) or overwrite (gauges/histograms share
 // series per partition index).
 type engineMetrics struct {
-	events    []*obs.Counter // data tuples routed to each partition
-	results   []*obs.Counter // window results emitted by each partition
-	batches   []*obs.Counter // channel batches shipped to each partition
-	stallNS   []*obs.Counter // time the source spent blocked sending to each partition
-	occupancy *obs.Histogram // items per shipped batch (watermark batches count as 1)
-	latency   *obs.Histogram // end-to-end result latency in ms (see WindowEndReporter)
+	events     []*obs.Counter // data tuples routed to each partition
+	results    []*obs.Counter // window results emitted by each partition
+	batches    []*obs.Counter // channel batches shipped to each partition
+	stallNS    []*obs.Counter // time the source spent blocked sending to each partition
+	occupancy  *obs.Histogram // items per shipped batch (watermark batches count as 1)
+	latency    *obs.Histogram // end-to-end result latency in ms (see WindowEndReporter)
+	recoveries *obs.Counter   // supervised restarts after partition failures
+	ckptBytes  *obs.Histogram // size of each written partition snapshot file
+	ckptDurMS  *obs.Histogram // wall time of each snapshot (serialize + write)
 }
 
 func newEngineMetrics(r *obs.Registry, par int) *engineMetrics {
 	m := &engineMetrics{
-		occupancy: r.Histogram("engine_batch_occupancy", obs.ExponentialBounds(1, 2, 11)),
-		latency:   r.Histogram("engine_latency_ms", nil),
+		occupancy:  r.Histogram("engine_batch_occupancy", obs.ExponentialBounds(1, 2, 11)),
+		latency:    r.Histogram("engine_latency_ms", nil),
+		recoveries: r.Counter("engine_recoveries_total"),
+		ckptBytes:  r.Histogram("checkpoint_bytes", obs.ExponentialBounds(64, 4, 12)),
+		ckptDurMS:  r.Histogram("checkpoint_duration_ms", nil),
 	}
 	for p := 0; p < par; p++ {
 		l := obs.L("partition", strconv.Itoa(p))

@@ -24,7 +24,7 @@ func TestRoundRobinWhenKeyNil(t *testing.T) {
 	for _, par := range []int{2, 4} {
 		reg := obs.NewRegistry()
 		const n = 8_000
-		stats := Run(Config[stream.Tuple]{
+		stats := mustRun(t, Config[stream.Tuple]{
 			Parallelism: par,
 			Metrics:     reg,
 			NewProcessor: func(p int) Processor[stream.Tuple] {
@@ -50,7 +50,7 @@ func TestKeyRoutingMetricsPerPartition(t *testing.T) {
 	for _, par := range []int{1, 2, 4} {
 		reg := obs.NewRegistry()
 		const n, keys = 8_000, 16
-		Run(Config[stream.Tuple]{
+		mustRun(t, Config[stream.Tuple]{
 			Parallelism: par,
 			Metrics:     reg,
 			Key:         func(e stream.Event[stream.Tuple]) uint64 { return uint64(e.Value.Key) },
@@ -104,7 +104,7 @@ func TestLatencyHistogramAtSink(t *testing.T) {
 	reg := obs.NewRegistry()
 	base := time.UnixMilli(5_000)
 	const n = 300
-	stats := Run(Config[stream.Tuple]{
+	stats := mustRun(t, Config[stream.Tuple]{
 		Parallelism: 1,
 		Metrics:     reg,
 		NewProcessor: func(p int) Processor[stream.Tuple] {

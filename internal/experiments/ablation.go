@@ -21,7 +21,7 @@ import (
 //     not need it (the cost a non-adaptive general technique pays),
 //  4. the stream slicer's next-edge cache (§5.3 step 1: "the majority of
 //     tuples ... require just one comparison").
-func Ablations(w io.Writer, sc Scale) {
+func Ablations(w io.Writer, sc Scale) error {
 	tab := benchutil.NewTable("Ablations — design choices of general slicing",
 		"ablation", "variant", "tuples/s", "state-bytes")
 
@@ -35,7 +35,10 @@ func Ablations(w io.Writer, sc Scale) {
 		{"invert off (naive sum)", aggregate.NaiveSum(stream.Val)},
 	} {
 		in := benchutil.MakeInput(stream.Football(), sc.Events/2, disorder20(29), 42)
-		op := benchutil.NewOp(benchutil.LazySlicing, v.f, benchutil.Workload{Lateness: 4000, Defs: countDefs})
+		op, err := benchutil.NewOp(benchutil.LazySlicing, v.f, benchutil.Workload{Lateness: 4000, Defs: countDefs})
+		if err != nil {
+			return err
+		}
 		tps, _ := benchutil.Measure("count-shift cascade", v.name, op, in)
 		tab.Add("count-shift cascade", v.name, tps, "")
 	}
@@ -45,12 +48,18 @@ func Ablations(w io.Writer, sc Scale) {
 	timeDefs := func() []window.Definition { return benchutil.TumblingQueries(20) }
 	{
 		in := benchutil.MakeInput(stream.Machine(), sc.Events/8, disorder20(31), 42)
-		op := benchutil.NewOp(benchutil.LazySlicing, aggregate.Median(stream.Val), benchutil.Workload{Lateness: 4000, Defs: timeDefs})
+		op, err := benchutil.NewOp(benchutil.LazySlicing, aggregate.Median(stream.Val), benchutil.Workload{Lateness: 4000, Defs: timeDefs})
+		if err != nil {
+			return err
+		}
 		tps, _ := benchutil.Measure("holistic slices", "RLE multiset", op, in)
 		tab.Add("holistic slices", "RLE multiset", tps, "")
 
 		in = benchutil.MakeInput(stream.Machine(), sc.Events/8, disorder20(31), 42)
-		op = benchutil.NewOp(benchutil.LazySlicing, aggregate.MedianNaive(stream.Val), benchutil.Workload{Lateness: 4000, Defs: timeDefs})
+		op, err = benchutil.NewOp(benchutil.LazySlicing, aggregate.MedianNaive(stream.Val), benchutil.Workload{Lateness: 4000, Defs: timeDefs})
+		if err != nil {
+			return err
+		}
 		tps, _ = benchutil.Measure("holistic slices", "plain sorted values", op, in)
 		tab.Add("holistic slices", "plain sorted values", tps, "")
 	}
@@ -101,6 +110,7 @@ func Ablations(w io.Writer, sc Scale) {
 	}
 
 	tab.Print(w)
+	return nil
 }
 
 func ptr[T any](v T) *T { return &v }

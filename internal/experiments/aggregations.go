@@ -13,7 +13,7 @@ import (
 // fig13Row measures general (lazy) slicing throughput for one aggregation
 // function on time-based and count-based windows (20 concurrent windows, 20%
 // out-of-order tuples with delays up to 2 s — the §6.3.2 setup).
-func fig13Row[A, Out any](sc Scale, name string, f aggregate.Function[stream.Tuple, A, Out]) (timeTps, countTps float64) {
+func fig13Row[A, Out any](sc Scale, name string, f aggregate.Function[stream.Tuple, A, Out]) (timeTps, countTps float64, err error) {
 	events := sc.Events
 	if f.Props().Kind == aggregate.Holistic {
 		events = sc.Events / 4 // holistic merges dominate; keep runtime bounded
@@ -23,7 +23,10 @@ func fig13Row[A, Out any](sc Scale, name string, f aggregate.Function[stream.Tup
 		func() []window.Definition { return benchutil.CountQueries(20) },
 	} {
 		in := benchutil.MakeInput(stream.Football(), events, disorder20(19), 42)
-		op := benchutil.NewOp(benchutil.LazySlicing, f, benchutil.Workload{Lateness: 4000, Defs: defs})
+		op, err := benchutil.NewOp(benchutil.LazySlicing, f, benchutil.Workload{Lateness: 4000, Defs: defs})
+		if err != nil {
+			return 0, 0, err
+		}
 		measure := "time"
 		if i == 1 {
 			measure = "count"
@@ -35,56 +38,50 @@ func fig13Row[A, Out any](sc Scale, name string, f aggregate.Function[stream.Tup
 			countTps = tps
 		}
 	}
-	return timeTps, countTps
+	return timeTps, countTps, nil
 }
 
 // Fig13 — §6.3.2: impact of the aggregation function, time- vs count-based
 // windows. The list mirrors Tangwongsan et al. [42] plus the paper's naive
 // (non-invertible) sum and the holistic median and 90-percentile.
-func Fig13(w io.Writer, sc Scale) {
+func Fig13(w io.Writer, sc Scale) error {
 	tab := benchutil.NewTable("Fig 13 — aggregation functions, general slicing (tuples/s)",
 		"aggregation", "class", "invertible", "time-based", "count-based")
-	add := func(name, class string, inv bool, timeTps, countTps float64) {
-		tab.Add(name, class, inv, timeTps, countTps)
-	}
 	v := stream.Val
 
-	t1, c1 := fig13Row(sc, "count", aggregate.Count[stream.Tuple]())
-	add("count", "distributive", true, t1, c1)
-	t2, c2 := fig13Row(sc, "sum", aggregate.Sum(v))
-	add("sum", "distributive", true, t2, c2)
-	t3, c3 := fig13Row(sc, "sum w/o invert", aggregate.NaiveSum(v))
-	add("sum w/o invert", "distributive", false, t3, c3)
-	t4, c4 := fig13Row(sc, "min", aggregate.Min(v))
-	add("min", "distributive", false, t4, c4)
-	t5, c5 := fig13Row(sc, "max", aggregate.Max(v))
-	add("max", "distributive", false, t5, c5)
-	t6, c6 := fig13Row(sc, "mean", aggregate.Mean(v))
-	add("mean", "algebraic", true, t6, c6)
-	t7, c7 := fig13Row(sc, "geomean", aggregate.GeoMean(v))
-	add("geomean", "algebraic", true, t7, c7)
-	t8, c8 := fig13Row(sc, "stddev", aggregate.StdDev(v))
-	add("stddev", "algebraic", true, t8, c8)
-	t9, c9 := fig13Row(sc, "mincount", aggregate.MinCount(v))
-	add("mincount", "algebraic", false, t9, c9)
-	t10, c10 := fig13Row(sc, "maxcount", aggregate.MaxCount(v))
-	add("maxcount", "algebraic", false, t10, c10)
-	t11, c11 := fig13Row(sc, "argmin", aggregate.ArgMin(v))
-	add("argmin", "algebraic", false, t11, c11)
-	t12, c12 := fig13Row(sc, "argmax", aggregate.ArgMax(v))
-	add("argmax", "algebraic", false, t12, c12)
-	t13, c13 := fig13Row(sc, "first", aggregate.First(v))
-	add("first", "algebraic", false, t13, c13)
-	t14, c14 := fig13Row(sc, "last", aggregate.Last(v))
-	add("last", "algebraic", false, t14, c14)
-	t15, c15 := fig13Row(sc, "m4", aggregate.M4(v))
-	add("m4", "algebraic", false, t15, c15)
-	t16, c16 := fig13Row(sc, "median", aggregate.Median(v))
-	add("median", "holistic", true, t16, c16)
-	t17, c17 := fig13Row(sc, "90-percentile", aggregate.Percentile(0.9, v))
-	add("90-percentile", "holistic", true, t17, c17)
+	rows := []struct {
+		name, class string
+		inv         bool
+		run         func() (float64, float64, error)
+	}{
+		{"count", "distributive", true, func() (float64, float64, error) { return fig13Row(sc, "count", aggregate.Count[stream.Tuple]()) }},
+		{"sum", "distributive", true, func() (float64, float64, error) { return fig13Row(sc, "sum", aggregate.Sum(v)) }},
+		{"sum w/o invert", "distributive", false, func() (float64, float64, error) { return fig13Row(sc, "sum w/o invert", aggregate.NaiveSum(v)) }},
+		{"min", "distributive", false, func() (float64, float64, error) { return fig13Row(sc, "min", aggregate.Min(v)) }},
+		{"max", "distributive", false, func() (float64, float64, error) { return fig13Row(sc, "max", aggregate.Max(v)) }},
+		{"mean", "algebraic", true, func() (float64, float64, error) { return fig13Row(sc, "mean", aggregate.Mean(v)) }},
+		{"geomean", "algebraic", true, func() (float64, float64, error) { return fig13Row(sc, "geomean", aggregate.GeoMean(v)) }},
+		{"stddev", "algebraic", true, func() (float64, float64, error) { return fig13Row(sc, "stddev", aggregate.StdDev(v)) }},
+		{"mincount", "algebraic", false, func() (float64, float64, error) { return fig13Row(sc, "mincount", aggregate.MinCount(v)) }},
+		{"maxcount", "algebraic", false, func() (float64, float64, error) { return fig13Row(sc, "maxcount", aggregate.MaxCount(v)) }},
+		{"argmin", "algebraic", false, func() (float64, float64, error) { return fig13Row(sc, "argmin", aggregate.ArgMin(v)) }},
+		{"argmax", "algebraic", false, func() (float64, float64, error) { return fig13Row(sc, "argmax", aggregate.ArgMax(v)) }},
+		{"first", "algebraic", false, func() (float64, float64, error) { return fig13Row(sc, "first", aggregate.First(v)) }},
+		{"last", "algebraic", false, func() (float64, float64, error) { return fig13Row(sc, "last", aggregate.Last(v)) }},
+		{"m4", "algebraic", false, func() (float64, float64, error) { return fig13Row(sc, "m4", aggregate.M4(v)) }},
+		{"median", "holistic", true, func() (float64, float64, error) { return fig13Row(sc, "median", aggregate.Median(v)) }},
+		{"90-percentile", "holistic", true, func() (float64, float64, error) { return fig13Row(sc, "90-percentile", aggregate.Percentile(0.9, v)) }},
+	}
+	for _, r := range rows {
+		timeTps, countTps, err := r.run()
+		if err != nil {
+			return err
+		}
+		tab.Add(r.name, r.class, r.inv, timeTps, countTps)
+	}
 
 	tab.Print(w)
+	return nil
 }
 
 // fig14Techniques: the paper omits aggregate trees here ("can hardly compute
@@ -97,7 +94,7 @@ var fig14Techniques = []benchutil.Technique{
 // The machine stream (37 distinct values) compresses better under run-length
 // encoding than the football stream (84 232 distinct values), which lifts
 // slicing throughput.
-func Fig14(w io.Writer, sc Scale) {
+func Fig14(w io.Writer, sc Scale) error {
 	for _, q := range []struct {
 		name string
 		f    func() aggregate.Function[stream.Tuple, *multiset, float64]
@@ -113,10 +110,13 @@ func Fig14(w io.Writer, sc Scale) {
 			row := []any{string(t)}
 			for _, p := range []stream.Profile{stream.Football(), stream.Machine()} {
 				in := benchutil.MakeInput(p, sc.events(t, 20)/4, disorder20(23), 42)
-				op := benchutil.NewOp(t, q.f(), benchutil.Workload{
+				op, err := benchutil.NewOp(t, q.f(), benchutil.Workload{
 					Lateness: 4000,
 					Defs:     func() []window.Definition { return benchutil.WithSession(benchutil.TumblingQueries(20)) },
 				})
+				if err != nil {
+					return err
+				}
 				tps, _ := benchutil.Measure(q.name+"/"+string(t), p.Name, op, in)
 				row = append(row, tps)
 			}
@@ -124,6 +124,7 @@ func Fig14(w io.Writer, sc Scale) {
 		}
 		tab.Print(w)
 	}
+	return nil
 }
 
 // multiset aliases the holistic partial-aggregate type for readability.

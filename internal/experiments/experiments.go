@@ -81,49 +81,43 @@ func disorder20(seed int64) stream.Disorder {
 	return stream.Disorder{Fraction: 0.2, MaxDelay: 2000, Seed: seed}
 }
 
+// experimentsByID maps command-line ids to experiment functions, in "all"
+// execution order.
+var experimentsByID = []struct {
+	id  string
+	run func(io.Writer, Scale) error
+}{
+	{"table1", Table1},
+	{"8", Fig8},
+	{"9", Fig9},
+	{"10", Fig10},
+	{"11", Fig11},
+	{"12", Fig12},
+	{"13", Fig13},
+	{"14", Fig14},
+	{"15", Fig15},
+	{"16", Fig16},
+	{"17", Fig17},
+	{"ablation", Ablations},
+}
+
 // Run executes the experiment with the given id ("8", "9", ..., "17",
-// "table1", or "all") and writes its tables to w.
-func Run(id string, w io.Writer, sc Scale) bool {
-	switch id {
-	case "8":
-		Fig8(w, sc)
-	case "9":
-		Fig9(w, sc)
-	case "10":
-		Fig10(w, sc)
-	case "11":
-		Fig11(w, sc)
-	case "12":
-		Fig12(w, sc)
-	case "13":
-		Fig13(w, sc)
-	case "14":
-		Fig14(w, sc)
-	case "15":
-		Fig15(w, sc)
-	case "16":
-		Fig16(w, sc)
-	case "17":
-		Fig17(w, sc)
-	case "table1":
-		Table1(w, sc)
-	case "ablation":
-		Ablations(w, sc)
-	case "all":
-		Table1(w, sc)
-		Fig8(w, sc)
-		Fig9(w, sc)
-		Fig10(w, sc)
-		Fig11(w, sc)
-		Fig12(w, sc)
-		Fig13(w, sc)
-		Fig14(w, sc)
-		Fig15(w, sc)
-		Fig16(w, sc)
-		Fig17(w, sc)
-		Ablations(w, sc)
-	default:
-		return false
+// "table1", or "all") and writes its tables to w. The boolean reports
+// whether the id named an experiment; the error is the first failure of an
+// executed experiment.
+func Run(id string, w io.Writer, sc Scale) (bool, error) {
+	if id == "all" {
+		for _, e := range experimentsByID {
+			if err := e.run(w, sc); err != nil {
+				return true, err
+			}
+		}
+		return true, nil
 	}
-	return true
+	for _, e := range experimentsByID {
+		if e.id == id {
+			return true, e.run(w, sc)
+		}
+	}
+	return false, nil
 }

@@ -17,8 +17,12 @@ func TestEveryExperimentRuns(t *testing.T) {
 		id := id
 		t.Run("fig"+id, func(t *testing.T) {
 			var buf bytes.Buffer
-			if !Run(id, &buf, tiny()) {
+			known, err := Run(id, &buf, tiny())
+			if !known {
 				t.Fatalf("experiment %q unknown", id)
+			}
+			if err != nil {
+				t.Fatalf("experiment %q failed: %v", id, err)
 			}
 			out := buf.String()
 			if !strings.Contains(out, "==") {
@@ -33,7 +37,7 @@ func TestEveryExperimentRuns(t *testing.T) {
 
 func TestUnknownExperimentRejected(t *testing.T) {
 	var buf bytes.Buffer
-	if Run("nope", &buf, tiny()) {
+	if known, _ := Run("nope", &buf, tiny()); known {
 		t.Fatal("unknown id accepted")
 	}
 }

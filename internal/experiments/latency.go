@@ -18,7 +18,7 @@ import (
 // stores answer from the aggregate tree; buckets return a precomputed value
 // from a hash map. Measured for a distributive (sum, Fig 11a) and a holistic
 // (median, Fig 11c) function.
-func Fig11(w io.Writer, sc Scale) {
+func Fig11(w io.Writer, sc Scale) error {
 	entrySweep := []int{100, 1000, 10_000}
 	if sc.LatencyMax > 10_000 {
 		entrySweep = append(entrySweep, sc.LatencyMax)
@@ -28,6 +28,7 @@ func Fig11(w io.Writer, sc Scale) {
 		func(rng *rand.Rand) float64 { return float64(rng.Intn(1000)) })
 	fig11For(w, sc, "Fig 11c — output latency, median (ns)", entrySweep, aggregate.Median(stream.Val),
 		func(rng *rand.Rand) *rle.Multiset { return rle.Of(float64(rng.Intn(1000))) })
+	return nil
 }
 
 func fig11For[A any](w io.Writer, sc Scale, title string, sweep []int, f aggregate.Function[stream.Tuple, A, float64], mk func(*rand.Rand) A) {
@@ -107,7 +108,7 @@ func fig11For[A any](w io.Writer, sc Scale, title string, sweep []int, f aggrega
 // aggregate from its stored tuples — as a function of the tuples per slice,
 // for an algebraic (sum) and a holistic (median) function. Context-aware
 // windows can estimate their throughput decay from this curve.
-func Fig15(w io.Writer, sc Scale) {
+func Fig15(w io.Writer, sc Scale) error {
 	tab := benchutil.NewTable("Fig 15 — processing time for recomputing slice aggregates (µs)",
 		"tuples-per-slice", "sum", "median")
 	sumF := aggregate.Sum(stream.Val)
@@ -138,4 +139,5 @@ func Fig15(w io.Writer, sc Scale) {
 		tab.Add(n, float64(sum)/float64(time.Microsecond), float64(med)/float64(time.Microsecond))
 	}
 	tab.Print(w)
+	return nil
 }

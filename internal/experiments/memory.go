@@ -85,7 +85,7 @@ var memTechniquesCount = []benchutil.Technique{
 // lateness at a fixed tuple count; (b/d) vary the tuples at a fixed 500
 // slices. Time-based windows (a/b) let slicing and buckets store aggregates
 // only; count-based windows (c/d) force every technique to keep tuples.
-func Fig10(w io.Writer, sc Scale) {
+func Fig10(w io.Writer, sc Scale) error {
 	type panel struct {
 		name       string
 		measure    stream.Measure
@@ -127,11 +127,12 @@ func Fig10(w io.Writer, sc Scale) {
 		}
 		tabB.Print(w)
 	}
+	return nil
 }
 
 // Table1 compares the measured state sizes against the paper's closed-form
 // memory-usage formulas for all eight technique classes.
-func Table1(w io.Writer, sc Scale) {
+func Table1(w io.Writer, sc Scale) error {
 	n := sc.MemTuples
 	s := 500
 	win := n / (n / s) // tumbling: windows == slices
@@ -164,6 +165,7 @@ func Table1(w io.Writer, sc Scale) {
 	add("8 eager slicing on tuples", int64(n)*sizeEvent+int64(s)*sizeSlice+int64(s-1)*sizeAgg,
 		memsize.Of(buildState(benchutil.EagerSlicing, stream.Count, n, s)))
 	tab.Print(w)
+	return nil
 }
 
 func itoa(n int) string {

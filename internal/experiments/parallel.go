@@ -15,7 +15,7 @@ import (
 // instance, key-partitioned across a varying degree of parallelism. Lazy
 // general slicing is compared against the bucket operator. Reported:
 // throughput (17a) and CPU utilization in percent of one core (17b).
-func Fig17(w io.Writer, sc Scale) {
+func Fig17(w io.Writer, sc Scale) error {
 	tab := benchutil.NewTable("Fig 17 — parallel dashboard workload (M4, 80 windows/instance)",
 		"parallelism", "slicing-tuples/s", "slicing-CPU%", "buckets-tuples/s", "buckets-CPU%")
 
@@ -30,18 +30,30 @@ func Fig17(w io.Writer, sc Scale) {
 			if t == benchutil.Buckets {
 				events = sc.Events / 8
 			}
+			newOp := func() (benchutil.Op, error) {
+				return benchutil.NewOp(t, aggregate.M4(stream.Val), benchutil.Workload{
+					Lateness: 1000,
+					Defs:     func() []window.Definition { return benchutil.TumblingQueries(80) },
+				})
+			}
+			// Validate the technique once up front; NewProcessor cannot
+			// report errors, so the per-partition construction below reuses
+			// the already-checked recipe.
+			if _, err := newOp(); err != nil {
+				return err
+			}
 			in := benchutil.MakeInput(stream.Football(), events, stream.Disorder{}, 42)
-			stats := engine.Run(engine.Config[stream.Tuple]{
+			stats, err := engine.Run(engine.Config[stream.Tuple]{
 				Parallelism: dop,
 				Key:         func(e stream.Event[stream.Tuple]) uint64 { return uint64(e.Value.Key) },
 				NewProcessor: func(p int) engine.Processor[stream.Tuple] {
-					op := benchutil.NewOp(t, aggregate.M4(stream.Val), benchutil.Workload{
-						Lateness: 1000,
-						Defs:     func() []window.Definition { return benchutil.TumblingQueries(80) },
-					})
+					op, _ := newOp()
 					return engine.ProcessorFunc[stream.Tuple](func(it stream.Item[stream.Tuple]) int { return op(it) })
 				},
 			}, in.Items)
+			if err != nil {
+				return err
+			}
 			benchutil.RecordPoint(benchutil.Measurement{
 				Series:       string(t),
 				X:            dop,
@@ -56,4 +68,5 @@ func Fig17(w io.Writer, sc Scale) {
 	}
 	tab.Add("cores", engine.Cores(), "", "", "")
 	tab.Print(w)
+	return nil
 }

@@ -19,7 +19,7 @@ const fig8BatchSize = 256
 // Series: lazy/eager general slicing, Pairs, Cutty, buckets, tuple buffer,
 // aggregate tree, plus lazy slicing driven through the ProcessBatch run fast
 // path (lazy-slicing-batch) to quantify the batch amortization.
-func Fig8(w io.Writer, sc Scale) {
+func Fig8(w io.Writer, sc Scale) error {
 	tab := benchutil.NewTable("Fig 8 — in-order throughput, context-free windows (tuples/s)",
 		append(append([]string{"windows"}, techniqueNames(benchutil.AllTechniques)...), "lazy-slicing-batch")...)
 	for _, n := range sc.windowsSweep() {
@@ -30,7 +30,10 @@ func Fig8(w io.Writer, sc Scale) {
 		}
 		for _, t := range benchutil.AllTechniques {
 			in := benchutil.MakeInput(stream.Football(), sc.events(t, n), stream.Disorder{}, 42)
-			op := benchutil.NewOp(t, benchutil.SumFn(), wl)
+			op, err := benchutil.NewOp(t, benchutil.SumFn(), wl)
+			if err != nil {
+				return err
+			}
 			tps, _ := benchutil.Measure(string(t), n, op, in)
 			row = append(row, tps)
 		}
@@ -39,12 +42,16 @@ func Fig8(w io.Writer, sc Scale) {
 		// short for the benchdiff regression gate to separate signal from
 		// timer noise.
 		in := benchutil.MakeInput(stream.Football(), 4*sc.events(benchutil.LazySlicing, n), stream.Disorder{}, 42)
-		bop := benchutil.NewBatchOp(benchutil.LazySlicing, benchutil.SumFn(), wl)
+		bop, err := benchutil.NewBatchOp(benchutil.LazySlicing, benchutil.SumFn(), wl)
+		if err != nil {
+			return err
+		}
 		tps, _ := benchutil.MeasureBatch("lazy-slicing-batch", n, bop, in, fig8BatchSize)
 		row = append(row, tps)
 		tab.Add(row...)
 	}
 	tab.Print(w)
+	return nil
 }
 
 // fig9Techniques: the paper drops the in-order-only specialized slicers here.
@@ -56,7 +63,7 @@ var fig9Techniques = []benchutil.Technique{
 // Fig9 — §6.2.2: throughput under constraints — the Fig 8 workload plus a
 // session window (gap 1 s) and 20% out-of-order tuples with delays up to 2 s,
 // on both data sets.
-func Fig9(w io.Writer, sc Scale) {
+func Fig9(w io.Writer, sc Scale) error {
 	for _, p := range []stream.Profile{stream.Football(), stream.Machine()} {
 		tab := benchutil.NewTable("Fig 9 — throughput with 20% out-of-order + session windows, "+p.Name+" (tuples/s)",
 			append([]string{"windows"}, techniqueNames(fig9Techniques)...)...)
@@ -64,12 +71,15 @@ func Fig9(w io.Writer, sc Scale) {
 			row := []any{n}
 			for _, t := range fig9Techniques {
 				in := benchutil.MakeInput(p, sc.events(t, n), disorder20(7), 42)
-				op := benchutil.NewOp(t, benchutil.SumFn(), benchutil.Workload{
+				op, err := benchutil.NewOp(t, benchutil.SumFn(), benchutil.Workload{
 					Lateness: 4000,
 					Defs: func() []window.Definition {
 						return benchutil.WithSession(benchutil.TumblingQueries(n))
 					},
 				})
+				if err != nil {
+					return err
+				}
 				tps, _ := benchutil.Measure(p.Name+"/"+string(t), n, op, in)
 				row = append(row, tps)
 			}
@@ -77,12 +87,13 @@ func Fig9(w io.Writer, sc Scale) {
 		}
 		tab.Print(w)
 	}
+	return nil
 }
 
 // Fig12 — §6.3.1: impact of stream order. (a) sweep the fraction of
 // out-of-order tuples; (b) sweep the delay range of out-of-order tuples.
 // 20 concurrent windows + session, sum.
-func Fig12(w io.Writer, sc Scale) {
+func Fig12(w io.Writer, sc Scale) error {
 	defs := func() []window.Definition { return benchutil.WithSession(benchutil.TumblingQueries(20)) }
 
 	// The stream span must dwarf the out-of-order delays, so the slow
@@ -96,7 +107,10 @@ func Fig12(w io.Writer, sc Scale) {
 		for _, t := range fig9Techniques {
 			d := stream.Disorder{Fraction: frac, MaxDelay: 2000, Seed: 11}
 			in := benchutil.MakeInput(stream.Football(), max(sc.events(t, 20), slowEvents), d, 42)
-			op := benchutil.NewOp(t, benchutil.SumFn(), benchutil.Workload{Lateness: 4000, Defs: defs})
+			op, err := benchutil.NewOp(t, benchutil.SumFn(), benchutil.Workload{Lateness: 4000, Defs: defs})
+			if err != nil {
+				return err
+			}
 			tps, _ := benchutil.Measure("fraction/"+string(t), int(frac*100), op, in)
 			row = append(row, tps)
 		}
@@ -111,19 +125,23 @@ func Fig12(w io.Writer, sc Scale) {
 		for _, t := range fig9Techniques {
 			d := stream.Disorder{Fraction: 0.2, MaxDelay: delay, Seed: 13}
 			in := benchutil.MakeInput(stream.Football(), max(sc.events(t, 20), slowEvents), d, 42)
-			op := benchutil.NewOp(t, benchutil.SumFn(), benchutil.Workload{Lateness: 2 * delay, Defs: defs})
+			op, err := benchutil.NewOp(t, benchutil.SumFn(), benchutil.Workload{Lateness: 2 * delay, Defs: defs})
+			if err != nil {
+				return err
+			}
 			tps, _ := benchutil.Measure("delay/"+string(t), delay, op, in)
 			row = append(row, tps)
 		}
 		tabB.Add(row...)
 	}
 	tabB.Print(w)
+	return nil
 }
 
 // Fig16 — §6.3.4: impact of the window measure. Time- vs count-based
 // windows, sweeping concurrent windows, general slicing vs the tuple buffer
 // (the fastest alternative for count measures), 20% out-of-order tuples.
-func Fig16(w io.Writer, sc Scale) {
+func Fig16(w io.Writer, sc Scale) error {
 	tab := benchutil.NewTable("Fig 16 — window measures under 20% disorder (tuples/s)",
 		"windows", "slicing-time", "slicing-count", "tuple-buffer-time", "tuple-buffer-count")
 	for _, n := range sc.windowsSweep() {
@@ -137,7 +155,10 @@ func Fig16(w io.Writer, sc Scale) {
 					}
 					return benchutil.CountQueries(n)
 				}
-				op := benchutil.NewOp(t, benchutil.SumFn(), benchutil.Workload{Lateness: 4000, Defs: defs})
+				op, err := benchutil.NewOp(t, benchutil.SumFn(), benchutil.Workload{Lateness: 4000, Defs: defs})
+				if err != nil {
+					return err
+				}
 				mname := "time"
 				if measure == stream.Count {
 					mname = "count"
@@ -149,6 +170,7 @@ func Fig16(w io.Writer, sc Scale) {
 		tab.Add(row...)
 	}
 	tab.Print(w)
+	return nil
 }
 
 func techniqueNames(ts []benchutil.Technique) []string {

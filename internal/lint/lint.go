@@ -84,7 +84,7 @@ func (f Finding) String() string {
 
 // All returns the repository's analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{AggContract, Nondeterminism, ChanHygiene, FloatEq}
+	return []*Analyzer{AggContract, Nondeterminism, ChanHygiene, FloatEq, RecoverWrap}
 }
 
 // Run applies every analyzer to every package and returns the surviving

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RecoverWrap audits the failure-containment contract of the dataflow
+// engine (docs/ROBUSTNESS.md): a worker panic must never be silently
+// swallowed or leaked as an untyped value. Every recover() in
+// internal/engine has to capture the recovered value and re-wrap it into a
+// typed PartitionError, which is what the supervisor's restart logic and
+// RunError reporting key on. A recover() that discards the value hides the
+// crash; one that forwards it un-wrapped loses the partition attribution
+// and the stack.
+//
+// The check is lexical per enclosing function: the recovered value must be
+// bound to a variable, and that variable must appear inside a
+// PartitionError composite literal in the same function body (the deferred
+// handler, in practice). Deliberate exceptions carry
+// //lint:ignore recoverwrap <reason>.
+var RecoverWrap = &Analyzer{
+	Name: "recoverwrap",
+	Doc:  "requires every recover() in the dataflow engine to re-wrap the panic into a typed PartitionError",
+	Applies: func(pkg *Package) bool {
+		return PkgPathHasSuffix(pkg, "internal/engine")
+	},
+	Run: runRecoverWrap,
+}
+
+func runRecoverWrap(p *Pass) {
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body != nil {
+				checkRecoverScope(p, body)
+			}
+			return true
+		})
+	}
+}
+
+// checkRecoverScope audits the recover() calls belonging directly to one
+// function body (nested function literals form their own scopes and are
+// audited separately by the walk above).
+func checkRecoverScope(p *Pass, body *ast.BlockStmt) {
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBuiltinRecover(p, call) {
+			return true
+		}
+		obj := recoveredObject(p, body, call)
+		if obj == nil {
+			p.Reportf(call.Pos(), "recover() discards the panic value: bind it and re-wrap it into a PartitionError for the supervisor")
+			return true
+		}
+		if !wrapsIntoPartitionError(p, body, obj) {
+			p.Reportf(call.Pos(), "recovered value %q is never re-wrapped into a PartitionError: the supervisor cannot attribute or restart this failure", obj.Name())
+		}
+		return true
+	})
+}
+
+// inspectShallow walks body without descending into nested function
+// literals, so every node visited belongs to body's own scope.
+func inspectShallow(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// isBuiltinRecover reports whether call invokes the predeclared recover.
+func isBuiltinRecover(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if obj, ok := p.TypesInfo().Uses[id]; ok {
+		b, ok := obj.(*types.Builtin)
+		return ok && b.Name() == "recover"
+	}
+	return false
+}
+
+// recoveredObject finds the variable the recover() result is bound to:
+// `r := recover()` directly or as an if-statement init. A bare or
+// blank-assigned recover() returns nil.
+func recoveredObject(p *Pass, body *ast.BlockStmt, call *ast.CallExpr) types.Object {
+	var obj types.Object
+	inspectShallow(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || as.Rhs[0] != call || len(as.Lhs) != 1 {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			if def := p.TypesInfo().Defs[id]; def != nil {
+				obj = def
+			} else if use := p.TypesInfo().Uses[id]; use != nil {
+				obj = use
+			}
+		}
+		return true
+	})
+	return obj
+}
+
+// wrapsIntoPartitionError reports whether obj is referenced inside a
+// composite literal of a type named PartitionError within body.
+func wrapsIntoPartitionError(p *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok || !isPartitionErrorType(p.TypesInfo().TypeOf(cl)) {
+			return true
+		}
+		ast.Inspect(cl, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && p.TypesInfo().Uses[id] == obj {
+				found = true
+			}
+			return true
+		})
+		return true
+	})
+	return found
+}
+
+func isPartitionErrorType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "PartitionError"
+}

@@ -1,0 +1,96 @@
+package lint
+
+import "testing"
+
+// partitionErrorDecl is the minimal stand-in for the engine's typed error.
+const partitionErrorDecl = `
+type PartitionError struct {
+	Partition int
+	Cause     any
+}
+
+func (e *PartitionError) Error() string { return "partition failed" }
+`
+
+func TestRecoverWrapFlagsDiscardedRecover(t *testing.T) {
+	got := findingsOf(t, RecoverWrap, enginePkg(`package engine
+`+partitionErrorDecl+`
+func worker() {
+	defer func() {
+		recover()
+	}()
+}
+`), "fixture/internal/engine")
+	wantFindings(t, got, "discards the panic value")
+}
+
+func TestRecoverWrapFlagsUnwrappedRecover(t *testing.T) {
+	got := findingsOf(t, RecoverWrap, enginePkg(`package engine
+
+import "fmt"
+`+partitionErrorDecl+`
+func worker() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("worker died: %v", r)
+		}
+	}()
+	return nil
+}
+`), "fixture/internal/engine")
+	wantFindings(t, got, "never re-wrapped into a PartitionError")
+}
+
+func TestRecoverWrapAcceptsWrappedRecover(t *testing.T) {
+	got := findingsOf(t, RecoverWrap, enginePkg(`package engine
+`+partitionErrorDecl+`
+func worker(p int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PartitionError{Partition: p, Cause: r}
+		}
+	}()
+	return nil
+}
+`), "fixture/internal/engine")
+	wantFindings(t, got)
+}
+
+// TestRecoverWrapScopesPerFunction pins the scope rule: a wrap in an outer
+// function does not excuse a naked recover in a nested literal, and vice
+// versa each function body is judged on its own recover calls.
+func TestRecoverWrapScopesPerFunction(t *testing.T) {
+	got := findingsOf(t, RecoverWrap, enginePkg(`package engine
+`+partitionErrorDecl+`
+func worker(p int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PartitionError{Partition: p, Cause: r}
+		}
+	}()
+	inner := func() {
+		defer func() {
+			recover()
+		}()
+	}
+	inner()
+	return nil
+}
+`), "fixture/internal/engine")
+	wantFindings(t, got, "discards the panic value")
+}
+
+func TestRecoverWrapIgnoresOtherPackages(t *testing.T) {
+	got := findingsOf(t, RecoverWrap, map[string]map[string]string{
+		"fixture/internal/core": {"a.go": `package core
+
+func safeCall(f func()) {
+	defer func() {
+		recover()
+	}()
+	f()
+}
+`},
+	}, "fixture/internal/core")
+	wantFindings(t, got)
+}

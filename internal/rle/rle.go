@@ -154,3 +154,12 @@ func (m *Multiset) Values() []float64 {
 	}
 	return out
 }
+
+// EachRun visits every run in ascending value order. It is the zero-copy
+// iteration used by serializers: runs reach fn without expanding
+// multiplicities.
+func (m *Multiset) EachRun(fn func(Run)) {
+	for _, r := range m.runs {
+		fn(r)
+	}
+}

@@ -1,0 +1,112 @@
+package window
+
+import "scotty/internal/checkpoint"
+
+// StateSnapshot is the optional interface window contexts — and stateful
+// context-free definitions — provide to make their operators checkpointable.
+// An implementation serializes exactly the mutable per-operator state it
+// accumulates (trigger cursors, session sets, materialized windows);
+// immutable definition parameters (gap, n, every, lengths, predicates) are
+// NOT serialized — the restoring side reconstructs the instance from the same
+// Definition and the restored store view, then loads the state on top.
+//
+// Every built-in window type with mutable state implements it. A
+// context-aware definition whose context does not cannot be snapshotted; core
+// reports that as an error rather than writing a partial snapshot.
+type StateSnapshot interface {
+	// SnapshotState appends the context's mutable state to the encoder.
+	SnapshotState(enc *checkpoint.Encoder)
+	// RestoreState reads back state written by SnapshotState into a
+	// freshly created context.
+	RestoreState(dec *checkpoint.Decoder) error
+}
+
+// --------------------------------------------------------------- periodic ---
+
+// Tumbling/sliding windows are context-free but not stateless: the trigger
+// cursor remembers the next window to emit so completions are exact-once.
+func (p *periodic) SnapshotState(enc *checkpoint.Encoder) {
+	enc.Int64(p.nextEnd)
+}
+
+func (p *periodic) RestoreState(dec *checkpoint.Decoder) error {
+	p.nextEnd = dec.Int64()
+	return dec.Err()
+}
+
+// ---------------------------------------------------------------- session ---
+
+func (c *sessionContext[V]) SnapshotState(enc *checkpoint.Encoder) {
+	enc.Int64(c.maxSeen)
+	enc.Int64(int64(len(c.sessions)))
+	for _, s := range c.sessions {
+		enc.Int64(s.first)
+		enc.Int64(s.last)
+	}
+}
+
+func (c *sessionContext[V]) RestoreState(dec *checkpoint.Decoder) error {
+	c.maxSeen = dec.Int64()
+	c.sessions = c.sessions[:0]
+	for i, n := 0, dec.Count(); i < n; i++ {
+		c.sessions = append(c.sessions, interval{first: dec.Int64(), last: dec.Int64()})
+	}
+	return dec.Err()
+}
+
+// ----------------------------------------------------------- countInTime ---
+
+func (c *citContext[V]) SnapshotState(enc *checkpoint.Encoder) {
+	enc.Int64(c.nextT)
+	enc.Int64(c.minCount)
+	enc.Int64(int64(len(c.pending)))
+	for _, w := range c.pending {
+		enc.Int64(w.Start)
+		enc.Int64(w.End)
+	}
+	enc.Int64(int64(len(c.emitted)))
+	for _, w := range c.emitted {
+		enc.Int64(w.Start)
+		enc.Int64(w.End)
+		enc.Int64(w.at)
+	}
+}
+
+func (c *citContext[V]) RestoreState(dec *checkpoint.Decoder) error {
+	c.nextT = dec.Int64()
+	c.minCount = dec.Int64()
+	c.pending = c.pending[:0]
+	for i, n := 0, dec.Count(); i < n; i++ {
+		c.pending = append(c.pending, Span{Start: dec.Int64(), End: dec.Int64()})
+	}
+	c.emitted = c.emitted[:0]
+	for i, n := 0, dec.Count(); i < n; i++ {
+		c.emitted = append(c.emitted, emittedWin{
+			Span: Span{Start: dec.Int64(), End: dec.Int64()},
+			at:   dec.Int64(),
+		})
+	}
+	return dec.Err()
+}
+
+// ----------------------------------------------------------- punctuation ---
+
+func (c *punctContext[V]) SnapshotState(enc *checkpoint.Encoder) {
+	enc.Int64(c.maxSeen)
+	enc.Int64(int64(len(c.bounds)))
+	for _, b := range c.bounds {
+		enc.Int64(b)
+	}
+}
+
+func (c *punctContext[V]) RestoreState(dec *checkpoint.Decoder) error {
+	c.maxSeen = dec.Int64()
+	c.bounds = c.bounds[:0]
+	for i, n := 0, dec.Count(); i < n; i++ {
+		c.bounds = append(c.bounds, dec.Int64())
+	}
+	if len(c.bounds) == 0 && dec.Err() == nil {
+		c.bounds = append(c.bounds, 0) // invariant: the stream origin is always present
+	}
+	return dec.Err()
+}

@@ -22,6 +22,13 @@ echo '== go test -race -short (engine, core, stream, obs)'
 # buffer-pool recycling, keyed ProcessBatch behind parallel partitions).
 go test -race -short ./internal/engine ./internal/core ./internal/stream ./internal/obs
 
+echo '== chaos: crash/torn-snapshot/barrier-fault equivalence'
+# The fault-injection harness kills every technique at seeded points and
+# requires the recovered results to be identical to an uninterrupted run
+# (fixed seeds, so a failure here reproduces verbatim). -count=2 re-runs the
+# suite to shake out order dependence between recovered state and fresh state.
+go test ./internal/chaos/... -race -count=2
+
 echo '== benchmark smoke (fig 8 quick, JSON artifact)'
 # Stash the committed reference before regenerating in place.
 cp BENCH_fig8.json BENCH_fig8.ref.json
