@@ -63,13 +63,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	loader := lint.NewLoader(modPath, root)
-	pkgs, err := loader.Load(patterns...)
+	// Lenient load: a package that fails to parse or type-check becomes a
+	// finding (exit 1) at the offending position, like any other lint hit;
+	// only failures to expand the patterns themselves are load errors (exit 2).
+	pkgs, loadFindings, err := loader.LoadLenient(patterns...)
 	if err != nil {
 		fmt.Fprintln(stderr, "slicelint:", err)
 		return 2
 	}
 
-	findings := lint.Run(lint.All(), pkgs)
+	findings := loadFindings
+	findings = append(findings, lint.Run(lint.All(), pkgs)...)
 	findings = append(findings, lint.CheckDirectives(pkgs)...)
 	for _, f := range findings {
 		fmt.Fprintln(stdout, f)

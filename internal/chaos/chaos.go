@@ -392,6 +392,7 @@ func Run(o Options) (RunResult, error) {
 		Parallelism: o.Par,
 		Key:         func(e stream.Event[stream.Tuple]) uint64 { return uint64(e.Value.Key) },
 		NewProcessor: func(p int) engine.Processor[stream.Tuple] {
+			//lint:ignore errflow the technique was validated by buildOperator before the run started; rebuilding it for a partition cannot fail differently
 			op, _ := buildOperator(o.Technique) // validated above
 			base := proc{part: p, op: op, log: log, crash: crash}
 			if so, ok := op.(snapOperator); ok {
@@ -437,6 +438,7 @@ func Run(o Options) (RunResult, error) {
 func tearEvenSnapshots(path string, data []byte) error {
 	var id, part int
 	name := path[strings.LastIndex(path, "ckpt-"):]
+	//lint:ignore errflow Sscanf's error only means the path is not a checkpoint file; n == 2 decides whether to tear
 	if n, _ := fmt.Sscanf(name, "ckpt-%d-p%d.sck", &id, &part); n == 2 && id%2 == 0 && len(data) > 8 {
 		data = data[: len(data)-5 : len(data)-5]
 	}

@@ -134,6 +134,15 @@ type Aggregator[V, A, Out any] struct {
 	results        []Result[Out]
 	pendingUpdates []pendingUpdate
 	evictCountdown int
+
+	// Reusable trigger callback: window triggers take a func(s, e int64)
+	// emitter, and binding it fresh per call would capture the loop's query
+	// variable and allocate one closure per completed window. emitFn is
+	// allocated once at construction and routes through triggerQ, which
+	// trigger sets before each Trigger call (the aggregator is
+	// single-threaded, so the hand-off cannot race).
+	emitFn   func(s, e int64)
+	triggerQ *query[V]
 }
 
 type pendingUpdate struct {
@@ -164,6 +173,7 @@ func New[V, A, Out any](f aggregate.Function[V, A, Out], opts Options) *Aggregat
 		m:                 m,
 		evictCountdown:    evictEvery,
 	}
+	ag.emitFn = func(s, e int64) { ag.emit(ag.triggerQ, s, e, false) }
 	return ag
 }
 
@@ -392,6 +402,8 @@ func (ag *Aggregator[V, A, Out]) ProcessElement(e stream.Event[V]) []Result[Out]
 // ingestElement is ProcessElement without the result-buffer reset: results
 // accumulate in ag.results, so batch ingestion can interleave elements and
 // watermarks into one result run.
+//
+//slicelint:coldpath per-element fallback for out-of-order, edge, and context-aware tuples; the batched fast path never takes it in steady state
 func (ag *Aggregator[V, A, Out]) ingestElement(e stream.Event[V]) {
 	inOrder := e.Time >= ag.st.maxSeen
 	if ag.opts.Ordered && !inOrder {
@@ -432,6 +444,8 @@ func (ag *Aggregator[V, A, Out]) ProcessWatermark(wm int64) []Result[Out] {
 }
 
 // ingestWatermark is ProcessWatermark without the result-buffer reset.
+//
+//slicelint:coldpath runs once per watermark, not per tuple; triggering and gauge publication amortize across the batch
 func (ag *Aggregator[V, A, Out]) ingestWatermark(wm int64) {
 	if wm <= ag.currWM {
 		return
@@ -696,6 +710,8 @@ func (ag *Aggregator[V, A, Out]) flushUpdates() {
 // trigger runs every query's trigger for the watermark interval
 // (prevWM, currWM]; count-measure completion checks use countWM (in ordered
 // mode a count window completes the instant its last tuple arrives).
+//
+//slicelint:coldpath emission path: runs once per completed window, not per tuple; range aggregation cost amortizes over the window's tuples
 func (ag *Aggregator[V, A, Out]) trigger(prevWM, currWM, countWM int64) {
 	for _, q := range ag.queries {
 		if q.cf != nil {
@@ -707,7 +723,8 @@ func (ag *Aggregator[V, A, Out]) trigger(prevWM, currWM, countWM int64) {
 			if q.def.Measure() == stream.Count {
 				wm = countWM
 			}
-			q.cf.Trigger(ag.st, prevWM, wm, func(s, e int64) { ag.emit(q, s, e, false) })
+			ag.triggerQ = q
+			q.cf.Trigger(ag.st, prevWM, wm, ag.emitFn)
 			continue
 		}
 		// Context-aware windows always get strict watermark semantics
@@ -716,7 +733,8 @@ func (ag *Aggregator[V, A, Out]) trigger(prevWM, currWM, countWM int64) {
 		// watermark — ties at the trigger time must all have arrived.
 		// Contexts first materialize edges (§5.2 splits), then trigger.
 		ag.applyChanges(q, q.ctx.OnWatermark(prevWM, currWM))
-		q.ctx.Trigger(prevWM, currWM, func(s, e int64) { ag.emit(q, s, e, false) })
+		ag.triggerQ = q
+		q.ctx.Trigger(prevWM, currWM, ag.emitFn)
 	}
 }
 
@@ -754,6 +772,8 @@ func (ag *Aggregator[V, A, Out]) emitSpan(id int, m stream.Measure, s, e int64, 
 
 // evict drops slices that no query can reference anymore: behind every
 // query's interest horizon and behind the allowed lateness.
+//
+//slicelint:coldpath runs every evictEvery tuples (or per watermark); interest derivation goes through interface calls the analyzer cannot follow, and the cost amortizes
 func (ag *Aggregator[V, A, Out]) evict() {
 	if len(ag.queries) == 0 {
 		return

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled mirrors the race build tag: the race detector's shadow-memory
+// bookkeeping allocates on its own schedule, so allocation-count gates are
+// meaningless under -race and skip themselves.
+const raceEnabled = true

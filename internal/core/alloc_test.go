@@ -1,0 +1,74 @@
+package core
+
+import (
+	"testing"
+
+	"scotty/internal/aggregate"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+// allocGauge measures steady-state allocations of the batched in-order hot
+// path: it warms an aggregator until every pooled buffer has reached its
+// working size, then reports testing.AllocsPerRun over batches of bs
+// monotone tuples (1 ms apart, Ordered mode, so watermarks are implicit and
+// triggering runs inside ProcessBatch).
+func allocGauge(def window.Definition, bs int) float64 {
+	ag := New[float64](aggregate.Sum[float64](ident), Options{Ordered: true})
+	ag.MustAddQuery(def)
+	buf := make([]stream.Item[float64], bs)
+	var ts int64
+	fill := func() {
+		for i := range buf {
+			ts++
+			buf[i] = stream.EventItem(stream.Event[float64]{Time: ts, Seq: ts, Value: 1})
+		}
+	}
+	run := func() {
+		fill()
+		_ = ag.ProcessBatch(buf)
+	}
+	for i := 0; i < 64; i++ { // warm pools, result buffers, and the slice ring
+		run()
+	}
+	return testing.AllocsPerRun(100, run)
+}
+
+// TestBatchedIngestIsAllocationFree is the runtime cross-check of the
+// hotalloc analyzer (docs/STATIC_ANALYSIS.md): what the static closure cannot
+// see — devirtualized func fields, pool internals, append growth — must
+// still amortize to zero. With a window so long that no window completes
+// during measurement, the run-carved ingest path (fastPrefix, runLength,
+// ingestRun, advanceCountEdges) must allocate exactly nothing, at a
+// realistic batch size and with the whole stream handed over in one call.
+func TestBatchedIngestIsAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are only meaningful in plain builds")
+	}
+	for _, bs := range []int{256, 8192} {
+		if avg := allocGauge(window.Tumbling(stream.Time, 1<<40), bs); avg != 0 {
+			t.Errorf("batch size %d: ingest hot path allocates %.2f times per batch, want 0", bs, avg)
+		}
+	}
+}
+
+// TestBatchedSlicingAmortizesAllocations runs the full slicing lifecycle —
+// slice cuts every slide, trigger emission, eviction — and asserts it stays
+// allocation-free per tuple: cuts reuse pooled slices, evictions recycle
+// them, and trigger emission goes through the aggregator's pre-bound emitFn
+// instead of per-window closures. Steady state measures exactly zero; the
+// assertion leaves a hair of headroom only for a GC draining the slice pool
+// mid-measurement.
+func TestBatchedSlicingAmortizesAllocations(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are only meaningful in plain builds")
+	}
+	for _, bs := range []int{256, 8192} {
+		avg := allocGauge(window.Sliding(stream.Time, 100, 20), bs)
+		perTuple := avg / float64(bs)
+		t.Logf("batch size %d: %.2f allocs/batch = %.4f allocs/tuple", bs, avg, perTuple)
+		if perTuple >= 0.01 {
+			t.Errorf("batch size %d: %.4f allocs/tuple; slicing must amortize to zero", bs, perTuple)
+		}
+	}
+}

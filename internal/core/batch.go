@@ -19,6 +19,8 @@ import (
 // exactly on an edge fall back to the per-element path, so every slow-path
 // guarantee (lateness drops, count-shift cascades, context splits) is
 // preserved. The returned slice is reused by subsequent calls.
+//
+//slicelint:hotpath
 func (ag *Aggregator[V, A, Out]) ProcessBatch(batch []stream.Item[V]) []Result[Out] {
 	ag.results = ag.results[:0]
 	for len(batch) > 0 {

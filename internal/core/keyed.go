@@ -54,6 +54,7 @@ func NewKeyed[K comparable, V, A, Out any](keyOf func(V) K, idleTTL int64, newOp
 		newOp:   newOp,
 		keyOf:   keyOf,
 		ops:     map[K]*keyedEntry[V, A, Out]{},
+		scratch: map[K]int{},
 		currWM:  stream.MinTime,
 		idleTTL: idleTTL,
 	}
@@ -66,6 +67,7 @@ func (k *Keyed[K, V, A, Out]) Keys() int { return len(k.ops) }
 func (k *Keyed[K, V, A, Out]) entry(key K) *keyedEntry[V, A, Out] {
 	ent, ok := k.ops[key]
 	if !ok {
+		//lint:ignore hotalloc first appearance of a key materializes its operator once; the allocation amortizes over the key's lifetime
 		ent = &keyedEntry[V, A, Out]{op: k.newOp()}
 		k.ops[key] = ent
 		k.order = append(k.order, key)
@@ -94,6 +96,7 @@ func (k *Keyed[K, V, A, Out]) ProcessWatermark(wm int64) []KeyedResult[K, Out] {
 	return k.results
 }
 
+//slicelint:coldpath runs once per watermark, not per tuple; per-key triggering and idle-key expiry amortize across the batch
 func (k *Keyed[K, V, A, Out]) broadcastWatermark(wm int64) {
 	k.currWM = wm
 	live := k.order[:0]
@@ -131,6 +134,8 @@ func (k *Keyed[K, V, A, Out]) broadcastWatermark(wm int64) {
 // segment), not interleaved in per-tuple arrival order; the set of results
 // and every per-key subsequence match the per-element path exactly. The
 // returned slice is reused across calls.
+//
+//slicelint:hotpath
 func (k *Keyed[K, V, A, Out]) ProcessBatch(batch []stream.Item[V]) []KeyedResult[K, Out] {
 	k.results = k.results[:0]
 	for len(batch) > 0 {
@@ -153,9 +158,6 @@ func (k *Keyed[K, V, A, Out]) ProcessBatch(batch []stream.Item[V]) []KeyedResult
 // key's sub-batch to its aggregator. Grouping buffers are reused across
 // segments; the scratch map is left empty for the next one.
 func (k *Keyed[K, V, A, Out]) processEventSegment(seg []stream.Item[V]) {
-	if k.scratch == nil {
-		k.scratch = map[K]int{}
-	}
 	n := 0 // distinct keys in this segment
 	var curKey K
 	cur := -1

@@ -166,6 +166,8 @@ func (st *store[V, A, Out]) removeSliceAt(i int) {
 // recycle the evicted slices, and sync the eager tree. The dead prefix is
 // compacted away once it dominates the buffer (amortized O(1) per eviction,
 // replacing the previous O(live) front-copy).
+//
+//slicelint:hotpath
 func (st *store[V, A, Out]) dropFront(k int) {
 	if k <= 0 {
 		return
@@ -304,6 +306,8 @@ func (st *store[V, A, Out]) cutCount() {
 
 // addInOrder appends an in-order event to the open slice with one
 // incremental aggregation step.
+//
+//slicelint:hotpath
 func (st *store[V, A, Out]) addInOrder(e stream.Event[V]) {
 	s := st.open()
 	s.appendEvent(e, st.keepTuples)
@@ -344,6 +348,8 @@ func (st *store[V, A, Out]) recomputeSlice(s *Slice[V, A]) {
 // tuples. Without stored tuples the split must fall into a tuple-free region
 // of the slice (the session-window guarantee); otherwise the workload
 // characterization was wrong and we fail loudly.
+//
+//slicelint:coldpath splits run once per window edge, not per tuple; they recompute and repartition by design
 func (st *store[V, A, Out]) splitTime(pos int64) {
 	i := st.sliceByTime(pos)
 	s := st.slices[i]
@@ -385,6 +391,8 @@ func (st *store[V, A, Out]) splitTime(pos int64) {
 // splitCount splits the slice covering rank c so that a slice boundary lies
 // at rank c. Requires stored tuples unless the boundary coincides with an
 // existing edge.
+//
+//slicelint:coldpath splits run once per window edge, not per tuple; they recompute and repartition by design
 func (st *store[V, A, Out]) splitCount(c int64) {
 	i := st.sliceByCount(c)
 	s := st.slices[i]

@@ -67,6 +67,30 @@ func (f BatchProcessorFunc[V]) ProcessItem(it stream.Item[V]) int {
 	return f([]stream.Item[V]{it})
 }
 
+// deliverBatch hands one channel batch to the partition's operator — whole if
+// it implements BatchProcessor, item by item otherwise — accumulating emitted
+// results into *n. The count is threaded as a pointer because it must stay
+// exact when an operator panics mid-batch: the worker's recover handler
+// publishes the crash-time count, and replay trimming uses it to suppress
+// exactly the results that were already emitted. observe feeds the latency
+// histogram; the per-item path calls it per tuple so the metric keeps
+// per-result granularity.
+//
+//slicelint:hotpath
+func deliverBatch[V any](proc Processor[V], bp BatchProcessor[V], items []stream.Item[V], n *int64, observe func(int)) {
+	if bp != nil {
+		k := bp.ProcessBatch(items)
+		*n += int64(k)
+		observe(k)
+		return
+	}
+	for _, it := range items {
+		k := proc.ProcessItem(it)
+		*n += int64(k)
+		observe(k)
+	}
+}
+
 // Config controls a pipeline run.
 type Config[V any] struct {
 	// Parallelism is the number of parallel operator instances.
@@ -383,17 +407,7 @@ func runAttempt[V any](cfg Config[V], items []stream.Item[V], procs []Processor[
 			}()
 			for m := range chans[p] {
 				if len(m.items) > 0 {
-					if bp != nil {
-						k := bp.ProcessBatch(m.items)
-						n += int64(k)
-						observe(k)
-					} else {
-						for _, it := range m.items {
-							k := proc.ProcessItem(it)
-							n += int64(k)
-							observe(k)
-						}
-					}
+					deliverBatch(proc, bp, m.items, &n, observe)
 				}
 				if m.items != nil {
 					putBuf(m.items)

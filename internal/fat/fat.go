@@ -65,6 +65,8 @@ func (t *Tree[A]) Get(i int) A {
 }
 
 // Set replaces the i-th leaf and updates the path to the root in O(log n).
+//
+//slicelint:hotpath
 func (t *Tree[A]) Set(i int, a A) {
 	if i < 0 || i >= t.length {
 		panic("fat: leaf index out of range")
@@ -82,6 +84,8 @@ func (t *Tree[A]) setLeaf(p int, a A) {
 
 // Push appends a leaf at the end, compacting the ring or growing the tree
 // when the physical leaf space is exhausted.
+//
+//slicelint:hotpath
 func (t *Tree[A]) Push(a A) {
 	if t.head+t.length == t.capacity {
 		if t.head*4 >= t.capacity {
@@ -138,6 +142,8 @@ func (t *Tree[A]) Remove(i int) {
 // path update, so steady-state eviction costs O(k log n) instead of the
 // previous O(capacity) suffix rebuild. The dead prefix is compacted away
 // once it dominates the leaf space (amortized O(1) per eviction).
+//
+//slicelint:hotpath
 func (t *Tree[A]) RemoveFront(k int) {
 	if k <= 0 {
 		return
@@ -189,12 +195,16 @@ func (t *Tree[A]) Aggregate() A {
 
 // grow doubles the leaf capacity and rebuilds in O(n). Live leaves move to
 // the front (head resets to zero).
+//
+//slicelint:coldpath capacity doubling is amortized O(1) per push; the rebuild allocation is the point
 func (t *Tree[A]) grow() {
 	t.compact(t.capacity * 2)
 }
 
 // compact rebuilds the tree at the given capacity with the live leaves moved
 // to the front (head = 0). O(capacity).
+//
+//slicelint:coldpath compaction runs when the dead prefix dominates; its O(capacity) cost and scratch buffer amortize over the evictions that created the dead space
 func (t *Tree[A]) compact(capacity int) {
 	saved := make([]A, t.length)
 	copy(saved, t.nodes[t.capacity+t.head:t.capacity+t.head+t.length])
@@ -207,6 +217,8 @@ func (t *Tree[A]) compact(capacity int) {
 
 // maybeShrink reduces the capacity when occupancy drops below a quarter,
 // bounding memory after large evictions.
+//
+//slicelint:coldpath shrinking runs only after occupancy collapses below a quarter; the rebuild amortizes over the evictions
 func (t *Tree[A]) maybeShrink() {
 	if t.capacity <= 1 || t.length > t.capacity/4 {
 		return

@@ -1,0 +1,398 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// AtomicMix enforces the two concurrency-hygiene contracts the race detector
+// only catches when a test happens to interleave the right way:
+//
+//  1. Mixed atomicity (whole program): a struct field whose address is
+//     passed to a sync/atomic operation anywhere must be accessed through
+//     sync/atomic everywhere — one plain read next to an atomic.AddInt64 is
+//     a data race by definition, even if the detector never sees it.
+//  2. Lock discipline (per package): lock-bearing values (anything
+//     containing a sync or sync/atomic type) must not be copied — by-value
+//     receivers, parameters, results, assignments, or range variables — and
+//     two mutexes must not be acquired in opposite orders on different
+//     call-graph paths within a package (one level of static calls is
+//     expanded, and a deferred Unlock keeps its mutex held to function
+//     end).
+//
+// The lock-order check keys mutexes by their access expression ("t.mu",
+// "regMu"); distinct instances reached through the same expression are
+// conflated, which is exactly the granularity a reviewer reasons at.
+var AtomicMix = &Analyzer{
+	Name:       "atomicmix",
+	Doc:        "flags non-atomic access to atomically-used fields, copied locks, and inconsistent lock order",
+	RunProgram: runAtomicMix,
+}
+
+func runAtomicMix(pp *ProgramPass) {
+	checkMixedAtomicity(pp)
+	for _, pkg := range pp.Pkgs {
+		checkLockCopies(pp, pkg)
+		checkLockOrder(pp, pkg)
+	}
+}
+
+// ----------------------------------------------------- mixed atomicity ---
+
+// checkMixedAtomicity finds fields used with sync/atomic package-level
+// operations and flags every access to those fields outside such an
+// operation, across the whole load.
+func checkMixedAtomicity(pp *ProgramPass) {
+	type site struct {
+		pkg *Package
+		pos token.Pos
+	}
+	atomicFields := map[types.Object]site{}
+	atomicArgs := map[ast.Expr]bool{} // the &x.f operand of each atomic call
+
+	for _, pkg := range pp.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicOp(pkg.Info, call) || len(call.Args) == 0 {
+					return true
+				}
+				un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					return true
+				}
+				atomicArgs[un.X] = true
+				if obj := accessedVar(pkg.Info, un.X); obj != nil {
+					if _, seen := atomicFields[obj]; !seen {
+						atomicFields[obj] = site{pkg, call.Pos()}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	for _, pkg := range pp.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				e, ok := n.(ast.Expr)
+				if !ok || atomicArgs[e] {
+					return !atomicArgs[e] // skip the sanctioned operand subtree
+				}
+				switch e.(type) {
+				case *ast.SelectorExpr, *ast.Ident:
+				default:
+					return true
+				}
+				obj := accessedVar(pkg.Info, e)
+				if obj == nil {
+					return true
+				}
+				if first, ok := atomicFields[obj]; ok {
+					// Selector children (the ident inside x.f) would double
+					// report; only flag the outermost node for the object.
+					if id, isIdent := e.(*ast.Ident); isIdent && pkg.Info.Uses[id] != obj {
+						return true
+					}
+					pp.Reportf(pkg, e.Pos(), "%s is accessed with sync/atomic at %s but non-atomically here: every access must go through sync/atomic",
+						obj.Name(), first.pkg.Fset.Position(first.pos))
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isAtomicOp reports whether call is a sync/atomic package-level operation
+// (AddInt64, LoadUint32, StoreInt32, SwapPointer, CompareAndSwapInt64, ...).
+func isAtomicOp(info *types.Info, call *ast.CallExpr) bool {
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// accessedVar resolves an expression to the variable (field or package var)
+// it denotes: x.f -> field f, ident -> its object. Locals are included —
+// mixing atomic and plain access to a local is just as racy once its address
+// escapes.
+func accessedVar(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			return sel.Obj()
+		}
+	}
+	return nil
+}
+
+// --------------------------------------------------------- lock copies ---
+
+// checkLockCopies flags by-value transfer of lock-bearing types.
+func checkLockCopies(pp *ProgramPass, pkg *Package) {
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			fn, ok := info.Defs[decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sig := fn.Type().(*types.Signature)
+			if r := sig.Recv(); r != nil && containsLock(r.Type()) {
+				pp.Reportf(pkg, decl.Name.Pos(), "method %s has a by-value receiver containing a lock: use a pointer receiver", decl.Name.Name)
+			}
+			for i := 0; i < sig.Params().Len(); i++ {
+				if v := sig.Params().At(i); containsLock(v.Type()) {
+					pp.Reportf(pkg, decl.Name.Pos(), "%s passes %s by value but its type contains a lock: pass a pointer", decl.Name.Name, paramName(v))
+				}
+			}
+			for i := 0; i < sig.Results().Len(); i++ {
+				if v := sig.Results().At(i); containsLock(v.Type()) {
+					pp.Reportf(pkg, decl.Name.Pos(), "%s returns a lock-bearing value by value: return a pointer", decl.Name.Name)
+				}
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					if isAddressableChain(rhs) && containsLock(info.TypeOf(rhs)) {
+						pp.Reportf(pkg, rhs.Pos(), "assignment copies a lock-bearing value: take a pointer instead")
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil && containsLock(info.TypeOf(n.Value)) {
+					pp.Reportf(pkg, n.Value.Pos(), "range copies lock-bearing elements by value: range over indices or pointers")
+				}
+			}
+			return true
+		})
+	}
+}
+
+func paramName(v *types.Var) string {
+	if v.Name() != "" {
+		return v.Name()
+	}
+	return "a parameter"
+}
+
+// isAddressableChain reports whether e reads an existing value (ident,
+// selector, index, deref) — copying those copies a live lock, whereas
+// composite literals and call results are fresh values being moved.
+func isAddressableChain(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name != "_"
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// containsLock reports whether t (or any field/element reached by value)
+// is a sync or sync/atomic type.
+func containsLock(t types.Type) bool {
+	return containsLockRec(t, map[types.Type]bool{})
+}
+
+func containsLockRec(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if p := named.Obj().Pkg(); p != nil {
+			switch p.Path() {
+			case "sync", "sync/atomic":
+				return true
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLockRec(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLockRec(u.Elem(), seen)
+	}
+	return false
+}
+
+// ---------------------------------------------------------- lock order ---
+
+// lockEvent is one Lock/Unlock/static-call in syntactic order.
+type lockEvent struct {
+	kind string // "lock" | "unlock" | "call"
+	key  string // lock/unlock: the mutex expression
+	fn   *types.Func
+	pos  token.Pos
+}
+
+// checkLockOrder records, for every pair of mutexes a function holds
+// simultaneously, the acquisition order, expanding static calls one level;
+// opposite orders anywhere in the package are a deadlock waiting for the
+// right interleaving.
+func checkLockOrder(pp *ProgramPass, pkg *Package) {
+	info := pkg.Info
+	events := map[*types.Func][]lockEvent{}
+	var fns []*types.Func
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			fn, ok := info.Defs[decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fn = fn.Origin()
+			events[fn] = lockEvents(info, decl.Body)
+			fns = append(fns, fn)
+		}
+	}
+	type edge struct {
+		pos   token.Pos
+		first bool
+	}
+	order := map[string]map[string]edge{}
+	record := func(a, b string, pos token.Pos) {
+		m := order[a]
+		if m == nil {
+			m = map[string]edge{}
+			order[a] = m
+		}
+		if _, ok := m[b]; !ok {
+			m[b] = edge{pos: pos}
+		}
+	}
+	for _, fn := range fns {
+		held := []string{}
+		holds := func(k string) bool {
+			for _, h := range held {
+				if h == k {
+					return true
+				}
+			}
+			return false
+		}
+		for _, ev := range events[fn] {
+			switch ev.kind {
+			case "lock":
+				for _, h := range held {
+					if h != ev.key {
+						record(h, ev.key, ev.pos)
+					}
+				}
+				if !holds(ev.key) {
+					held = append(held, ev.key)
+				}
+			case "unlock":
+				for i, h := range held {
+					if h == ev.key {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			case "call":
+				// One-level expansion: the callee's own acquisitions pair
+				// with whatever this function holds at the call site.
+				for _, cev := range events[ev.fn] {
+					if cev.kind != "lock" {
+						continue
+					}
+					for _, h := range held {
+						if h != cev.key {
+							record(h, cev.key, ev.pos)
+						}
+					}
+				}
+			}
+		}
+	}
+	keys := make([]string, 0, len(order))
+	for k := range order {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, a := range keys {
+		for b, e := range order[a] {
+			if a < b { // report each unordered pair once
+				if rev, ok := order[b][a]; ok {
+					pos := e.pos
+					if rev.pos > pos {
+						pos = rev.pos
+					}
+					pp.Reportf(pkg, pos, "locks %s and %s are acquired in opposite orders on different paths: pick one order", a, b)
+				}
+			}
+		}
+	}
+}
+
+// lockEvents extracts the Lock/Unlock/call sequence from a body. Unlocks
+// inside defer statements are dropped — the mutex stays held to function
+// end, which is the conservative reading.
+func lockEvents(info *types.Info, body *ast.BlockStmt) []lockEvent {
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+	var out []lockEvent
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := staticCallee(info, call)
+		if fn == nil {
+			return true
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			key := types.ExprString(sel.X)
+			switch fn.Name() {
+			case "Lock", "RLock":
+				if !deferred[call] {
+					out = append(out, lockEvent{kind: "lock", key: key, pos: call.Pos()})
+				}
+			case "Unlock", "RUnlock":
+				if !deferred[call] {
+					out = append(out, lockEvent{kind: "unlock", key: key, pos: call.Pos()})
+				}
+			}
+			return true
+		}
+		if fn.Pkg() != nil && !strings.HasPrefix(fn.Pkg().Path(), "sync") {
+			out = append(out, lockEvent{kind: "call", fn: fn.Origin(), pos: call.Pos()})
+		}
+		return true
+	})
+	return out
+}

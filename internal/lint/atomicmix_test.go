@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAtomicMixFlagsMixedFieldAccess(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"fixture/internal/obs": {"a.go": `package obs
+
+import "sync/atomic"
+
+type counter struct {
+	n int64
+}
+
+func (c *counter) inc() { atomic.AddInt64(&c.n, 1) }
+
+func (c *counter) read() int64 { return c.n }
+`},
+	}
+	got := findingsOf(t, AtomicMix, overlay, "fixture/internal/obs")
+	wantFindings(t, got, "n is accessed with sync/atomic")
+	if !strings.Contains(got[0], "a.go:11:") {
+		t.Errorf("the plain read at line 11 should be flagged, got %q", got[0])
+	}
+}
+
+func TestAtomicMixCrossPackageMixedAccess(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"fixture/internal/obs": {"a.go": `package obs
+
+import "sync/atomic"
+
+type Gauge struct {
+	V int64
+}
+
+func (g *Gauge) Add(d int64) { atomic.AddInt64(&g.V, d) }
+`},
+		"fixture/internal/engine": {"b.go": `package engine
+
+import "fixture/internal/obs"
+
+func Peek(g *obs.Gauge) int64 { return g.V }
+`},
+	}
+	got := findingsOf(t, AtomicMix, overlay, "fixture/internal/obs", "fixture/internal/engine")
+	wantFindings(t, got, "V is accessed with sync/atomic")
+	if !strings.Contains(got[0], "b.go:") {
+		t.Errorf("the cross-package plain read in b.go should be flagged, got %q", got[0])
+	}
+}
+
+func TestAtomicMixFlagsLockCopies(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"fixture/internal/obs": {"a.go": `package obs
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	v  int
+}
+
+func (g guarded) get() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+func snapshot(g *guarded) guarded {
+	return *g
+}
+`},
+	}
+	got := findingsOf(t, AtomicMix, overlay, "fixture/internal/obs")
+	wantFindings(t, got,
+		"by-value receiver containing a lock",
+		"returns a lock-bearing value by value",
+	)
+}
+
+func TestAtomicMixFlagsInconsistentLockOrder(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"fixture/internal/obs": {"a.go": `package obs
+
+import "sync"
+
+var muA, muB sync.Mutex
+
+func ab() {
+	muA.Lock()
+	muB.Lock()
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func ba() {
+	muB.Lock()
+	muA.Lock()
+	muA.Unlock()
+	muB.Unlock()
+}
+`},
+	}
+	got := findingsOf(t, AtomicMix, overlay, "fixture/internal/obs")
+	wantFindings(t, got, "acquired in opposite orders")
+}
+
+func TestAtomicMixCleanDisciplinedPackage(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"fixture/internal/obs": {"a.go": `package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	n int64
+}
+
+func (c *counter) inc() int64  { return atomic.AddInt64(&c.n, 1) }
+func (c *counter) read() int64 { return atomic.LoadInt64(&c.n) }
+
+type registry struct {
+	mu sync.Mutex
+	m  map[string]*counter
+}
+
+func (r *registry) get(name string) *counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m[name]
+}
+`},
+	}
+	got := findingsOf(t, AtomicMix, overlay, "fixture/internal/obs")
+	wantFindings(t, got)
+}

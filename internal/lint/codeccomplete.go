@@ -1,0 +1,310 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// CodecComplete closes the gap between the checkpoint codec registry and the
+// types that need to be in it. ErrNoCodec is a runtime error: an operator
+// whose partial-aggregate type was never Registered snapshots fine in every
+// test that doesn't exercise that exact operator, then fails in recovery.
+// This analyzer makes the mismatch a lint failure instead:
+//
+//  1. Every concrete type demanded at a checkpoint.For[T]() or
+//     checkpoint.Registered[T]() call site must have a matching
+//     checkpoint.Register call somewhere in the program.
+//  2. Every aggregate kernel's partial type — the result of an Identity()
+//     method on a type that also has Lift and Combine — must be registered,
+//     because core snapshots serialize exactly those partials.
+//  3. Any map iterated inside an encoding function (one that takes a
+//     *checkpoint.Encoder) must go through checkpoint.SortedKeys, keeping
+//     snapshot bytes deterministic.
+//
+// Generic instantiations whose type arguments are (or contain) type
+// parameters are skipped: the obligation lands on whoever instantiates them
+// with concrete types, matching the registry's documented contract for
+// composed partials (Pair/Triple).
+//
+// The registry rules arm themselves only when the checkpoint package's own
+// sources are in the load (that is where the builtin codecs are registered)
+// AND the load contains at least one Register call. "No Register call for T
+// exists" is a whole-program claim; linting a package in isolation — where
+// the registry's own init and other packages' Register calls are invisible
+// — must not claim every codec is missing.
+var CodecComplete = &Analyzer{
+	Name:       "codeccomplete",
+	Doc:        "flags snapshot-reachable types without a registered checkpoint codec and unsorted map encodes",
+	RunProgram: runCodecComplete,
+}
+
+func runCodecComplete(pp *ProgramPass) {
+	registryVisible := false
+	for _, pkg := range pp.Pkgs {
+		if pathHasSuffix(pkg.Path, "internal/checkpoint") {
+			registryVisible = true
+			break
+		}
+	}
+	registered := map[string]bool{}
+	type demand struct {
+		pkg  *Package
+		pos  token.Pos
+		what string
+	}
+	required := map[string]demand{}
+	note := func(m map[string]demand, key string, d demand) {
+		if _, ok := m[key]; !ok {
+			m[key] = d
+		}
+	}
+
+	for _, pkg := range pp.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := staticCallee(pkg.Info, call)
+				if fn == nil || !isCheckpointFunc(fn) {
+					return true
+				}
+				switch fn.Name() {
+				case "Register":
+					if t, ok := soleTypeArg(pkg.Info, call); ok {
+						registered[types.TypeString(t, nil)] = true
+					}
+				case "For", "Registered":
+					if t, ok := soleTypeArg(pkg.Info, call); ok {
+						note(required, types.TypeString(t, nil), demand{
+							pkg:  pkg,
+							pos:  call.Pos(),
+							what: "demanded by checkpoint." + fn.Name(),
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Aggregate kernels: the partial type every Identity() of a
+	// Lift/Combine-bearing type produces is what core serializes.
+	for _, pkg := range pp.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				decl, ok := d.(*ast.FuncDecl)
+				if !ok || decl.Recv == nil || decl.Name.Name != "Identity" {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[decl.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				sig := fn.Type().(*types.Signature)
+				if sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+					continue
+				}
+				if !hasMethods(sig.Recv().Type(), "Lift", "Combine") {
+					continue
+				}
+				partial := sig.Results().At(0).Type()
+				if hasTypeParams(partial) {
+					continue // obligation transfers to the instantiator
+				}
+				note(required, types.TypeString(partial, nil), demand{
+					pkg:  pkg,
+					pos:  decl.Name.Pos(),
+					what: "the partial type of this aggregate kernel",
+				})
+			}
+		}
+	}
+
+	if registryVisible && len(registered) > 0 {
+		keys := make([]string, 0, len(required))
+		for k := range required {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if registered[k] {
+				continue
+			}
+			d := required[k]
+			pp.Reportf(d.pkg, d.pos, "no checkpoint codec for %s (%s): checkpoint.Register it or restores will fail with ErrNoCodec", k, d.what)
+		}
+	}
+
+	for _, pkg := range pp.Pkgs {
+		checkEncodeMapOrder(pp, pkg)
+	}
+}
+
+// checkEncodeMapOrder flags direct map iteration inside encoding functions.
+func checkEncodeMapOrder(pp *ProgramPass, pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil || !takesEncoder(pkg.Info, decl) {
+				continue
+			}
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if t := pkg.Info.TypeOf(rng.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pp.Reportf(pkg, rng.For, "map iterated directly in an encoding function: snapshot bytes become nondeterministic; range over checkpoint.SortedKeys(m)")
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// takesEncoder reports whether decl has a *checkpoint.Encoder parameter.
+func takesEncoder(info *types.Info, decl *ast.FuncDecl) bool {
+	fn, ok := info.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		t := sig.Params().At(i).Type()
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := p.Elem().(*types.Named)
+		if !ok || named.Obj().Name() != "Encoder" {
+			continue
+		}
+		if tp := named.Obj().Pkg(); tp != nil && pathHasSuffix(tp.Path(), "internal/checkpoint") {
+			return true
+		}
+	}
+	return false
+}
+
+// isCheckpointFunc reports whether fn is a package-level function of the
+// checkpoint package (matched by path suffix so fixtures qualify).
+func isCheckpointFunc(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	return pathHasSuffix(fn.Pkg().Path(), "internal/checkpoint")
+}
+
+// soleTypeArg returns the single concrete type argument of an instantiated
+// generic call, resolving both explicit (F[T](..)) and inferred (F(arg))
+// instantiations through types.Info.Instances.
+func soleTypeArg(info *types.Info, call *ast.CallExpr) (types.Type, bool) {
+	fun := ast.Unparen(call.Fun)
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(ix.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(ix.X)
+	}
+	var id *ast.Ident
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil, false
+	}
+	inst, ok := info.Instances[id]
+	if !ok || inst.TypeArgs == nil || inst.TypeArgs.Len() != 1 {
+		return nil, false
+	}
+	t := inst.TypeArgs.At(0)
+	if hasTypeParams(t) {
+		return nil, false
+	}
+	return t, true
+}
+
+// hasMethods reports whether t's method set (through one pointer level)
+// includes all the named methods.
+func hasMethods(t types.Type, names ...string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	have := map[string]bool{}
+	for i := 0; i < named.NumMethods(); i++ {
+		have[named.Method(i).Name()] = true
+	}
+	for _, n := range names {
+		if !have[n] {
+			return false
+		}
+	}
+	return true
+}
+
+// hasTypeParams reports whether t mentions a type parameter anywhere.
+func hasTypeParams(t types.Type) bool {
+	return hasTypeParamsRec(t, map[types.Type]bool{})
+}
+
+func hasTypeParamsRec(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch t := t.(type) {
+	case *types.TypeParam:
+		return true
+	case *types.Named:
+		if args := t.TypeArgs(); args != nil {
+			for i := 0; i < args.Len(); i++ {
+				if hasTypeParamsRec(args.At(i), seen) {
+					return true
+				}
+			}
+		}
+		return false
+	case *types.Pointer:
+		return hasTypeParamsRec(t.Elem(), seen)
+	case *types.Slice:
+		return hasTypeParamsRec(t.Elem(), seen)
+	case *types.Array:
+		return hasTypeParamsRec(t.Elem(), seen)
+	case *types.Chan:
+		return hasTypeParamsRec(t.Elem(), seen)
+	case *types.Map:
+		return hasTypeParamsRec(t.Key(), seen) || hasTypeParamsRec(t.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < t.NumFields(); i++ {
+			if hasTypeParamsRec(t.Field(i).Type(), seen) {
+				return true
+			}
+		}
+		return false
+	case *types.Signature:
+		for i := 0; i < t.Params().Len(); i++ {
+			if hasTypeParamsRec(t.Params().At(i).Type(), seen) {
+				return true
+			}
+		}
+		for i := 0; i < t.Results().Len(); i++ {
+			if hasTypeParamsRec(t.Results().At(i).Type(), seen) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}

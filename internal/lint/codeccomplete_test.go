@@ -1,0 +1,184 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// codecFixtureCheckpoint is a miniature of internal/checkpoint: the path
+// suffix is what the analyzer matches, not the module name.
+const codecFixtureCheckpoint = `package checkpoint
+
+type Encoder struct{}
+
+func (e *Encoder) Uint64(v uint64) {}
+
+type Codec[T any] struct{ Name string }
+
+func Register[T any](c Codec[T]) {}
+
+func For[T any]() Codec[T] { return Codec[T]{} }
+
+func SortedKeys[M ~map[K]V, K comparable, V any](m M) []K { return nil }
+`
+
+func TestCodecCompleteFlagsUnregisteredDemand(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"fixture/internal/checkpoint": {"c.go": codecFixtureCheckpoint},
+		"fixture/internal/app": {"a.go": `package app
+
+import "fixture/internal/checkpoint"
+
+func init() {
+	checkpoint.Register(checkpoint.Codec[int64]{Name: "i64"})
+}
+
+func use() {
+	_ = checkpoint.For[int64]()
+	_ = checkpoint.For[string]()
+}
+`},
+	}
+	got := findingsOf(t, CodecComplete, overlay,
+		"fixture/internal/checkpoint", "fixture/internal/app")
+	wantFindings(t, got, "no checkpoint codec for string")
+}
+
+func TestCodecCompleteRequiresKernelPartialCodecs(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"fixture/internal/checkpoint": {"c.go": codecFixtureCheckpoint},
+		"fixture/internal/app": {"a.go": `package app
+
+import "fixture/internal/checkpoint"
+
+func init() {
+	checkpoint.Register(checkpoint.Codec[float64]{Name: "f64"})
+}
+
+// sum's partial type float64 is registered: clean.
+type sum struct{}
+
+func (sum) Lift(v int) float64        { return float64(v) }
+func (sum) Combine(a, b float64) float64 { return a + b }
+func (sum) Identity() float64         { return 0 }
+
+// pair's partial type pairState is not registered: flagged.
+type pairState struct{ A, B float64 }
+
+type pair struct{}
+
+func (pair) Lift(v int) pairState           { return pairState{} }
+func (pair) Combine(a, b pairState) pairState { return a }
+func (pair) Identity() pairState            { return pairState{} }
+`},
+	}
+	got := findingsOf(t, CodecComplete, overlay,
+		"fixture/internal/checkpoint", "fixture/internal/app")
+	wantFindings(t, got, "no checkpoint codec for")
+	if !strings.Contains(got[0], "pairState") {
+		t.Errorf("the unregistered kernel partial should be named, got %q", got[0])
+	}
+}
+
+func TestCodecCompleteRegistryRuleDisarmedWithoutRegisterCalls(t *testing.T) {
+	// Linting a package in isolation (no Register call in the load) must not
+	// claim every codec is missing.
+	overlay := map[string]map[string]string{
+		"fixture/internal/checkpoint": {"c.go": codecFixtureCheckpoint},
+		"fixture/internal/app": {"a.go": `package app
+
+import "fixture/internal/checkpoint"
+
+func use() {
+	_ = checkpoint.For[string]()
+}
+`},
+	}
+	got := findingsOf(t, CodecComplete, overlay,
+		"fixture/internal/checkpoint", "fixture/internal/app")
+	wantFindings(t, got)
+}
+
+func TestCodecCompleteRegistryRuleDisarmedWithoutCheckpointSources(t *testing.T) {
+	// Linting a package whose load pulls in checkpoint only as a *type*
+	// dependency (its sources are not among the linted packages) must not
+	// claim codecs are missing: the builtin Register calls in the checkpoint
+	// package itself are invisible to such a load. This is exactly
+	// `slicelint ./internal/aggregate` — the package has its own Register
+	// calls, but the registry is not fully in view.
+	overlay := map[string]map[string]string{
+		"fixture/internal/checkpoint": {"c.go": codecFixtureCheckpoint},
+		"fixture/internal/app": {"a.go": `package app
+
+import "fixture/internal/checkpoint"
+
+func init() {
+	checkpoint.Register(checkpoint.Codec[int64]{Name: "i64"})
+}
+
+func use() {
+	_ = checkpoint.For[string]()
+}
+`},
+	}
+	// Pattern covers only the app; checkpoint is loaded for types only.
+	got := findingsOf(t, CodecComplete, overlay, "fixture/internal/app")
+	wantFindings(t, got)
+}
+
+func TestCodecCompleteFlagsMapIterationInEncoders(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"fixture/internal/checkpoint": {"c.go": codecFixtureCheckpoint},
+		"fixture/internal/app": {"a.go": `package app
+
+import "fixture/internal/checkpoint"
+
+func encodeState(e *checkpoint.Encoder, m map[string]uint64) {
+	for _, k := range checkpoint.SortedKeys(m) {
+		e.Uint64(m[k])
+	}
+	for k := range m {
+		e.Uint64(m[k])
+	}
+}
+
+// No Encoder parameter: plain map iteration is fine here.
+func tally(m map[string]uint64) uint64 {
+	var t uint64
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+`},
+	}
+	got := findingsOf(t, CodecComplete, overlay,
+		"fixture/internal/checkpoint", "fixture/internal/app")
+	wantFindings(t, got, "map iterated directly in an encoding function")
+	if !strings.Contains(got[0], "a.go:9:") {
+		t.Errorf("the direct range at line 9 should be flagged, got %q", got[0])
+	}
+}
+
+func TestCodecCompleteSkipsGenericDemands(t *testing.T) {
+	// A For[T] inside a generic function defers the obligation to the
+	// concrete instantiator.
+	overlay := map[string]map[string]string{
+		"fixture/internal/checkpoint": {"c.go": codecFixtureCheckpoint},
+		"fixture/internal/app": {"a.go": `package app
+
+import "fixture/internal/checkpoint"
+
+func init() {
+	checkpoint.Register(checkpoint.Codec[uint32]{Name: "u32"})
+}
+
+func codecOf[T any]() checkpoint.Codec[T] {
+	return checkpoint.For[T]()
+}
+`},
+	}
+	got := findingsOf(t, CodecComplete, overlay,
+		"fixture/internal/checkpoint", "fixture/internal/app")
+	wantFindings(t, got)
+}

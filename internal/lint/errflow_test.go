@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestErrFlowFlagsDroppedAndDiscardedErrors(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"fixture/internal/core": {"a.go": `package core
+
+import "errors"
+
+func work() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, nil }
+
+func a() {
+	work()
+}
+
+func b() {
+	_ = work()
+}
+
+func c() int {
+	v, _ := pair()
+	return v
+}
+`},
+	}
+	got := findingsOf(t, ErrFlow, overlay, "fixture/internal/core")
+	wantFindings(t, got,
+		"unhandled error: result of core.work is dropped",
+		"error from core.work discarded with _",
+		"error result of core.pair discarded with _",
+	)
+}
+
+func TestErrFlowFlagsDeadStores(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"fixture/internal/core": {"a.go": `package core
+
+import "errors"
+
+func work() error { return errors.New("boom") }
+
+func deadStore() error {
+	err := work()
+	if err != nil {
+		return err
+	}
+	err = work()
+	return nil
+}
+
+func liveInLoop() {
+	var err error
+	for i := 0; i < 3; i++ {
+		if err != nil {
+			println("retrying")
+		}
+		err = work()
+	}
+}
+`},
+	}
+	got := findingsOf(t, ErrFlow, overlay, "fixture/internal/core")
+	wantFindings(t, got, "error assigned to err is never read afterwards")
+	if !strings.Contains(got[0], "a.go:12:") {
+		t.Errorf("dead store should be the one in deadStore at line 12, got %q", got[0])
+	}
+}
+
+func TestErrFlowIgnoresNonErrorCommaOkAndOtherPackages(t *testing.T) {
+	overlay := map[string]map[string]string{
+		// Comma-ok bools and packages outside the error-critical set are
+		// not audited.
+		"fixture/internal/core": {"a.go": `package core
+
+func pair() (int, bool) { return 0, true }
+
+func a() int {
+	v, _ := pair()
+	return v
+}
+`},
+		"fixture/internal/experiments": {"b.go": `package experiments
+
+import "errors"
+
+func work() error { return errors.New("boom") }
+
+func fireAndForget() {
+	work()
+}
+`},
+	}
+	got := findingsOf(t, ErrFlow, overlay, "fixture/internal/core", "fixture/internal/experiments")
+	wantFindings(t, got)
+}
+
+func TestErrFlowSuppressionWithReason(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"fixture/internal/core": {"a.go": `package core
+
+import "errors"
+
+func work() error { return errors.New("boom") }
+
+func a() {
+	//lint:ignore errflow best-effort cleanup; a failure here is retried by the next gc
+	_ = work()
+}
+`},
+	}
+	got := findingsOf(t, ErrFlow, overlay, "fixture/internal/core")
+	wantFindings(t, got)
+}

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadLenientTurnsSyntaxErrorsIntoFindings(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"fixture/good": {"g.go": "package good\n\nfunc OK() int { return 1 }\n"},
+		"fixture/bad":  {"b.go": "package bad\n\nfunc Broken( {\n"},
+	}
+	l := &Loader{ModulePath: "fixture", Overlay: overlay}
+	pkgs, findings, err := l.LoadLenient("fixture/good", "fixture/bad")
+	if err != nil {
+		t.Fatalf("lenient load must not hard-fail on a syntax error: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "fixture/good" {
+		t.Fatalf("the good package should still load, got %v", pkgs)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("want one load finding, got %v", findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "load" {
+		t.Errorf("load failures report under the load analyzer, got %q", f.Analyzer)
+	}
+	if !strings.Contains(f.Pos.Filename, "b.go") || f.Pos.Line == 0 {
+		t.Errorf("finding should carry the offending file position, got %v", f.Pos)
+	}
+}
+
+func TestLoadLenientTurnsTypeErrorsIntoFindings(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"fixture/bad": {"b.go": "package bad\n\nvar x undefinedType\n"},
+	}
+	l := &Loader{ModulePath: "fixture", Overlay: overlay}
+	pkgs, findings, err := l.LoadLenient("fixture/bad")
+	if err != nil {
+		t.Fatalf("lenient load must not hard-fail on a type error: %v", err)
+	}
+	if len(pkgs) != 0 {
+		t.Fatalf("the broken package must not be returned as loaded, got %v", pkgs)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "undefinedType") {
+		t.Fatalf("want one type-error finding naming the bad symbol, got %v", findings)
+	}
+	if findings[0].Pos.Line != 3 {
+		t.Errorf("type error should point at line 3, got %v", findings[0].Pos)
+	}
+}
+
+func TestAnalyzerPanicBecomesDiagnosticFinding(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"fixture/internal/core": {"a.go": "package core\n\nfunc eq(a, b float64) bool { return a == b }\n"},
+	}
+	pkgs := loadFixture(t, overlay, "fixture/internal/core")
+	boom := &Analyzer{
+		Name: "boom",
+		Doc:  "always panics",
+		Run:  func(p *Pass) { panic("kaboom") },
+	}
+	got := Run([]*Analyzer{boom, FloatEq}, pkgs)
+	if len(got) != 2 {
+		t.Fatalf("want the panic diagnostic plus FloatEq's finding, got %v", got)
+	}
+	var sawPanic, sawFloat bool
+	for _, f := range got {
+		if f.Analyzer == "internal" && strings.Contains(f.Message, "analyzer boom panicked: kaboom") {
+			sawPanic = true
+		}
+		if f.Analyzer == "floateq" {
+			sawFloat = true
+		}
+	}
+	if !sawPanic {
+		t.Errorf("panic should surface as an internal diagnostic naming the analyzer: %v", got)
+	}
+	if !sawFloat {
+		t.Errorf("a panicking analyzer must not abort the others: %v", got)
+	}
+}
+
+func TestProgramAnalyzerPanicBecomesDiagnosticFinding(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"fixture/app": {"a.go": "package app\n"},
+	}
+	pkgs := loadFixture(t, overlay, "fixture/app")
+	boom := &Analyzer{
+		Name:       "boomprog",
+		Doc:        "always panics",
+		RunProgram: func(p *ProgramPass) { panic("kaboom") },
+	}
+	got := Run([]*Analyzer{boom}, pkgs)
+	if len(got) != 1 || !strings.Contains(got[0].Message, "analyzer boomprog panicked") {
+		t.Fatalf("want one diagnostic naming the program analyzer, got %v", got)
+	}
+}
+
+// TestSuppressionSurvivesTabsAndDocGroups pins the directive-matching fix:
+// tab-separated fields and directives inside indented comment blocks used to
+// fail the exact-prefix match and silently suppress nothing.
+func TestSuppressionSurvivesTabsAndDocGroups(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"fixture/internal/core": {"a.go": "package core\n" +
+			"\n" +
+			"func eq(a, b float64) bool {\n" +
+			"\t//lint:ignore\tfloateq\ttab-separated fields must parse\n" +
+			"\treturn a == b\n" +
+			"}\n" +
+			"\n" +
+			"// eq2 compares floats.\n" +
+			"//lint:ignore floateq directive inside a doc-comment group\n" +
+			"func eq2() bool {\n" +
+			"\tvar a, b float64\n" +
+			"\treturn a == b\n" +
+			"}\n"},
+	}
+	got := findingsOf(t, FloatEq, overlay, "fixture/internal/core")
+	// The doc-group directive sits two lines above eq2's comparison, so it
+	// does not suppress it — but it must parse as well-formed (no malformed
+	// report) and the tab-separated one must suppress its line.
+	wantFindings(t, got, "floating-point == comparison")
+	if !strings.Contains(got[0], "a.go:12:") {
+		t.Errorf("only eq2's comparison at line 12 should survive, got %q", got[0])
+	}
+	pkgs := loadFixture(t, overlay, "fixture/internal/core")
+	if bad := CheckDirectives(pkgs); len(bad) != 0 {
+		t.Errorf("both directives are well-formed, got %v", bad)
+	}
+}
+
+// TestSuppressionAppliesLineBelowDirective pins the adjacency contract: a
+// directive suppresses its own line and the line directly below, nothing
+// further.
+func TestSuppressionAppliesLineBelowDirective(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"fixture/internal/core": {"a.go": `package core
+
+func eq(a, b float64) bool {
+	//lint:ignore floateq reason on the line above
+
+	return a == b
+}
+`},
+	}
+	got := findingsOf(t, FloatEq, overlay, "fixture/internal/core")
+	wantFindings(t, got, "floating-point == comparison")
+}
+
+func TestDeterminismPolicyRowsCarryReasons(t *testing.T) {
+	for _, row := range DeterminismPolicy {
+		if row.Suffix == "" || row.Reason == "" {
+			t.Errorf("policy row %+v: every entry needs a suffix and an on-record reason", row)
+		}
+	}
+}

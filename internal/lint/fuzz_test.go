@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseIgnoreDirective hammers the directive parser with arbitrary
+// comment text. Invariants: never panic; ok implies isDirective; a parsed
+// analyzer name is a single non-empty field and the reason is non-empty —
+// the properties CheckDirectives and the suppression index rely on.
+func FuzzParseIgnoreDirective(f *testing.F) {
+	f.Add("//lint:ignore floateq documented reason")
+	f.Add("//lint:ignore\thotalloc\ttab separated")
+	f.Add("//lint:ignore")
+	f.Add("//lint:ignore onlyanalyzer")
+	f.Add("//lint:ignoreX not a directive")
+	f.Add("// plain comment")
+	f.Add("//")
+	f.Add("")
+	f.Add("//\t lint:ignore errflow leading whitespace")
+
+	f.Fuzz(func(t *testing.T, comment string) {
+		analyzer, reason, isDirective, ok := parseIgnoreDirective(comment)
+		if ok && !isDirective {
+			t.Fatalf("ok without isDirective for %q", comment)
+		}
+		if !ok {
+			if analyzer != "" || reason != "" {
+				t.Fatalf("failed parse must zero its outputs, got (%q, %q) for %q", analyzer, reason, comment)
+			}
+			return
+		}
+		if analyzer == "" || strings.ContainsAny(analyzer, " \t\n") {
+			t.Fatalf("analyzer %q must be one non-empty field (from %q)", analyzer, comment)
+		}
+		if strings.TrimSpace(reason) == "" {
+			t.Fatalf("reason must be non-empty, got %q from %q", reason, comment)
+		}
+	})
+}

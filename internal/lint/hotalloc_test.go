@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHotAllocFlagsDirectViolations(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"fixture/internal/core": {"a.go": `package core
+
+type op struct {
+	buf []int
+}
+
+//slicelint:hotpath
+func (o *op) Ingest(xs []int) {
+	tmp := []int{}
+	for _, x := range xs {
+		tmp = append(tmp, x)
+	}
+	o.buf = append(o.buf, tmp...)
+}
+`},
+	}
+	got := findingsOf(t, HotAlloc, overlay, "fixture/internal/core")
+	wantFindings(t, got,
+		"slice literal allocates",
+		"append to a function-local slice allocates",
+	)
+	// The field append (o.buf) is a persistent buffer and must not be flagged.
+	for _, f := range got {
+		if strings.Contains(f, "o.buf") {
+			t.Errorf("field append flagged: %s", f)
+		}
+	}
+}
+
+func TestHotAllocFollowsTransitiveCalleesAcrossPackages(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"fixture/internal/core": {"a.go": `package core
+
+import "fixture/internal/util"
+
+//slicelint:hotpath
+func Ingest(x int) int { return util.Helper(x) }
+`},
+		"fixture/internal/util": {"u.go": `package util
+
+import "fmt"
+
+func Helper(x int) int {
+	fmt.Println(x)
+	return x
+}
+`},
+	}
+	got := findingsOf(t, HotAlloc, overlay, "fixture/internal/core", "fixture/internal/util")
+	wantFindings(t, got, "fmt.Println allocates")
+	if !strings.Contains(got[0], "hot via core.Ingest") {
+		t.Errorf("transitive finding should name the hot seed, got %q", got[0])
+	}
+}
+
+func TestHotAllocBoxingAndClosureCapture(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"fixture/internal/core": {"a.go": `package core
+
+func sink(v any)
+
+//slicelint:hotpath
+func Ingest(x int) func() {
+	sink(x)
+	n := 0
+	f := func() { n++ }
+	n = x
+	return f
+}
+
+//slicelint:hotpath
+func ReadOnlyCapture(xs []int, limit int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	pred := func(x int) bool { return x < limit }
+	if pred(total) {
+		return total
+	}
+	return limit
+}
+`},
+	}
+	got := findingsOf(t, HotAlloc, overlay, "fixture/internal/core")
+	wantFindings(t, got,
+		"boxes the value",
+		"closure captures n by reference",
+	)
+}
+
+func TestHotAllocStopsAtColdpathAndAllowsPools(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"fixture/internal/core": {"a.go": `package core
+
+import "sync"
+
+var pool sync.Pool
+
+type slice struct{ ev []int }
+
+//slicelint:hotpath
+func Ingest(x int) *slice {
+	s := newSlice()
+	s.ev = append(s.ev, x)
+	if x < 0 {
+		repair(x)
+	}
+	return s
+}
+
+// newSlice is a pool miss-constructor: its allocation amortizes away.
+func newSlice() *slice {
+	if v := pool.Get(); v != nil {
+		return v.(*slice)
+	}
+	return &slice{ev: make([]int, 0, 8)}
+}
+
+//slicelint:coldpath out-of-order repair runs per late tuple, not per in-order tuple
+func repair(x int) {
+	_ = make([]int, x)
+}
+`},
+	}
+	got := findingsOf(t, HotAlloc, overlay, "fixture/internal/core")
+	wantFindings(t, got)
+}
+
+func TestHotAllocAnnotationHygiene(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"fixture/internal/core": {"a.go": `package core
+
+//slicelint:coldpath
+func a() {}
+
+//slicelint:frobnicate some reason
+func b() {}
+`},
+	}
+	got := findingsOf(t, HotAlloc, overlay, "fixture/internal/core")
+	wantFindings(t, got,
+		"needs a reason",
+		"unknown //slicelint:frobnicate annotation",
+	)
+}
+
+func TestHotAllocSuppression(t *testing.T) {
+	overlay := map[string]map[string]string{
+		"fixture/internal/core": {"a.go": `package core
+
+//slicelint:hotpath
+func Ingest(x int) []int {
+	//lint:ignore hotalloc first-call warmup only; steady state reuses the buffer
+	out := make([]int, 0, x)
+	return out
+}
+`},
+	}
+	got := findingsOf(t, HotAlloc, overlay, "fixture/internal/core")
+	wantFindings(t, got)
+}

@@ -58,17 +58,44 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Analyzer is one named check over a type-checked package.
+// Analyzer is one named check. Per-package analyzers set Run and see one
+// package at a time; whole-program analyzers set RunProgram and see every
+// loaded package in a single pass — that is what lets them follow calls and
+// type identities across package boundaries (call-graph reachability,
+// registry completeness, cross-package field access).
 type Analyzer struct {
 	// Name identifies the analyzer in reports and ignore directives.
 	Name string
 	// Doc is a one-line description shown by the driver.
 	Doc string
 	// Applies reports whether the analyzer audits the package at all;
-	// nil means every package.
+	// nil means every package. Ignored for program analyzers.
 	Applies func(pkg *Package) bool
-	// Run inspects the package and reports findings through the pass.
+	// Run inspects one package and reports findings through the pass.
 	Run func(p *Pass)
+	// RunProgram inspects every loaded package at once. An analyzer sets
+	// exactly one of Run and RunProgram.
+	RunProgram func(p *ProgramPass)
+}
+
+// ProgramPass carries the whole loaded program through one whole-program
+// analyzer run.
+type ProgramPass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Pkgs are all loaded packages, in load order.
+	Pkgs []*Package
+	// findings accumulates reports.
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos, resolved against pkg's file set.
+func (p *ProgramPass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
 }
 
 // Finding is one reported violation.
@@ -84,27 +111,83 @@ func (f Finding) String() string {
 
 // All returns the repository's analyzer suite.
 func All() []*Analyzer {
-	return []*Analyzer{AggContract, Nondeterminism, ChanHygiene, FloatEq, RecoverWrap}
+	return []*Analyzer{
+		AggContract, Nondeterminism, ChanHygiene, FloatEq, RecoverWrap,
+		HotAlloc, CodecComplete, ErrFlow, AtomicMix,
+	}
+}
+
+// DeterminismPolicy classifies this module's packages for the
+// nondeterminism analyzer. Deterministic packages must compute a pure
+// function of the input stream; exempt packages carry the reason on record
+// so the exemption stays auditable. Packages not listed are not audited —
+// adding a new package to either column is a one-line change here, not an
+// analyzer edit.
+var DeterminismPolicy = []PkgPolicy{
+	{Suffix: "internal/core", Deterministic: true,
+		Reason: "the slicing core: replays must be bit-exact"},
+	{Suffix: "internal/aggregate", Deterministic: true,
+		Reason: "aggregate kernels feed windows; order effects corrupt results"},
+	{Suffix: "internal/baselines", Deterministic: true,
+		Reason: "baselines must agree with core on identical inputs"},
+	{Suffix: "internal/window", Deterministic: true,
+		Reason: "window assignment decides result membership"},
+	{Suffix: "internal/engine", Deterministic: true,
+		Reason: "the engine injects its clock via Config.Clock"},
+	{Suffix: "internal/benchutil", Deterministic: false,
+		Reason: "measures wall-clock time; that is its job"},
+	{Suffix: "internal/chaos", Deterministic: false,
+		Reason: "fault schedules draw from an explicitly seeded rand.Rand"},
+	{Suffix: "internal/experiments", Deterministic: false,
+		Reason: "experiment drivers seed their own generators per figure"},
+}
+
+// PkgPolicy is one row of DeterminismPolicy.
+type PkgPolicy struct {
+	// Suffix matches the package import path at a segment boundary
+	// (PkgPathHasSuffix), so fixture modules match the same rows.
+	Suffix string
+	// Deterministic selects whether nondeterminism audits the package.
+	Deterministic bool
+	// Reason documents why the package is (or is not) audited.
+	Reason string
 }
 
 // Run applies every analyzer to every package and returns the surviving
-// (non-suppressed) findings sorted by position.
+// (non-suppressed) findings sorted by position. Per-package analyzers run
+// package by package; program analyzers run once over the whole load. A
+// panicking analyzer does not abort the run: the panic is recovered into a
+// diagnostic finding naming the analyzer, and the remaining analyzers still
+// run.
 func Run(analyzers []*Analyzer, pkgs []*Package) []Finding {
-	var out []Finding
+	ig := ignoreSet{byLine: map[string]map[int][]string{}}
 	for _, pkg := range pkgs {
-		ig := collectIgnores(pkg)
-		var raw []Finding
+		collectIgnores(&ig, pkg)
+	}
+	var raw []Finding
+	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			if a.Applies != nil && !a.Applies(pkg) {
 				continue
 			}
 			pass := &Pass{Analyzer: a, Pkg: pkg, findings: &raw}
-			a.Run(pass)
+			protect(a, &raw, func() { a.Run(pass) })
 		}
-		for _, f := range raw {
-			if !ig.suppresses(f) {
-				out = append(out, f)
-			}
+	}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		pp := &ProgramPass{Analyzer: a, Pkgs: pkgs, findings: &raw}
+		protect(a, &raw, func() { a.RunProgram(pp) })
+	}
+	var out []Finding
+	for _, f := range raw {
+		if !ig.suppresses(f) {
+			out = append(out, f)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -123,6 +206,20 @@ func Run(analyzers []*Analyzer, pkgs []*Package) []Finding {
 	return out
 }
 
+// protect runs fn, converting a panic into a diagnostic finding that names
+// the analyzer, so one buggy analyzer cannot take down the whole run.
+func protect(a *Analyzer, findings *[]Finding, fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			*findings = append(*findings, Finding{
+				Analyzer: "internal",
+				Message:  fmt.Sprintf("analyzer %s panicked: %v", a.Name, r),
+			})
+		}
+	}()
+	fn()
+}
+
 // ---------------------------------------------------------- suppressions ---
 
 // ignoreSet records //lint:ignore directives per file and line.
@@ -131,24 +228,43 @@ type ignoreSet struct {
 	byLine map[string]map[int][]string
 }
 
-// collectIgnores scans every comment in the package for ignore directives.
-// A directive suppresses matching findings on its own line and on the line
-// immediately below (the conventional "comment above the statement" form).
-func collectIgnores(pkg *Package) ignoreSet {
-	ig := ignoreSet{byLine: map[string]map[int][]string{}}
+// parseIgnoreDirective parses one comment's text as a //lint:ignore
+// directive. isDirective reports whether the comment is a lint:ignore at
+// all; a directive with an empty analyzer name or an empty reason returns
+// ok=false, which CheckDirectives reports as malformed. Parsing is
+// whitespace-shape agnostic: tabs or multiple spaces between the keyword,
+// the analyzer name, and the reason all parse the same, as do directives
+// whose comment text carries leading whitespace (indented blocks,
+// doc-comment groups).
+func parseIgnoreDirective(comment string) (analyzer, reason string, isDirective, ok bool) {
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	rest, found := strings.CutPrefix(text, "lint:ignore")
+	if !found {
+		return "", "", false, false
+	}
+	// "lint:ignoreX" is some other token, not a malformed directive.
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", "", false, false
+	}
+	parts := strings.Fields(rest)
+	if len(parts) < 2 {
+		return "", "", true, false
+	}
+	return parts[0], strings.Join(parts[1:], " "), true, true
+}
+
+// collectIgnores scans every comment in the package for ignore directives
+// and merges them into ig. A directive suppresses matching findings on its
+// own line and on the line immediately below (the conventional "comment
+// above the statement" form).
+func collectIgnores(ig *ignoreSet, pkg *Package) {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, "lint:ignore ") {
-					continue
-				}
-				rest := strings.TrimPrefix(text, "lint:ignore ")
-				parts := strings.Fields(rest)
-				if len(parts) < 2 {
-					// A directive without a reason is itself reported by
-					// the driver via CheckDirectives; ignore it here.
+				analyzer, _, _, ok := parseIgnoreDirective(c.Text)
+				if !ok {
+					// Malformed directives are reported by
+					// CheckDirectives; they suppress nothing.
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
@@ -157,12 +273,11 @@ func collectIgnores(pkg *Package) ignoreSet {
 					m = map[int][]string{}
 					ig.byLine[pos.Filename] = m
 				}
-				m[pos.Line] = append(m[pos.Line], parts[0])
-				m[pos.Line+1] = append(m[pos.Line+1], parts[0])
+				m[pos.Line] = append(m[pos.Line], analyzer)
+				m[pos.Line+1] = append(m[pos.Line+1], analyzer)
 			}
 		}
 	}
-	return ig
 }
 
 func (ig ignoreSet) suppresses(f Finding) bool {
@@ -182,12 +297,8 @@ func CheckDirectives(pkgs []*Package) []Finding {
 		for _, f := range pkg.Files {
 			for _, cg := range f.Comments {
 				for _, c := range cg.List {
-					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
-					if !strings.HasPrefix(text, "lint:ignore") {
-						continue
-					}
-					parts := strings.Fields(strings.TrimPrefix(text, "lint:ignore"))
-					if len(parts) < 2 {
+					_, _, isDirective, ok := parseIgnoreDirective(c.Text)
+					if isDirective && !ok {
 						out = append(out, Finding{
 							Analyzer: "directive",
 							Pos:      pkg.Fset.Position(c.Pos()),

@@ -1,10 +1,12 @@
 package lint
 
 import (
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"go/types"
 	"os"
@@ -91,6 +93,51 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
+}
+
+// LoadLenient is Load for drivers that should keep going when a package is
+// broken: a package that fails to parse or type-check is reported as a
+// Finding (analyzer "load", positioned at the first error when one is
+// available) instead of aborting the whole run, and every healthy package is
+// still returned for analysis. Only pattern-expansion failures — an
+// unreadable module tree — are returned as a hard error.
+func (l *Loader) LoadLenient(patterns ...string) ([]*Package, []Finding, error) {
+	l.init()
+	paths, err := l.expand(patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	pkgs := make([]*Package, 0, len(paths))
+	var findings []Finding
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			findings = append(findings, loadFinding(p, err))
+			continue
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, findings, nil
+}
+
+// loadFinding converts a package load failure into a diagnostic finding,
+// digging the first precise source position out of parser and type-checker
+// error values when present.
+func loadFinding(path string, err error) Finding {
+	pos := token.Position{Filename: path}
+	var perrs scanner.ErrorList
+	var terr types.Error
+	switch {
+	case errors.As(err, &perrs) && len(perrs) > 0:
+		pos = perrs[0].Pos
+	case errors.As(err, &terr) && terr.Fset != nil:
+		pos = terr.Fset.Position(terr.Pos)
+	}
+	return Finding{
+		Analyzer: "load",
+		Pos:      pos,
+		Message:  fmt.Sprintf("package %s failed to load: %v", path, err),
+	}
 }
 
 func (l *Loader) expand(patterns []string) ([]string, error) {
@@ -235,6 +282,7 @@ func (l *Loader) loadUncached(path string) (*Package, error) {
 
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
 		Defs:       map[*ast.Ident]types.Object{},
 		Uses:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
@@ -251,7 +299,7 @@ func (l *Loader) loadUncached(path string) (*Package, error) {
 		return nil, err
 	}
 	if len(typeErrs) > 0 {
-		return nil, fmt.Errorf("type errors: %v", typeErrs[0])
+		return nil, fmt.Errorf("type errors: %w", typeErrs[0])
 	}
 	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
 }

@@ -5,21 +5,9 @@ import (
 	"go/types"
 )
 
-// deterministicPkgs are the packages whose outputs must be a pure function
-// of the input stream: the slicing core, the aggregate kernels, the baseline
-// operators, the window definitions, and (after clock injection) the engine.
-// internal/benchutil is deliberately absent — it measures wall-clock time,
-// which is its job.
-var deterministicPkgs = []string{
-	"internal/core",
-	"internal/aggregate",
-	"internal/baselines",
-	"internal/window",
-	"internal/engine",
-}
-
 // Nondeterminism flags the three ways nondeterminism leaks into the
-// deterministic packages:
+// deterministic packages (those DeterminismPolicy in lint.go marks
+// Deterministic; exemptions live in the same table, with reasons):
 //
 //  1. time.Now() — wall-clock reads; inject a clock (func() time.Time)
 //     instead, as internal/engine.Config.Clock does.
@@ -33,9 +21,9 @@ var Nondeterminism = &Analyzer{
 	Name: "nondeterminism",
 	Doc:  "flags wall-clock reads, global rand sources, and order-leaking map iteration in deterministic packages",
 	Applies: func(pkg *Package) bool {
-		for _, s := range deterministicPkgs {
-			if PkgPathHasSuffix(pkg, s) {
-				return true
+		for _, row := range DeterminismPolicy {
+			if PkgPathHasSuffix(pkg, row.Suffix) {
+				return row.Deterministic
 			}
 		}
 		return false
@@ -61,10 +49,19 @@ func runNondeterminism(p *Pass) {
 }
 
 // staticCallee resolves a call to the *types.Func it invokes, or nil for
-// calls through function values, built-ins, and type conversions.
+// calls through function values, built-ins, and type conversions. Explicit
+// generic instantiations (f[T](x), recorded as index expressions) resolve to
+// the generic function.
 func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch ix := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(ix.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(ix.X)
+	}
 	var id *ast.Ident
-	switch fun := ast.Unparen(call.Fun).(type) {
+	switch fun := fun.(type) {
 	case *ast.Ident:
 		id = fun
 	case *ast.SelectorExpr:

@@ -29,6 +29,18 @@ echo '== chaos: crash/torn-snapshot/barrier-fault equivalence'
 # suite to shake out order dependence between recovered state and fresh state.
 go test ./internal/chaos/... -race -count=2
 
+echo '== fuzz smoke (30s total; skip with SKIP_FUZZ=1)'
+# Each fuzz target gets a short randomized burst on top of its checked-in
+# seed corpus: the envelope decoder must never panic on arbitrary bytes
+# (recovery reads checkpoint files straight off disk), and the lint
+# directive parser backs every suppression in the tree.
+if [ "${SKIP_FUZZ:-0}" = "1" ]; then
+  echo 'skipped (SKIP_FUZZ=1)'
+else
+  go test ./internal/checkpoint -run '^$' -fuzz '^FuzzDecodeEnvelope$' -fuzztime 15s
+  go test ./internal/lint -run '^$' -fuzz '^FuzzParseIgnoreDirective$' -fuzztime 15s
+fi
+
 echo '== benchmark smoke (fig 8 quick, JSON artifact)'
 # Stash the committed reference before regenerating in place.
 cp BENCH_fig8.json BENCH_fig8.ref.json
