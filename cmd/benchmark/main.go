@@ -11,6 +11,7 @@
 //	benchmark -fig 15         # split (recompute) cost
 //	benchmark -fig 16         # impact of window measures
 //	benchmark -fig 17         # parallel stream slicing
+//	benchmark -fig taillat    # per-tuple tail latency of the slice stores
 //	benchmark -fig table1     # memory formulas vs measurement
 //	benchmark -fig ablation   # design-choice ablations
 //	benchmark -fig all        # everything
@@ -41,7 +42,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchmark", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	fig := fs.String("fig", "", "experiment id: 8..17, table1, ablation, or all")
+	fig := fs.String("fig", "", "experiment id: 8..17, table1, taillat, ablation, or all")
 	full := fs.Bool("full", false, "run at the paper-sized scale")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonPath := fs.String("json", "", "also write the results as machine-readable JSON to this path")

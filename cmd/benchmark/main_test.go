@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -75,5 +76,55 @@ func TestJSONRecordingArtifact(t *testing.T) {
 	// The recording must be detached after the run.
 	if benchutil.Rec != nil {
 		t.Fatal("recording left active after run")
+	}
+}
+
+// TestJSONLatencyQuantiles drives the tail-latency figure through the -json
+// path and checks the contract the benchdiff p99 gate depends on: every
+// point of every slice-store series carries latency quantiles that are
+// finite, positive, and monotone (p50 <= p99 <= p999 <= max). A +Inf or
+// inverted quantile here would silently corrupt the committed reference the
+// CI gate diffs against.
+func TestJSONLatencyQuantiles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_taillat.json")
+	var out, errOut strings.Builder
+	if code := run([]string{"-fig", "taillat", "-json", path}, &out, &errOut); code != 0 {
+		t.Fatalf("benchmark -fig taillat -json exited %d: %s", code, errOut.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec benchutil.Recording
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if rec.Figure != "taillat" || len(rec.Points) == 0 {
+		t.Fatalf("unexpected recording: figure=%q points=%d", rec.Figure, len(rec.Points))
+	}
+	seen := map[string]int{}
+	for _, p := range rec.Points {
+		seen[p.Series]++
+		q := p.LatencyNS
+		if q == nil {
+			t.Fatalf("point %s x=%v has no latency quantiles", p.Series, p.X)
+		}
+		for _, name := range []string{"p50", "p99", "p999", "max"} {
+			v, ok := q[name]
+			if !ok {
+				t.Fatalf("point %s x=%v missing quantile %q: %v", p.Series, p.X, name, q)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				t.Fatalf("point %s x=%v quantile %s = %v, want finite positive", p.Series, p.X, name, v)
+			}
+		}
+		if !(q["p50"] <= q["p99"] && q["p99"] <= q["p999"] && q["p999"] <= q["max"]) {
+			t.Fatalf("point %s x=%v quantiles not monotone: %v", p.Series, p.X, q)
+		}
+	}
+	for _, series := range []string{"lazy-slicing", "eager-slicing", "daba-slicing"} {
+		if seen[series] == 0 {
+			t.Fatalf("taillat recording missing series %q (saw %v)", series, seen)
+		}
 	}
 }

@@ -6,6 +6,7 @@
 //	scotty -window tumbling -length 5000 -agg sum < events.csv
 //	scotty -window session -gap 1000 -agg mean -demo 100000
 //	scotty -window sliding -length 10000 -slide 2000 -agg p90 -ooo 0.2
+//	scotty -window sliding -length 10000 -slide 2000 -store daba -demo 100000
 //
 // Input events may arrive out of order; results are emitted on periodic
 // watermarks, late events produce update rows. Epoch-millisecond timestamps
@@ -63,6 +64,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		slide    = fs.Int64("slide", 0, "slide step for sliding windows (ms)")
 		gap      = fs.Int64("gap", 1000, "inactivity gap for session windows (ms)")
 		aggName  = fs.String("agg", "sum", "sum | count | mean | min | max | median | p90 | m4")
+		store    = fs.String("store", "lazy", "slice store: lazy | eager | daba (daba assumes in-order input and forces -lateness 0)")
 		demo     = fs.Int("demo", 0, "generate N demo events instead of reading stdin")
 		ooo      = fs.Float64("ooo", 0, "fraction of demo events delivered out of order")
 		lateness = fs.Int64("lateness", 2000, "allowed lateness (ms)")
@@ -77,6 +79,32 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	def, step := makeWindow(*winType, *length, *slide, *gap, stderr)
 	if def == nil {
 		return 2
+	}
+
+	var kind core.StoreKind
+	switch *store {
+	case "lazy":
+		kind = core.StoreLazy
+	case "eager":
+		kind = core.StoreEager
+	case "daba":
+		kind = core.StoreDABA
+	default:
+		fmt.Fprintf(stderr, "unknown store %q\n", *store)
+		return 2
+	}
+	ordered := kind == core.StoreDABA
+	if ordered {
+		// DABA rings are FIFO structures over closed slices; they require
+		// the in-order processing mode, which admits no late tuples.
+		if *ooo > 0 {
+			fmt.Fprintln(stderr, "-store daba requires in-order input; drop -ooo")
+			return 2
+		}
+		if *lateness != 0 {
+			fmt.Fprintln(stderr, "note: -store daba forces -lateness 0 (in-order mode)")
+			*lateness = 0
+		}
 	}
 
 	var ms *metricsServer
@@ -123,7 +151,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		}
 	}
 
-	q := queryEnv{lateness: *lateness, ckptDir: *ckptDir, runItems: runItems, rb: rb, ms: ms, stdout: stdout, stderr: stderr}
+	q := queryEnv{lateness: *lateness, store: kind, ordered: ordered, ckptDir: *ckptDir, runItems: runItems, rb: rb, ms: ms, stdout: stdout, stderr: stderr}
 	switch *aggName {
 	case "sum":
 		return runQuery(def, aggregate.Sum[float64](ident), q)
@@ -242,6 +270,8 @@ func (rb *rebaser) unshift(t int64) int64 { return t + rb.off }
 // into runQuery, which is generic over the aggregate's partial/result types.
 type queryEnv struct {
 	lateness int64
+	store    core.StoreKind
+	ordered  bool
 	ckptDir  string
 	runItems func(func(stream.Item[float64]))
 	rb       *rebaser
@@ -252,7 +282,7 @@ type queryEnv struct {
 
 func runQuery[A any, Out any](def window.Definition, f aggregate.Function[float64, A, Out], q queryEnv) int {
 	rb, ms, stdout, stderr := q.rb, q.ms, q.stdout, q.stderr
-	opts := core.Options{Lateness: q.lateness}
+	opts := core.Options{Lateness: q.lateness, Store: q.store, Ordered: q.ordered}
 	if ms != nil {
 		opts.Metrics = ms.reg
 	}

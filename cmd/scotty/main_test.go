@@ -69,6 +69,34 @@ func TestSessionAndHolisticAggregates(t *testing.T) {
 	}
 }
 
+// TestStoreFlagSelectsDABA: every store kind must print the same windows for
+// the same in-order CSV stream, and the daba store must reject flags that
+// imply out-of-order input.
+func TestStoreFlagSelectsDABA(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&b, "%d,%d\n", i*50, i%7)
+	}
+	args := func(store string) []string {
+		return []string{"-window", "sliding", "-length", "2000", "-slide", "500", "-agg", "sum", "-store", store}
+	}
+	want := runScotty(t, args("lazy"), b.String())
+	checkRows(t, want)
+	for _, store := range []string{"eager", "daba"} {
+		if got := runScotty(t, args(store), b.String()); got != want {
+			t.Fatalf("-store %s output diverged from lazy:\n%s\nvs\n%s", store, got, want)
+		}
+	}
+
+	var out, errOut strings.Builder
+	if code := run(context.Background(), []string{"-store", "heap", "-demo", "10"}, strings.NewReader(""), &out, &errOut); code == 0 {
+		t.Fatal("unknown store should exit non-zero")
+	}
+	if code := run(context.Background(), []string{"-store", "daba", "-ooo", "0.2", "-demo", "10"}, strings.NewReader(""), &out, &errOut); code == 0 {
+		t.Fatal("-store daba with -ooo should exit non-zero")
+	}
+}
+
 func TestUnknownFlagsExitNonZero(t *testing.T) {
 	var out, errOut strings.Builder
 	if code := run(context.Background(), []string{"-agg", "nope", "-demo", "10"}, strings.NewReader(""), &out, &errOut); code == 0 {

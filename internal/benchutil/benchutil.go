@@ -22,6 +22,7 @@ type Technique string
 const (
 	LazySlicing  Technique = "lazy-slicing"  // general stream slicing, lazy store
 	EagerSlicing Technique = "eager-slicing" // general stream slicing, eager tree
+	DABASlicing  Technique = "daba-slicing"  // general stream slicing, DABA-Lite store (worst-case O(1))
 	Pairs        Technique = "pairs"         // Krishnamurthy et al. [28]
 	Cutty        Technique = "cutty"         // Carbone et al. [10]
 	Buckets      Technique = "buckets"       // WID / Flink aggregate buckets
@@ -32,11 +33,14 @@ const (
 
 // AllTechniques lists every technique for sweep experiments.
 var AllTechniques = []Technique{
-	LazySlicing, EagerSlicing, Pairs, Cutty, Buckets, TupleBuffer, AggTree,
+	LazySlicing, EagerSlicing, DABASlicing, Pairs, Cutty, Buckets, TupleBuffer, AggTree,
 }
 
 // InOrderOnly reports whether the technique supports in-order streams only.
-func (t Technique) InOrderOnly() bool { return t == Pairs || t == Cutty }
+// DABA-Lite is an in-order structure by construction (FIFO pushes of closed
+// slices); on out-of-order streams the DABA store would silently degrade to
+// the lazy fold, so benchmarking it there would mislead.
+func (t Technique) InOrderOnly() bool { return t == Pairs || t == Cutty || t == DABASlicing }
 
 // Op drives one operator instance uniformly: feed an item, learn how many
 // results it emitted.
@@ -56,8 +60,8 @@ type Workload struct {
 func NewOp[A, Out any](t Technique, f aggregate.Function[stream.Tuple, A, Out], w Workload) (Op, error) {
 	defs := w.Defs()
 	switch t {
-	case LazySlicing, EagerSlicing:
-		ag := core.New(f, core.Options{Ordered: w.Ordered, Lateness: w.Lateness, Eager: t == EagerSlicing})
+	case LazySlicing, EagerSlicing, DABASlicing:
+		ag := core.New(f, core.Options{Ordered: w.Ordered, Lateness: w.Lateness, Store: storeKind(t)})
 		for _, d := range defs {
 			ag.MustAddQuery(d)
 		}
@@ -100,8 +104,8 @@ type BatchOp func(items []stream.Item[stream.Tuple]) int
 // the cost the batch path exists to amortize away).
 func NewBatchOp[A, Out any](t Technique, f aggregate.Function[stream.Tuple, A, Out], w Workload) (BatchOp, error) {
 	switch t {
-	case LazySlicing, EagerSlicing:
-		ag := core.New(f, core.Options{Ordered: w.Ordered, Lateness: w.Lateness, Eager: t == EagerSlicing})
+	case LazySlicing, EagerSlicing, DABASlicing:
+		ag := core.New(f, core.Options{Ordered: w.Ordered, Lateness: w.Lateness, Store: storeKind(t)})
 		for _, d := range w.Defs() {
 			ag.MustAddQuery(d)
 		}
@@ -120,6 +124,18 @@ func NewBatchOp[A, Out any](t Technique, f aggregate.Function[stream.Tuple, A, O
 			}
 			return n
 		}, nil
+	}
+}
+
+// storeKind maps a slicing technique to its core store selection.
+func storeKind(t Technique) core.StoreKind {
+	switch t {
+	case EagerSlicing:
+		return core.StoreEager
+	case DABASlicing:
+		return core.StoreDABA
+	default:
+		return core.StoreLazy
 	}
 }
 
@@ -153,6 +169,24 @@ func TumblingQueries(n int) []window.Definition {
 			length = 1000 + int64(i)*19000/int64(n-1)
 		}
 		defs[i] = window.Tumbling(stream.Time, length)
+	}
+	return defs
+}
+
+// SlidingQueries returns n concurrent sliding time-window queries with
+// lengths equally distributed between 1 and 20 seconds and a fifth-of-length
+// slide. Every emission advances the window by one slide and evicts the
+// slices that fell behind — the eviction-heavy workload of the tail-latency
+// figure, where store maintenance costs (fold length, tree compaction, ring
+// rotation) surface in the latency quantiles.
+func SlidingQueries(n int) []window.Definition {
+	defs := make([]window.Definition, n)
+	for i := 0; i < n; i++ {
+		length := int64(1000)
+		if n > 1 {
+			length = 1000 + int64(i)*19000/int64(n-1)
+		}
+		defs[i] = window.Sliding(stream.Time, length, length/5)
 	}
 	return defs
 }

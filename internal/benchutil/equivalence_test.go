@@ -94,6 +94,82 @@ func TestTechniquesAgreeUnderDisorder(t *testing.T) {
 	}
 }
 
+// TestDABASlicingAgreesInOrder is the equivalence oracle for daba-slicing.
+// The technique is in-order only, so instead of joining the disorder test
+// above it gets an ordered stream: identical final windows to lazy slicing
+// at the core layer, and Op/BatchOp emission-count parity through the
+// harness plumbing (NewOp and NewBatchOp both route it to core with
+// Store: StoreDABA).
+func TestDABASlicingAgreesInOrder(t *testing.T) {
+	in := MakeInput(stream.Football(), 60_000, stream.Disorder{}, 42)
+	defs := func() []window.Definition {
+		// An eviction-heavy sliding query on top of the tumbling set keeps
+		// the DABA rings popping as well as pushing.
+		return append(TumblingQueries(4), window.Sliding(stream.Time, 5000, 1000))
+	}
+
+	runCore := func(kind core.StoreKind) map[wkey]float64 {
+		op := core.New(SumFn(), core.Options{Ordered: true, Store: kind})
+		for _, def := range defs() {
+			op.MustAddQuery(def)
+		}
+		finals := map[wkey]float64{}
+		for _, it := range in.Items {
+			var rs []core.Result[float64]
+			if it.Kind == stream.KindEvent {
+				rs = op.ProcessElement(it.Event)
+			} else {
+				rs = op.ProcessWatermark(it.Watermark)
+			}
+			for _, r := range rs {
+				finals[wkey{r.Query, r.Start, r.End}] = r.Value
+			}
+		}
+		return finals
+	}
+
+	base := runCore(core.StoreLazy)
+	if len(base) < 30 {
+		t.Fatalf("suspiciously few windows: %d", len(base))
+	}
+	got := runCore(core.StoreDABA)
+	if len(got) != len(base) {
+		t.Fatalf("daba-slicing emitted %d windows, lazy %d", len(got), len(base))
+	}
+	for k, v := range base {
+		g, ok := got[k]
+		if !ok {
+			t.Fatalf("daba-slicing missing window %+v (lazy value %v)", k, v)
+		}
+		if math.Abs(g-v) > 1e-6 {
+			t.Fatalf("daba-slicing window %+v: %v, lazy slicing says %v", k, g, v)
+		}
+	}
+
+	w := Workload{Ordered: true, Defs: defs}
+	op, err := NewOp(DABASlicing, SumFn(), w)
+	if err != nil {
+		t.Fatalf("NewOp: %v", err)
+	}
+	var want int64
+	for _, it := range in.Items {
+		want += int64(op(it))
+	}
+	if want == 0 {
+		t.Fatal("harness daba-slicing Op emitted nothing")
+	}
+	for _, bs := range []int{7, 256} {
+		bop, err := NewBatchOp(DABASlicing, SumFn(), w)
+		if err != nil {
+			t.Fatalf("NewBatchOp: %v", err)
+		}
+		_, gotN := ThroughputBatched(bop, in, bs)
+		if gotN != want {
+			t.Fatalf("bs=%d: BatchOp emitted %d results, Op emitted %d", bs, gotN, want)
+		}
+	}
+}
+
 // TestBatchReplayAgreesWithTupleAtATime replays a disordered, watermark-
 // interleaved workload through the core batch path at several chunkings —
 // every chunk boundary lands mid-stream, so batches mix events, late tuples,

@@ -128,6 +128,45 @@ func MeasureBatch(series string, x any, op BatchOp, in Input, batchSize int) (tu
 	return tuplesPerSec, r
 }
 
+// MeasureTail replays the input like Measure but times every event — the
+// per-event clock cost is accepted because this runner feeds the latency
+// figures, where the quantiles are the result and throughput is incidental —
+// and returns the per-tuple latency quantile set (see obs sortedQuantiles,
+// plus "max"). The point is recorded when a recording is active; the
+// quantiles are returned either way.
+func MeasureTail(series string, x any, op Op, in Input) map[string]float64 {
+	lat := obs.NewHistogram(nil)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	var r int64
+	for _, it := range in.Items {
+		if it.Kind == stream.KindEvent {
+			t0 := time.Now()
+			r += int64(op(it))
+			lat.Observe(float64(time.Since(t0).Nanoseconds()))
+			continue
+		}
+		r += int64(op(it))
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	var tps float64
+	if elapsed > 0 {
+		tps = float64(in.Events) / elapsed.Seconds()
+	}
+	RecordPoint(Measurement{
+		Series:       series,
+		X:            x,
+		TuplesPerSec: tps,
+		Results:      r,
+		Events:       in.Events,
+		LatencyNS:    lat.Quantiles(),
+		BytesAlloc:   ms1.TotalAlloc - ms0.TotalAlloc,
+	})
+	return lat.Quantiles()
+}
+
 // Measure replays the input like Throughput and, when a recording is
 // active, also records the point under (series, x) with sampled per-item
 // latency quantiles and heap allocation. With no active recording it is

@@ -160,7 +160,7 @@ func formatResult(q int, start, end int64, value float64, n int64, update bool) 
 	return fmt.Sprintf("q%d [%d,%d) n=%d v=%.9g u=%t", q, start, end, n, value, update)
 }
 
-// sliceOp wraps the slicing core (lazy or eager); it is snapshottable.
+// sliceOp wraps the slicing core (any store kind); it is snapshottable.
 type sliceOp struct {
 	ag *core.Aggregator[stream.Tuple, float64, float64]
 }
@@ -235,20 +235,24 @@ func buildOperator(t benchutil.Technique) (operator, error) {
 	if ordered {
 		lateness = 0
 	}
-	newAg := func(eager bool) *core.Aggregator[stream.Tuple, float64, float64] {
-		ag := core.New(f, core.Options{Ordered: ordered, Lateness: lateness, Eager: eager})
+	newAg := func(kind core.StoreKind) *core.Aggregator[stream.Tuple, float64, float64] {
+		ag := core.New(f, core.Options{Ordered: ordered, Lateness: lateness, Store: kind})
 		for _, d := range defs {
 			ag.MustAddQuery(d)
 		}
 		return ag
 	}
 	switch t {
-	case benchutil.LazySlicing, benchutil.EagerSlicing:
-		return &sliceOp{ag: newAg(t == benchutil.EagerSlicing)}, nil
+	case benchutil.LazySlicing:
+		return &sliceOp{ag: newAg(core.StoreLazy)}, nil
+	case benchutil.EagerSlicing:
+		return &sliceOp{ag: newAg(core.StoreEager)}, nil
+	case benchutil.DABASlicing:
+		return &sliceOp{ag: newAg(core.StoreDABA)}, nil
 	case Keyed:
 		return &keyedOp{op: core.NewKeyed(
 			func(v stream.Tuple) int32 { return v.Key }, 0,
-			func() *core.Aggregator[stream.Tuple, float64, float64] { return newAg(false) },
+			func() *core.Aggregator[stream.Tuple, float64, float64] { return newAg(core.StoreLazy) },
 		)}, nil
 	case benchutil.Pairs:
 		return feedQueries(baselines.NewPairs(f), defs), nil

@@ -62,7 +62,7 @@ func TestCrashRecoveryEquivalence(t *testing.T) {
 // snapshottable techniques are the ones whose recovery restores state from
 // checkpoint files — the only ones torn files and barrier faults can affect.
 var snapshottableTechniques = []benchutil.Technique{
-	benchutil.LazySlicing, benchutil.EagerSlicing, Keyed,
+	benchutil.LazySlicing, benchutil.EagerSlicing, benchutil.DABASlicing, Keyed,
 }
 
 // TestTornSnapshotEquivalence tears every even-id snapshot file on disk (the

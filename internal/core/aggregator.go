@@ -23,8 +23,15 @@ type Options struct {
 	Lateness int64
 	// Eager maintains a FlatFAT aggregate tree over the slices, lowering
 	// output latency at the cost of per-tuple tree updates (Table 1 rows
-	// 5 vs 6; §6.2.4).
+	// 5 vs 6; §6.2.4). Deprecated alias for Store: StoreEager; ignored
+	// when Store is set to anything other than StoreLazy.
 	Eager bool
+	// Store selects the aggregation structure over the slice partials:
+	// StoreLazy (fold at emission), StoreEager (FlatFAT tree), or
+	// StoreDABA (per-query DABA-Lite rings with worst-case O(1) combines
+	// per operation; requires Ordered, falls back to the lazy fold for
+	// emissions the rings cannot serve).
+	Store StoreKind
 	// KeepTuples overrides the Fig 4 decision when non-nil (used by the
 	// ablation benchmarks).
 	KeepTuples *bool
@@ -135,6 +142,15 @@ type Aggregator[V, A, Out any] struct {
 	pendingUpdates []pendingUpdate
 	evictCountdown int
 
+	// dabaRings holds one DABA-Lite partial ring per eligible query when
+	// Options.Store == StoreDABA (see daba.go); ordered by query
+	// registration so snapshots are deterministic. dabaHits/dabaMisses
+	// count emissions the rings served vs. fell back on (test/benchmark
+	// introspection; not registry metrics).
+	dabaRings  []*dabaRing[A]
+	dabaHits   int64
+	dabaMisses int64
+
 	// Reusable trigger callback: window triggers take a func(s, e int64)
 	// emitter, and binding it fresh per call would capture the loop's query
 	// variable and allocate one closure per completed window. emitFn is
@@ -153,6 +169,12 @@ type pendingUpdate struct {
 
 // New creates an aggregator for the given aggregation function.
 func New[V, A, Out any](f aggregate.Function[V, A, Out], opts Options) *Aggregator[V, A, Out] {
+	// Normalize the legacy Eager flag into the Store kind so the rest of
+	// the operator branches on one field.
+	if opts.Eager && opts.Store == StoreLazy {
+		opts.Store = StoreEager
+	}
+	opts.Eager = opts.Store == StoreEager
 	keep := false
 	if opts.KeepTuples != nil {
 		keep = *opts.KeepTuples
@@ -294,6 +316,7 @@ func (ag *Aggregator[V, A, Out]) reconfigure() {
 		}
 	}
 	ag.st.keepTuples = keep
+	ag.syncDabaRings()
 	ag.refreshCFEdges()
 	ag.refreshTriggerWake()
 }
@@ -739,6 +762,23 @@ func (ag *Aggregator[V, A, Out]) trigger(prevWM, currWM, countWM int64) {
 }
 
 func (ag *Aggregator[V, A, Out]) emit(q *query[V], s, e int64, update bool) {
+	if !update && len(ag.dabaRings) > 0 {
+		if d := ag.dabaFor(q.id); d != nil {
+			if a, n, ok := ag.dabaServe(d, s, e); ok {
+				ag.dabaHits++
+				ag.results = append(ag.results, Result[Out]{
+					Query:   q.id,
+					Measure: stream.Time,
+					Start:   s,
+					End:     e,
+					Value:   ag.f.Lower(a),
+					N:       n,
+				})
+				return
+			}
+			ag.dabaMisses++
+		}
+	}
 	ag.emitSpan(q.id, q.def.Measure(), s, e, update)
 }
 

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"sort"
+
+	"scotty/internal/daba"
+	"scotty/internal/stream"
+)
+
+// StoreKind selects the aggregation structure maintained over the slice
+// partials (Table 1's store column, extended with the worst-case-constant
+// DABA store).
+type StoreKind uint8
+
+const (
+	// StoreLazy keeps only the slice sequence and folds partial aggregates
+	// at emission time (lazy slicing — Table 1 row 5).
+	StoreLazy StoreKind = iota
+	// StoreEager additionally maintains a FlatFAT tree over the slice
+	// aggregates for O(log s) final aggregation (eager slicing — row 6).
+	StoreEager
+	// StoreDABA maintains one DABA-Lite ring of closed-slice partials per
+	// context-free time-measure query, answering edge-aligned window
+	// emissions with a worst-case O(1) number of combines — no tree
+	// rebuilds, no O(window) folds, so tail latency stays flat under
+	// eviction-heavy sliding workloads. Requires Options.Ordered; emissions
+	// the rings cannot serve (count measures, context-aware queries,
+	// update corrections, misaligned spans after a query-set change) fall
+	// back to the lazy fold, which is always correct.
+	StoreDABA
+)
+
+// dabaSpan describes one partial pushed into a query's DABA ring: the slice's
+// end coordinate and its tuple count. Spans form a FIFO parallel to the
+// ring's partials, so pops know how far the front boundary advances.
+type dabaSpan struct {
+	end int64
+	n   int64
+}
+
+// dabaRing is the per-query DABA-Lite state: a window of closed-slice
+// partials covering [frontStart, next) on the query's time axis. Partials are
+// value copies taken at push time, so slice eviction, pooling, and merging in
+// the store never invalidate ring contents — only the *push frontier* can be
+// orphaned (e.g. a merge removed the boundary `next` points at), which the
+// serve path detects and repairs by rebuilding from the store.
+type dabaRing[A any] struct {
+	qid   int
+	win   *daba.Window[A]
+	meta  []dabaSpan // meta[mhead:] parallels win front-to-back
+	mhead int
+	// frontStart/next delimit the pushed coverage [frontStart, next);
+	// next is where pushing resumes. n is the tuple count across pushed
+	// partials (Result.N must count tuples, not slices).
+	frontStart int64
+	next       int64
+	n          int64
+}
+
+// pushMeta appends a span, compacting the dead prefix in place when it
+// reaches a quarter of the capacity (the same append-time policy as the
+// store ring; see reserveSpace).
+func (d *dabaRing[A]) pushMeta(sp dabaSpan) {
+	if len(d.meta) == cap(d.meta) && d.mhead*4 >= cap(d.meta) {
+		n := copy(d.meta, d.meta[d.mhead:])
+		d.meta = d.meta[:n]
+		d.mhead = 0
+	}
+	d.meta = append(d.meta, sp)
+}
+
+// dabaFor returns the ring serving query id, or nil.
+func (ag *Aggregator[V, A, Out]) dabaFor(id int) *dabaRing[A] {
+	for _, d := range ag.dabaRings {
+		if d.qid == id {
+			return d
+		}
+	}
+	return nil
+}
+
+// syncDabaRings reconciles the per-query rings with the current query set:
+// eligible queries (context-free, time measure, ordered input) keep or gain a
+// ring, removed queries lose theirs. Called from reconfigure.
+func (ag *Aggregator[V, A, Out]) syncDabaRings() {
+	if ag.opts.Store != StoreDABA {
+		return
+	}
+	rings := make([]*dabaRing[A], 0, len(ag.queries))
+	for _, q := range ag.queries {
+		if q.cf == nil || q.def.Measure() != stream.Time || !ag.opts.Ordered {
+			continue
+		}
+		if d := ag.dabaFor(q.id); d != nil {
+			rings = append(rings, d)
+			continue
+		}
+		rings = append(rings, &dabaRing[A]{
+			qid: q.id,
+			win: daba.New(ag.f.Identity(), ag.f.Combine),
+		})
+	}
+	ag.dabaRings = rings
+}
+
+// resetDaba empties a ring and re-anchors it at window start s; the serve
+// path rebuilds coverage from the store's slices.
+func (ag *Aggregator[V, A, Out]) resetDaba(d *dabaRing[A], s int64) {
+	if d.win.Len() > 0 {
+		d.win = daba.New(ag.f.Identity(), ag.f.Combine)
+	}
+	d.meta = d.meta[:0]
+	d.mhead = 0
+	d.n = 0
+	d.frontStart = s
+	d.next = s
+}
+
+// dabaServe answers a non-update, time-measure window emission [s, e) for
+// the query owning ring d. It advances the ring to the window — popping
+// partials that fell behind s, pushing closed slices up to e — and serves
+// the aggregate with one ring query plus at most one combine for the open
+// slice. Returns ok=false when the span cannot be served exactly (a boundary
+// was merged away, a slice straddles the span, or the open slice extends
+// past e); the caller then uses the lazy fold, which handles every case.
+//
+// Correctness of the open-slice shortcut: e is a context-free edge of the
+// owning query, and advanceTimeEdges cuts every pending edge <= ts before a
+// tuple at ts is appended — so the open slice can only contain tuples < e,
+// and the trigger fired at watermark >= e-1 means every tuple < e has
+// arrived. Both are re-checked structurally (open.Start == next,
+// open.TLast < e) rather than assumed.
+func (ag *Aggregator[V, A, Out]) dabaServe(d *dabaRing[A], s, e int64) (A, int64, bool) {
+	// Drop partials wholly before the window.
+	for d.win.Len() > 0 && d.meta[d.mhead].end <= s {
+		d.n -= d.meta[d.mhead].n
+		d.frontStart = d.meta[d.mhead].end
+		d.mhead++
+		d.win.Pop()
+	}
+	if d.win.Len() == 0 {
+		ag.resetDaba(d, s)
+	} else if d.frontStart != s {
+		// The ring's front boundary is not the window start: the trigger
+		// sequence diverged from the ring (query-set change, restored
+		// snapshot from a different cadence). Rebuild below.
+		ag.resetDaba(d, s)
+	}
+	// Extend coverage with closed slices up to e. Slices are contiguous, so
+	// each pushed slice must start exactly at the frontier.
+	if d.next < e {
+		sl := ag.st.slices
+		k := sort.Search(len(sl), func(i int) bool { return sl[i].Start >= d.next })
+		for k < len(sl) && sl[k].Start == d.next && sl[k].End <= e {
+			ps := sl[k]
+			d.win.Push(ps.Agg)
+			d.pushMeta(dabaSpan{end: ps.End, n: ps.N})
+			d.n += ps.N
+			d.next = ps.End
+			k++
+		}
+	}
+	if d.next == e {
+		if d.win.Len() == 0 {
+			return ag.f.Identity(), 0, true
+		}
+		return d.win.Query(), d.n, true
+	}
+	// The remainder [next, e) must be exactly the open slice's contents.
+	open := ag.st.open()
+	if open.Start != d.next || (open.N > 0 && open.TLast >= e) {
+		return ag.f.Identity(), 0, false
+	}
+	if open.N == 0 {
+		if d.win.Len() == 0 {
+			return ag.f.Identity(), 0, true
+		}
+		return d.win.Query(), d.n, true
+	}
+	if d.win.Len() == 0 {
+		return open.Agg, open.N, true
+	}
+	return ag.f.Combine(d.win.Query(), open.Agg), d.n + open.N, true
+}

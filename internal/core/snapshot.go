@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"scotty/internal/checkpoint"
+	"scotty/internal/daba"
 	"scotty/internal/fat"
 	"scotty/internal/stream"
 	"scotty/internal/window"
@@ -132,6 +133,37 @@ func (ag *Aggregator[V, A, Out]) encodeState(enc *checkpoint.Encoder) error {
 			}
 		}
 	}
+
+	// DABA rings travel verbatim — deque contents in their current
+	// (partially converted) form plus the region pointers — so restored
+	// emissions are bit-identical to the snapshotted operator's. Rebuilding
+	// by re-pushing partials would re-associate floating-point combines.
+	if ag.opts.Store == StoreDABA {
+		enc.Int(len(ag.dabaRings))
+		for _, d := range ag.dabaRings {
+			enc.Int(d.qid)
+			enc.Int64(d.frontStart)
+			enc.Int64(d.next)
+			enc.Int64(d.n)
+			live := d.meta[d.mhead:]
+			enc.Int(len(live))
+			for _, sp := range live {
+				enc.Int64(sp.end)
+				enc.Int64(sp.n)
+			}
+			ws := d.win.State()
+			enc.Int(len(ws.Buf))
+			for _, a := range ws.Buf {
+				aggC.Encode(enc, a)
+			}
+			enc.Int(ws.L)
+			enc.Int(ws.R)
+			enc.Int(ws.A)
+			enc.Int(ws.B)
+			aggC.Encode(enc, ws.MidSum)
+			aggC.Encode(enc, ws.BackSum)
+		}
+	}
 	return nil
 }
 
@@ -249,6 +281,54 @@ func (ag *Aggregator[V, A, Out]) decodeState(dec *checkpoint.Decoder) error {
 	st.totalCount = total
 	st.maxSeen = maxSeen
 	st.replaceSlices(slices)
+
+	if ag.opts.Store == StoreDABA {
+		nr := dec.Count()
+		if dec.Err() == nil && nr != len(ag.dabaRings) {
+			return fmt.Errorf("%w: snapshot has %d DABA rings, operator has %d", ErrSnapshotMismatch, nr, len(ag.dabaRings))
+		}
+		for i := 0; i < nr; i++ {
+			qid := dec.Int()
+			if dec.Err() != nil {
+				return dec.Err()
+			}
+			d := ag.dabaFor(qid)
+			if d == nil {
+				return fmt.Errorf("%w: snapshot carries a DABA ring for unknown query %d", ErrSnapshotMismatch, qid)
+			}
+			d.frontStart = dec.Int64()
+			d.next = dec.Int64()
+			d.n = dec.Int64()
+			d.meta, d.mhead = d.meta[:0], 0
+			for j, nm := 0, dec.Count(); j < nm; j++ {
+				d.meta = append(d.meta, dabaSpan{end: dec.Int64(), n: dec.Int64()})
+			}
+			var ws daba.State[A]
+			for j, nb := 0, dec.Count(); j < nb; j++ {
+				a, err := aggC.Decode(dec)
+				if err != nil {
+					return err
+				}
+				ws.Buf = append(ws.Buf, a)
+			}
+			ws.L, ws.R, ws.A, ws.B = dec.Int(), dec.Int(), dec.Int(), dec.Int()
+			var err error
+			if ws.MidSum, err = aggC.Decode(dec); err != nil {
+				return err
+			}
+			if ws.BackSum, err = aggC.Decode(dec); err != nil {
+				return err
+			}
+			if err := dec.Err(); err != nil {
+				return err
+			}
+			w := daba.Restore(ag.f.Identity(), ag.f.Combine, ws)
+			if w == nil || w.Len() != len(d.meta) {
+				return fmt.Errorf("%w: DABA ring state inconsistent", checkpoint.ErrCorruptSnapshot)
+			}
+			d.win = w
+		}
+	}
 
 	// Derived state: the slicer's edge caches and the trigger wake positions
 	// are recomputed from the restored queries and slices, and the shared

@@ -185,9 +185,24 @@ func (st *store[V, A, Out]) dropFront(k int) {
 }
 
 // reserveSpace compacts the dead prefix before an append would reallocate,
-// reusing the buffer instead of growing it. Compaction only runs when the
-// dead prefix is at least a quarter of the capacity, so its O(live) cost is
-// amortized over the appends that refilled the reclaimed space.
+// reusing the buffer instead of growing it.
+//
+// Compaction policy (store ring): append-time only, threshold one quarter.
+// An append that finds the buffer full reclaims the dead prefix when it is
+// at least a quarter of the capacity (each compaction then frees >= cap/4
+// slots, amortizing its O(live) copy over the appends that refill them) and
+// grows the buffer otherwise. Eviction (dropFront) never compacts: it only
+// advances head and nils the evicted slots, so the eviction hot path stays
+// copy-free, and a dead slot costs one nil pointer until the next full
+// append. This intentionally diverges from fat.Tree, which also compacts on
+// the evict side (RemoveFront, threshold one half): a dead FlatFAT leaf
+// keeps real aggregate values in the node array and inflates every
+// O(capacity) tree operation, while a dead slot here is 8 bytes of nil —
+// deferring to append time is free by comparison. Invariant (tested in
+// TestStoreDeadPrefixBounded): immediately after any append that found the
+// buffer full, head is either zero or below a quarter of the capacity, so
+// under push/evict lockstep the dead prefix and the buffer capacity both
+// stay bounded by a small constant times the live slice count.
 func (st *store[V, A, Out]) reserveSpace() {
 	if len(st.buf) < cap(st.buf) || st.head == 0 {
 		return

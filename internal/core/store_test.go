@@ -238,3 +238,35 @@ func TestEagerTreeTracksClosedSlices(t *testing.T) {
 		t.Fatal("unaligned fast path must refuse")
 	}
 }
+
+// TestStoreDeadPrefixBounded pins the slice ring's append-time compaction
+// policy (see reserveSpace): under push/evict lockstep, an append that found
+// the buffer full leaves the dead prefix empty or under a quarter of the
+// capacity, and the buffer capacity stays bounded by a small multiple of the
+// live slice count — eviction alone never copies, but dead slots are always
+// reclaimed before the buffer would grow around them.
+func TestStoreDeadPrefixBounded(t *testing.T) {
+	st := sumStore(false, false)
+	const live = 64
+	for i := 0; i < live; i++ {
+		st.pushSlice(st.newSlice(int64(i), int64(i+1), 0))
+	}
+	for i := 0; i < 100_000; i++ {
+		full := len(st.buf) == cap(st.buf)
+		st.pushSlice(st.newSlice(int64(live+i), int64(live+i+1), 0))
+		if full && st.head != 0 && st.head*4 >= cap(st.buf) {
+			t.Fatalf("op %d: full append left dead prefix %d of cap %d (>= 1/4)",
+				i, st.head, cap(st.buf))
+		}
+		st.dropFront(1)
+		if st.head > len(st.buf) {
+			t.Fatalf("op %d: head %d beyond buffer %d", i, st.head, len(st.buf))
+		}
+		if c := cap(st.buf); c > 8*live+64 {
+			t.Fatalf("op %d: capacity %d unbounded for ~%d live slices", i, c, live)
+		}
+		if st.Len() != live+1 {
+			t.Fatalf("op %d: live view %d, want %d", i, st.Len(), live+1)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package daba implements DABA-Lite: in-order sliding-window aggregation
+// with a worst-case constant number of combine calls per operation
+// (Tangwongsan, Hirzel, Schneider — "In-Order Sliding-Window Aggregation in
+// Worst-Case Constant Time", VLDB J. 2021). The structure is a FIFO of
+// partial aggregates supporting Push (append at the back), Pop (evict the
+// front) and Query (aggregate of everything in the window), each performing
+// at most two combines of fix-up work — there is no amortized rebuild, so
+// unlike a FlatFAT tree or an inverted running sum the per-operation latency
+// has no spikes.
+//
+// The core idea is de-amortized two-stack queue simulation: the deque is
+// split into a front group and a back group, and every operation performs two
+// steps of an interleaved, in-place conversion of the front group into
+// suffix-prefix form, finishing the conversion exactly when the front group
+// drains. Five pointers f ≤ l ≤ r ≤ a ≤ b ≤ e partition the deque into
+// regions with per-region invariants over the raw pushed values:
+//
+//	F = [f,l): q[i] = Σ raw[i..b)   (fully converted: suffix sums to b)
+//	L = [l,r): q[i] = Σ raw[i..r)   (partially converted, pending ⊕ midSum)
+//	R = [r,a): q[i] = raw[i]        (unconverted)
+//	A = [a,b): q[i] = Σ raw[i..b)   (converted right-to-left)
+//	B = [b,e): q[i] = raw[i]        (the back group)
+//
+// plus two accumulators: midSum = Σ raw[r..b) and backSum = Σ raw[b..e).
+// Query is then combine(q[f], backSum): one combine, worst case. Each fixup
+// performs at most one R→A conversion and one L→F conversion; when l reaches
+// b the groups flip (the back group becomes the next front group) in O(1).
+//
+// The backing store is a power-of-two ring, so Push and Pop move no elements;
+// the only non-constant cost is ring growth, which is amortized geometric and
+// — unlike a tree rebuild — touches each live element once per doubling.
+// Combines are applied left-to-right in raw arrival order throughout, so
+// non-commutative aggregation functions are safe.
+package daba
+
+// Window is a DABA-Lite FIFO aggregate over values of type A. The zero value
+// is not usable; construct with New. A Window is not safe for concurrent use.
+type Window[A any] struct {
+	identity A
+	combine  func(A, A) A
+
+	// q is the ring storage. Pointers are absolute monotone positions;
+	// position p lives at q[p&mask]. Rebasing to f=0 happens on growth, so
+	// the absolute counters stay small.
+	q    []A
+	mask int
+
+	f, l, r, a, b, e int
+
+	midSum  A
+	backSum A
+}
+
+// New returns an empty window for the given monoid: identity must satisfy
+// combine(x, identity) == combine(identity, x) == x. combine is applied
+// left-to-right in push order and need not be commutative.
+func New[A any](identity A, combine func(A, A) A) *Window[A] {
+	return &Window[A]{identity: identity, combine: combine, midSum: identity, backSum: identity}
+}
+
+// Len returns the number of values currently in the window.
+func (w *Window[A]) Len() int { return w.e - w.f }
+
+// Query returns the aggregate of every value in the window, oldest to
+// newest, performing at most one combine. An empty window yields identity.
+//
+//slicelint:hotpath
+func (w *Window[A]) Query() A {
+	switch {
+	case w.f == w.e:
+		return w.identity
+	case w.f == w.b:
+		// Front group empty (transient; fixup flips it away): everything
+		// lives in the back group.
+		return w.backSum
+	case w.b == w.e:
+		return w.q[w.f&w.mask]
+	}
+	return w.combine(w.q[w.f&w.mask], w.backSum)
+}
+
+// Push appends v at the back of the window.
+//
+//slicelint:hotpath
+func (w *Window[A]) Push(v A) {
+	if w.e-w.f == len(w.q) {
+		w.grow()
+	}
+	if w.b == w.e {
+		w.backSum = v // first element of the back group: skip ⊕ identity
+	} else {
+		w.backSum = w.combine(w.backSum, v)
+	}
+	w.q[w.e&w.mask] = v
+	w.e++
+	w.fixup()
+}
+
+// Pop evicts the oldest value. It panics on an empty window.
+//
+//slicelint:hotpath
+func (w *Window[A]) Pop() {
+	if w.f == w.e {
+		panic("daba: Pop on empty window")
+	}
+	var zero A
+	w.q[w.f&w.mask] = zero // release references for GC
+	w.f++
+	w.fixup()
+}
+
+// fixup performs the two interleaved conversion steps that keep every
+// operation worst-case constant: flip the groups if the front group finished
+// converting, then advance the R→A frontier one step (right to left) and the
+// L→F frontier one step (left to right). At every flip |L| == |R| — both
+// equal the number of pushes since the previous flip — except when pushing
+// into an empty window, where |R| == 1 and |L| == 0; doing the R→A step
+// before the L/shift check absorbs that case in a single call.
+//
+//slicelint:hotpath
+func (w *Window[A]) fixup() {
+	if w.l == w.b {
+		// Front group fully converted: the back group becomes the new
+		// conversion region. L takes the old front (already suffix sums to
+		// the old b, which is the new r), R takes the old back (raw).
+		w.l = w.f
+		w.r = w.b
+		w.a = w.e
+		w.b = w.e
+		w.midSum = w.backSum
+		w.backSum = w.identity
+	}
+	if w.f == w.b {
+		// Whole window empty.
+		w.midSum = w.identity
+		w.backSum = w.identity
+		return
+	}
+	if w.a != w.r {
+		// One R→A step: extend the suffix sums leftward by one element.
+		w.a--
+		if w.a+1 != w.b {
+			w.q[w.a&w.mask] = w.combine(w.q[w.a&w.mask], w.q[(w.a+1)&w.mask])
+		}
+	}
+	if w.l != w.r {
+		// One L→F step: complete q[l] from Σraw[l..r) to Σraw[l..b).
+		if w.r != w.b {
+			w.q[w.l&w.mask] = w.combine(w.q[w.l&w.mask], w.midSum)
+		}
+		w.l++
+	} else {
+		// L and R are both empty; shift the (empty) conversion frontier
+		// across A. The element entering F is already a suffix sum to b.
+		w.l++
+		w.r++
+		w.a++
+		if w.a != w.b {
+			w.midSum = w.q[w.a&w.mask]
+		} else {
+			w.midSum = w.identity
+		}
+	}
+}
+
+// grow doubles the ring (minimum 8) and rebases the absolute positions to
+// f=0 so the counters never overflow.
+//
+//slicelint:coldpath geometric ring growth, amortized over the pushes that filled it
+func (w *Window[A]) grow() {
+	n := len(w.q) * 2
+	if n == 0 {
+		n = 8
+	}
+	nq := make([]A, n)
+	nmask := n - 1
+	for p := w.f; p < w.e; p++ {
+		nq[(p-w.f)&nmask] = w.q[p&w.mask]
+	}
+	d := w.f
+	w.f -= d
+	w.l -= d
+	w.r -= d
+	w.a -= d
+	w.b -= d
+	w.e -= d
+	w.q, w.mask = nq, nmask
+}
+
+// State is the serializable form of a Window: the deque contents front to
+// back in their current (partially converted) form, the region pointers as
+// offsets from the front, and the two accumulators. Restoring yields a
+// window that behaves identically — including bit-identical aggregate
+// results for floating-point monoids, which a rebuild-by-push would not
+// guarantee.
+type State[A any] struct {
+	Buf        []A
+	L, R, A, B int
+	MidSum     A
+	BackSum    A
+}
+
+// State captures the window for serialization. The returned buffer is a
+// copy.
+func (w *Window[A]) State() State[A] {
+	st := State[A]{
+		Buf:     make([]A, 0, w.e-w.f),
+		L:       w.l - w.f,
+		R:       w.r - w.f,
+		A:       w.a - w.f,
+		B:       w.b - w.f,
+		MidSum:  w.midSum,
+		BackSum: w.backSum,
+	}
+	for p := w.f; p < w.e; p++ {
+		st.Buf = append(st.Buf, w.q[p&w.mask])
+	}
+	return st
+}
+
+// Restore reconstructs a window from a captured State. The offsets must
+// satisfy 0 ≤ L ≤ R ≤ A ≤ B ≤ len(Buf); Restore returns nil for states that
+// do not (a corrupt snapshot must not panic later).
+func Restore[A any](identity A, combine func(A, A) A, st State[A]) *Window[A] {
+	n := len(st.Buf)
+	if st.L < 0 || st.L > st.R || st.R > st.A || st.A > st.B || st.B > n {
+		return nil
+	}
+	w := New(identity, combine)
+	size := 8
+	for size < n {
+		size *= 2
+	}
+	w.q = make([]A, size)
+	w.mask = size - 1
+	copy(w.q, st.Buf)
+	w.f = 0
+	w.l = st.L
+	w.r = st.R
+	w.a = st.A
+	w.b = st.B
+	w.e = n
+	w.midSum = st.MidSum
+	w.backSum = st.BackSum
+	return w
+}

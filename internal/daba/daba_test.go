@@ -1,0 +1,224 @@
+package daba
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// naive is the reference model: a plain FIFO of raw values whose query folds
+// left-to-right. Any divergence from it is a Window bug.
+type naive struct {
+	vals []string
+}
+
+func (n *naive) push(v string) { n.vals = append(n.vals, v) }
+func (n *naive) pop()          { n.vals = n.vals[1:] }
+func (n *naive) query() string { return strings.Join(n.vals, "") }
+
+// concat is deliberately non-commutative: any combine applied in the wrong
+// order, or with the wrong operand sides, changes the result.
+func concat(a, b string) string { return a + b }
+
+func TestDifferentialAgainstNaiveModel(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		w := New("", concat)
+		m := &naive{}
+		next := 0
+		for op := 0; op < 5000; op++ {
+			switch {
+			case len(m.vals) == 0 || rng.Intn(3) != 0:
+				v := fmt.Sprintf("<%d>", next)
+				next++
+				w.Push(v)
+				m.push(v)
+			default:
+				w.Pop()
+				m.pop()
+			}
+			if w.Len() != len(m.vals) {
+				t.Fatalf("seed %d op %d: Len=%d want %d", seed, op, w.Len(), len(m.vals))
+			}
+			if got, want := w.Query(), m.query(); got != want {
+				t.Fatalf("seed %d op %d: Query=%q want %q", seed, op, got, want)
+			}
+		}
+	}
+}
+
+// TestDrainRefill exercises the degenerate flips: windows that empty
+// completely and refill, and strict FIFO phases (all pushes, then all pops)
+// that stress the conversion frontier at both extremes.
+func TestDrainRefill(t *testing.T) {
+	w := New("", concat)
+	m := &naive{}
+	for round := 0; round < 5; round++ {
+		n := 1 << round
+		for i := 0; i < n; i++ {
+			v := fmt.Sprintf("(%d.%d)", round, i)
+			w.Push(v)
+			m.push(v)
+			if got, want := w.Query(), m.query(); got != want {
+				t.Fatalf("round %d push %d: Query=%q want %q", round, i, got, want)
+			}
+		}
+		for i := 0; i < n; i++ {
+			w.Pop()
+			m.pop()
+			if got, want := w.Query(), m.query(); got != want {
+				t.Fatalf("round %d pop %d: Query=%q want %q", round, i, got, want)
+			}
+		}
+		if w.Len() != 0 {
+			t.Fatalf("round %d: window not empty after drain", round)
+		}
+	}
+}
+
+// checkInvariants verifies the five region invariants, the pointer ordering,
+// and both accumulators against the raw push history. raw[i] corresponds to
+// absolute position w.f+i.
+func checkInvariants(t *testing.T, w *Window[string], raw []string) {
+	t.Helper()
+	if len(raw) != w.e-w.f {
+		t.Fatalf("model bug: raw len %d, window len %d", len(raw), w.e-w.f)
+	}
+	if !(w.f <= w.l && w.l <= w.r && w.r <= w.a && w.a <= w.b && w.b <= w.e) {
+		t.Fatalf("pointer order violated: f=%d l=%d r=%d a=%d b=%d e=%d", w.f, w.l, w.r, w.a, w.b, w.e)
+	}
+	if w.f != w.e && w.l == w.f {
+		t.Fatalf("nonempty window with empty F region (f=l=%d): Query would read an unconverted slot", w.f)
+	}
+	sum := func(i, j int) string { return strings.Join(raw[i-w.f:j-w.f], "") }
+	at := func(p int) string { return w.q[p&w.mask] }
+	for p := w.f; p < w.l; p++ {
+		if at(p) != sum(p, w.b) {
+			t.Fatalf("F invariant at %d: q=%q want Σraw[%d..%d)=%q", p, at(p), p, w.b, sum(p, w.b))
+		}
+	}
+	for p := w.l; p < w.r; p++ {
+		if at(p) != sum(p, w.r) {
+			t.Fatalf("L invariant at %d: q=%q want Σraw[%d..%d)=%q", p, at(p), p, w.r, sum(p, w.r))
+		}
+	}
+	for p := w.r; p < w.a; p++ {
+		if at(p) != raw[p-w.f] {
+			t.Fatalf("R invariant at %d: q=%q want raw %q", p, at(p), raw[p-w.f])
+		}
+	}
+	for p := w.a; p < w.b; p++ {
+		if at(p) != sum(p, w.b) {
+			t.Fatalf("A invariant at %d: q=%q want Σraw[%d..%d)=%q", p, at(p), p, w.b, sum(p, w.b))
+		}
+	}
+	for p := w.b; p < w.e; p++ {
+		if at(p) != raw[p-w.f] {
+			t.Fatalf("B invariant at %d: q=%q want raw %q", p, at(p), raw[p-w.f])
+		}
+	}
+	if want := sum(w.r, w.b); w.midSum != want {
+		t.Fatalf("midSum=%q want Σraw[%d..%d)=%q", w.midSum, w.r, w.b, want)
+	}
+	if want := sum(w.b, w.e); w.backSum != want {
+		t.Fatalf("backSum=%q want Σraw[%d..%d)=%q", w.backSum, w.b, w.e, want)
+	}
+}
+
+func TestRegionInvariants(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		w := New("", concat)
+		var raw []string
+		next := 0
+		for op := 0; op < 3000; op++ {
+			if len(raw) == 0 || rng.Intn(5) < 3 {
+				v := fmt.Sprintf("<%d>", next)
+				next++
+				w.Push(v)
+				raw = append(raw, v)
+			} else {
+				w.Pop()
+				raw = raw[1:]
+			}
+			checkInvariants(t, w, raw)
+		}
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := New("", concat)
+	m := &naive{}
+	for op := 0; op < 1000; op++ {
+		if len(m.vals) == 0 || rng.Intn(3) != 0 {
+			v := fmt.Sprintf("<%d>", op)
+			w.Push(v)
+			m.push(v)
+		} else {
+			w.Pop()
+			m.pop()
+		}
+		if op%97 != 0 {
+			continue
+		}
+		st := w.State()
+		r := Restore("", concat, st)
+		if r == nil {
+			t.Fatalf("op %d: Restore rejected a genuine state %+v", op, st)
+		}
+		if got, want := r.Query(), w.Query(); got != want {
+			t.Fatalf("op %d: restored Query=%q want %q", op, got, want)
+		}
+		// The restored window must keep behaving identically.
+		w = r
+	}
+}
+
+func TestRestoreRejectsCorruptState(t *testing.T) {
+	bad := []State[string]{
+		{Buf: []string{"a"}, L: -1},
+		{Buf: []string{"a"}, L: 1, R: 0},
+		{Buf: []string{"a"}, L: 0, R: 0, A: 2, B: 2},
+		{Buf: []string{"a"}, L: 0, R: 0, A: 0, B: 2},
+	}
+	for i, st := range bad {
+		if Restore("", concat, st) != nil {
+			t.Errorf("case %d: Restore accepted corrupt state %+v", i, st)
+		}
+	}
+}
+
+// TestWorstCaseCombineBound asserts the headline property: no single
+// operation performs more than a constant number of combines. Three for a
+// push (backSum, one R→A, one L→F), two for a pop, one for a query.
+func TestWorstCaseCombineBound(t *testing.T) {
+	calls := 0
+	w := New(0, func(a, b int) int { calls++; return a + b })
+	rng := rand.New(rand.NewSource(5))
+	n := 0
+	for op := 0; op < 20000; op++ {
+		calls = 0
+		if n == 0 || rng.Intn(3) != 0 {
+			w.Push(1)
+			n++
+			if calls > 3 {
+				t.Fatalf("op %d: push performed %d combines", op, calls)
+			}
+		} else {
+			w.Pop()
+			n--
+			if calls > 2 {
+				t.Fatalf("op %d: pop performed %d combines", op, calls)
+			}
+		}
+		calls = 0
+		if got, want := w.Query(), n; got != want {
+			t.Fatalf("op %d: Query=%d want %d", op, got, want)
+		}
+		if calls > 1 {
+			t.Fatalf("op %d: query performed %d combines", op, calls)
+		}
+	}
+}

@@ -60,7 +60,7 @@ func (sc Scale) windowsSweep() []int {
 // events picks the tuple budget for a technique at a sweep point.
 func (sc Scale) events(t benchutil.Technique, windows int) int {
 	switch t {
-	case benchutil.LazySlicing, benchutil.EagerSlicing, benchutil.Pairs, benchutil.Cutty:
+	case benchutil.LazySlicing, benchutil.EagerSlicing, benchutil.DABASlicing, benchutil.Pairs, benchutil.Cutty:
 		return sc.Events
 	case benchutil.Buckets, benchutil.TupleBuckets:
 		if windows >= 100 {
@@ -98,6 +98,7 @@ var experimentsByID = []struct {
 	{"15", Fig15},
 	{"16", Fig16},
 	{"17", Fig17},
+	{"taillat", FigTailLatency},
 	{"ablation", Ablations},
 }
 

@@ -10,6 +10,7 @@ import (
 	"scotty/internal/fat"
 	"scotty/internal/rle"
 	"scotty/internal/stream"
+	"scotty/internal/window"
 )
 
 // Fig11 — §6.2.4: output latency of the aggregate stores, i.e. the time of
@@ -102,6 +103,44 @@ func fig11For[A any](w io.Writer, sc Scale, title string, sweep []int, f aggrega
 			float64(eager.Nanoseconds()))
 	}
 	tab.Print(w)
+}
+
+// FigTailLatency — beyond the paper (the ROADMAP's "tail-latency SLO gates"
+// item): per-tuple processing-latency quantiles under an eviction-heavy
+// in-order sliding workload, sweeping the number of concurrent sliding
+// windows. The three slice stores differ exactly in their tails: the lazy
+// store folds O(window slices) at every emission, the FlatFAT eager store
+// pays O(log s) per update plus occasional leaf-ring compactions, and the
+// DABA ring answers each emission in a worst-case-constant number of
+// combines. The table prints per-tuple p99; the recording carries the full
+// quantile set (p50/p90/p95/p99/p999/max) per point, which the benchdiff
+// -latency-tol gate tracks across commits.
+func FigTailLatency(w io.Writer, sc Scale) error {
+	techs := []benchutil.Technique{
+		benchutil.LazySlicing, benchutil.EagerSlicing, benchutil.DABASlicing,
+	}
+	tab := benchutil.NewTable("Tail latency — eviction-heavy sliding windows, per-tuple p99 (ns)",
+		append([]string{"windows"}, techniqueNames(techs)...)...)
+	for _, n := range sc.windowsSweep() {
+		row := []any{n}
+		for _, t := range techs {
+			n := n
+			wl := benchutil.Workload{
+				Ordered: true,
+				Defs:    func() []window.Definition { return benchutil.SlidingQueries(n) },
+			}
+			in := benchutil.MakeInput(stream.Football(), sc.events(t, n), stream.Disorder{}, 42)
+			op, err := benchutil.NewOp(t, benchutil.SumFn(), wl)
+			if err != nil {
+				return err
+			}
+			q := benchutil.MeasureTail(string(t), n, op, in)
+			row = append(row, q["p99"])
+		}
+		tab.Add(row...)
+	}
+	tab.Print(w)
+	return nil
 }
 
 // Fig15 — §6.3.3: the cost of the split operation — recomputing a slice

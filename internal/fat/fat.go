@@ -85,6 +85,29 @@ func (t *Tree[A]) setLeaf(p int, a A) {
 // Push appends a leaf at the end, compacting the ring or growing the tree
 // when the physical leaf space is exhausted.
 //
+// Compaction policy (FlatFAT leaf ring) — two thresholds, both intentional:
+//
+//   - Append side (here and Insert), threshold one quarter: an append that
+//     finds the leaf space full reclaims the dead prefix when it is at
+//     least capacity/4 (the compaction then frees >= capacity/4 slots,
+//     amortizing its O(capacity) rebuild over the appends that refill
+//     them) and doubles the capacity otherwise — the same append-time rule
+//     as the core slice ring (core/store.reserveSpace).
+//   - Evict side (RemoveFront), threshold one half: unlike the core ring,
+//     eviction also compacts once the dead prefix reaches capacity/2. Dead
+//     leaves are not nil pointers — they hold identity aggregates in the
+//     node array and keep the capacity (hence every O(capacity) rebuild,
+//     compaction, and the 2*capacity node footprint) inflated — so an
+//     evict-heavy phase with no appends must bound them itself. The higher
+//     threshold keeps the eviction amortization sound: each compaction
+//     frees >= capacity/2 slots that took >= capacity/2 evictions to
+//     create.
+//
+// Invariant (tested in TestDeadPrefixBoundedUnderPushEvict): after any
+// RemoveFront the dead prefix is below half the capacity, and under
+// push/evict lockstep the capacity stays bounded by a small constant times
+// the live leaf count.
+//
 //slicelint:hotpath
 func (t *Tree[A]) Push(a A) {
 	if t.head+t.length == t.capacity {
@@ -141,7 +164,9 @@ func (t *Tree[A]) Remove(i int) {
 // ring head: each evicted leaf is reset to the identity with one O(log n)
 // path update, so steady-state eviction costs O(k log n) instead of the
 // previous O(capacity) suffix rebuild. The dead prefix is compacted away
-// once it dominates the leaf space (amortized O(1) per eviction).
+// once it reaches half the leaf capacity — the evict-side half of the
+// two-threshold policy documented on Push (the append side reclaims at a
+// quarter; the divergence is intentional and explained there).
 //
 //slicelint:hotpath
 func (t *Tree[A]) RemoveFront(k int) {

@@ -253,3 +253,43 @@ func TestPanicsOnBadIndexes(t *testing.T) {
 		}()
 	}
 }
+
+// TestDeadPrefixBoundedUnderPushEvict pins the two-threshold compaction
+// policy documented on Push. Under push/evict lockstep: a full append leaves
+// the dead prefix empty or under a quarter of the capacity, RemoveFront
+// never leaves it at half or more, and the capacity stays bounded by a small
+// multiple of the live leaf count (dead space is reclaimed, not grown
+// around). The trailing evict-only drain checks the evict-side threshold
+// holds with no append to bail it out.
+func TestDeadPrefixBoundedUnderPushEvict(t *testing.T) {
+	tr := New(func(a, b int) int { return a + b }, 0)
+	const live = 50
+	for i := 0; i < live; i++ {
+		tr.Push(1)
+	}
+	for i := 0; i < 50_000; i++ {
+		full := tr.head+tr.length == tr.capacity
+		tr.Push(1)
+		if full && tr.head != 0 && tr.head*4 >= tr.capacity {
+			t.Fatalf("op %d: full append left dead prefix %d of capacity %d (>= 1/4)",
+				i, tr.head, tr.capacity)
+		}
+		tr.RemoveFront(1)
+		if tr.head*2 >= tr.capacity {
+			t.Fatalf("op %d: RemoveFront left dead prefix %d of capacity %d (>= 1/2)",
+				i, tr.head, tr.capacity)
+		}
+		if tr.capacity > 16*live {
+			t.Fatalf("op %d: capacity %d unbounded for %d live leaves", i, tr.capacity, live)
+		}
+		if got := tr.Aggregate(); got != live {
+			t.Fatalf("op %d: aggregate %d, want %d", i, got, live)
+		}
+	}
+	for tr.Len() > 0 {
+		tr.RemoveFront(1)
+		if tr.capacity > 1 && tr.head*2 >= tr.capacity {
+			t.Fatalf("drain: dead prefix %d of capacity %d (>= 1/2)", tr.head, tr.capacity)
+		}
+	}
+}

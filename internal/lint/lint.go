@@ -126,6 +126,8 @@ func All() []*Analyzer {
 var DeterminismPolicy = []PkgPolicy{
 	{Suffix: "internal/core", Deterministic: true,
 		Reason: "the slicing core: replays must be bit-exact"},
+	{Suffix: "internal/daba", Deterministic: true,
+		Reason: "the DABA ring backs core emissions; combines must replay bit-exact"},
 	{Suffix: "internal/aggregate", Deterministic: true,
 		Reason: "aggregate kernels feed windows; order effects corrupt results"},
 	{Suffix: "internal/baselines", Deterministic: true,

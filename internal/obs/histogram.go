@@ -136,7 +136,9 @@ func (h *Histogram) BucketCounts() []int64 {
 
 // Quantile estimates the q-quantile (0 <= q <= 1) of the observed
 // distribution by linear interpolation within the containing bucket, clamped
-// to the observed min/max. It returns 0 with no observations.
+// to the observed min/max. A rank landing in the +Inf overflow bucket clamps
+// to the observed max (the bucket has no finite width to interpolate within)
+// and the result is always finite. It returns 0 with no observations.
 func (h *Histogram) Quantile(q float64) float64 {
 	counts := h.BucketCounts()
 	var total int64
@@ -163,6 +165,20 @@ func (h *Histogram) Quantile(q float64) float64 {
 			continue
 		}
 		// The rank falls in bucket i: [lo, hi) with hi = bounds[i].
+		if i == len(h.bounds) {
+			// The +Inf overflow bucket has no finite upper edge, so there
+			// is no width to interpolate within: fabricating a point
+			// between the last boundary and the max pretends precision the
+			// histogram does not have, and with an infinite observation it
+			// would return +Inf — which poisons the JSON artifacts the
+			// latency gates read (encoding/json rejects +Inf). Clamp to
+			// the observed max; if even the max is non-finite, fall back
+			// to the last finite boundary.
+			if m := h.Max(); !math.IsInf(m, 0) && !math.IsNaN(m) {
+				return m
+			}
+			return h.bounds[len(h.bounds)-1]
+		}
 		lo := h.Min()
 		if i > 0 && h.bounds[i-1] > lo {
 			lo = h.bounds[i-1]
@@ -183,7 +199,10 @@ func (h *Histogram) Quantile(q float64) float64 {
 		}
 		return lo + (hi-lo)*frac
 	}
-	return h.Max()
+	if m := h.Max(); !math.IsInf(m, 0) && !math.IsNaN(m) {
+		return m
+	}
+	return h.bounds[len(h.bounds)-1]
 }
 
 // Quantiles returns the standard quantile set as name -> estimate.

@@ -116,6 +116,56 @@ func TestQuantileEmptyAndSingle(t *testing.T) {
 	}
 }
 
+// TestQuantileOverflowBucketClampsToMax is the regression test for the +Inf
+// overflow bucket: with every observation above the last finite boundary, a
+// rank landing in the overflow bucket must return the observed max — never a
+// value interpolated toward +Inf, and never +Inf itself (a non-finite
+// quantile would poison the JSON benchmark artifacts the latency gates read).
+func TestQuantileOverflowBucketClampsToMax(t *testing.T) {
+	h := NewHistogram([]float64{10, 20})
+	for _, v := range []float64{100, 200, 300, 400} {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 0.999, 1} {
+		got := h.Quantile(q)
+		if got != 400 {
+			t.Errorf("Quantile(%v) = %v, want observed max 400", q, got)
+		}
+	}
+	for name, v := range h.Quantiles() {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Errorf("Quantiles()[%s] = %v, want finite", name, v)
+		}
+	}
+
+	// Even an infinite observation must not leak out of Quantile: the
+	// overflow bucket falls back to the last finite boundary when the max
+	// itself is not finite.
+	h2 := NewHistogram([]float64{10, 20})
+	h2.Observe(math.Inf(1))
+	if got := h2.Quantile(0.99); got != 20 {
+		t.Errorf("Quantile(0.99) with +Inf mass = %v, want last finite boundary 20", got)
+	}
+}
+
+// TestQuantilesIncludeTailSet: the fixed reporting set must carry the tail
+// quantiles the latency gate consumes, monotonically ordered.
+func TestQuantilesIncludeTailSet(t *testing.T) {
+	h := NewHistogram(LinearBounds(10, 10, 100))
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	qs := h.Quantiles()
+	for _, name := range []string{"p50", "p90", "p95", "p99", "p999", "max"} {
+		if _, ok := qs[name]; !ok {
+			t.Fatalf("Quantiles() missing %q: %v", name, qs)
+		}
+	}
+	if !(qs["p50"] <= qs["p99"] && qs["p99"] <= qs["p999"] && qs["p999"] <= qs["max"]) {
+		t.Fatalf("quantiles not monotone: %v", qs)
+	}
+}
+
 // TestQuantileClampedToObservedRange: estimates never leave [min, max], even
 // when the populated buckets are much wider than the data.
 func TestQuantileClampedToObservedRange(t *testing.T) {

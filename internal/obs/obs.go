@@ -189,7 +189,7 @@ var sortedQuantiles = []struct {
 	Name string
 	Q    float64
 }{
-	{"p50", 0.50}, {"p90", 0.90}, {"p95", 0.95}, {"p99", 0.99},
+	{"p50", 0.50}, {"p90", 0.90}, {"p95", 0.95}, {"p99", 0.99}, {"p999", 0.999},
 }
 
 // mergeLabels returns base plus extra, for per-bucket/per-quantile series.

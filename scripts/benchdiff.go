@@ -6,15 +6,24 @@
 // honest: a change that slows a recorded series by more than the tolerance
 // turns the build red instead of silently shifting the baseline.
 //
-// Usage: go run ./scripts/benchdiff.go [-tol 0.30] old.json new.json
+// Usage: go run ./scripts/benchdiff.go [-tol 0.30] [-latency-tol 2.0] old.json new.json
 //
-// Points are matched on (series, x); points present in only one file are
-// reported but not fatal (new series may be added, retired ones removed).
-// The gate is the geometric mean of the per-point throughput ratios of each
-// series: quick-scale single-shot points jitter by 2x under scheduler noise,
-// but a real regression shifts a whole series, so the mean separates the two
-// where a per-point gate cannot. Only tuples_per_sec is compared — latency
-// quantiles and allocation counts are too noisy even in aggregate.
+// Points are matched on (series, x). Individual points present in only one
+// file are reported but not fatal (sweep sizes may legitimately change) — but
+// a whole series present in the reference and absent from the new run IS
+// fatal: a technique silently dropping out of the benchmark would otherwise
+// exempt it from every future gate.
+//
+// Two gates run per series, each on the geometric mean of per-point ratios
+// (quick-scale single-shot points jitter by 2x under scheduler noise, but a
+// real regression shifts a whole series, so the mean separates the two where
+// a per-point gate cannot):
+//
+//   - throughput: geomean of new/old tuples_per_sec must stay above 1-tol;
+//   - tail latency: for series carrying latency_ns quantiles in both files,
+//     geomean of new/old p99 must stay below 1+latency-tol. Tail quantiles
+//     are noisier than throughput even in aggregate, hence the separate,
+//     much more generous default.
 package main
 
 import (
@@ -29,9 +38,10 @@ type recording struct {
 	Figure string `json:"figure"`
 	Scale  string `json:"scale"`
 	Points []struct {
-		Series       string  `json:"series"`
-		X            any     `json:"x"`
-		TuplesPerSec float64 `json:"tuples_per_sec"`
+		Series       string             `json:"series"`
+		X            any                `json:"x"`
+		TuplesPerSec float64            `json:"tuples_per_sec"`
+		LatencyNS    map[string]float64 `json:"latency_ns"`
 	} `json:"points"`
 }
 
@@ -47,11 +57,21 @@ func load(path string) (recording, error) {
 	return rec, nil
 }
 
+// geomean exponentiates the mean of the accumulated log ratios.
+func geomean(logs []float64) float64 {
+	sum := 0.0
+	for _, l := range logs {
+		sum += l
+	}
+	return math.Exp(sum / float64(len(logs)))
+}
+
 func main() {
-	tol := flag.Float64("tol", 0.30, "allowed fractional regression per point")
+	tol := flag.Float64("tol", 0.30, "allowed fractional throughput regression per series")
+	latTol := flag.Float64("latency-tol", 2.0, "allowed fractional p99 latency growth per series (generous: tails jitter under scheduler noise)")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol 0.30] <old.json> <new.json>")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol 0.30] [-latency-tol 2.0] <old.json> <new.json>")
 		os.Exit(2)
 	}
 	oldRec, err := load(flag.Arg(0))
@@ -72,33 +92,60 @@ func main() {
 	type key struct{ series, x string }
 	pt := func(series string, x any) key { return key{series, fmt.Sprint(x)} }
 	olds := map[key]float64{}
+	oldLat := map[key]float64{}
+	oldSeries := map[string]bool{}
+	var oldSeriesOrder []string
 	for _, p := range oldRec.Points {
-		olds[pt(p.Series, p.X)] = p.TuplesPerSec
+		k := pt(p.Series, p.X)
+		olds[k] = p.TuplesPerSec
+		if v, ok := p.LatencyNS["p99"]; ok {
+			oldLat[k] = v
+		}
+		if !oldSeries[p.Series] {
+			oldSeries[p.Series] = true
+			oldSeriesOrder = append(oldSeriesOrder, p.Series)
+		}
 	}
 	matched := 0
 	seen := map[key]bool{}
+	newSeries := map[string]bool{}
 	logRatios := map[string][]float64{}
+	latLogRatios := map[string][]float64{}
 	var order []string
 	for _, p := range newRec.Points {
 		k := pt(p.Series, p.X)
 		seen[k] = true
+		newSeries[p.Series] = true
 		old, ok := olds[k]
 		if !ok {
 			fmt.Printf("  new point %s x=%s (no reference)\n", k.series, k.x)
 			continue
 		}
-		if old <= 0 || p.TuplesPerSec <= 0 {
-			continue
-		}
-		matched++
 		if _, ok := logRatios[k.series]; !ok {
 			order = append(order, k.series)
 		}
-		logRatios[k.series] = append(logRatios[k.series], math.Log(p.TuplesPerSec/old))
+		if old > 0 && p.TuplesPerSec > 0 {
+			matched++
+			logRatios[k.series] = append(logRatios[k.series], math.Log(p.TuplesPerSec/old))
+		}
+		if oldP99 := oldLat[k]; oldP99 > 0 {
+			if newP99 := p.LatencyNS["p99"]; newP99 > 0 {
+				latLogRatios[k.series] = append(latLogRatios[k.series], math.Log(newP99/oldP99))
+			}
+		}
 	}
 	for k := range olds {
-		if !seen[k] {
+		if !seen[k] && newSeries[k.series] {
 			fmt.Printf("  reference point %s x=%s missing from new run\n", k.series, k.x)
+		}
+	}
+	// Whole-series disappearance is fatal, not advisory.
+	missingSeries := 0
+	for _, series := range oldSeriesOrder {
+		if !newSeries[series] {
+			missingSeries++
+			fmt.Printf("MISSING SERIES %s: present in %s, absent from %s\n",
+				series, flag.Arg(0), flag.Arg(1))
 		}
 	}
 	if matched == 0 {
@@ -108,11 +155,10 @@ func main() {
 	regressed := 0
 	for _, series := range order {
 		logs := logRatios[series]
-		sum := 0.0
-		for _, l := range logs {
-			sum += l
+		if len(logs) == 0 {
+			continue
 		}
-		mean := math.Exp(sum / float64(len(logs)))
+		mean := geomean(logs)
 		if mean < 1-*tol {
 			regressed++
 			fmt.Printf("REGRESSION %s: geomean %.2fx over %d points (tolerance %.2fx)\n",
@@ -121,10 +167,35 @@ func main() {
 			fmt.Printf("  %-24s geomean %.2fx over %d points\n", series, mean, len(logs))
 		}
 	}
+	latRegressed := 0
+	latMatched := 0
+	for _, series := range order {
+		logs := latLogRatios[series]
+		if len(logs) == 0 {
+			continue
+		}
+		latMatched += len(logs)
+		mean := geomean(logs)
+		if mean > 1+*latTol {
+			latRegressed++
+			fmt.Printf("LATENCY REGRESSION %s: p99 geomean %.2fx over %d points (tolerance %.2fx)\n",
+				series, mean, len(logs), 1+*latTol)
+		} else {
+			fmt.Printf("  %-24s p99 geomean %.2fx over %d points\n", series, mean, len(logs))
+		}
+	}
+	if missingSeries > 0 {
+		fmt.Fprintf(os.Stderr, "%d series missing from the new recording\n", missingSeries)
+	}
 	if regressed > 0 {
 		fmt.Fprintf(os.Stderr, "%d series regressed beyond %.0f%%\n", regressed, *tol*100)
+	}
+	if latRegressed > 0 {
+		fmt.Fprintf(os.Stderr, "%d series' p99 latency grew beyond %.0f%%\n", latRegressed, *latTol*100)
+	}
+	if missingSeries > 0 || regressed > 0 || latRegressed > 0 {
 		os.Exit(1)
 	}
-	fmt.Printf("benchdiff: %d series (%d points) within %.0f%% of %s\n",
-		len(order), matched, *tol*100, flag.Arg(0))
+	fmt.Printf("benchdiff: %d series (%d throughput, %d latency points) within tolerance of %s\n",
+		len(order), matched, latMatched, flag.Arg(0))
 }

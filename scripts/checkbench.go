@@ -59,5 +59,15 @@ func main() {
 			}
 		}
 	}
+	// The tail-latency figure exists to gate the slice stores against each
+	// other: all three must be present or the p99 gate is comparing air.
+	if rec.Figure == "taillat" {
+		for _, want := range []string{"lazy-slicing", "eager-slicing", "daba-slicing"} {
+			if !series[want] {
+				fmt.Fprintf(os.Stderr, "%s: taillat is missing series %q\n", os.Args[1], want)
+				os.Exit(1)
+			}
+		}
+	}
 	fmt.Printf("%s: figure %s, %d points ok\n", os.Args[1], rec.Figure, len(rec.Points))
 }
