@@ -7,6 +7,13 @@
 //	scotty -window session -gap 1000 -agg mean -demo 100000
 //	scotty -window sliding -length 10000 -slide 2000 -agg p90 -ooo 0.2
 //	scotty -window sliding -length 10000 -slide 2000 -store daba -demo 100000
+//	scotty -windows sliding:10000:2000,sliding:20000:2000,tumbling:5000 -demo 100000
+//
+// -windows runs a fleet of concurrent window queries over one stream through
+// the sharing layer (docs/SHARING.md): exact duplicates are deduplicated and
+// correlated periodic time windows are rewritten onto cost-chosen factor
+// windows, so the members share physical slicing work. Fleet result rows are
+// prefixed with their logical query id (q0, q1, ...).
 //
 // Input events may arrive out of order; results are emitted on periodic
 // watermarks, late events produce update rows. Epoch-millisecond timestamps
@@ -41,6 +48,7 @@ import (
 	"scotty/internal/aggregate"
 	"scotty/internal/checkpoint"
 	"scotty/internal/core"
+	"scotty/internal/fleet"
 	"scotty/internal/obs"
 	"scotty/internal/stream"
 	"scotty/internal/window"
@@ -60,6 +68,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	fs.SetOutput(stderr)
 	var (
 		winType  = fs.String("window", "tumbling", "tumbling | sliding | session | count")
+		windows  = fs.String("windows", "", "comma-separated fleet of window queries sharing one stream, e.g. 'sliding:10000:2000,tumbling:5000,session:1000,count:100' (overrides -window/-length/-slide/-gap)")
 		length   = fs.Int64("length", 5000, "window length (ms, or tuples for -window count)")
 		slide    = fs.Int64("slide", 0, "slide step for sliding windows (ms)")
 		gap      = fs.Int64("gap", 1000, "inactivity gap for session windows (ms)")
@@ -76,8 +85,18 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		return 2
 	}
 
-	def, step := makeWindow(*winType, *length, *slide, *gap, stderr)
-	if def == nil {
+	var defs []window.Definition
+	var step int64
+	if *windows != "" {
+		defs, step = parseWindows(*windows, stderr)
+	} else {
+		var def window.Definition
+		def, step = makeWindow(*winType, *length, *slide, *gap, stderr)
+		if def != nil {
+			defs = []window.Definition{def}
+		}
+	}
+	if len(defs) == 0 {
 		return 2
 	}
 
@@ -151,24 +170,24 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		}
 	}
 
-	q := queryEnv{lateness: *lateness, store: kind, ordered: ordered, ckptDir: *ckptDir, runItems: runItems, rb: rb, ms: ms, stdout: stdout, stderr: stderr}
+	q := queryEnv{lateness: *lateness, store: kind, ordered: ordered, fleet: *windows != "", ckptDir: *ckptDir, runItems: runItems, rb: rb, ms: ms, stdout: stdout, stderr: stderr}
 	switch *aggName {
 	case "sum":
-		return runQuery(def, aggregate.Sum[float64](ident), q)
+		return runQuery(defs, aggregate.Sum[float64](ident), q)
 	case "count":
-		return runQuery(def, aggregate.Count[float64](), q)
+		return runQuery(defs, aggregate.Count[float64](), q)
 	case "mean":
-		return runQuery(def, aggregate.Mean[float64](ident), q)
+		return runQuery(defs, aggregate.Mean[float64](ident), q)
 	case "min":
-		return runQuery(def, aggregate.Min[float64](ident), q)
+		return runQuery(defs, aggregate.Min[float64](ident), q)
 	case "max":
-		return runQuery(def, aggregate.Max[float64](ident), q)
+		return runQuery(defs, aggregate.Max[float64](ident), q)
 	case "median":
-		return runQuery(def, aggregate.Median[float64](ident), q)
+		return runQuery(defs, aggregate.Median[float64](ident), q)
 	case "p90":
-		return runQuery(def, aggregate.Percentile[float64](0.9, ident), q)
+		return runQuery(defs, aggregate.Percentile[float64](0.9, ident), q)
 	case "m4":
-		return runQuery(def, aggregate.M4[float64](ident), q)
+		return runQuery(defs, aggregate.M4[float64](ident), q)
 	default:
 		fmt.Fprintf(stderr, "unknown aggregation %q\n", *aggName)
 		return 2
@@ -234,6 +253,80 @@ func makeWindow(kind string, length, slide, gap int64, stderr io.Writer) (window
 	}
 }
 
+// parseWindows parses the -windows fleet list. Each entry is kind:params with
+// the same parameters as the single-window flags: tumbling:length,
+// sliding:length[:slide], session:gap, count:n. The combined rebase step is
+// the LCM of the members' steps — the offset must be a multiple of every
+// periodic member's step (and is then also a multiple of every factor
+// window's, whose length divides a member slide) for the shifted window
+// families to map one-to-one onto the absolute ones.
+func parseWindows(list string, stderr io.Writer) ([]window.Definition, int64) {
+	var defs []window.Definition
+	var step int64
+	for _, item := range strings.Split(list, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		parts := strings.Split(item, ":")
+		arg := func(i int) int64 {
+			if i >= len(parts) {
+				return 0
+			}
+			n, err := strconv.ParseInt(strings.TrimSpace(parts[i]), 10, 64)
+			if err != nil || n <= 0 {
+				return -1
+			}
+			return n
+		}
+		length, slide, gap := arg(1), arg(2), int64(0)
+		if parts[0] == "session" {
+			gap, length = length, 0
+			if gap == 0 {
+				gap = -1 // session needs an explicit positive gap
+			}
+		} else if length <= 0 {
+			length = -1
+		}
+		if length < 0 || slide < 0 || gap < 0 || len(parts) > 3 {
+			fmt.Fprintf(stderr, "-windows: malformed entry %q (want kind:length[:slide], session:gap, or count:n)\n", item)
+			return nil, 0
+		}
+		def, s := makeWindow(parts[0], length, slide, gap, stderr)
+		if def == nil {
+			return nil, 0
+		}
+		defs = append(defs, def)
+		step = lcmStep(step, s)
+	}
+	if len(defs) == 0 {
+		fmt.Fprintln(stderr, "-windows: empty window list")
+		return nil, 0
+	}
+	return defs, step
+}
+
+// lcmStep folds one member's rebase step into the fleet-wide one. Zero means
+// "no constraint" (sessions are translation-invariant, count windows ignore
+// timestamps). Wildly coprime slides can push the LCM past any real stream's
+// span; beyond ~50 days of milliseconds rebasing is disabled instead of
+// risking overflow — the run then pays the empty-window walk it would avoid.
+func lcmStep(a, b int64) int64 {
+	if a == 0 {
+		return b
+	}
+	if b == 0 {
+		return a
+	}
+	g := a
+	for x := b; x != 0; g, x = x, g%x {
+	}
+	if l := a / g * b; l > 0 && l <= 1<<32 {
+		return l
+	}
+	return 0
+}
+
 // rebaser shifts event timestamps into a small range before they reach the
 // watermarker and operator, and shifts window bounds back on the way out.
 // The offset is fixed at the first event: the largest multiple of step at or
@@ -272,6 +365,7 @@ type queryEnv struct {
 	lateness int64
 	store    core.StoreKind
 	ordered  bool
+	fleet    bool
 	ckptDir  string
 	runItems func(func(stream.Item[float64]))
 	rb       *rebaser
@@ -280,16 +374,43 @@ type queryEnv struct {
 	stderr   io.Writer
 }
 
-func runQuery[A any, Out any](def window.Definition, f aggregate.Function[float64, A, Out], q queryEnv) int {
+// operator abstracts the two run shapes over one processing surface: a single
+// window on a bare slicing core, or a -windows fleet sharing physical work
+// across its members (dedup + factor-window rewrite, docs/SHARING.md). Both
+// satisfy it with identical method sets, so the run loop, the metrics
+// publisher, and the checkpoint seal/restore path are written once.
+type operator[Out any] interface {
+	ProcessElement(stream.Event[float64]) []core.Result[Out]
+	ProcessWatermark(int64) []core.Result[Out]
+	SliceSnapshot() []core.SliceInfo
+	Snapshot() ([]byte, error)
+	Restore([]byte) error
+}
+
+func runQuery[A any, Out any](defs []window.Definition, f aggregate.Function[float64, A, Out], q queryEnv) int {
 	rb, ms, stdout, stderr := q.rb, q.ms, q.stdout, q.stderr
 	opts := core.Options{Lateness: q.lateness, Store: q.store, Ordered: q.ordered}
 	if ms != nil {
 		opts.Metrics = ms.reg
 	}
-	ag := core.New(f, opts)
-	if _, err := ag.AddQuery(def); err != nil {
-		fmt.Fprintln(stderr, err)
-		return 2
+	var ag operator[Out]
+	if q.fleet {
+		fl := fleet.New(f, fleet.Options{Options: opts})
+		for _, def := range defs {
+			if _, err := fl.AddQuery(def); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+		}
+		fmt.Fprintf(stderr, "%s\n", fl)
+		ag = fl
+	} else {
+		ca := core.New(f, opts)
+		if _, err := ca.AddQuery(defs[0]); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		ag = ca
 	}
 
 	// The same recovery metric series the dataflow engine exposes, so a
@@ -334,7 +455,11 @@ func runQuery[A any, Out any](def window.Definition, f aggregate.Function[float6
 			if r.Measure == stream.Time {
 				s, e = rb.unshift(s), rb.unshift(e)
 			}
-			fmt.Fprintf(out, "[%d, %d)\t n=%d\t %v%s\n", s, e, r.N, r.Value, tag)
+			if q.fleet {
+				fmt.Fprintf(out, "q%d\t[%d, %d)\t n=%d\t %v%s\n", r.Query, s, e, r.N, r.Value, tag)
+			} else {
+				fmt.Fprintf(out, "[%d, %d)\t n=%d\t %v%s\n", s, e, r.N, r.Value, tag)
+			}
 		}
 	}
 	snapshot := func() []core.SliceInfo {
@@ -393,7 +518,10 @@ func runQuery[A any, Out any](def window.Definition, f aggregate.Function[float6
 // resumed run must keep shifting by the same offset: recomputing it from the
 // continuation's first (later) event would misalign the restored state and
 // the new tuples, and every printed bound would be off by the difference.
-func sealFinal[A any, Out any](ag *core.Aggregator[float64, A, Out], rb *rebaser) ([]byte, error) {
+// The fleet and core snapshot codecs are distinct (a fleet snapshot nests the
+// core's plus the sharing plan), so a checkpoint written by one run shape is
+// rejected — and ignored with a warning — when restored by the other.
+func sealFinal[Out any](ag operator[Out], rb *rebaser) ([]byte, error) {
 	state, err := ag.Snapshot()
 	if err != nil {
 		return nil, err
@@ -408,7 +536,7 @@ func sealFinal[A any, Out any](ag *core.Aggregator[float64, A, Out], rb *rebaser
 // restoreFinal is the inverse of sealFinal: operator state into ag, the
 // recorded rebase offset into rb (pinned, so the first continuation event
 // does not recompute it).
-func restoreFinal[A any, Out any](ag *core.Aggregator[float64, A, Out], rb *rebaser, data []byte) error {
+func restoreFinal[Out any](ag operator[Out], rb *rebaser, data []byte) error {
 	dec, err := checkpoint.NewDecoder(data)
 	if err != nil {
 		return err

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -138,6 +139,117 @@ func TestSmallTimestampsNotRebased(t *testing.T) {
 	want := "[0, 2000)\t n=1\t 3.5\n[2000, 4000)\t n=1\t 4.5\n"
 	if out != want {
 		t.Fatalf("output changed:\n got %q\nwant %q", out, want)
+	}
+}
+
+// fleetLine matches one fleet result row: "q<id>\t[start, end)\t n=N\t value".
+var fleetLine = regexp.MustCompile(`^q(\d+)\t(\[-?\d+, -?\d+\)\t n=\d+\t \S.*)$`)
+
+// TestWindowsFleetMatchesSingleRuns pins the -windows fleet path against the
+// single-window path: each member's q<id>-prefixed rows must be exactly the
+// rows a standalone run of that window prints, and an exact-duplicate member
+// must share its twin's physical query (visible in the plan line on stderr)
+// while still printing its own rows.
+func TestWindowsFleetMatchesSingleRuns(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&b, "%d,%d\n", i*50, i%7)
+	}
+	in := b.String()
+
+	var out, errOut strings.Builder
+	args := []string{"-windows", "sliding:2000:500,tumbling:1000,sliding:2000:500", "-agg", "sum"}
+	if code := run(context.Background(), args, strings.NewReader(in), &out, &errOut); code != 0 {
+		t.Fatalf("fleet run exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "fleet(logical=3 physical=2") {
+		t.Fatalf("duplicate member not deduplicated; plan line: %s", errOut.String())
+	}
+
+	rows := map[string][]string{}
+	for _, line := range strings.Split(strings.TrimRight(out.String(), "\n"), "\n") {
+		m := fleetLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed fleet row %q", line)
+		}
+		rows["q"+m[1]] = append(rows["q"+m[1]], m[2])
+	}
+	sortRows := func(rs []string) string {
+		s := append([]string(nil), rs...)
+		sort.Strings(s)
+		return strings.Join(s, "\n")
+	}
+
+	singles := map[string][]string{
+		"q0": {"-window", "sliding", "-length", "2000", "-slide", "500", "-agg", "sum"},
+		"q1": {"-window", "tumbling", "-length", "1000", "-agg", "sum"},
+	}
+	for id, args := range singles {
+		want := runScotty(t, args, in)
+		got := rows[id]
+		if sortRows(got) != sortRows(strings.Split(strings.TrimRight(want, "\n"), "\n")) {
+			t.Fatalf("%s rows diverged from the standalone run:\n%s\nvs\n%s", id, strings.Join(got, "\n"), want)
+		}
+	}
+	if sortRows(rows["q2"]) != sortRows(rows["q0"]) {
+		t.Fatalf("duplicate q2 rows diverged from q0:\nq2:\n%s\nq0:\n%s", strings.Join(rows["q2"], "\n"), strings.Join(rows["q0"], "\n"))
+	}
+}
+
+// TestWindowsBadSpecsExitNonZero covers the -windows parser's error paths.
+func TestWindowsBadSpecsExitNonZero(t *testing.T) {
+	for _, spec := range []string{"sliding", "session", "tumbling:0", "sliding:1000:-5", "heptagonal:9", "tumbling:1000:2:3", " , "} {
+		var out, errOut strings.Builder
+		if code := run(context.Background(), []string{"-windows", spec, "-demo", "10"}, strings.NewReader(""), &out, &errOut); code == 0 {
+			t.Fatalf("-windows %q should exit non-zero", spec)
+		}
+	}
+}
+
+// TestWindowsCheckpointRestoreResumesFleet is the fleet shape of the restart
+// contract: the snapshot carries the whole sharing plan (logical ids, dedup
+// subscriptions, rebase offset), so a second run resumes every member and
+// keeps their ids stable.
+func TestWindowsCheckpointRestoreResumesFleet(t *testing.T) {
+	const t0 = int64(1722470400000) // 2024-08-01 00:00:00 UTC, ms
+	dir := t.TempDir()
+	args := []string{"-windows", "tumbling:1000,sliding:2000:1000,tumbling:1000", "-agg", "sum", "-checkpoint-dir", dir}
+	feed := func(offsets ...int64) string {
+		var b strings.Builder
+		for _, off := range offsets {
+			fmt.Fprintf(&b, "%d,1\n", t0+off)
+		}
+		return b.String()
+	}
+
+	var out1, err1 strings.Builder
+	if code := run(context.Background(), args, strings.NewReader(feed(0, 500, 1500, 2500)), &out1, &err1); code != 0 {
+		t.Fatalf("first run exited %d: %s", code, err1.String())
+	}
+	if want := fmt.Sprintf("q0\t[%d, %d)", t0, t0+1000); !strings.Contains(out1.String(), want) {
+		t.Fatalf("first run missing window %s:\n%s", want, out1.String())
+	}
+	if !strings.Contains(err1.String(), "checkpoint: wrote") {
+		t.Fatalf("first run wrote no checkpoint: %s", err1.String())
+	}
+
+	var out2, err2 strings.Builder
+	if code := run(context.Background(), args, strings.NewReader(feed(3500, 4500, 9000)), &out2, &err2); code != 0 {
+		t.Fatalf("second run exited %d: %s", code, err2.String())
+	}
+	if !strings.Contains(err2.String(), "checkpoint: restored state from") {
+		t.Fatalf("second run did not restore: %s", err2.String())
+	}
+	// Continuation windows from every member, still under their original ids:
+	// the tumbling pair (q0 and its dedup twin q2) and the sliding member q1.
+	for _, want := range []string{
+		fmt.Sprintf("q0\t[%d, %d)", t0+4000, t0+5000),
+		fmt.Sprintf("q2\t[%d, %d)", t0+4000, t0+5000),
+		fmt.Sprintf("q1\t[%d, %d)", t0+3000, t0+5000),
+	} {
+		if !strings.Contains(out2.String(), want) {
+			t.Fatalf("restored run missing continuation row %s:\n%s", want, out2.String())
+		}
 	}
 }
 

@@ -129,3 +129,103 @@ func TestMetricsEndpointDuringRun(t *testing.T) {
 	}
 	checkRows(t, out.String())
 }
+
+// TestFleetMetricsOnEndpoint runs a -windows fleet with the metrics endpoint
+// up and asserts the sharing layer's catalogue (docs/OBSERVABILITY.md) on
+// /metrics next to the core series: the logical/physical gauges must reflect
+// the deduplicated plan, and once the factor-window rewrite engages, the
+// rewrite-hit and slice-touches-saved counters must move.
+func TestFleetMetricsOnEndpoint(t *testing.T) {
+	pr, pw := io.Pipe()
+	var out, errOut syncBuffer
+	done := make(chan int, 1)
+	go func() {
+		done <- run(context.Background(), []string{
+			"-windows", "sliding:4000:250,sliding:8000:250,sliding:2000:250,sliding:4000:250",
+			"-agg", "sum", "-metrics", "127.0.0.1:0"}, pr, &out, &errOut)
+	}()
+
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if m := metricsURL.FindStringSubmatch(errOut.String()); m != nil {
+			base = m[1]
+		} else if time.Now().After(deadline) {
+			t.Fatalf("no metrics URL on stderr:\n%s", errOut.String())
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// 60s of events at 50ms spacing: enough watermarks past the rewrite
+	// hand-over for every eligible member to be served from the factor ring.
+	for ts := int64(0); ts <= 60_000; ts += 50 {
+		if _, err := fmt.Fprintf(pw, "%d,2\n", ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fetch := func(path string) []byte {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	metricValue := func(doc []obs.MetricJSON, name string) int64 {
+		for _, m := range doc {
+			if m.Name == name && m.Value != nil {
+				return *m.Value
+			}
+		}
+		return -1
+	}
+
+	var snap struct {
+		Metrics []obs.MetricJSON `json:"metrics"`
+	}
+	for {
+		if err := json.Unmarshal(fetch("/metrics?format=json"), &snap); err != nil {
+			t.Fatalf("metrics JSON: %v", err)
+		}
+		if metricValue(snap.Metrics, "query_logical_total") == 4 &&
+			metricValue(snap.Metrics, "query_physical_total") > 0 &&
+			metricValue(snap.Metrics, "rewrite_hits_total") > 0 &&
+			metricValue(snap.Metrics, "slice_touches_saved_total") > 0 &&
+			metricValue(snap.Metrics, "core_tuples_total") > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("fleet metrics never converged mid-run: %s", fetch("/metrics?format=json"))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The dedup twin shares a physical query: 4 logical, at most 3 member
+	// specs plus factor windows, and never 4 direct physical queries once the
+	// plan has settled into factored mode (rewrite hits above prove it has).
+	if phys := metricValue(snap.Metrics, "query_physical_total"); phys <= 0 || phys > 4 {
+		t.Fatalf("implausible query_physical_total %d for a deduplicated factored fleet", phys)
+	}
+	text := string(fetch("/metrics"))
+	for _, want := range []string{
+		"# TYPE query_logical_total gauge",
+		"# TYPE query_physical_total gauge",
+		"# TYPE rewrite_hits_total counter",
+		"# TYPE slice_touches_saved_total counter",
+		"# TYPE core_tuples_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics text format missing %q:\n%s", want, text)
+		}
+	}
+
+	pw.Close()
+	if code := <-done; code != 0 {
+		t.Fatalf("scotty exited %d: %s", code, errOut.String())
+	}
+}

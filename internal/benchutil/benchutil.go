@@ -12,6 +12,7 @@ import (
 	"scotty/internal/aggregate"
 	"scotty/internal/baselines"
 	"scotty/internal/core"
+	"scotty/internal/fleet"
 	"scotty/internal/stream"
 	"scotty/internal/window"
 )
@@ -29,6 +30,13 @@ const (
 	TupleBuckets Technique = "tuple-buckets" // WID / Flink buckets storing tuples
 	TupleBuffer  Technique = "tuple-buffer"  // sorted ring buffer, no sharing
 	AggTree      Technique = "agg-tree"      // FlatFAT over tuples
+
+	// FleetSlicing runs the cost-based factor-window sharing layer
+	// (internal/fleet) over the lazy slicing core. It is deliberately absent
+	// from AllTechniques: the sweep figures compare per-query techniques,
+	// while the sharing layer changes the workload's physical shape — it gets
+	// its own figure (benchmark -fig fleet).
+	FleetSlicing Technique = "fleet-slicing"
 )
 
 // AllTechniques lists every technique for sweep experiments.
@@ -71,6 +79,17 @@ func NewOp[A, Out any](t Technique, f aggregate.Function[stream.Tuple, A, Out], 
 			}
 			return len(ag.ProcessWatermark(it.Watermark))
 		}, nil
+	case FleetSlicing:
+		fl := fleet.New(f, fleet.Options{Options: core.Options{Ordered: w.Ordered, Lateness: w.Lateness}})
+		for _, d := range defs {
+			fl.MustAddQuery(d)
+		}
+		return func(it stream.Item[stream.Tuple]) int {
+			if it.Kind == stream.KindEvent {
+				return len(fl.ProcessElement(it.Event))
+			}
+			return len(fl.ProcessWatermark(it.Watermark))
+		}, nil
 	case Pairs:
 		op := baselines.NewPairs(f)
 		return feedBaseline(op, defs), nil
@@ -111,6 +130,14 @@ func NewBatchOp[A, Out any](t Technique, f aggregate.Function[stream.Tuple, A, O
 		}
 		return func(items []stream.Item[stream.Tuple]) int {
 			return len(ag.ProcessBatch(items))
+		}, nil
+	case FleetSlicing:
+		fl := fleet.New(f, fleet.Options{Options: core.Options{Ordered: w.Ordered, Lateness: w.Lateness}})
+		for _, d := range w.Defs() {
+			fl.MustAddQuery(d)
+		}
+		return func(items []stream.Item[stream.Tuple]) int {
+			return len(fl.ProcessBatch(items))
 		}, nil
 	default:
 		op, err := NewOp(t, f, w)

@@ -6,6 +6,7 @@ import (
 
 	"scotty/internal/baselines"
 	"scotty/internal/core"
+	"scotty/internal/fleet"
 	"scotty/internal/stream"
 	"scotty/internal/window"
 )
@@ -90,6 +91,100 @@ func TestTechniquesAgreeUnderDisorder(t *testing.T) {
 		}
 		if t.Failed() {
 			t.Fatalf("%s diverged from lazy slicing", name)
+		}
+	}
+}
+
+// TestFleetSlicingAgreesUnderDisorder checks the factor-window sharing layer
+// against the unshared core on a disordered stream: a workload the optimizer
+// actually rewrites (three correlated sliding queries plus a tumbling query
+// share a 250ms factor) mixed with an ineligible session window must produce
+// the identical final value for every (query, window) the unshared core
+// emits, through both the per-item and the batched harness plumbing.
+func TestFleetSlicingAgreesUnderDisorder(t *testing.T) {
+	d := stream.Disorder{Fraction: 0.25, MaxDelay: 800, Seed: 91}
+	in := MakeInput(stream.Football(), 60_000, d, 42)
+	defs := func() []window.Definition {
+		return []window.Definition{
+			window.Sliding(stream.Time, 4000, 250),
+			window.Sliding(stream.Time, 8000, 250),
+			window.Sliding(stream.Time, 2000, 250),
+			window.Tumbling(stream.Time, 1000),
+			window.Session[stream.Tuple](1000),
+		}
+	}
+	const lateness = 2000
+
+	runCore := func() map[wkey]float64 {
+		op := core.New(SumFn(), core.Options{Lateness: lateness})
+		for _, def := range defs() {
+			op.MustAddQuery(def)
+		}
+		finals := map[wkey]float64{}
+		for _, it := range in.Items {
+			var rs []core.Result[float64]
+			if it.Kind == stream.KindEvent {
+				rs = op.ProcessElement(it.Event)
+			} else {
+				rs = op.ProcessWatermark(it.Watermark)
+			}
+			for _, r := range rs {
+				finals[wkey{r.Query, r.Start, r.End}] = r.Value
+			}
+		}
+		return finals
+	}
+	runFleet := func(batch int) map[wkey]float64 {
+		fl := fleet.New(SumFn(), fleet.Options{Options: core.Options{Lateness: lateness}})
+		for _, def := range defs() {
+			fl.MustAddQuery(def)
+		}
+		if p := fl.Plan(); p.Factored == 0 {
+			t.Fatalf("workload was meant to factor, plan: %+v", p)
+		}
+		finals := map[wkey]float64{}
+		feed := func(rs []core.Result[float64]) {
+			for _, r := range rs {
+				finals[wkey{r.Query, r.Start, r.End}] = r.Value
+			}
+		}
+		if batch == 0 {
+			for _, it := range in.Items {
+				if it.Kind == stream.KindEvent {
+					feed(fl.ProcessElement(it.Event))
+				} else {
+					feed(fl.ProcessWatermark(it.Watermark))
+				}
+			}
+			return finals
+		}
+		for i := 0; i < len(in.Items); i += batch {
+			j := i + batch
+			if j > len(in.Items) {
+				j = len(in.Items)
+			}
+			feed(fl.ProcessBatch(in.Items[i:j]))
+		}
+		return finals
+	}
+
+	base := runCore()
+	if len(base) < 30 {
+		t.Fatalf("suspiciously few windows: %d", len(base))
+	}
+	for _, batch := range []int{0, 7, 256} {
+		got := runFleet(batch)
+		if len(got) != len(base) {
+			t.Fatalf("batch=%d: fleet emitted %d windows, unshared core %d", batch, len(got), len(base))
+		}
+		for k, v := range base {
+			g, ok := got[k]
+			if !ok {
+				t.Fatalf("batch=%d: fleet missing window %+v (core value %v)", batch, k, v)
+			}
+			if math.Abs(g-v) > 1e-6 {
+				t.Fatalf("batch=%d: fleet window %+v: %v, unshared core says %v", batch, k, g, v)
+			}
 		}
 	}
 }

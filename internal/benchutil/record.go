@@ -70,6 +70,22 @@ func RecordPoint(m Measurement) {
 	}
 }
 
+// AnnotateLast merges extra metrics into the most recently recorded point —
+// for figures whose operator exposes run statistics (plan shape, counters)
+// only after the measured replay finished. No-op without an active recording.
+func AnnotateLast(extra map[string]float64) {
+	if Rec == nil || len(Rec.Points) == 0 {
+		return
+	}
+	p := &Rec.Points[len(Rec.Points)-1]
+	if p.Extra == nil {
+		p.Extra = map[string]float64{}
+	}
+	for k, v := range extra {
+		p.Extra[k] = v
+	}
+}
+
 // latencySampleEvery controls per-item latency sampling in Measure: every
 // Kth event is timed individually. Sparse sampling keeps the clock calls
 // from perturbing the throughput number the same run reports.

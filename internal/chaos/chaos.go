@@ -27,6 +27,7 @@ import (
 	"scotty/internal/checkpoint"
 	"scotty/internal/core"
 	"scotty/internal/engine"
+	"scotty/internal/fleet"
 	"scotty/internal/stream"
 	"scotty/internal/window"
 )
@@ -36,9 +37,9 @@ import (
 const Keyed = benchutil.Technique("keyed")
 
 // Techniques lists everything the harness can run: all benchmark techniques
-// plus the keyed operator.
+// plus the keyed operator and the factor-window sharing layer.
 func Techniques() []benchutil.Technique {
-	return append(append([]benchutil.Technique{}, benchutil.AllTechniques...), Keyed)
+	return append(append([]benchutil.Technique{}, benchutil.AllTechniques...), Keyed, benchutil.FleetSlicing)
 }
 
 // ------------------------------------------------------------- schedule ----
@@ -204,6 +205,31 @@ func (o *keyedOp) feed(it stream.Item[stream.Tuple]) []string {
 func (o *keyedOp) snapshot() ([]byte, error) { return o.op.Snapshot() }
 func (o *keyedOp) restore(data []byte) error { return o.op.Restore(data) }
 
+// fleetOp wraps the factor-window sharing layer; it is snapshottable, and its
+// workload is built to actually factor (correlated sliding queries plus an
+// exact duplicate), so recovery must reconstruct pane rings, factored trigger
+// cursors, and the logical fan-out — not just core slices.
+type fleetOp struct {
+	fl *fleet.Fleet[stream.Tuple, float64, float64]
+}
+
+func (o *fleetOp) feed(it stream.Item[stream.Tuple]) []string {
+	var rs []core.Result[float64]
+	if it.Kind == stream.KindEvent {
+		rs = o.fl.ProcessElement(it.Event)
+	} else {
+		rs = o.fl.ProcessWatermark(it.Watermark)
+	}
+	lines := make([]string, len(rs))
+	for i, r := range rs {
+		lines[i] = formatResult(r.Query, r.Start, r.End, r.Value, r.N, r.Update)
+	}
+	return lines
+}
+
+func (o *fleetOp) snapshot() ([]byte, error) { return o.fl.Snapshot() }
+func (o *fleetOp) restore(data []byte) error { return o.fl.Restore(data) }
+
 // baseOp wraps a baseline technique; baselines carry no snapshot support, so
 // the engine recovers them by replaying from the stream origin.
 type baseOp struct {
@@ -249,6 +275,21 @@ func buildOperator(t benchutil.Technique) (operator, error) {
 		return &sliceOp{ag: newAg(core.StoreEager)}, nil
 	case benchutil.DABASlicing:
 		return &sliceOp{ag: newAg(core.StoreDABA)}, nil
+	case benchutil.FleetSlicing:
+		fl := fleet.New(f, fleet.Options{Options: core.Options{Lateness: lateness}})
+		for _, d := range []window.Definition{
+			window.Sliding(stream.Time, 4000, 250),
+			window.Sliding(stream.Time, 8000, 250),
+			window.Sliding(stream.Time, 2000, 250),
+			window.Sliding(stream.Time, 4000, 250), // exact duplicate → fan-out
+			window.Tumbling(stream.Time, 1000),
+		} {
+			fl.MustAddQuery(d)
+		}
+		if fl.Plan().Factored == 0 {
+			return nil, fmt.Errorf("chaos: fleet workload was meant to factor")
+		}
+		return &fleetOp{fl: fl}, nil
 	case Keyed:
 		return &keyedOp{op: core.NewKeyed(
 			func(v stream.Tuple) int32 { return v.Key }, 0,

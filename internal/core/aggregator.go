@@ -84,6 +84,17 @@ type query[V any] struct {
 	def window.Definition
 	cf  window.ContextFree
 	ctx window.Context[V]
+	// tapped marks a query whose emissions are consumed as raw partial
+	// aggregates by a registered tap (SetPartialTap) instead of being
+	// lowered into Results. The tap itself lives in Aggregator.taps (it
+	// closes over the partial type A, which query is not generic over).
+	tapped bool
+	// updFloor is the lowest window end this query may emit updates for. A
+	// query registered mid-stream silently drains windows predating its
+	// registration; out-of-order arrivals touching those windows must not
+	// produce updates either — the query never announced them, and without
+	// stored tuples their boundaries may not even be answerable.
+	updFloor int64
 }
 
 // Aggregator is the general stream slicing window operator (Fig 3/7). It
@@ -129,6 +140,11 @@ type Aggregator[V, A, Out any] struct {
 
 	// Watermark bookkeeping.
 	currWM int64
+
+	// taps holds the partial-aggregate consumers of tapped queries, keyed
+	// by query id (see SetPartialTap). Emissions of a tapped query deliver
+	// (start, end, partial, n, update) to the tap and append no Result.
+	taps map[int]func(start, end int64, a A, n int64, update bool)
 
 	// Registry-backed instrumentation (Options.Metrics). tuplesPublished
 	// tracks how much of totalCount has been flushed to the shared tuples
@@ -226,8 +242,36 @@ func (ag *Aggregator[V, A, Out]) View() window.StoreView { return ag.st }
 // characteristics (window type, measure, stream order, function properties)
 // are re-derived, and the storage strategy adapts (§5: "our aggregator adapts
 // when one adds or removes queries").
+//
+// A query added mid-stream starts at the current watermark: windows that
+// completed before registration concern data that may already be evicted, so
+// they are drained silently. When the store holds no tuples (the Fig 4
+// aggregate-only regime), a periodic time query additionally skips every
+// window overlapping already-ingested data — those slices can be neither
+// split at the new query's edges nor partially recomputed at emission.
 func (ag *Aggregator[V, A, Out]) AddQuery(def window.Definition) (int, error) {
-	q := &query[V]{id: ag.nextID, def: def}
+	return ag.addQuery(def, false)
+}
+
+// AddQueryResumed registers a query whose definition's trigger cursor has
+// already been advanced on its behalf by a sharing layer (internal/fleet
+// returning a factored spec to direct execution). The silent draining and the
+// no-stored-tuples alignment guard of AddQuery are skipped: the caller
+// guarantees the cursor resumes exactly after the last emission it performed
+// and that every boundary the query will fold is already a slice edge.
+// updateFloor is the lowest window end the query ever emitted (in its measure
+// units); out-of-order updates below it are suppressed exactly as AddQuery
+// would have arranged at the original registration.
+func (ag *Aggregator[V, A, Out]) AddQueryResumed(def window.Definition, updateFloor int64) (int, error) {
+	id, err := ag.addQuery(def, true)
+	if err == nil {
+		ag.queries[len(ag.queries)-1].updFloor = updateFloor
+	}
+	return id, err
+}
+
+func (ag *Aggregator[V, A, Out]) addQuery(def window.Definition, resumed bool) (int, error) {
+	q := &query[V]{id: ag.nextID, def: def, updFloor: stream.MinTime}
 	switch d := def.(type) {
 	case window.ContextFree:
 		q.cf = d
@@ -239,11 +283,40 @@ func (ag *Aggregator[V, A, Out]) AddQuery(def window.Definition) (int, error) {
 	if !ag.opts.Ordered && def.Measure() != ag.extentMeasure() && len(ag.queries) > 0 {
 		return 0, fmt.Errorf("core: mixing %v- and %v-extent queries requires an in-order stream; use one aggregator per measure", def.Measure(), ag.extentMeasure())
 	}
-	if q.cf != nil && ag.currWM != stream.MinTime {
-		// A query added mid-stream starts at the current watermark:
-		// windows that completed before registration concern data that
-		// may already be evicted, so they are drained silently.
-		q.cf.Trigger(ag.st, stream.MinTime, ag.currWM, func(int64, int64) {})
+	if q.cf != nil && !resumed {
+		drainTo := stream.MinTime
+		if ag.currWM != stream.MinTime {
+			drainTo = ag.currWM
+		}
+		if p, ok := def.(interface{ Params() (length, slide int64) }); ok &&
+			def.Measure() == stream.Time && !ag.st.keepTuples && ag.st.totalCount > 0 {
+			// Aggregate-only slices holding pre-registration data cannot
+			// serve this query: its edges may fall strictly inside them
+			// (splitTime and partialByTime fail loudly on that). Seal the
+			// open slice so future edges land in fresh territory, and
+			// drain every window starting before the seal.
+			length, _ := p.Params()
+			safe := ag.st.maxSeen + 1
+			if safe > ag.openStart() {
+				ag.st.cutTime(safe)
+			}
+			if x := safe + length - 2; x > drainTo {
+				drainTo = x
+			}
+		}
+		if drainTo != stream.MinTime {
+			q.cf.Trigger(ag.st, stream.MinTime, drainTo, func(int64, int64) {})
+			// Updates must not resurrect drained windows. The periodic
+			// cursor is exact (NextTrigger); other kinds fall back to the
+			// drain horizon.
+			q.updFloor = drainTo + 1
+			if _, ok := def.(interface{ Params() (length, slide int64) }); ok {
+				q.updFloor = q.cf.NextTrigger(ag.st)
+				if def.Measure() == stream.Time {
+					q.updFloor++ // NextTrigger reports end-1 for time
+				}
+			}
+		}
 	}
 	ag.nextID++
 	ag.queries = append(ag.queries, q)
@@ -261,17 +334,73 @@ func (ag *Aggregator[V, A, Out]) MustAddQuery(def window.Definition) int {
 }
 
 // RemoveQuery unregisters a query. Slice edges that no remaining query needs
-// are merged away; the storage strategy is re-derived.
+// are merged away; the storage strategy is re-derived, trigger/eviction state
+// derived from the query is dropped, and a registered partial tap is released.
 func (ag *Aggregator[V, A, Out]) RemoveQuery(id int) {
 	for i, q := range ag.queries {
 		if q.id == id {
 			ag.queries = append(ag.queries[:i], ag.queries[i+1:]...)
+			delete(ag.taps, id)
 			ag.reconfigure()
 			ag.compact()
 			return
 		}
 	}
 }
+
+// AddQueryWithID registers a query under a caller-chosen id. It exists for
+// state restoration in sharing layers (internal/fleet) that rewrite query sets
+// dynamically: after removals the live ids are no longer contiguous, and a
+// restore target must reproduce the snapshotted ids exactly. The id must be
+// unused; subsequent AddQuery calls continue above the highest id ever used.
+func (ag *Aggregator[V, A, Out]) AddQueryWithID(id int, def window.Definition) error {
+	if id < 0 {
+		return fmt.Errorf("core: query id %d is negative", id)
+	}
+	for _, q := range ag.queries {
+		if q.id == id {
+			return fmt.Errorf("core: query id %d already registered", id)
+		}
+	}
+	prev := ag.nextID
+	ag.nextID = id
+	_, err := ag.AddQuery(def)
+	if ag.nextID < prev {
+		ag.nextID = prev
+	}
+	return err
+}
+
+// SetPartialTap redirects the emissions of query id to tap: instead of
+// lowering the window aggregate into a Result, the operator hands the raw
+// partial aggregate (plus tuple count and update flag) to the tap. This is the
+// factor-window hook of the sharing layer (docs/SHARING.md): a factor query's
+// per-pane partials feed a FlatFAT ring that answers coarser covering windows,
+// so the partials must be observable before Lower collapses them. A nil tap
+// restores normal Result emission. Reports whether the query id exists.
+func (ag *Aggregator[V, A, Out]) SetPartialTap(id int, tap func(start, end int64, a A, n int64, update bool)) bool {
+	for _, q := range ag.queries {
+		if q.id == id {
+			if tap == nil {
+				q.tapped = false
+				delete(ag.taps, id)
+				return true
+			}
+			if ag.taps == nil {
+				ag.taps = make(map[int]func(start, end int64, a A, n int64, update bool))
+			}
+			q.tapped = true
+			ag.taps[id] = tap
+			return true
+		}
+	}
+	return false
+}
+
+// Watermark reports the operator's current watermark position (stream.MinTime
+// before the first watermark). Sharing layers schedule their own emissions
+// against it.
+func (ag *Aggregator[V, A, Out]) Watermark() int64 { return ag.currWM }
 
 func (ag *Aggregator[V, A, Out]) extentMeasure() stream.Measure {
 	if len(ag.queries) == 0 {
@@ -567,6 +696,9 @@ func (ag *Aggregator[V, A, Out]) processOutOfOrder(e stream.Event[V]) {
 				if q.def.Measure() == stream.Time && en-1 > ag.currWM {
 					return // not yet emitted; the regular trigger will cover it
 				}
+				if en < q.updFloor {
+					return // window predates this query's registration
+				}
 				ag.emit(q, s, en, true)
 			})
 		}
@@ -766,6 +898,10 @@ func (ag *Aggregator[V, A, Out]) emit(q *query[V], s, e int64, update bool) {
 		if d := ag.dabaFor(q.id); d != nil {
 			if a, n, ok := ag.dabaServe(d, s, e); ok {
 				ag.dabaHits++
+				if q.tapped {
+					ag.taps[q.id](s, e, a, n, false)
+					return
+				}
 				ag.results = append(ag.results, Result[Out]{
 					Query:   q.id,
 					Measure: stream.Time,
@@ -779,24 +915,30 @@ func (ag *Aggregator[V, A, Out]) emit(q *query[V], s, e int64, update bool) {
 			ag.dabaMisses++
 		}
 	}
+	if q.tapped {
+		a, n := ag.rangeAggregate(q.def.Measure(), s, e)
+		ag.taps[q.id](s, e, a, n, update)
+		return
+	}
 	ag.emitSpan(q.id, q.def.Measure(), s, e, update)
 }
 
-func (ag *Aggregator[V, A, Out]) emitSpan(id int, m stream.Measure, s, e int64, update bool) {
-	var a A
-	var n int64
+// rangeAggregate folds the store over [s, e) on the given measure, taking the
+// eager tree's fast path when available.
+func (ag *Aggregator[V, A, Out]) rangeAggregate(m stream.Measure, s, e int64) (A, int64) {
 	if m == stream.Time {
 		if ag.opts.Eager {
-			var ok bool
-			if a, n, ok = ag.st.aggregateTimeRangeFast(s, e); !ok {
-				a, n = ag.st.aggregateTimeRange(s, e)
+			if a, n, ok := ag.st.aggregateTimeRangeFast(s, e); ok {
+				return a, n
 			}
-		} else {
-			a, n = ag.st.aggregateTimeRange(s, e)
 		}
-	} else {
-		a, n = ag.st.aggregateCountRange(s, e)
+		return ag.st.aggregateTimeRange(s, e)
 	}
+	return ag.st.aggregateCountRange(s, e)
+}
+
+func (ag *Aggregator[V, A, Out]) emitSpan(id int, m stream.Measure, s, e int64, update bool) {
+	a, n := ag.rangeAggregate(m, s, e)
 	ag.results = append(ag.results, Result[Out]{
 		Query:   id,
 		Measure: m,

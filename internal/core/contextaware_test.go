@@ -234,6 +234,46 @@ func TestRemoveQueryMergesUnneededEdges(t *testing.T) {
 	}
 }
 
+// TestRemovedQueryStopsEmittingAndSplitting is the RemoveQuery regression
+// contract: after removal the query's id never appears in results again, the
+// surviving query keeps emitting, and the removed query's edges stop forcing
+// slice splits — every live slice boundary past the removal point aligns to
+// the surviving query's windows.
+func TestRemovedQueryStopsEmittingAndSplitting(t *testing.T) {
+	ag := New[float64](aggregate.Sum[float64](ident), Options{Ordered: true})
+	keep := ag.MustAddQuery(window.Tumbling(stream.Time, 100))
+	drop := ag.MustAddQuery(window.Tumbling(stream.Time, 7))
+	feed := func(lo, hi int64) (forDrop, forKeep int) {
+		for ts := lo; ts < hi; ts++ {
+			for _, r := range ag.ProcessElement(stream.Event[float64]{Time: ts, Seq: ts, Value: 1}) {
+				switch r.Query {
+				case drop:
+					forDrop++
+				case keep:
+					forKeep++
+				}
+			}
+		}
+		return
+	}
+	if d, _ := feed(0, 500); d == 0 {
+		t.Fatal("dropped query emitted nothing before removal")
+	}
+	ag.RemoveQuery(drop)
+	d, k := feed(500, 1500)
+	if d != 0 {
+		t.Errorf("removed query emitted %d results after removal", d)
+	}
+	if k == 0 {
+		t.Error("surviving query stopped emitting after an unrelated removal")
+	}
+	for _, s := range ag.SliceSnapshot() {
+		if s.Start > 500 && s.Start%100 != 0 {
+			t.Errorf("slice edge %d survives past removal: only 100ms-aligned edges should be cut", s.Start)
+		}
+	}
+}
+
 // ------------------------------------------------------- late updates ----
 
 func TestLateTupleEmitsUpdates(t *testing.T) {

@@ -91,6 +91,7 @@ func (ag *Aggregator[V, A, Out]) encodeState(enc *checkpoint.Encoder) error {
 	for _, q := range ag.queries {
 		enc.Int(q.id)
 		enc.String(describeQuery(q.def))
+		enc.Int64(q.updFloor)
 		if q.ctx != nil {
 			// Context-aware: the context holds the mutable state.
 			ss, ok := q.ctx.(window.StateSnapshot)
@@ -203,10 +204,11 @@ func (ag *Aggregator[V, A, Out]) decodeState(dec *checkpoint.Decoder) error {
 	}
 	for i := 0; i < nq; i++ {
 		q := ag.queries[i]
-		id, desc, kind := dec.Int(), dec.String(), dec.Byte()
+		id, desc, floor, kind := dec.Int(), dec.String(), dec.Int64(), dec.Byte()
 		if dec.Err() != nil {
 			return dec.Err()
 		}
+		q.updFloor = floor
 		if id != q.id || desc != describeQuery(q.def) || (kind == queryStateCtx) != (q.ctx != nil) {
 			return fmt.Errorf("%w: query %d is %q in the snapshot, %q in the operator", ErrSnapshotMismatch, i, desc, describeQuery(q.def))
 		}

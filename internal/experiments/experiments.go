@@ -99,6 +99,7 @@ var experimentsByID = []struct {
 	{"16", Fig16},
 	{"17", Fig17},
 	{"taillat", FigTailLatency},
+	{"fleet", FigFleet},
 	{"ablation", Ablations},
 }
 

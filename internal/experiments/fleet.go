@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"io"
+
+	"scotty/internal/benchutil"
+	"scotty/internal/core"
+	"scotty/internal/fleet"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+// fleetSweep is the horizontal axis of the fleet figure: the number of
+// correlated logical queries registered concurrently.
+var fleetSweep = []int{1, 4, 16, 64, 256, 1024, 4096}
+
+// fleetDefs builds q correlated sliding queries: eight distinct lengths
+// (4–32 s) cycled, all sliding by 100 ms. The factoring optimizer rewrites
+// the whole fleet onto a single 100 ms factor window, and from q = 9 on the
+// cycle produces exact duplicates, so registration dedup carries most of the
+// scaling.
+func fleetDefs(q int) []window.Definition {
+	defs := make([]window.Definition, q)
+	for i := range defs {
+		defs[i] = window.Sliding(stream.Time, int64(1+i%8)*4000, 100)
+	}
+	return defs
+}
+
+// FigFleet — cost-based factor-window sharing (docs/SHARING.md): q correlated
+// sliding queries through the sharing layer ("fleet-shared") versus the same
+// queries as independent physical queries on one slicing core ("unshared"),
+// football stream, in order. The unshared core pays a full per-query slice
+// fold per emission, so its cost grows linearly in q; the fleet answers every
+// member from one shared pane ring, leaving result fan-out as the only
+// per-query cost. scripts/checkbench.go gates both trends on the recorded
+// artifact (BENCH_fleet.json).
+func FigFleet(w io.Writer, sc Scale) error {
+	tab := benchutil.NewTable("Fig fleet — factor-window sharing across correlated queries (tuples/s)",
+		"queries", "fleet-shared", "unshared", "speedup", "physical", "touches-saved")
+	for _, q := range fleetSweep {
+		fl := fleet.New(benchutil.SumFn(), fleet.Options{})
+		for _, d := range fleetDefs(q) {
+			fl.MustAddQuery(d)
+		}
+		fleetOp := func(it stream.Item[stream.Tuple]) int {
+			if it.Kind == stream.KindEvent {
+				return len(fl.ProcessElement(it.Event))
+			}
+			return len(fl.ProcessWatermark(it.Watermark))
+		}
+		// 2x the slicing budget: the stream must span the longest window
+		// (32 s) several times over, or ramp-up — during which long windows
+		// have not yet produced a single emission — dominates the run and
+		// understates the unshared series' steady-state fold cost.
+		in := benchutil.MakeInput(stream.Football(), 2*sc.Events, stream.Disorder{}, 42)
+		sharedTPS, _ := benchutil.Measure("fleet-shared", q, fleetOp, in)
+		plan := fl.Plan()
+		benchutil.AnnotateLast(map[string]float64{
+			"query_logical_total":       float64(plan.Logical),
+			"query_physical_total":      float64(plan.Physical),
+			"rewrite_hits_total":        float64(plan.RewriteHits),
+			"slice_touches_saved_total": float64(plan.TouchesSaved),
+		})
+
+		ag := core.New(benchutil.SumFn(), core.Options{})
+		for _, d := range fleetDefs(q) {
+			ag.MustAddQuery(d)
+		}
+		unsharedOp := func(it stream.Item[stream.Tuple]) int {
+			if it.Kind == stream.KindEvent {
+				return len(ag.ProcessElement(it.Event))
+			}
+			return len(ag.ProcessWatermark(it.Watermark))
+		}
+		// Both series replay the identical input: shrinking the unshared
+		// budget would also shrink the stream's time span below the longer
+		// window lengths, silently deleting the emission work the figure
+		// exists to measure.
+		unsharedTPS, _ := benchutil.Measure("unshared", q, unsharedOp, in)
+
+		speedup := 0.0
+		if unsharedTPS > 0 {
+			speedup = sharedTPS / unsharedTPS
+		}
+		tab.Add(q, sharedTPS, unsharedTPS, speedup, plan.Physical, plan.TouchesSaved)
+	}
+	tab.Print(w)
+	return nil
+}

@@ -1,0 +1,137 @@
+package fleet
+
+import (
+	"testing"
+
+	"scotty/internal/core"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+func TestGCD(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{0, 5, 5}, {5, 0, 5}, {12, 18, 6}, {250, 1000, 250}, {7, 13, 1}, {4000, 250, 250},
+	}
+	for _, c := range cases {
+		if got := gcd(c.a, c.b); got != c.want {
+			t.Errorf("gcd(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// TestLoneTumblingStaysDirect: a single tumbling query gains nothing from a
+// factor window equal to itself — pane production already touches every slice,
+// and the ring adds a push per pane. The cost model must leave it direct.
+func TestLoneTumblingStaysDirect(t *testing.T) {
+	fl := newSumFleet(Options{})
+	fl.MustAddQuery(window.Tumbling(stream.Time, 1000))
+	p := fl.Plan()
+	if p.Factored != 0 || len(p.Factors) != 0 {
+		t.Fatalf("lone tumbling query was factored: %+v", p)
+	}
+	if p.Physical != 1 {
+		t.Fatalf("want one direct physical query: %+v", p)
+	}
+}
+
+// TestLoneSlidingFactors: a heavily overlapping sliding window profits from a
+// factor ring even alone — sixteen slice folds per emission become O(log)
+// ring combines.
+func TestLoneSlidingFactors(t *testing.T) {
+	fl := newSumFleet(Options{})
+	fl.MustAddQuery(window.Sliding(stream.Time, 4000, 250))
+	p := fl.Plan()
+	if p.Factored != 1 || len(p.Factors) != 1 || p.Factors[0] != 250 {
+		t.Fatalf("lone overlapping sliding query not factored at f=250: %+v", p)
+	}
+	if p.Physical != 1 {
+		t.Fatalf("want exactly the factor query: %+v", p)
+	}
+}
+
+// TestBarelyOverlappingSlidingStaysDirect: length 2×slide folds two slices per
+// emission — cheaper than ring maintenance.
+func TestBarelyOverlappingSlidingStaysDirect(t *testing.T) {
+	fl := newSumFleet(Options{})
+	fl.MustAddQuery(window.Sliding(stream.Time, 2000, 1000))
+	if p := fl.Plan(); p.Factored != 0 {
+		t.Fatalf("barely-overlapping sliding query was factored: %+v", p)
+	}
+}
+
+// TestCorrelatedFleetMergesOntoOneFactor: specs over a shared granularity
+// merge into a single factor group at the common gcd.
+func TestCorrelatedFleetMergesOntoOneFactor(t *testing.T) {
+	fl := newSumFleet(Options{})
+	for i := 0; i < 8; i++ {
+		fl.MustAddQuery(window.Sliding(stream.Time, int64(1+i)*4000, 250))
+	}
+	p := fl.Plan()
+	if len(p.Factors) != 1 || p.Factors[0] != 250 {
+		t.Fatalf("want one factor group at 250: %+v", p)
+	}
+	if p.Factored != 8 {
+		t.Fatalf("want all 8 specs factored: %+v", p)
+	}
+	if p.Physical != 1 {
+		t.Fatalf("8 correlated queries should share one physical factor query: %+v", p)
+	}
+}
+
+// TestSessionsAndCountWindowsIneligible: sessions and count-measure windows
+// are never factor candidates, but coexist with factored specs. (Mixing
+// count- and time-extent queries requires an ordered stream — a core rule the
+// fleet inherits.)
+func TestSessionsAndCountWindowsIneligible(t *testing.T) {
+	fl := newSumFleet(Options{Options: core.Options{Ordered: true}})
+	fl.MustAddQuery(window.Session[stream.Tuple](700))
+	fl.MustAddQuery(window.Sliding(stream.Count, 100, 10))
+	fl.MustAddQuery(window.Sliding(stream.Time, 4000, 250))
+	p := fl.Plan()
+	if p.Factored != 1 {
+		t.Fatalf("exactly the time-sliding spec should factor: %+v", p)
+	}
+	if p.Physical != 3 { // session + count + factor window
+		t.Fatalf("want 3 physical queries: %+v", p)
+	}
+}
+
+// TestNoRewrite: the escape hatch disables factoring but keeps dedup.
+func TestNoRewrite(t *testing.T) {
+	fl := newSumFleet(Options{NoRewrite: true})
+	for i := 0; i < 4; i++ {
+		fl.MustAddQuery(window.Sliding(stream.Time, 4000, 250))
+	}
+	fl.MustAddQuery(window.Sliding(stream.Time, 8000, 250))
+	p := fl.Plan()
+	if p.Factored != 0 || len(p.Factors) != 0 {
+		t.Fatalf("NoRewrite still factored: %+v", p)
+	}
+	if p.Logical != 5 || p.Specs != 2 || p.Physical != 2 {
+		t.Fatalf("dedup should survive NoRewrite: %+v", p)
+	}
+	// And the run must still match unshared execution.
+	got := feed(fl, 400, 50)
+	if len(got[0]) == 0 || len(got[4]) == 0 {
+		t.Fatal("no emissions under NoRewrite")
+	}
+}
+
+// TestReplanOnRemove: removing the spec that justified a merged factor lets
+// the remaining fleet re-plan (possibly back to direct execution).
+func TestReplanOnRemove(t *testing.T) {
+	fl := newSumFleet(Options{})
+	ids := []int{
+		fl.MustAddQuery(window.Sliding(stream.Time, 4000, 250)),
+		fl.MustAddQuery(window.Sliding(stream.Time, 2000, 1000)),
+	}
+	p := fl.Plan()
+	if p.Factored == 0 {
+		t.Fatalf("setup should factor at least the overlapping spec: %+v", p)
+	}
+	fl.RemoveQuery(ids[0])
+	p = fl.Plan()
+	if p.Factored != 0 {
+		t.Fatalf("barely-overlapping leftover should go direct after replan: %+v", p)
+	}
+}

@@ -1,0 +1,29 @@
+package fleet
+
+import "scotty/internal/obs"
+
+// metricsSet holds the sharing layer's observability handles (the names are
+// part of the /metrics contract, see docs/OBSERVABILITY.md):
+//
+//	query_logical_total       gauge   registered logical queries
+//	query_physical_total      gauge   live physical queries on the core,
+//	                                  including factor windows
+//	rewrite_hits_total        counter emissions answered from a factor ring
+//	                                  instead of the slice store
+//	slice_touches_saved_total counter slice folds a direct emission would
+//	                                  have spent minus ring combines spent
+type metricsSet struct {
+	logical      *obs.Gauge
+	physical     *obs.Gauge
+	rewriteHits  *obs.Counter
+	touchesSaved *obs.Counter
+}
+
+func newMetricsSet(r *obs.Registry) *metricsSet {
+	return &metricsSet{
+		logical:      r.Gauge("query_logical_total"),
+		physical:     r.Gauge("query_physical_total"),
+		rewriteHits:  r.Counter("rewrite_hits_total"),
+		touchesSaved: r.Counter("slice_touches_saved_total"),
+	}
+}

@@ -1,0 +1,267 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"scotty/internal/aggregate"
+	"scotty/internal/core"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+// The equivalence oracle: a fleet — with dedup and cost-based factor-window
+// rewriting fully enabled — must be result-identical, per logical query, to
+// running every query unshared on its own core registration. Randomized
+// workloads mix factorable sliding/tumbling windows, exact duplicates, and
+// session windows, over in-order and out-of-order streams and every store.
+
+// winParam is a stream-independent window description (definitions are
+// stateful, so each operator needs fresh instances).
+type winParam struct {
+	session bool
+	length  int64 // gap for sessions
+	slide   int64
+}
+
+func (p winParam) def() window.Definition {
+	if p.session {
+		return window.Session[stream.Tuple](p.length)
+	}
+	return window.Sliding(stream.Time, p.length, p.slide)
+}
+
+// randParams draws a correlated fleet: mostly periodic windows over a shared
+// granularity base (so factoring opportunities exist), a sprinkle of exact
+// duplicates and sessions.
+func randParams(rng *rand.Rand, n int, sessions bool) []winParam {
+	base := []int64{250, 500, 1000}[rng.Intn(3)]
+	var out []winParam
+	for len(out) < n {
+		r := rng.Intn(10)
+		switch {
+		case r == 0 && sessions:
+			out = append(out, winParam{session: true, length: 500 + rng.Int63n(1500)})
+		case r <= 2 && len(out) > 0: // exact duplicate
+			out = append(out, out[rng.Intn(len(out))])
+		default:
+			slide := base * (1 + rng.Int63n(4))
+			length := base * (1 + rng.Int63n(8))
+			if length < slide {
+				length, slide = slide, length
+			}
+			out = append(out, winParam{length: length, slide: slide})
+		}
+	}
+	return out
+}
+
+type emission struct {
+	start, end int64
+	value      float64
+	n          int64
+	update     bool
+}
+
+type seqMap map[int][]emission
+
+func collect(dst seqMap, rs []core.Result[float64]) {
+	for _, r := range rs {
+		dst[r.Query] = append(dst[r.Query], emission{r.Start, r.End, r.Value, r.N, r.Update})
+	}
+}
+
+// runUnshared feeds the items through one core aggregator per... no: through
+// ONE aggregator with every query registered individually (the pre-sharing
+// architecture), tuple at a time.
+func runUnshared(t *testing.T, params []winParam, opts core.Options, items []stream.Item[stream.Tuple]) seqMap {
+	t.Helper()
+	ag := core.New(aggregate.Sum(stream.Val), opts)
+	for _, p := range params {
+		ag.MustAddQuery(p.def())
+	}
+	got := make(seqMap)
+	for _, it := range items {
+		if it.Kind == stream.KindEvent {
+			collect(got, ag.ProcessElement(it.Event))
+		} else {
+			collect(got, ag.ProcessWatermark(it.Watermark))
+		}
+	}
+	return got
+}
+
+func runFleet(t *testing.T, params []winParam, opts Options, items []stream.Item[stream.Tuple]) (seqMap, *Fleet[stream.Tuple, float64, float64]) {
+	t.Helper()
+	fl := New(aggregate.Sum(stream.Val), opts)
+	for _, p := range params {
+		fl.MustAddQuery(p.def())
+	}
+	got := make(seqMap)
+	for _, it := range items {
+		if it.Kind == stream.KindEvent {
+			collect(got, fl.ProcessElement(it.Event))
+		} else {
+			collect(got, fl.ProcessWatermark(it.Watermark))
+		}
+	}
+	return got, fl
+}
+
+func diffSeqs(t *testing.T, label string, want, got seqMap, nq int) {
+	t.Helper()
+	for q := 0; q < nq; q++ {
+		w, g := want[q], got[q]
+		n := len(w)
+		if len(g) != n {
+			t.Errorf("%s: query %d emitted %d results, unshared emitted %d", label, q, len(g), n)
+			if len(g) < n {
+				n = len(g)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if w[i] != g[i] {
+				t.Errorf("%s: query %d emission %d: fleet %+v, unshared %+v", label, q, i, g[i], w[i])
+				break
+			}
+		}
+	}
+}
+
+func TestOracleRandomizedWorkloads(t *testing.T) {
+	type leg struct {
+		name     string
+		ordered  bool
+		store    core.StoreKind
+		disorder stream.Disorder
+		lateness int64
+		sessions bool
+	}
+	legs := []leg{
+		{name: "ordered-lazy", ordered: true, store: core.StoreLazy, sessions: true},
+		{name: "ordered-eager", ordered: true, store: core.StoreEager, sessions: true},
+		{name: "ordered-daba", ordered: true, store: core.StoreDABA},
+		{name: "unordered-inorder-lazy", store: core.StoreLazy, sessions: true},
+		{name: "ooo-lazy", store: core.StoreLazy, sessions: true,
+			disorder: stream.Disorder{Fraction: 0.2, MaxDelay: 900, Seed: 7}, lateness: 2000},
+		{name: "ooo-eager", store: core.StoreEager, sessions: true,
+			disorder: stream.Disorder{Fraction: 0.25, MaxDelay: 700, Seed: 8}, lateness: 1500},
+	}
+	for _, lg := range legs {
+		lg := lg
+		t.Run(lg.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 3; seed++ {
+				rng := rand.New(rand.NewSource(seed * 77))
+				params := randParams(rng, 6+rng.Intn(8), lg.sessions)
+				ev := stream.Generate(stream.Football(), 20000, seed)
+				arr := stream.Apply(lg.disorder, ev)
+				items := stream.Prepare(stream.Watermarker{Period: 1000, Lag: lg.disorder.MaxDelay + 1}, arr)
+
+				copts := core.Options{Ordered: lg.ordered, Lateness: lg.lateness, Store: lg.store}
+				want := runUnshared(t, params, copts, items)
+				got, fl := runFleet(t, params, Options{Options: copts}, items)
+
+				label := fmt.Sprintf("%s/seed%d", lg.name, seed)
+				diffSeqs(t, label, want, got, len(params))
+				if t.Failed() {
+					t.Fatalf("%s: params %+v, plan %+v", label, params, fl.Plan())
+				}
+			}
+		})
+	}
+}
+
+// TestOracleFactoringEngages pins a workload the cost model must factor, and
+// checks both the plan shape and result identity — guarding against the
+// oracle passing vacuously because nothing was rewritten.
+func TestOracleFactoringEngages(t *testing.T) {
+	var params []winParam
+	for i := 0; i < 8; i++ {
+		params = append(params, winParam{length: int64(1+i) * 1000, slide: 250})
+	}
+	params = append(params, params[0], params[3]) // duplicates
+
+	ev := stream.Generate(stream.Football(), 30000, 5)
+	items := stream.Prepare(stream.Watermarker{Period: 1000, Lag: 1}, ev)
+
+	copts := core.Options{Store: core.StoreLazy}
+	want := runUnshared(t, params, copts, items)
+	got, fl := runFleet(t, params, Options{Options: copts}, items)
+
+	p := fl.Plan()
+	if p.Factored == 0 {
+		t.Fatalf("cost model did not factor the correlated fleet: %+v", p)
+	}
+	if p.Physical >= p.Logical {
+		t.Fatalf("sharing saved nothing: %+v", p)
+	}
+	if p.RewriteHits == 0 || p.TouchesSaved == 0 {
+		t.Fatalf("rewrite counters flat: %+v", p)
+	}
+	diffSeqs(t, "factoring", want, got, len(params))
+}
+
+// TestOracleBatchFinals drives the same workload through ProcessBatch in
+// several chunkings. Batched runs may interleave update and completion
+// emissions differently (factored completions flush at batch end), so the
+// contract is final-value identity per window, not sequence identity.
+func TestOracleBatchFinals(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	params := randParams(rng, 8, true)
+	d := stream.Disorder{Fraction: 0.15, MaxDelay: 800, Seed: 3}
+	ev := stream.Generate(stream.Football(), 20000, 21)
+	items := stream.Prepare(stream.Watermarker{Period: 1000, Lag: d.MaxDelay + 1}, stream.Apply(d, ev))
+
+	copts := core.Options{Lateness: 1500, Store: core.StoreLazy}
+	want := finals(runUnshared(t, params, copts, items))
+
+	for _, chunk := range []int{1, 7, 256, len(items)} {
+		fl := New(aggregate.Sum(stream.Val), Options{Options: copts})
+		for _, p := range params {
+			fl.MustAddQuery(p.def())
+		}
+		got := make(seqMap)
+		for i := 0; i < len(items); i += chunk {
+			j := i + chunk
+			if j > len(items) {
+				j = len(items)
+			}
+			collect(got, fl.ProcessBatch(items[i:j]))
+		}
+		gf := finals(got)
+		if len(gf) != len(want) {
+			t.Fatalf("chunk %d: %d final windows, unshared has %d", chunk, len(gf), len(want))
+		}
+		for k, v := range want {
+			g, ok := gf[k]
+			if !ok {
+				t.Fatalf("chunk %d: missing window %+v", chunk, k)
+			}
+			if g != v {
+				t.Fatalf("chunk %d: window %+v: fleet %v/%v, unshared %v/%v", chunk, k, g.value, g.n, v.value, v.n)
+			}
+		}
+	}
+}
+
+type wkey struct {
+	q          int
+	start, end int64
+}
+
+type wval struct {
+	value float64
+	n     int64
+}
+
+func finals(s seqMap) map[wkey]wval {
+	out := make(map[wkey]wval)
+	for q, es := range s {
+		for _, e := range es {
+			out[wkey{q, e.start, e.end}] = wval{e.value, e.n}
+		}
+	}
+	return out
+}

@@ -1,0 +1,347 @@
+package fleet
+
+import (
+	"math"
+
+	"scotty/internal/fat"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+// canon is the canonical identity of a window definition, used for
+// exact-duplicate detection. Parametric definitions (periodic time/count
+// windows via Params, sessions via Gap) canonicalize structurally; anything
+// else — punctuation windows with arbitrary predicates, custom definitions —
+// gets a unique opaque identity and never dedupes.
+type canon struct {
+	kind    byte
+	measure stream.Measure
+	a, b    int64 // length/slide for periodic, gap for session
+	opaque  int   // unique sequence number for canonOpaque; 0 otherwise
+}
+
+const (
+	canonPeriodic = byte(iota)
+	canonSession
+	canonOpaque
+)
+
+func (fl *Fleet[V, A, Out]) canonOf(def window.Definition) canon {
+	if p, ok := def.(interface{ Params() (length, slide int64) }); ok {
+		l, s := p.Params()
+		return canon{kind: canonPeriodic, measure: def.Measure(), a: l, b: s}
+	}
+	if window.IsSession(def) {
+		if s, ok := def.(interface{ Gap() int64 }); ok {
+			return canon{kind: canonSession, measure: def.Measure(), a: s.Gap()}
+		}
+	}
+	fl.nOpaque++
+	return canon{kind: canonOpaque, measure: def.Measure(), opaque: fl.nOpaque}
+}
+
+// ------------------------------------------------------------- cost model ---
+//
+// Costs are slice/pane touches per millisecond of stream time, the currency
+// the slicing core actually spends at emission (docs/SHARING.md):
+//
+//	direct(q)       = (length_q / g) / slide_q
+//	factored(C, f)  = 1/g + ringPush/f + Σ_q (log2(length_q/f) + 1) / slide_q
+//
+// where g is the slice granularity if every periodic query ran direct (the
+// gcd of every query's gcd(length, slide)) and f the cluster's factor (the
+// gcd of its members' gcd(length, slide)). A direct emission folds one
+// partial per slice in the window; a factored emission folds O(log) FlatFAT
+// ring nodes. The factor window itself still touches every slice once while
+// building panes (the 1/g term) and pays a ring push per pane — which is why
+// a lone tumbling query is never rewritten onto itself, while a lone sliding
+// query with many overlapping emissions already profits.
+const ringPushCost = 2.0
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// cluster is a candidate factor group during planning.
+type cluster[A any] struct {
+	specs []*spec[A]
+	f     int64
+}
+
+func mergedFactor[A any](a, b *cluster[A]) int64 { return gcd(a.f, b.f) }
+
+func directSum[A any](specs []*spec[A], g int64) float64 {
+	var c float64
+	for _, sp := range specs {
+		c += float64(sp.length/g) / float64(sp.slide)
+	}
+	return c
+}
+
+func factoredCost[A any](specs []*spec[A], f, g int64) float64 {
+	c := 1.0/float64(g) + ringPushCost/float64(f)
+	for _, sp := range specs {
+		c += (math.Log2(float64(sp.length/f)) + 1.0) / float64(sp.slide)
+	}
+	return c
+}
+
+func clusterCost[A any](c *cluster[A], g int64) float64 {
+	d := directSum(c.specs, g)
+	if fc := factoredCost(c.specs, c.f, g); fc < d {
+		return fc
+	}
+	return d
+}
+
+// subscribeFloor computes the lowest window end a duplicate subscriber may
+// receive, replaying exactly the silent drains core.AddQuery would apply to a
+// fresh identical registration (completed-before-watermark, plus — without
+// stored tuples — everything overlapping already-ingested data, both capped
+// at MaxSeen+length like window/periodic.go Trigger).
+func (fl *Fleet[V, A, Out]) subscribeFloor(sp *spec[A]) int64 {
+	if fl.virgin() {
+		return stream.MinTime
+	}
+	view := fl.ag.View()
+	wm := fl.ag.Watermark()
+	switch sp.canon.kind {
+	case canonPeriodic:
+		length, slide := sp.canon.a, sp.canon.b
+		if sp.canon.measure == stream.Time {
+			hi := wm
+			maxSeen := view.MaxSeenTime()
+			if maxSeen != stream.MinTime && !fl.ag.StoresTuples() {
+				if x := maxSeen + length - 1; x > hi {
+					hi = x
+				}
+			}
+			if cap := maxSeen + length; hi > cap {
+				hi = cap
+			}
+			end := length
+			if end-1 <= hi {
+				k := (hi+1-length)/slide + 1
+				end = length + k*slide
+				for end-1 <= hi {
+					end += slide
+				}
+				for end-slide >= length && end-slide-1 > hi {
+					end -= slide
+				}
+			}
+			return end
+		}
+		end := length
+		for end <= view.TotalCount() && view.TimeAtCount(end) <= wm {
+			end += slide
+		}
+		return end
+	case canonSession:
+		if wm == stream.MinTime {
+			return stream.MinTime
+		}
+		return wm + 1
+	}
+	return stream.MinTime // opaque definitions never dedup
+}
+
+// plan recomputes the physical plan for the current spec set and reconciles
+// the running state towards it. Called on every distinct-spec change
+// (duplicate registrations leave the plan untouched).
+func (fl *Fleet[V, A, Out]) plan() {
+	defer fl.refreshSchedule()
+
+	// Planning slice granularity: what the slicer's slices would look like
+	// if every periodic query ran direct. Sessions and opaque windows also
+	// cut slices, but at data-dependent positions the model cannot price.
+	var gAll int64
+	for _, sp := range fl.specs {
+		if sp.canon.kind == canonPeriodic && sp.canon.measure == stream.Time {
+			gAll = gcd(gAll, gcd(sp.length, sp.slide))
+		}
+	}
+
+	var elig []*spec[A]
+	for _, sp := range fl.specs {
+		if sp.eligible {
+			elig = append(elig, sp)
+			sp.directFold = sp.length / gAll
+		}
+	}
+
+	// Greedy agglomerative clustering: seed one cluster per eligible spec,
+	// merge the pair with the largest cost reduction until no merge helps.
+	// Merging coarse windows onto a finer common factor trades ring size for
+	// shared pane production; the cost model arbitrates.
+	var clusters []*cluster[A]
+	for _, sp := range elig {
+		clusters = append(clusters, &cluster[A]{specs: []*spec[A]{sp}, f: gcd(sp.length, sp.slide)})
+	}
+	for len(clusters) > 1 {
+		bestI, bestJ := -1, -1
+		bestDelta := -1e-12
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				m := &cluster[A]{f: mergedFactor(clusters[i], clusters[j])}
+				m.specs = append(append(m.specs, clusters[i].specs...), clusters[j].specs...)
+				d := clusterCost(m, gAll) - clusterCost(clusters[i], gAll) - clusterCost(clusters[j], gAll)
+				if d < bestDelta {
+					bestDelta, bestI, bestJ = d, i, j
+				}
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		ci, cj := clusters[bestI], clusters[bestJ]
+		ci.specs = append(ci.specs, cj.specs...)
+		ci.f = gcd(ci.f, cj.f)
+		clusters = append(clusters[:bestJ], clusters[bestJ+1:]...)
+	}
+
+	// Desired factor per spec: 0 = direct.
+	desired := make(map[*spec[A]]int64, len(elig))
+	for _, c := range clusters {
+		if factoredCost(c.specs, c.f, gAll) < directSum(c.specs, gAll) {
+			for _, sp := range c.specs {
+				desired[sp] = c.f
+			}
+		}
+	}
+
+	fl.reconcile(desired)
+}
+
+// reconcile moves the running fleet towards the desired plan: specs leave
+// groups they no longer belong to (resuming their direct physical query),
+// groups nobody wants dissolve, missing groups are created, and newly covered
+// specs attach — instantly on a virgin stream, via a draining hand-over
+// mid-stream (see maybeFlip).
+func (fl *Fleet[V, A, Out]) reconcile(desired map[*spec[A]]int64) {
+	// 1. Detach every grouped spec whose desired factor differs.
+	for _, g := range fl.groups {
+		members := append([]*spec[A](nil), g.specs...)
+		for _, sp := range members {
+			if desired[sp] != g.factor {
+				fl.detach(sp)
+			}
+		}
+	}
+	// 2. Dissolve groups with no remaining demand.
+	live := fl.groups[:0]
+	for _, g := range fl.groups {
+		if len(g.specs) == 0 {
+			fl.removePhys(g.physID)
+			continue
+		}
+		live = append(live, g)
+	}
+	fl.groups = live
+	// 3. Create missing groups and attach newly covered specs.
+	for _, sp := range fl.specs {
+		f := desired[sp]
+		if f == 0 || (sp.grp != nil && sp.grp.factor == f) {
+			continue
+		}
+		g := fl.groupFor(f)
+		if g == nil {
+			continue // factor query rejected by the core; spec stays direct
+		}
+		fl.attach(sp, g)
+	}
+	// 4. Refresh retention bounds.
+	for _, g := range fl.groups {
+		g.maxLen = 0
+		for _, sp := range g.specs {
+			if sp.length > g.maxLen {
+				g.maxLen = sp.length
+			}
+		}
+	}
+}
+
+func (fl *Fleet[V, A, Out]) groupFor(f int64) *group[A] {
+	for _, g := range fl.groups {
+		if g.factor == f {
+			return g
+		}
+	}
+	def := window.Tumbling(stream.Time, f)
+	physID, err := fl.ag.AddQuery(def)
+	if err != nil {
+		return nil
+	}
+	g := &group[A]{factor: f, physID: physID, def: def, base: -1}
+	g.tree = fat.New(func(x, y pane[A]) pane[A] {
+		return pane[A]{a: fl.f.Combine(x.a, y.a), n: x.n + y.n}
+	}, pane[A]{a: fl.f.Identity()})
+	fl.physOrder = append(fl.physOrder, physID)
+	fl.ag.SetPartialTap(physID, fl.tapFor(g))
+	fl.groups = append(fl.groups, g)
+	return g
+}
+
+// detach returns a grouped spec to direct execution. A draining spec still
+// owns its physical query; a factored spec re-registers its original —
+// stateful — definition, whose trigger cursor the pump advanced under exactly
+// the completion rule the core uses (window/periodic.go Trigger): the direct
+// query resumes precisely after the last factored emission, with no
+// duplicates and no holes.
+func (fl *Fleet[V, A, Out]) detach(sp *spec[A]) {
+	if sp.grp == nil {
+		return
+	}
+	sp.grp.removeSpec(sp)
+	switch sp.mode {
+	case modeDraining:
+		fl.nDraining--
+	case modeFactored:
+		// The definition's trigger cursor sits exactly after the last
+		// factored emission, and its edges are factor multiples the group
+		// kept sliced — AddQueryResumed skips AddQuery's drains.
+		id, err := fl.ag.AddQueryResumed(sp.def, sp.minNextEnd)
+		if err != nil {
+			// Re-registering a previously accepted definition cannot mix
+			// measures any worse than the original registration did.
+			panic("fleet: cannot re-register window: " + err.Error())
+		}
+		sp.minNextEnd = sp.nextEnd
+		sp.physID = id
+		fl.physOrder = append(fl.physOrder, id)
+		fl.byPhys[id] = sp
+	}
+	sp.mode = modeDirect
+}
+
+// attach routes a direct spec onto a factor group. On a virgin stream the
+// hand-over is immediate (the ring will cover everything from time zero);
+// mid-stream the spec keeps its physical query and drains until the ring
+// covers its next window (maybeFlip).
+func (fl *Fleet[V, A, Out]) attach(sp *spec[A], g *group[A]) {
+	if sp.grp != nil {
+		fl.detach(sp)
+	}
+	sp.grp = g
+	g.specs = append(g.specs, sp)
+	if fl.virgin() {
+		fl.removePhys(sp.physID)
+		delete(fl.byPhys, sp.physID)
+		sp.physID = -1
+		sp.mode = modeFactored
+		sp.nextEnd = sp.resumeEnd()
+		sp.lastEnd = 0
+		return
+	}
+	sp.mode = modeDraining
+	fl.nDraining++
+}
+
+// virgin reports whether the fleet has seen neither a tuple nor a watermark,
+// so plan changes need no draining hand-over.
+func (fl *Fleet[V, A, Out]) virgin() bool {
+	return fl.ag.Watermark() == stream.MinTime && fl.ag.View().MaxSeenTime() == stream.MinTime
+}

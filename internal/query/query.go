@@ -19,6 +19,7 @@ import (
 
 	"scotty/internal/aggregate"
 	"scotty/internal/core"
+	"scotty/internal/fleet"
 	"scotty/internal/stream"
 	"scotty/internal/window"
 )
@@ -170,6 +171,34 @@ func (b *Builder[V, A, Out]) Build() (*core.Aggregator[V, A, Out], []int, error)
 		ids = append(ids, id)
 	}
 	return ag, ids, nil
+}
+
+// BuildFleet translates the specification into a query fleet — the sharing
+// layer that dedups exact-duplicate windows and rewrites correlated periodic
+// time windows onto cost-chosen factor windows (docs/SHARING.md) — returning
+// the logical query ids in declaration order. Queries can be added and
+// removed at runtime via the returned fleet; results carry logical ids.
+func (b *Builder[V, A, Out]) BuildFleet() (*fleet.Fleet[V, A, Out], []int, error) {
+	if !b.hasFn {
+		return nil, nil, fmt.Errorf("query: no aggregation function specified")
+	}
+	if len(b.windows) == 0 {
+		return nil, nil, fmt.Errorf("query: no window specified")
+	}
+	fl := fleet.New(b.fn, fleet.Options{Options: core.Options{
+		Ordered:  b.strm.Ordered,
+		Lateness: b.strm.Lateness,
+		Eager:    b.strm.Eager,
+	}})
+	ids := make([]int, 0, len(b.windows))
+	for _, w := range b.windows {
+		id, err := fl.AddQuery(w.make())
+		if err != nil {
+			return nil, nil, fmt.Errorf("query: %s: %w", w, err)
+		}
+		ids = append(ids, id)
+	}
+	return fl, ids, nil
 }
 
 // Explain reports the derived workload characteristics without building an

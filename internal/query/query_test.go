@@ -103,3 +103,65 @@ func TestSpecsAreReusable(t *testing.T) {
 		t.Fatalf("operator 2 emitted %d windows without input", len(rs))
 	}
 }
+
+// TestBuildFleetSharesPhysicalWork lowers the same specification through the
+// sharing layer: BuildFleet must return logical ids in declaration order,
+// dedup the exact-duplicate window, factor the correlated sliding members,
+// and emit result rows tagged with the logical ids.
+func TestBuildFleetSharesPhysicalWork(t *testing.T) {
+	b := Aggregate(
+		Over[float64](Stream{Lateness: 2000}).
+			Window(SlidingTime[float64](4000, 250)).
+			Window(SlidingTime[float64](8000, 250)).
+			Window(SlidingTime[float64](2000, 250)).
+			Window(SlidingTime[float64](4000, 250)), // exact duplicate of the first
+		aggregate.Sum(ident),
+	)
+	fl, ids, err := b.BuildFleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 4 {
+		t.Fatalf("ids: %v", ids)
+	}
+	for i, id := range ids {
+		if id != i {
+			t.Fatalf("logical ids not in declaration order: %v", ids)
+		}
+	}
+	// Four logical queries collapse to three distinct specs (the duplicate
+	// shares its twin's), and on a virgin stream the optimizer factors all of
+	// them onto one 250ms factor window immediately — one physical query.
+	plan := fl.Plan()
+	if plan.Logical != 4 || plan.Specs != 3 {
+		t.Fatalf("duplicate window not deduplicated: %+v", plan)
+	}
+	if plan.Physical >= 4 {
+		t.Fatalf("no physical sharing: %+v", plan)
+	}
+
+	seen := map[int]bool{}
+	for ts := int64(0); ts < 60_000; ts += 50 {
+		for _, r := range fl.ProcessElement(stream.Event[float64]{Time: ts, Seq: ts, Value: 1}) {
+			seen[r.Query] = true
+		}
+		if ts%1000 == 0 {
+			for _, r := range fl.ProcessWatermark(ts) {
+				seen[r.Query] = true
+			}
+		}
+	}
+	for _, id := range ids {
+		if !seen[id] {
+			t.Fatalf("logical query %d never emitted (got results for %v)", id, seen)
+		}
+	}
+	if fl.Plan().Factored == 0 {
+		t.Fatal("correlated sliding members were never rewritten onto a factor window")
+	}
+
+	// The no-window and no-function rejections apply to BuildFleet too.
+	if _, _, err := Aggregate(Over[float64](Stream{}), aggregate.Sum(ident)).BuildFleet(); err == nil {
+		t.Fatal("fleet build without windows must be rejected")
+	}
+}

@@ -67,4 +67,17 @@ go run ./scripts/checkbench.go BENCH_taillat.json
 go run ./scripts/benchdiff.go -tol 0.90 -latency-tol 2.0 BENCH_taillat.ref.json BENCH_taillat.json
 rm BENCH_taillat.ref.json
 
+echo '== benchmark smoke (fleet quick, sharing-ratio gate)'
+# The fleet figure is the sharing gate: the factor-window rewrite must keep
+# beating the unshared core by >= 5x at 1024 correlated queries, with shared
+# per-tuple cost growing sublinearly to 4096 queries (both asserted by
+# checkbench on the fresh artifact). The benchdiff tolerance is wider than
+# fig 8's: the unshared series' points at high query counts run few enough
+# tuples that scheduler noise moves them more.
+cp BENCH_fleet.json BENCH_fleet.ref.json
+go run ./cmd/benchmark -fig fleet -json BENCH_fleet.json > /dev/null
+go run ./scripts/checkbench.go BENCH_fleet.json
+go run ./scripts/benchdiff.go -tol 0.45 -latency-tol 4.0 BENCH_fleet.ref.json BENCH_fleet.json
+rm BENCH_fleet.ref.json
+
 echo 'OK'

@@ -25,6 +25,7 @@ func main() {
 		Figure string `json:"figure"`
 		Points []struct {
 			Series       string  `json:"series"`
+			X            any     `json:"x"`
 			TuplesPerSec float64 `json:"tuples_per_sec"`
 		} `json:"points"`
 	}
@@ -67,6 +68,41 @@ func main() {
 				fmt.Fprintf(os.Stderr, "%s: taillat is missing series %q\n", os.Args[1], want)
 				os.Exit(1)
 			}
+		}
+	}
+	// The fleet figure carries the sharing contract (docs/SHARING.md): both
+	// series present across the full query sweep, the shared fleet at least
+	// 5x the unshared core at 1024 correlated queries, and shared per-tuple
+	// cost growing sublinearly from 1 to 4096 queries (the committed run
+	// shows ~32x over a 4096x fleet; 410x — 10% of linear — is the flake-safe
+	// ceiling a real fan-out regression still cannot hide under).
+	if rec.Figure == "fleet" {
+		tps := map[string]map[float64]float64{}
+		for _, p := range rec.Points {
+			x, ok := p.X.(float64)
+			if !ok {
+				continue
+			}
+			if tps[p.Series] == nil {
+				tps[p.Series] = map[float64]float64{}
+			}
+			tps[p.Series][x] = p.TuplesPerSec
+		}
+		for _, want := range []string{"fleet-shared", "unshared"} {
+			for _, q := range []float64{1, 4, 16, 64, 256, 1024, 4096} {
+				if tps[want][q] <= 0 {
+					fmt.Fprintf(os.Stderr, "%s: fleet is missing series %q at %v queries\n", os.Args[1], want, q)
+					os.Exit(1)
+				}
+			}
+		}
+		if ratio := tps["fleet-shared"][1024] / tps["unshared"][1024]; ratio < 5.0 {
+			fmt.Fprintf(os.Stderr, "%s: fleet sharing speedup at 1024 queries is %.2fx, want >= 5x\n", os.Args[1], ratio)
+			os.Exit(1)
+		}
+		if growth := tps["fleet-shared"][1] / tps["fleet-shared"][4096]; growth > 410 {
+			fmt.Fprintf(os.Stderr, "%s: shared per-tuple cost grew %.0fx from 1 to 4096 queries, want sublinear (<= 410x)\n", os.Args[1], growth)
+			os.Exit(1)
 		}
 	}
 	fmt.Printf("%s: figure %s, %d points ok\n", os.Args[1], rec.Figure, len(rec.Points))
