@@ -13,6 +13,7 @@
 //	benchmark -fig 17         # parallel stream slicing
 //	benchmark -fig taillat    # per-tuple tail latency of the slice stores
 //	benchmark -fig fleet      # factor-window sharing across correlated queries
+//	benchmark -fig membound   # keyed state under a memory budget (spill tier)
 //	benchmark -fig table1     # memory formulas vs measurement
 //	benchmark -fig ablation   # design-choice ablations
 //	benchmark -fig all        # everything

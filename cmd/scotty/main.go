@@ -80,6 +80,9 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		wmEvery  = fs.Int64("watermark", 1000, "watermark period (ms of event time)")
 		metrics  = fs.String("metrics", "", "serve /metrics and /debug/slices on this address (:0 picks a free port; the URL is printed to stderr)")
 		ckptDir  = fs.String("checkpoint-dir", "", "write a final operator snapshot to <dir>/final.sck on exit or SIGINT/SIGTERM, and restore it on start if present")
+		keyed    = fs.Bool("keyed", false, "window each key's sub-stream independently (demo streams use the generator's key; CSV lines may carry one as 'ts,value,key'); rows are prefixed k<key>")
+		budget   = fs.Int64("mem-budget", 0, "resident-bytes budget for keyed state; over budget, cold keys spill to -spill-dir (requires -keyed; 0 = unbounded)")
+		spillDir = fs.String("spill-dir", "", "scratch directory for spilled key state (requires -mem-budget; default: a per-process dir under the system temp dir, removed on exit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -88,15 +91,23 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	var defs []window.Definition
 	var step int64
 	if *windows != "" {
-		defs, step = parseWindows(*windows, stderr)
+		defs, step = parseWindows(*windows, *keyed, stderr)
 	} else {
 		var def window.Definition
-		def, step = makeWindow(*winType, *length, *slide, *gap, stderr)
+		def, step = makeWindow(*winType, *length, *slide, *gap, *keyed, stderr)
 		if def != nil {
 			defs = []window.Definition{def}
 		}
 	}
 	if len(defs) == 0 {
+		return 2
+	}
+	if *budget > 0 && !*keyed {
+		fmt.Fprintln(stderr, "-mem-budget requires -keyed")
+		return 2
+	}
+	if *spillDir != "" && *budget <= 0 {
+		fmt.Fprintln(stderr, "-spill-dir requires -mem-budget")
 		return 2
 	}
 
@@ -170,6 +181,53 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		}
 	}
 
+	if *keyed {
+		if *windows != "" {
+			// Per-key operators register the fleet members as plain
+			// concurrent queries; the cross-query sharing rewrite
+			// (dedup/factor windows) applies to the unkeyed fleet only.
+			fmt.Fprintln(stderr, "keyed mode: -windows members run as unshared concurrent queries per key")
+		}
+		kq := keyedEnv{
+			lateness: *lateness, store: kind, ordered: ordered, multi: len(defs) > 1,
+			budget: *budget, spillDir: *spillDir, ckptDir: *ckptDir,
+			wm: wm, rb: rb, ms: ms, demo: *demo, ooo: *ooo,
+			ctx: ctx, stdin: stdin, stdout: stdout, stderr: stderr,
+		}
+		// Each per-key operator needs fresh window definitions (the trigger
+		// cursor lives in the definition); the set was validated above, so
+		// re-parsing cannot fail.
+		newDefs := func() []window.Definition {
+			if *windows != "" {
+				ds, _ := parseWindows(*windows, true, io.Discard)
+				return ds
+			}
+			def, _ := makeWindow(*winType, *length, *slide, *gap, true, io.Discard)
+			return []window.Definition{def}
+		}
+		switch *aggName {
+		case "sum":
+			return runKeyed(newDefs, aggregate.Sum(stream.Val), kq)
+		case "count":
+			return runKeyed(newDefs, aggregate.Count[stream.Tuple](), kq)
+		case "mean":
+			return runKeyed(newDefs, aggregate.Mean(stream.Val), kq)
+		case "min":
+			return runKeyed(newDefs, aggregate.Min(stream.Val), kq)
+		case "max":
+			return runKeyed(newDefs, aggregate.Max(stream.Val), kq)
+		case "median":
+			return runKeyed(newDefs, aggregate.Median(stream.Val), kq)
+		case "p90":
+			return runKeyed(newDefs, aggregate.Percentile(0.9, stream.Val), kq)
+		case "m4":
+			return runKeyed(newDefs, aggregate.M4(stream.Val), kq)
+		default:
+			fmt.Fprintf(stderr, "unknown aggregation %q\n", *aggName)
+			return 2
+		}
+	}
+
 	q := queryEnv{lateness: *lateness, store: kind, ordered: ordered, fleet: *windows != "", ckptDir: *ckptDir, runItems: runItems, rb: rb, ms: ms, stdout: stdout, stderr: stderr}
 	switch *aggName {
 	case "sum":
@@ -233,8 +291,9 @@ func ident(v float64) float64 { return v }
 // makeWindow builds the window definition and reports the rebase step: the
 // slide for time-measure periodic windows (whose edges are absolute multiples
 // of it), 0 for windows that are translation-invariant (sessions) or rank-
-// based (count) and need no rebasing.
-func makeWindow(kind string, length, slide, gap int64, stderr io.Writer) (window.Definition, int64) {
+// based (count) and need no rebasing. Session windows are typed by the tuple
+// the operator ingests, so keyed runs need the keyed variant.
+func makeWindow(kind string, length, slide, gap int64, keyed bool, stderr io.Writer) (window.Definition, int64) {
 	switch kind {
 	case "tumbling":
 		return window.Tumbling(stream.Time, length), length
@@ -244,6 +303,9 @@ func makeWindow(kind string, length, slide, gap int64, stderr io.Writer) (window
 		}
 		return window.Sliding(stream.Time, length, slide), slide
 	case "session":
+		if keyed {
+			return window.Session[stream.Tuple](gap), 0
+		}
 		return window.Session[float64](gap), 0
 	case "count":
 		return window.Tumbling(stream.Count, length), 0
@@ -260,7 +322,7 @@ func makeWindow(kind string, length, slide, gap int64, stderr io.Writer) (window
 // periodic member's step (and is then also a multiple of every factor
 // window's, whose length divides a member slide) for the shifted window
 // families to map one-to-one onto the absolute ones.
-func parseWindows(list string, stderr io.Writer) ([]window.Definition, int64) {
+func parseWindows(list string, keyed bool, stderr io.Writer) ([]window.Definition, int64) {
 	var defs []window.Definition
 	var step int64
 	for _, item := range strings.Split(list, ",") {
@@ -292,7 +354,7 @@ func parseWindows(list string, stderr io.Writer) ([]window.Definition, int64) {
 			fmt.Fprintf(stderr, "-windows: malformed entry %q (want kind:length[:slide], session:gap, or count:n)\n", item)
 			return nil, 0
 		}
-		def, s := makeWindow(parts[0], length, slide, gap, stderr)
+		def, s := makeWindow(parts[0], length, slide, gap, keyed, stderr)
 		if def == nil {
 			return nil, 0
 		}

@@ -349,3 +349,55 @@ func TestCheckpointRestoreResumesRun(t *testing.T) {
 		t.Fatalf("restored run missing continuation window %s (rebase offset not resumed?):\n%s", want, out2.String())
 	}
 }
+
+// keyedLine matches one keyed result row: "k<key>\t[start, end)\t n=N\t value".
+var keyedLine = regexp.MustCompile(`^k\d+\t\[-?\d+, -?\d+\)\t n=\d+\t \S`)
+
+// TestKeyedModeEmitsPerKeyRows pins the -keyed flag surface: demo streams
+// partition by the generator's 16 keys, every key produces its own rows, and
+// a -mem-budget bounded run (spilling through -spill-dir) emits the exact
+// same rows as an unbounded one.
+func TestKeyedModeEmitsPerKeyRows(t *testing.T) {
+	base := []string{"-keyed", "-window", "sliding", "-length", "10000", "-slide", "2000", "-demo", "20000"}
+	out := runScotty(t, base, "")
+	keys := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !keyedLine.MatchString(line) {
+			t.Fatalf("malformed keyed row %q", line)
+		}
+		keys[line[:strings.Index(line, "\t")]] = true
+	}
+	if len(keys) != 16 {
+		t.Fatalf("expected rows for all 16 demo keys, got %d: %v", len(keys), keys)
+	}
+
+	spillDir := filepath.Join(t.TempDir(), "spill")
+	bounded := runScotty(t, append([]string{"-mem-budget", "8192", "-spill-dir", spillDir}, base...), "")
+	if bounded != out {
+		t.Errorf("budgeted run output differs from unbounded run")
+	}
+}
+
+// TestKeyedCSVKeyColumn checks the third CSV column routes rows to keys.
+func TestKeyedCSVKeyColumn(t *testing.T) {
+	in := "0,1,3\n500,2,4\n1200,4,3\n"
+	out := runScotty(t, []string{"-keyed", "-window", "tumbling", "-length", "1000", "-lateness", "0", "-agg", "sum"}, in)
+	for _, want := range []string{"k3\t[0, 1000)\t n=1\t 1", "k4\t[0, 1000)\t n=1\t 2", "k3\t[1000, 2000)\t n=1\t 4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestKeyedFlagValidation pins the spill flag requirements.
+func TestKeyedFlagValidation(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(context.Background(), []string{"-mem-budget", "1024"}, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Errorf("-mem-budget without -keyed exited %d, want 2", code)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run(context.Background(), []string{"-keyed", "-spill-dir", t.TempDir()}, strings.NewReader(""), &out, &errOut); code != 2 {
+		t.Errorf("-spill-dir without -mem-budget exited %d, want 2", code)
+	}
+}

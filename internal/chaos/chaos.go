@@ -28,6 +28,8 @@ import (
 	"scotty/internal/core"
 	"scotty/internal/engine"
 	"scotty/internal/fleet"
+	"scotty/internal/obs"
+	"scotty/internal/spill"
 	"scotty/internal/stream"
 	"scotty/internal/window"
 )
@@ -36,10 +38,42 @@ import (
 // beyond benchutil.AllTechniques.
 const Keyed = benchutil.Technique("keyed")
 
+// KeyedTTL is the keyed operator with idle-key expiry: the Machine profile's
+// global 1500ms gaps leave keys idle for up to ~370ms of watermark time (the
+// 1001ms watermark lag swallows most of the gap), enough for several keys per
+// run to be drained, deleted, and later re-materialized seeded at the current
+// watermark. Recovery must reproduce the expiry drains and the re-creations
+// exactly.
+const KeyedTTL = benchutil.Technique("keyed-ttl")
+
+// KeyedSpill is the keyed operator under a deliberately tiny memory budget:
+// every watermark spills most keys cold and the next tuples re-hydrate them,
+// so crashes land between spill bursts and re-loads. Recovery restores from
+// self-contained snapshots (cold blobs are inlined) and clears the stale
+// spill directory — the results must not show any of it.
+const KeyedSpill = benchutil.Technique("keyed-spill")
+
+// keyedTTL and keyedLateness configure the keyed-ttl workload. Expiry fires
+// when wm - lastSeen > ttl + lateness, and the largest idle span the Machine
+// stream exposes is ~370ms (post-gap watermark jumps), so the sum must stay
+// under that. The lateness can shrink safely: the watermark lag (1001ms)
+// exceeds the disorder's max delay, so nothing is ever dropped as late.
+const (
+	keyedTTL      = int64(100)
+	keyedLateness = int64(100)
+)
+
+// keyedSpillBudget is the per-partition byte budget for keyed-spill: far
+// below what four Machine keys occupy, forcing spill/re-hydrate churn at
+// every watermark.
+const keyedSpillBudget = int64(8 << 10)
+
 // Techniques lists everything the harness can run: all benchmark techniques
-// plus the keyed operator and the factor-window sharing layer.
+// plus the keyed operator (plain, idle-expiring, and spilling) and the
+// factor-window sharing layer.
 func Techniques() []benchutil.Technique {
-	return append(append([]benchutil.Technique{}, benchutil.AllTechniques...), Keyed, benchutil.FleetSlicing)
+	return append(append([]benchutil.Technique{}, benchutil.AllTechniques...),
+		Keyed, KeyedTTL, KeyedSpill, benchutil.FleetSlicing)
 }
 
 // ------------------------------------------------------------- schedule ----
@@ -252,8 +286,10 @@ func (o *baseOp) feed(it stream.Item[stream.Tuple]) []string {
 
 // buildOperator constructs the operator for one technique over the shared
 // workload: sum aggregation, five tumbling queries, 4s lateness for the
-// techniques that tolerate disorder.
-func buildOperator(t benchutil.Technique) (operator, error) {
+// techniques that tolerate disorder. spillDir and reg are used only by
+// KeyedSpill (the partition's blob directory and the run-wide metrics
+// registry its counters aggregate into).
+func buildOperator(t benchutil.Technique, spillDir string, reg *obs.Registry) (operator, error) {
 	f := aggregate.Sum(stream.Val)
 	defs := benchutil.TumblingQueries(5)
 	ordered := t.InOrderOnly()
@@ -261,9 +297,21 @@ func buildOperator(t benchutil.Technique) (operator, error) {
 	if ordered {
 		lateness = 0
 	}
+	if t == KeyedTTL {
+		// The watermark lag (1001ms) already exceeds the disorder's max
+		// delay, so shrinking the lateness drops nothing — it only lets
+		// idle expiry observe the post-gap watermark jump.
+		lateness = keyedLateness
+	}
 	newAg := func(kind core.StoreKind) *core.Aggregator[stream.Tuple, float64, float64] {
 		ag := core.New(f, core.Options{Ordered: ordered, Lateness: lateness, Store: kind})
-		for _, d := range defs {
+		// Fresh definitions on every call: window definitions carry
+		// trigger-cursor state, so per-key operators sharing one defs
+		// slice would hand each window's single trigger to whichever key
+		// processes it first, silently starving every other key (see
+		// core.NewKeyed). The single-operator techniques below call this
+		// once, so they are unaffected either way.
+		for _, d := range benchutil.TumblingQueries(5) {
 			ag.MustAddQuery(d)
 		}
 		return ag
@@ -290,11 +338,28 @@ func buildOperator(t benchutil.Technique) (operator, error) {
 			return nil, fmt.Errorf("chaos: fleet workload was meant to factor")
 		}
 		return &fleetOp{fl: fl}, nil
-	case Keyed:
-		return &keyedOp{op: core.NewKeyed(
-			func(v stream.Tuple) int32 { return v.Key }, 0,
+	case Keyed, KeyedTTL, KeyedSpill:
+		var ttl int64
+		if t == KeyedTTL {
+			ttl = keyedTTL
+		}
+		k := core.NewKeyed(
+			func(v stream.Tuple) int32 { return v.Key }, ttl,
 			func() *core.Aggregator[stream.Tuple, float64, float64] { return newAg(core.StoreLazy) },
-		)}, nil
+		)
+		if t == KeyedSpill {
+			if spillDir == "" {
+				return nil, fmt.Errorf("chaos: keyed-spill needs a spill directory")
+			}
+			st, err := spill.Open(spillDir)
+			if err != nil {
+				return nil, err
+			}
+			if err := k.EnableSpill(core.SpillConfig{Budget: keyedSpillBudget, Store: st, Metrics: reg}); err != nil {
+				return nil, err
+			}
+		}
+		return &keyedOp{op: k}, nil
 	case benchutil.Pairs:
 		return feedQueries(baselines.NewPairs(f), defs), nil
 	case benchutil.Cutty:
@@ -412,12 +477,33 @@ type RunResult struct {
 	Stats    engine.Stats
 	Log      *Log
 	Restores int64
+	// SpillStores and SpillLoads aggregate the keyed-spill technique's
+	// blob writes and re-hydrations across partitions and restarts (zero
+	// for every other technique). Their exact values are nondeterministic
+	// across fault plans — they witness that spilling happened, nothing
+	// more.
+	SpillStores int64
+	SpillLoads  int64
 }
 
 // Run executes one technique under the options and returns what an external
 // observer saw: the per-partition result log and the engine stats.
 func Run(o Options) (RunResult, error) {
-	if _, err := buildOperator(o.Technique); err != nil {
+	var (
+		spillRoot string
+		spillReg  *obs.Registry
+	)
+	if o.Technique == KeyedSpill {
+		dir, err := os.MkdirTemp("", "chaos-spill-")
+		if err != nil {
+			return RunResult{}, err
+		}
+		spillRoot = dir // handed to the engine below, which removes it
+		spillReg = obs.NewRegistry()
+	}
+	// Validate the technique once up front (partition index o.Par is a
+	// scratch spill directory no real partition uses).
+	if _, err := buildOperator(o.Technique, partitionSpillDir(spillRoot, o.Par), spillReg); err != nil {
 		return RunResult{}, err
 	}
 	d := stream.Disorder{Fraction: 0.1, MaxDelay: 1000, Seed: o.Seed}
@@ -435,10 +521,11 @@ func Run(o Options) (RunResult, error) {
 
 	cfg := engine.Config[stream.Tuple]{
 		Parallelism: o.Par,
+		SpillDir:    spillRoot,
 		Key:         func(e stream.Event[stream.Tuple]) uint64 { return uint64(e.Value.Key) },
 		NewProcessor: func(p int) engine.Processor[stream.Tuple] {
 			//lint:ignore errflow the technique was validated by buildOperator before the run started; rebuilding it for a partition cannot fail differently
-			op, _ := buildOperator(o.Technique) // validated above
+			op, _ := buildOperator(o.Technique, partitionSpillDir(spillRoot, p), spillReg) // validated above
 			base := proc{part: p, op: op, log: log, crash: crash}
 			if so, ok := op.(snapOperator); ok {
 				return &snapProc{proc: base, snap: so}
@@ -474,7 +561,21 @@ func Run(o Options) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
-	return RunResult{Stats: stats, Log: log, Restores: crash.Restores.Load()}, nil
+	res := RunResult{Stats: stats, Log: log, Restores: crash.Restores.Load()}
+	if spillReg != nil {
+		res.SpillStores = spillReg.Counter("core_spill_stores_total").Value()
+		res.SpillLoads = spillReg.Counter("core_spill_loads_total").Value()
+	}
+	return res, nil
+}
+
+// partitionSpillDir is engine.PartitionSpillDir gated on spilling being
+// enabled for the run at all.
+func partitionSpillDir(root string, p int) string {
+	if root == "" {
+		return ""
+	}
+	return engine.PartitionSpillDir(root, p)
 }
 
 // tearEvenSnapshots writes every even-id snapshot file truncated by a few

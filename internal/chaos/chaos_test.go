@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"scotty/internal/benchutil"
+	"scotty/internal/stream"
 )
 
 // seeds are the fixed fault-plan seeds the CI chaos leg runs with; every
@@ -62,7 +63,8 @@ func TestCrashRecoveryEquivalence(t *testing.T) {
 // snapshottable techniques are the ones whose recovery restores state from
 // checkpoint files — the only ones torn files and barrier faults can affect.
 var snapshottableTechniques = []benchutil.Technique{
-	benchutil.LazySlicing, benchutil.EagerSlicing, benchutil.DABASlicing, Keyed,
+	benchutil.LazySlicing, benchutil.EagerSlicing, benchutil.DABASlicing,
+	Keyed, KeyedTTL, KeyedSpill,
 }
 
 // TestTornSnapshotEquivalence tears every even-id snapshot file on disk (the
@@ -151,6 +153,49 @@ func TestSnapshottableTechniquesRestoreFromCheckpoints(t *testing.T) {
 			t.Fatalf("tuple buffer restored %d checkpoints; baselines have no snapshot support", got.Restores)
 		}
 	})
+}
+
+// TestKeyedTTLWorkloadExpiresKeys guards the keyed-ttl technique against
+// vacuity: on the shared Machine workload the idle TTL must actually fire —
+// the key count has to fall after it peaked (post-gap expiry drains) — or the
+// technique would just re-run plain Keyed under a different name.
+func TestKeyedTTLWorkloadExpiresKeys(t *testing.T) {
+	op, err := buildOperator(KeyedTTL, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := op.(*keyedOp).op
+	d := stream.Disorder{Fraction: 0.1, MaxDelay: 1000, Seed: seeds[0]}
+	in := benchutil.MakeInput(stream.Machine(), chaosEvents, d, seeds[0])
+	maxKeys, expired := 0, false
+	for _, it := range in.Items {
+		op.feed(it)
+		if n := k.Keys(); n > maxKeys {
+			maxKeys = n
+		} else if n < maxKeys {
+			expired = true
+		}
+	}
+	if maxKeys != stream.Machine().Keys {
+		t.Errorf("peak key count = %d, want %d", maxKeys, stream.Machine().Keys)
+	}
+	if !expired {
+		t.Error("idle TTL never expired a key — the keyed-ttl chaos runs prove nothing")
+	}
+}
+
+// TestKeyedSpillWorkloadSpills guards the keyed-spill technique against
+// vacuity the same way: under its tiny budget the clean run must both write
+// cold state out and re-hydrate it, or the chaos equivalence over this
+// technique would never touch the spill paths.
+func TestKeyedSpillWorkloadSpills(t *testing.T) {
+	res := cleanRun(t, KeyedSpill, seeds[0])
+	if res.SpillStores == 0 {
+		t.Error("no key was ever spilled — the budget is not binding")
+	}
+	if res.SpillLoads == 0 {
+		t.Error("no spilled key was ever re-hydrated — the load path went unexercised")
+	}
 }
 
 // TestScheduleIsDeterministic guards the reproducibility contract.

@@ -67,6 +67,25 @@ func (e *Encoder) String(s string) {
 // Len returns the payload size accumulated so far.
 func (e *Encoder) Len() int { return len(e.buf) - headerSize }
 
+// Raw appends pre-encoded payload bytes verbatim — no length prefix. The
+// caller owns the framing contract: the bytes must be exactly what the
+// matching decode sequence will consume (e.g. the payload of another sealed
+// snapshot, spliced into a composite one). Use Bytes for self-delimiting
+// blobs.
+func (e *Encoder) Raw(b []byte) { e.buf = append(e.buf, b...) }
+
+// Payload validates a sealed snapshot's frame (magic, version, CRC) and
+// returns its payload bytes — the exact sequence an Encoder wrote between
+// NewEncoder and Seal. It lets composite snapshots splice an already-sealed
+// child snapshot in via Raw without re-encoding it. The returned slice
+// aliases data.
+func Payload(data []byte) ([]byte, error) {
+	if _, err := NewDecoder(data); err != nil {
+		return nil, err
+	}
+	return data[headerSize:], nil
+}
+
 // Seal writes the header (magic, version, payload CRC) and returns the framed
 // snapshot. The encoder must not be used afterwards.
 func (e *Encoder) Seal() []byte {

@@ -270,6 +270,60 @@ func (ag *Aggregator[V, A, Out]) AddQueryResumed(def window.Definition, updateFl
 	return id, err
 }
 
+// seedWatermark floors a freshly built operator at the keyed layer's current
+// watermark. Time-measure context-free cursors resume after the last window
+// end the watermark already covers, and update floors rise to match, so an
+// operator materialized mid-stream — a key first seen after watermark wm, or
+// one re-created after idle expiry drained its previous incarnation with a
+// synthetic MaxTime watermark — can neither replay windows from position
+// zero (duplicate emissions to exactly-once sinks) nor emit updates for
+// windows it never announced. Count-measure queries are left alone (a fresh
+// key's count axis genuinely restarts at zero) and context-aware queries
+// derive their windows from data the operator has not seen yet. This is the
+// AddQueryResumed floor machinery applied at operator granularity; it is
+// only meaningful on a fresh operator, so a target that has already ingested
+// tuples or watermarks is left untouched.
+func (ag *Aggregator[V, A, Out]) seedWatermark(wm int64) {
+	if wm == stream.MinTime || ag.currWM != stream.MinTime || ag.st.totalCount > 0 {
+		return
+	}
+	if wm != stream.MaxTime {
+		for _, q := range ag.queries {
+			if q.cf == nil || q.def.Measure() != stream.Time {
+				continue
+			}
+			if r, ok := q.cf.(window.TriggerResumer); ok {
+				r.ResumeTriggerAfter(wm)
+				// The cursor is exact now; NextTrigger reports end-1 for
+				// time measures, and updates start at the first window
+				// this operator will itself announce.
+				if f := q.cf.NextTrigger(ag.st) + 1; f > q.updFloor {
+					q.updFloor = f
+				}
+			} else if f := wm + 1; f > q.updFloor {
+				q.updFloor = f
+			}
+		}
+		// The slicer also starts at the stream origin: a fresh store's
+		// single open slice covers [0, MaxTime), so the first tuple of a
+		// key materialized at watermark wm would cut one empty slice per
+		// elapsed context-free edge — O(wm/slide) work plus buffer slack
+		// that never amortizes. Nothing older than wm-lateness+1 can be
+		// accepted anymore (the late-drop band), so slicing begins there.
+		// Windows whose start precedes the first slice still fold
+		// correctly: aggregateTimeRange decides membership by tuple
+		// times, and the edge-aligned fast path rejects the unaligned
+		// boundary and falls back.
+		if floor := wm - ag.opts.Lateness + 1; floor > ag.openStart() &&
+			ag.st.Len() == 1 && ag.st.open().N == 0 {
+			ag.st.open().Start = floor
+			ag.refreshCFEdges()
+		}
+	}
+	ag.currWM = wm
+	ag.refreshTriggerWake()
+}
+
 func (ag *Aggregator[V, A, Out]) addQuery(def window.Definition, resumed bool) (int, error) {
 	q := &query[V]{id: ag.nextID, def: def, updFloor: stream.MinTime}
 	switch d := def.(type) {
@@ -491,6 +545,53 @@ func (ag *Aggregator[V, A, Out]) refreshTriggerWake() {
 			ag.cfTriggerWakeCount = nt
 		}
 	}
+}
+
+// nextWake reports the lowest watermark at which the operator could emit
+// anything without ingesting another tuple — stream.MaxTime when no pending
+// window can complete from watermarks alone. The keyed layer uses it to skip
+// watermark broadcasts to quiescent keys and to decide when a spilled key
+// must be re-hydrated, so it must never over-report: a wake later than a
+// real emission would drop results. Unknown cases fall back to the raw
+// NextTrigger horizon, which is always conservative.
+func (ag *Aggregator[V, A, Out]) nextWake() int64 {
+	if len(ag.pendingUpdates) > 0 {
+		// Pending update spans flush on the next watermark regardless of
+		// any trigger cursor.
+		return stream.MinTime
+	}
+	wake := stream.MaxTime
+	for _, q := range ag.queries {
+		var w int64
+		switch {
+		case q.cf != nil && q.def.Measure() == stream.Time:
+			w = q.cf.NextTrigger(ag.st)
+			if p, ok := q.def.(interface{ Params() (length, slide int64) }); ok {
+				length, _ := p.Params()
+				// Trigger postpones windows entirely after the last
+				// observed tuple (the MaxSeenTime cap); only new data can
+				// complete them, so watermarks alone never wake this query.
+				if w > ag.st.MaxSeenTime()+length {
+					w = stream.MaxTime
+				}
+			}
+		case q.cf != nil:
+			// Count windows complete when the watermark passes their last
+			// tuple's event time; a window still missing tuples cannot
+			// complete from watermarks alone.
+			if ne := q.cf.NextTrigger(ag.st); ne > ag.st.TotalCount() {
+				w = stream.MaxTime
+			} else {
+				w = ag.st.TimeAtCount(ne)
+			}
+		default:
+			w = q.ctx.NextTrigger(ag.currWM)
+		}
+		if w < wake {
+			wake = w
+		}
+	}
+	return wake
 }
 
 // triggerDue reports whether any query may emit at watermark wm.

@@ -16,7 +16,10 @@ type KeyedResult[K comparable, Out any] struct {
 //
 // Keys appear lazily on first use and are dropped again once they have been
 // idle past the allowed lateness and hold no unemitted state worth keeping
-// (bounding state for rotating key spaces).
+// (bounding state for rotating key spaces). With EnableSpill, resident state
+// is additionally bounded by a byte budget: cold keys' operator state moves
+// to disk and transparently re-hydrates on the key's next tuple or due
+// emission (docs/MEMORY.md).
 type Keyed[K comparable, V, A, Out any] struct {
 	newOp func() *Aggregator[V, A, Out]
 	keyOf func(V) K
@@ -30,6 +33,18 @@ type Keyed[K comparable, V, A, Out any] struct {
 	// idleTTL is how long (in event time) a key may be silent before its
 	// operator is discarded; 0 disables expiry.
 	idleTTL int64
+	// lateness is the per-key operators' allowed lateness, probed once at
+	// construction: the keyed layer's own late-drop and idle-expiry checks
+	// must agree with the operators' horizon, including for keys that are
+	// currently cold or not materialized at all.
+	lateness int64
+	// dropped counts tuples discarded at the keyed layer: too late to land
+	// in any still-open window of a key with no resident operator. The
+	// operators count their own late drops; Stats sums both.
+	dropped int64
+
+	// spill, when non-nil, bounds resident state (EnableSpill).
+	spill *spillState[K]
 
 	// Batch grouping scratch state: runs[i] collects the sub-batch of the
 	// i-th distinct key of the current segment (buffers are reused across
@@ -41,38 +56,83 @@ type Keyed[K comparable, V, A, Out any] struct {
 	scratch map[K]int
 }
 
+// keyedEntry is one key's slot. op == nil marks a cold key: its operator
+// state lives in the spill store under file, and wake (computed at spill
+// time) lower-bounds the watermark at which it could emit again.
 type keyedEntry[V, A, Out any] struct {
 	op       *Aggregator[V, A, Out]
 	lastSeen int64
+	// wake lower-bounds the next watermark at which this key could emit
+	// without new data. stream.MinTime means "unknown — process at the
+	// next broadcast" (set after every feed); stream.MaxTime means the
+	// operator cannot emit again from watermarks alone.
+	wake int64
+	// file names the spill blob while the key is cold.
+	file string
 }
 
 // NewKeyed creates a keyed operator. keyOf extracts the partitioning key;
-// newOp builds the per-key aggregator (register the same queries inside).
-// idleTTL > 0 expires keys idle for that many milliseconds of event time.
+// newOp builds the per-key aggregator and must register the query set with
+// FRESH window definitions on every call: a ContextFree definition carries
+// its trigger-cursor state, so sharing one instance across operators would
+// advance a single cursor for all keys and silence every operator but the
+// first to trigger. idleTTL > 0 expires keys idle for that many milliseconds
+// of event time.
 func NewKeyed[K comparable, V, A, Out any](keyOf func(V) K, idleTTL int64, newOp func() *Aggregator[V, A, Out]) *Keyed[K, V, A, Out] {
 	return &Keyed[K, V, A, Out]{
-		newOp:   newOp,
-		keyOf:   keyOf,
-		ops:     map[K]*keyedEntry[V, A, Out]{},
-		scratch: map[K]int{},
-		currWM:  stream.MinTime,
-		idleTTL: idleTTL,
+		newOp:    newOp,
+		keyOf:    keyOf,
+		ops:      map[K]*keyedEntry[V, A, Out]{},
+		scratch:  map[K]int{},
+		currWM:   stream.MinTime,
+		idleTTL:  idleTTL,
+		lateness: newOp().opts.Lateness,
 	}
 }
 
-// Keys returns the number of live keys.
+// Keys returns the number of live keys (resident and spilled).
 func (k *Keyed[K, V, A, Out]) Keys() int { return len(k.ops) }
 
-// entry returns the key's aggregator, creating it on first use.
+// entry returns the key's aggregator slot, creating it on first use.
 func (k *Keyed[K, V, A, Out]) entry(key K) *keyedEntry[V, A, Out] {
 	ent, ok := k.ops[key]
 	if !ok {
 		//lint:ignore hotalloc first appearance of a key materializes its operator once; the allocation amortizes over the key's lifetime
-		ent = &keyedEntry[V, A, Out]{op: k.newOp()}
+		ent = &keyedEntry[V, A, Out]{op: k.newOp(), lastSeen: stream.MinTime, wake: stream.MinTime}
+		// A key materialized mid-stream starts at the keyed watermark,
+		// not at MinTime: without the floor, a key first seen after
+		// watermark W — or re-created after idle expiry drained its
+		// predecessor — would treat W-late tuples as in-order and replay
+		// windows from position zero, duplicating emissions the drain
+		// already finalized.
+		ent.op.seedWatermark(k.currWM)
 		k.ops[key] = ent
 		k.order = append(k.order, key)
 	}
 	return ent
+}
+
+// tooLate reports whether a tuple at time t can no longer land in any
+// still-open window given the keyed watermark and the operators' lateness.
+func (k *Keyed[K, V, A, Out]) tooLate(t int64) bool {
+	return k.currWM != stream.MinTime && t <= k.currWM-k.lateness
+}
+
+// ready makes the key's operator resident and caught up with the keyed
+// watermark. Re-hydration pulls a spilled operator back off disk; the
+// watermark catch-up replays broadcasts the key skipped while quiescent. By
+// the wake bound nothing was due in the skipped span, so the catch-up emits
+// no results; they are appended anyway — reordering an emission would be
+// better than losing one.
+func (k *Keyed[K, V, A, Out]) ready(key K, ent *keyedEntry[V, A, Out]) {
+	if ent.op == nil {
+		k.rehydrate(key, ent)
+	}
+	if ent.op.Watermark() < k.currWM {
+		for _, r := range ent.op.ProcessWatermark(k.currWM) {
+			k.results = append(k.results, KeyedResult[K, Out]{Key: key, Result: r})
+		}
+	}
 }
 
 // ProcessElement routes the tuple to its key's aggregator. The returned
@@ -80,11 +140,28 @@ func (k *Keyed[K, V, A, Out]) entry(key K) *keyedEntry[V, A, Out] {
 func (k *Keyed[K, V, A, Out]) ProcessElement(e stream.Event[V]) []KeyedResult[K, Out] {
 	k.results = k.results[:0]
 	key := k.keyOf(e.Value)
-	ent := k.entry(key)
-	ent.lastSeen = e.Time
+	ent := k.ops[key]
+	if (ent == nil || ent.op == nil) && k.tooLate(e.Time) {
+		// Too late to land anywhere: the operator's own lateness check
+		// would drop the tuple right after materialization (or
+		// re-hydration), so drop it here and leave the key absent or
+		// cold. Without this, a key fed exclusively too-late data is
+		// re-created — and re-drained — every single watermark.
+		k.dropped++
+		return k.results
+	}
+	if ent == nil {
+		ent = k.entry(key)
+	} else {
+		k.ready(key, ent)
+	}
+	if e.Time > ent.lastSeen {
+		ent.lastSeen = e.Time
+	}
 	for _, r := range ent.op.ProcessElement(e) {
 		k.results = append(k.results, KeyedResult[K, Out]{Key: key, Result: r})
 	}
+	ent.wake = stream.MinTime
 	return k.results
 }
 
@@ -96,16 +173,31 @@ func (k *Keyed[K, V, A, Out]) ProcessWatermark(wm int64) []KeyedResult[K, Out] {
 	return k.results
 }
 
-//slicelint:coldpath runs once per watermark, not per tuple; per-key triggering and idle-key expiry amortize across the batch
+//slicelint:coldpath runs once per watermark, not per tuple; per-key triggering, idle-key expiry, and spill budget enforcement amortize across the batch
 func (k *Keyed[K, V, A, Out]) broadcastWatermark(wm int64) {
 	k.currWM = wm
 	live := k.order[:0]
 	for _, key := range k.order {
 		ent := k.ops[key]
+		expire := k.idleTTL > 0 && wm != stream.MaxTime && wm-ent.lastSeen > k.idleTTL+k.lateness
+		if !expire && (wm < ent.wake || ent.wake == stream.MaxTime) {
+			// Quiescent key: wake lower-bounds its next possible emission
+			// (MaxTime = it cannot emit again without new data), it has
+			// no pending updates, and it is not yet idle. Skip the
+			// broadcast entirely — ready() catches the operator up before
+			// its next tuple — so an idle key costs two comparisons per
+			// watermark instead of a trigger scan, and a cold key stays
+			// on disk.
+			live = append(live, key)
+			continue
+		}
+		if ent.op == nil {
+			k.rehydrate(key, ent)
+		}
 		for _, r := range ent.op.ProcessWatermark(wm) {
 			k.results = append(k.results, KeyedResult[K, Out]{Key: key, Result: r})
 		}
-		if k.idleTTL > 0 && wm != stream.MaxTime && wm-ent.lastSeen > k.idleTTL+ent.op.opts.Lateness {
+		if expire {
 			// Drain before deleting: an idle key may still hold unemitted
 			// state — a session whose gap exceeds the TTL, or the partial
 			// window holding its last tuples. The synthetic MaxTime
@@ -118,9 +210,13 @@ func (k *Keyed[K, V, A, Out]) broadcastWatermark(wm int64) {
 			delete(k.ops, key)
 			continue
 		}
+		ent.wake = ent.op.nextWake()
 		live = append(live, key)
 	}
 	k.order = live
+	if k.spill != nil {
+		k.enforceBudget(wm)
+	}
 }
 
 // ProcessBatch ingests a whole arrival-ordered batch. Events are grouped by
@@ -185,18 +281,51 @@ func (k *Keyed[K, V, A, Out]) processEventSegment(seg []stream.Item[V]) {
 		key := k.runKeys[idx]
 		delete(k.scratch, key)
 		items := k.runs[idx]
-		ent := k.entry(key)
-		ent.lastSeen = items[len(items)-1].Event.Time
+		ent := k.ops[key]
+		if ent == nil || ent.op == nil {
+			// Mirror the element path's keyed-layer late drop: while the
+			// key has no resident operator, too-late items are discarded
+			// without materializing one. The first acceptable item
+			// materializes (or re-hydrates) the operator; later too-late
+			// items in the run are the operator's own business, exactly
+			// as in per-element processing.
+			i := 0
+			for i < len(items) && k.tooLate(items[i].Event.Time) {
+				i++
+			}
+			k.dropped += int64(i)
+			items = items[i:]
+			if len(items) == 0 {
+				continue
+			}
+		}
+		if ent == nil {
+			ent = k.entry(key)
+		} else {
+			k.ready(key, ent)
+		}
+		for i := range items {
+			if t := items[i].Event.Time; t > ent.lastSeen {
+				ent.lastSeen = t
+			}
+		}
 		for _, r := range ent.op.ProcessBatch(items) {
 			k.results = append(k.results, KeyedResult[K, Out]{Key: key, Result: r})
 		}
+		ent.wake = stream.MinTime
 	}
 }
 
-// Stats sums the per-key operator statistics.
+// Stats sums the per-key operator statistics of resident keys plus the
+// keyed layer's own late drops. Spilled keys' counters rejoin the sum when
+// they re-hydrate; registry-backed metrics are unaffected by spilling.
 func (k *Keyed[K, V, A, Out]) Stats() Stats {
 	var total Stats
+	total.Dropped = k.dropped
 	for _, ent := range k.ops {
+		if ent.op == nil {
+			continue
+		}
 		s := ent.op.Stats()
 		total.Slices += s.Slices
 		total.Splits += s.Splits

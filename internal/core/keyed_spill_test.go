@@ -1,0 +1,235 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"scotty/internal/aggregate"
+	"scotty/internal/obs"
+	"scotty/internal/spill"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+// spillItems builds a keyed multi-query stream with enough key cardinality
+// and disorder that a small budget forces real spilling and re-hydration.
+func spillItems(n, keys int, seed int64) []stream.Item[stream.Tuple] {
+	rng := rand.New(rand.NewSource(seed))
+	var events []stream.Event[stream.Tuple]
+	ts := int64(0)
+	for i := 0; i < n; i++ {
+		ts += int64(rng.Intn(12))
+		events = append(events, stream.Event[stream.Tuple]{
+			Time: ts, Seq: int64(i),
+			Value: stream.Tuple{Key: int32(rng.Intn(keys)), V: float64(rng.Intn(100))},
+		})
+	}
+	d := stream.Disorder{Fraction: 0.15, MaxDelay: 250, Seed: seed + 1}
+	return stream.Prepare(stream.Watermarker{Period: 300, Lag: 251}, stream.Apply(d, events))
+}
+
+func spillKeyed(idleTTL int64) *Keyed[int32, stream.Tuple, float64, float64] {
+	return NewKeyed(func(v stream.Tuple) int32 { return v.Key }, idleTTL, func() *Aggregator[stream.Tuple, float64, float64] {
+		ag := New(aggregate.Sum(stream.Val), Options{Lateness: 300})
+		ag.MustAddQuery(window.Sliding(stream.Time, 600, 250))
+		ag.MustAddQuery(window.Session[stream.Tuple](150))
+		return ag
+	})
+}
+
+func feedKeyed(k *Keyed[int32, stream.Tuple, float64, float64], items []stream.Item[stream.Tuple]) []string {
+	var out []string
+	for _, it := range items {
+		var rs []KeyedResult[int32, float64]
+		if it.Kind == stream.KindEvent {
+			rs = k.ProcessElement(it.Event)
+		} else {
+			rs = k.ProcessWatermark(it.Watermark)
+		}
+		for _, r := range rs {
+			out = append(out, fmt.Sprintf("%+v", r))
+		}
+	}
+	return out
+}
+
+// TestKeyedSpillEquivalence is the spill tier's core contract: a
+// budget-bounded run emits the exact result sequence of an unbounded one —
+// same windows, same contents, same order — while actually moving keys
+// through the disk tier. Runs with and without idle expiry, so every cold
+// path (re-hydrate on tuple, on due emission, on expiry drain) is crossed.
+func TestKeyedSpillEquivalence(t *testing.T) {
+	for _, ttl := range []int64{0, 1500} {
+		t.Run(fmt.Sprintf("ttl=%d", ttl), func(t *testing.T) {
+			items := spillItems(6000, 48, 90+ttl)
+			want := feedKeyed(spillKeyed(ttl), items)
+
+			k := spillKeyed(ttl)
+			reg := obs.NewRegistry()
+			st, err := spill.Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// ~6 resident keys' worth: small enough that most of the 48 keys
+			// live on disk at any watermark.
+			if err := k.EnableSpill(SpillConfig{Budget: 48 << 10, Store: st, Metrics: reg}); err != nil {
+				t.Fatal(err)
+			}
+			got := feedKeyed(k, items)
+
+			if len(got) != len(want) {
+				t.Fatalf("bounded run emitted %d results, unbounded %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("result %d differs:\n  bounded:   %s\n  unbounded: %s", i, got[i], want[i])
+				}
+			}
+			stores := reg.Counter("core_spill_stores_total").Value()
+			loads := reg.Counter("core_spill_loads_total").Value()
+			if stores == 0 || loads == 0 {
+				t.Fatalf("spill tier never exercised: stores=%d loads=%d", stores, loads)
+			}
+		})
+	}
+}
+
+// TestKeyedSpillSnapshotRestore checks that cold keys survive the
+// snapshot/restore cycle: their blobs are folded into the snapshot (re-used
+// verbatim from disk), the restored operator starts fully resident with a
+// cleared spill store, and the spliced run matches an uninterrupted one.
+func TestKeyedSpillSnapshotRestore(t *testing.T) {
+	items := spillItems(6000, 48, 7)
+	clean := feedKeyed(spillKeyed(0), items)
+
+	cut := len(items) / 2
+	k := spillKeyed(0)
+	st, err := spill.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.EnableSpill(SpillConfig{Budget: 48 << 10, Store: st}); err != nil {
+		t.Fatal(err)
+	}
+	prefix := feedKeyed(k, items[:cut])
+	if _, cold, _ := k.SpillStats(); cold == 0 {
+		t.Fatal("no cold keys at the cut; snapshot would not cover the spill path")
+	}
+
+	data, err := k.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k2 := spillKeyed(0)
+	st2, err := spill.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k2.EnableSpill(SpillConfig{Budget: 48 << 10, Store: st2}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-spill: a stale blob in the new incarnation's
+	// directory must be swept on restore, not resurrected.
+	if _, err := st2.Put("deadbeef", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := k2.Restore(data); err != nil {
+		t.Fatal(err)
+	}
+	if resident, cold, disk := k2.SpillStats(); cold != 0 || disk != 0 {
+		t.Fatalf("restore left cold state: resident=%d cold=%d disk=%d", resident, cold, disk)
+	} else if resident == 0 {
+		t.Fatal("restore produced no keys")
+	}
+
+	spliced := append(prefix, feedKeyed(k2, items[cut:])...)
+	if len(spliced) != len(clean) {
+		t.Fatalf("spliced run emitted %d results, clean %d", len(spliced), len(clean))
+	}
+	for i := range clean {
+		if spliced[i] != clean[i] {
+			t.Fatalf("result %d differs:\n  spliced: %s\n  clean:   %s", i, spliced[i], clean[i])
+		}
+	}
+}
+
+// TestEnableSpillValidation pins the misuse errors: double enable, enabling
+// after keys exist, and missing budget or store.
+func TestEnableSpillValidation(t *testing.T) {
+	st, err := spill.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := spillKeyed(0)
+	if err := k.EnableSpill(SpillConfig{Budget: 1, Store: nil}); err == nil {
+		t.Error("nil store accepted")
+	}
+	if err := k.EnableSpill(SpillConfig{Budget: 0, Store: st}); err == nil {
+		t.Error("zero budget accepted")
+	}
+	if err := k.EnableSpill(SpillConfig{Budget: 1 << 20, Store: st}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if err := k.EnableSpill(SpillConfig{Budget: 1 << 20, Store: st}); err == nil {
+		t.Error("double enable accepted")
+	}
+	k2 := spillKeyed(0)
+	k2.ProcessElement(stream.Event[stream.Tuple]{Time: 1, Value: stream.Tuple{Key: 3, V: 1}})
+	if err := k2.EnableSpill(SpillConfig{Budget: 1 << 20, Store: st}); err == nil {
+		t.Error("enable after keys materialized accepted")
+	}
+}
+
+// TestKeyedTTLBatchEquivalence is the idle-expiry batching contract: with a
+// TTL short enough that keys are drained and re-created mid-stream — and a
+// finite lateness so the keyed layer's late drop engages — every batch size
+// must reproduce the per-element path's per-key result subsequences exactly.
+func TestKeyedTTLBatchEquivalence(t *testing.T) {
+	items := spillItems(5000, 9, 31)
+	mk := func() *Keyed[int32, stream.Tuple, float64, float64] { return spillKeyed(900) }
+
+	perKey := func(rs []string) map[int32][]string {
+		m := map[int32][]string{}
+		for _, s := range rs {
+			var key int32
+			if _, err := fmt.Sscanf(s, "{Key:%d", &key); err != nil {
+				t.Fatalf("unparseable result %q: %v", s, err)
+			}
+			m[key] = append(m[key], s)
+		}
+		return m
+	}
+
+	base := perKey(feedKeyed(mk(), items))
+
+	for _, bs := range []int{1, 7, 256, len(items)} {
+		op := mk()
+		var seq []string
+		for i := 0; i < len(items); i += bs {
+			j := i + bs
+			if j > len(items) {
+				j = len(items)
+			}
+			for _, r := range op.ProcessBatch(items[i:j]) {
+				seq = append(seq, fmt.Sprintf("%+v", r))
+			}
+		}
+		got := perKey(seq)
+		if len(got) != len(base) {
+			t.Fatalf("bs=%d: results for %d keys, want %d", bs, len(got), len(base))
+		}
+		for key, want := range base {
+			have := got[key]
+			if len(have) != len(want) {
+				t.Fatalf("bs=%d key %d: %d results want %d\nhave=%v\nwant=%v", bs, key, len(have), len(want), have, want)
+			}
+			for i := range want {
+				if have[i] != want[i] {
+					t.Fatalf("bs=%d key %d result %d: %s want %s", bs, key, i, have[i], want[i])
+				}
+			}
+		}
+	}
+}

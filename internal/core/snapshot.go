@@ -379,9 +379,25 @@ func (k *Keyed[K, V, A, Out]) Snapshot() ([]byte, error) {
 		keyC.Encode(enc, key)
 		ent := k.ops[key]
 		enc.Int64(ent.lastSeen)
-		if err := ent.op.encodeState(enc); err != nil {
-			return nil, err
+		if ent.op != nil {
+			if err := ent.op.encodeState(enc); err != nil {
+				return nil, err
+			}
+			continue
 		}
+		// Cold key: its operator state already lives on disk as a framed
+		// snapshot; splice the payload in verbatim. The keyed snapshot
+		// format is identical whether or not a key happened to be spilled
+		// when the checkpoint barrier arrived.
+		blob, err := k.spill.store.Get(ent.file)
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot of spilled key %v: %w", key, err)
+		}
+		payload, err := checkpoint.Payload(blob)
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot of spilled key %v: %w", key, err)
+		}
+		enc.Raw(payload)
 	}
 	return enc.Seal(), nil
 }
@@ -419,8 +435,22 @@ func (k *Keyed[K, V, A, Out]) Restore(data []byte) error {
 		if err := op.decodeState(dec); err != nil {
 			return fmt.Errorf("key %v: %w", key, err)
 		}
-		k.ops[key] = &keyedEntry[V, A, Out]{op: op, lastSeen: lastSeen}
+		k.ops[key] = &keyedEntry[V, A, Out]{op: op, lastSeen: lastSeen, wake: stream.MinTime}
 		k.order = append(k.order, key)
 	}
-	return dec.Err()
+	if err := dec.Err(); err != nil {
+		return err
+	}
+	if k.spill != nil {
+		// Every restored key is resident again; blobs left by the
+		// snapshotted incarnation (or a crash mid-spill) are stale. The
+		// budget re-asserts itself at the next watermark broadcast.
+		if err := k.spill.store.Clear(); err != nil {
+			return err
+		}
+		k.spill.cold = 0
+		k.spill.cursor = 0
+		k.publishSpillGauges()
+	}
+	return nil
 }

@@ -129,6 +129,21 @@ type Config[V any] struct {
 	// Checkpoint configures watermark-aligned checkpoints and supervised
 	// restart after partition failures; the zero value disables both.
 	Checkpoint CheckpointConfig
+	// SpillDir, when non-empty, is the scratch root for operators that
+	// spill cold state to disk (core.Keyed with EnableSpill). The engine
+	// creates it before the first attempt and removes it when Run returns:
+	// unlike checkpoints, spill blobs are never consulted across runs —
+	// after a restart the snapshot is the source of truth, and each rebuilt
+	// processor clears its own partition subdirectory (PartitionSpillDir)
+	// when it re-enables spilling.
+	SpillDir string
+}
+
+// PartitionSpillDir names one partition's spill subdirectory under the run's
+// SpillDir. NewProcessor closures pass it to spill.Open so parallel
+// instances never share blob namespaces.
+func PartitionSpillDir(root string, partition int) string {
+	return fmt.Sprintf("%s%cpart-%03d", root, os.PathSeparator, partition)
 }
 
 // Stats summarizes a pipeline run.
@@ -191,6 +206,15 @@ func Run[V any](cfg Config[V], items []stream.Item[V]) (Stats, error) {
 		if err := os.MkdirAll(ck.Dir, 0o755); err != nil {
 			return Stats{}, fmt.Errorf("engine: checkpoint dir: %w", err)
 		}
+	}
+	if cfg.SpillDir != "" {
+		if err := os.MkdirAll(cfg.SpillDir, 0o755); err != nil {
+			return Stats{}, fmt.Errorf("engine: spill dir: %w", err)
+		}
+		defer func() {
+			//lint:ignore errflow spill blobs are scratch state; a failed sweep leaves garbage on disk, not lost results
+			_ = os.RemoveAll(cfg.SpillDir)
+		}()
 	}
 	restarts := ck.MaxRestarts
 	if restarts == 0 && ckOn {

@@ -1,0 +1,83 @@
+package engine
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scotty/internal/aggregate"
+	"scotty/internal/core"
+	"scotty/internal/obs"
+	"scotty/internal/spill"
+	"scotty/internal/stream"
+	"scotty/internal/window"
+)
+
+// spillProcessor builds one partition's keyed operator with the spill tier
+// enabled under the run's spill root, the way cmd/scotty wires it.
+func spillProcessor(t *testing.T, root string, p int, budget int64, reg *obs.Registry) Processor[stream.Tuple] {
+	t.Helper()
+	k := core.NewKeyed(func(v stream.Tuple) int32 { return v.Key }, 0, func() *core.Aggregator[stream.Tuple, float64, float64] {
+		ag := core.New(aggregate.Sum(stream.Val), core.Options{Lateness: 100})
+		ag.MustAddQuery(window.Tumbling(stream.Time, 500))
+		return ag
+	})
+	if budget > 0 {
+		st, err := spill.Open(PartitionSpillDir(root, p))
+		if err != nil {
+			t.Fatalf("partition %d: spill.Open: %v", p, err)
+		}
+		if err := k.EnableSpill(core.SpillConfig{Budget: budget, Store: st, Metrics: reg}); err != nil {
+			t.Fatalf("partition %d: EnableSpill: %v", p, err)
+		}
+	}
+	return BatchProcessorFunc[stream.Tuple](func(items []stream.Item[stream.Tuple]) int {
+		return len(k.ProcessBatch(items))
+	})
+}
+
+// TestSpillDirLifecycle pins the engine's side of the spill tier: the run
+// root is created before processors spin up, each partition gets a private
+// subdirectory, results match a run without any budget, and the whole root
+// is swept when Run returns — spill blobs are scratch, not checkpoints.
+func TestSpillDirLifecycle(t *testing.T) {
+	items := makeItems(30_000, 96)
+	key := func(e stream.Event[stream.Tuple]) uint64 { return uint64(e.Value.Key) }
+
+	unbounded := mustRun(t, Config[stream.Tuple]{
+		Parallelism: 2,
+		Key:         key,
+		NewProcessor: func(p int) Processor[stream.Tuple] {
+			return spillProcessor(t, "", p, 0, nil)
+		},
+	}, items)
+
+	root := filepath.Join(t.TempDir(), "run", "spill")
+	reg := obs.NewRegistry()
+	sawRoot := false
+	bounded := mustRun(t, Config[stream.Tuple]{
+		Parallelism: 2,
+		Key:         key,
+		SpillDir:    root,
+		NewProcessor: func(p int) Processor[stream.Tuple] {
+			if _, err := os.Stat(root); err == nil {
+				sawRoot = true
+			}
+			return spillProcessor(t, root, p, 16<<10, reg)
+		},
+	}, items)
+
+	if !sawRoot {
+		t.Error("spill root did not exist when processors were built")
+	}
+	if _, err := os.Stat(root); !os.IsNotExist(err) {
+		t.Errorf("spill root survived Run: stat err = %v", err)
+	}
+	if bounded.Results != unbounded.Results || bounded.Events != unbounded.Events {
+		t.Errorf("bounded run: %d events %d results, unbounded: %d events %d results",
+			bounded.Events, bounded.Results, unbounded.Events, unbounded.Results)
+	}
+	if stores := reg.Counter("core_spill_stores_total").Value(); stores == 0 {
+		t.Error("budget never forced a spill; lifecycle test exercised nothing")
+	}
+}

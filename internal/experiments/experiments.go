@@ -33,16 +33,21 @@ type Scale struct {
 	LatencyMax int
 	// Parallelism is the maximum degree of parallelism of Fig 17.
 	Parallelism int
+	// MaxKeys caps the key-cardinality sweep of the memory-bound keyed
+	// figure (membound). The sweep is defined up to 10^7 keys; the full
+	// scale stops at 10^6 because the keyed path is single-operator
+	// (one core) and each point replays tens of events per key.
+	MaxKeys int
 }
 
 // Quick returns a scale suitable for smoke runs and CI.
 func Quick() Scale {
-	return Scale{Events: 60_000, SlowEvents: 8_000, MaxWindows: 100, MemTuples: 10_000, LatencyMax: 10_000, Parallelism: 4}
+	return Scale{Events: 60_000, SlowEvents: 8_000, MaxWindows: 100, MemTuples: 10_000, LatencyMax: 10_000, Parallelism: 4, MaxKeys: 10_000}
 }
 
 // Full returns the paper-sized scale.
 func Full() Scale {
-	return Scale{Events: 400_000, SlowEvents: 20_000, MaxWindows: 1000, MemTuples: 50_000, LatencyMax: 100_000, Parallelism: 8}
+	return Scale{Events: 400_000, SlowEvents: 20_000, MaxWindows: 1000, MemTuples: 50_000, LatencyMax: 100_000, Parallelism: 8, MaxKeys: 1_000_000}
 }
 
 // windowsSweep is the horizontal axis of Figs 8, 9, 16.
@@ -100,6 +105,7 @@ var experimentsByID = []struct {
 	{"17", Fig17},
 	{"taillat", FigTailLatency},
 	{"fleet", FigFleet},
+	{"membound", FigMemBound},
 	{"ablation", Ablations},
 }
 

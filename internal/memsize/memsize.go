@@ -79,15 +79,35 @@ func (w *walker) referenced(v reflect.Value) int64 {
 		}
 		keySize := int64(v.Type().Key().Size())
 		valSize := int64(v.Type().Elem().Size())
-		// Approximate the bucket layout: Go maps allocate buckets in
-		// powers of two of 8 entries, plus per-bucket overhead.
+		// Model the Go 1.24+ swiss-table layout: slot groups of 8 with one
+		// control word each, filled to at most 7/8, plus a directory word
+		// per group once the map outgrows its single inline group. An
+		// empty map is just the header — no groups are allocated until the
+		// first write (the pre-1.24 bucket layout behaved the same way,
+		// and charging every empty map a full bucket systematically
+		// inflated high-cardinality estimates).
+		const (
+			mapHeader  = 48 // hmap/table header allocation
+			groupSlots = 8
+			ctrlBytes  = 8 // per-group control word
+			dirEntry   = 8 // per-group directory share
+		)
 		n := int64(v.Len())
-		buckets := int64(1)
-		for buckets*8*13/16 < n { // default max load factor 6.5/8
-			buckets *= 2
+		total := int64(mapHeader)
+		if n > 0 {
+			groups := int64(1)
+			if n > groupSlots {
+				// A small map (n <= 8) is exactly one full group with no
+				// directory; grown maps size in powers of two at 7/8 load.
+				for groups*groupSlots*7/8 < n {
+					groups *= 2
+				}
+			}
+			total += groups * (groupSlots*(keySize+valSize) + ctrlBytes)
+			if groups > 1 {
+				total += groups * dirEntry
+			}
 		}
-		const bucketOverhead = 8 + 8 // tophash bytes + overflow pointer
-		total := buckets * (8*(keySize+valSize) + bucketOverhead)
 		if hasIndirections(v.Type().Key()) || hasIndirections(v.Type().Elem()) {
 			iter := v.MapRange()
 			for iter.Next() {

@@ -1,0 +1,66 @@
+package memsize
+
+import (
+	"runtime"
+	"testing"
+)
+
+// measureMaps returns the average heap bytes the runtime actually charges
+// for one map[int64]int64 with n entries, by allocating a batch and reading
+// the allocator's delta. GC runs around the measurement so concurrent sweep
+// noise cannot leak in; the batch amortizes per-allocation jitter.
+func measureMaps(n, batch int) int64 {
+	hold := make([]map[int64]int64, batch)
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := range hold {
+		m := map[int64]int64{}
+		for j := 0; j < n; j++ {
+			m[int64(j)] = int64(j)
+		}
+		hold[i] = m
+	}
+	runtime.ReadMemStats(&after)
+	delta := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	runtime.KeepAlive(hold)
+	return delta / int64(batch)
+}
+
+// TestMapEstimateTracksRuntime pins the map model to what the allocator
+// really charges. The spilling budget divides by this estimate at high key
+// cardinality, so a systematic skew (the old model charged every empty map a
+// full bucket and mis-sized small maps) translates directly into spilling
+// too much or too little.
+func TestMapEstimateTracksRuntime(t *testing.T) {
+	for _, tc := range []struct {
+		n     int
+		batch int
+	}{
+		{0, 2000},
+		{1, 2000},
+		{4, 2000},
+		{8, 2000},
+		{64, 500},
+		{1000, 100},
+		{10000, 20},
+	} {
+		real := measureMaps(tc.n, tc.batch)
+		m := map[int64]int64{}
+		for j := 0; j < tc.n; j++ {
+			m[int64(j)] = int64(j)
+		}
+		est := Of(m)
+		if real <= 0 {
+			t.Fatalf("n=%d: measured %d bytes (GC interference?)", tc.n, real)
+		}
+		// Tolerance band: the model ignores allocator size-class rounding
+		// and per-version header differences, but must stay within 2x in
+		// both directions — the old model was ~3x high on empty maps.
+		ratio := float64(est) / float64(real)
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("n=%d: estimate %d vs measured %d (ratio %.2f, want within [0.5, 2.0])",
+				tc.n, est, real, ratio)
+		}
+	}
+}

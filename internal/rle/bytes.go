@@ -1,0 +1,81 @@
+package rle
+
+import "fmt"
+
+// Byte-oriented run-length coding (PackBits framing) for spilled snapshot
+// blobs. Checkpoint payloads are fixed-width little-endian integers, so cold
+// per-key aggregator state is dominated by zero bytes (high bytes of small
+// counts, identity partials, empty rings); runs of those compress well
+// without pulling in a general-purpose compressor.
+//
+// The format is a sequence of chunks, each led by a control byte c:
+//
+//	c <= 127: the next c+1 bytes are literals, copied verbatim
+//	c >= 128: the next byte repeats c-126 times (runs of 2..129)
+//
+// Runs shorter than 3 are folded into literals (a 2-byte run costs the same
+// either way and longer literal chunks amortize their control byte better).
+// Decompression of arbitrary bytes can fail only by truncation, which is
+// reported as an error — the caller re-validates content with the snapshot
+// frame's CRC anyway.
+
+const (
+	maxLiteral = 128 // literals per chunk (control 0..127 means 1..128)
+	maxRun     = 129 // repeats per chunk (control 128..255 means 2..129)
+)
+
+// CompressBytes appends the compressed form of src to dst and returns it.
+func CompressBytes(dst, src []byte) []byte {
+	for len(src) > 0 {
+		// Measure the run at the head.
+		run := 1
+		for run < len(src) && run < maxRun && src[run] == src[0] {
+			run++
+		}
+		if run >= 3 {
+			dst = append(dst, byte(126+run), src[0])
+			src = src[run:]
+			continue
+		}
+		// Literal chunk: scan until a run of 3 starts or the chunk fills.
+		lit := 1
+		for lit < len(src) && lit < maxLiteral {
+			if lit+2 < len(src) && src[lit] == src[lit+1] && src[lit] == src[lit+2] {
+				break
+			}
+			lit++
+		}
+		dst = append(dst, byte(lit-1))
+		dst = append(dst, src[:lit]...)
+		src = src[lit:]
+	}
+	return dst
+}
+
+// DecompressBytes appends the decompressed form of src to dst and returns
+// it. Truncated input yields an error; dst then holds the prefix decoded so
+// far and must be discarded.
+func DecompressBytes(dst, src []byte) ([]byte, error) {
+	for len(src) > 0 {
+		c := src[0]
+		src = src[1:]
+		if c <= 127 {
+			n := int(c) + 1
+			if len(src) < n {
+				return dst, fmt.Errorf("rle: truncated literal chunk (want %d bytes, have %d)", n, len(src))
+			}
+			dst = append(dst, src[:n]...)
+			src = src[n:]
+			continue
+		}
+		if len(src) < 1 {
+			return dst, fmt.Errorf("rle: truncated run chunk")
+		}
+		n := int(c) - 126
+		for i := 0; i < n; i++ {
+			dst = append(dst, src[0])
+		}
+		src = src[1:]
+	}
+	return dst, nil
+}

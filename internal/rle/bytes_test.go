@@ -1,0 +1,85 @@
+package rle
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func roundTrip(t *testing.T, src []byte) []byte {
+	t.Helper()
+	comp := CompressBytes(nil, src)
+	got, err := DecompressBytes(nil, comp)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip mismatch: %d bytes in, %d bytes out", len(src), len(got))
+	}
+	return comp
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0},
+		{1, 2, 3},
+		bytes.Repeat([]byte{0}, 1),
+		bytes.Repeat([]byte{0}, 2),
+		bytes.Repeat([]byte{0}, 3),
+		bytes.Repeat([]byte{7}, 130),
+		bytes.Repeat([]byte{7}, 131),
+		bytes.Repeat([]byte{9}, 4096),
+		append(bytes.Repeat([]byte{0}, 200), 1, 2, 3, 0, 0, 0, 0, 5),
+	}
+	for _, src := range cases {
+		roundTrip(t, src)
+	}
+}
+
+func TestBytesCompressesZeroRuns(t *testing.T) {
+	// A checkpoint-like payload: small integers in fixed 8-byte slots, so
+	// 7 of every 8 bytes are zero. Compression must actually pay for
+	// itself here — that is the whole reason spill blobs go through it.
+	src := make([]byte, 8*1024)
+	for i := 0; i < len(src); i += 8 {
+		src[i] = byte(i)
+	}
+	comp := roundTrip(t, src)
+	if len(comp) >= len(src)/2 {
+		t.Fatalf("zero-dominated payload compressed %d -> %d, want < half", len(src), len(comp))
+	}
+}
+
+func TestBytesRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(2000)
+		src := make([]byte, n)
+		// Mix incompressible noise with runs, biased toward few distinct
+		// values so both chunk kinds are exercised.
+		for i := range src {
+			if rng.Intn(3) == 0 {
+				src[i] = byte(rng.Intn(256))
+			} else {
+				src[i] = byte(rng.Intn(3))
+			}
+		}
+		roundTrip(t, src)
+	}
+}
+
+func TestBytesTruncatedInput(t *testing.T) {
+	comp := CompressBytes(nil, bytes.Repeat([]byte{5}, 100))
+	for cut := 1; cut < len(comp); cut++ {
+		if _, err := DecompressBytes(nil, comp[:cut]); err == nil {
+			// A cut may still land on a chunk boundary and decode
+			// cleanly to a short prefix; only cuts inside a chunk must
+			// error. Verify content instead.
+			got, _ := DecompressBytes(nil, comp[:cut])
+			if !bytes.HasPrefix(bytes.Repeat([]byte{5}, 100), got) {
+				t.Fatalf("cut %d decoded to non-prefix", cut)
+			}
+		}
+	}
+}

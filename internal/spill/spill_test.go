@@ -1,0 +1,112 @@
+package spill
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := bytes.Repeat([]byte{0, 1, 0, 0, 0, 0, 0, 0}, 100)
+	n, err := s.Put("k1", blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 || s.Bytes() != n || s.Files() != 1 {
+		t.Fatalf("after put: n=%d bytes=%d files=%d", n, s.Bytes(), s.Files())
+	}
+	if n >= int64(len(blob)) {
+		t.Fatalf("zero-heavy blob did not compress: %d -> %d", len(blob), n)
+	}
+	got, err := s.Get("k1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Fatalf("round trip mismatch")
+	}
+	if err := s.Delete("k1"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Bytes() != 0 || s.Files() != 0 {
+		t.Fatalf("after delete: bytes=%d files=%d", s.Bytes(), s.Files())
+	}
+	if _, err := s.Get("k1"); err == nil {
+		t.Fatal("get after delete succeeded")
+	}
+}
+
+func TestStoreReplace(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("k", bytes.Repeat([]byte{1}, 500)); err != nil {
+		t.Fatal(err)
+	}
+	small, err := s.Put("k", []byte{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Files() != 1 || s.Bytes() != small {
+		t.Fatalf("replace did not reindex: bytes=%d want %d, files=%d", s.Bytes(), small, s.Files())
+	}
+	got, err := s.Get("k")
+	if err != nil || !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("replace content: %v %v", got, err)
+	}
+}
+
+func TestOpenIndexesAndClearRemoves(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("a", []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put("b", []byte("bbbb")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-spill: a stray temp file next to real blobs.
+	if err := os.WriteFile(filepath.Join(dir, "c.spill.tmp"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Files() != 2 || re.Bytes() != s.Bytes() {
+		t.Fatalf("reopen index: files=%d bytes=%d want 2/%d", re.Files(), re.Bytes(), s.Bytes())
+	}
+	if err := re.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if re.Files() != 0 || re.Bytes() != 0 {
+		t.Fatalf("after clear: files=%d bytes=%d", re.Files(), re.Bytes())
+	}
+	left, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("clear left %d entries (including temp files?)", len(left))
+	}
+}
+
+func TestDeleteMissingIsNoop(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("ghost"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -92,6 +92,27 @@ func (p *periodic) IsEdge(pos int64, startsOnly bool) bool {
 	return isMultiple(pos, p.slide, p.length%p.slide)
 }
 
+// ResumeTriggerAfter advances the trigger cursor so that no time-measure
+// window already covered by watermark wm (end-1 <= wm) will ever trigger.
+// An operator materialized mid-stream — a keyed layer creating a key first
+// seen after wm, or re-creating one whose previous incarnation was drained —
+// uses it to resume emission exactly after the windows the watermark has
+// finalized, instead of replaying them from position zero. The cursor only
+// moves forward; count-measure cursors are untouched (a fresh operator's
+// count axis restarts at zero, so its windows really do start over).
+func (p *periodic) ResumeTriggerAfter(wm int64) {
+	if p.measure != stream.Time || wm >= stream.MaxTime-1 {
+		return
+	}
+	e := nextMultiple(wm+1, p.slide, p.length%p.slide)
+	if e < p.length {
+		e = p.length
+	}
+	if e > p.nextEnd {
+		p.nextEnd = e
+	}
+}
+
 // Trigger emits completed windows. Time-measure windows complete at their end
 // timestamp. Count-measure windows complete when their last tuple has been
 // ingested and the watermark has passed that tuple's event time.

@@ -91,6 +91,16 @@ type ContextFree interface {
 	Interest(view StoreView, wm, lateness int64) Interest
 }
 
+// TriggerResumer is the optional interface of context-free definitions whose
+// trigger cursor can be advanced to resume after a watermark without
+// replaying the windows it already covers. An aggregator built mid-stream (a
+// keyed layer materializing a key first seen after watermark wm, or
+// re-creating one whose previous incarnation was already drained) seeds its
+// queries through this so finalized windows are never emitted twice.
+type TriggerResumer interface {
+	ResumeTriggerAfter(wm int64)
+}
+
 // Changes lists slice-edge adjustments demanded by a context-aware window
 // after observing a tuple or a watermark. Positions are in the window's
 // measure. Added edges in the past cause slice splits; removed edges allow

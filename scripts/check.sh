@@ -80,4 +80,17 @@ go run ./scripts/checkbench.go BENCH_fleet.json
 go run ./scripts/benchdiff.go -tol 0.45 -latency-tol 4.0 BENCH_fleet.ref.json BENCH_fleet.json
 rm BENCH_fleet.ref.json
 
+echo '== benchmark smoke (membound quick, under-budget gate)'
+# The membound figure is the memory-budget gate: the keyed operator under a
+# budget of 10% of its unbounded residency must stay under that budget at
+# every key cardinality while sustaining >= 50% of the unbounded throughput
+# at the largest one (both asserted by checkbench). The committed
+# BENCH_membound.json is full-scale (10^6 keys), so the quick smoke artifact
+# is checked on its own and discarded instead of benchdiffed against it; the
+# committed reference is re-gated as-is.
+go run ./cmd/benchmark -fig membound -json BENCH_membound.quick.json > /dev/null
+go run ./scripts/checkbench.go BENCH_membound.quick.json
+rm BENCH_membound.quick.json
+go run ./scripts/checkbench.go BENCH_membound.json
+
 echo 'OK'

@@ -24,9 +24,10 @@ func main() {
 	var rec struct {
 		Figure string `json:"figure"`
 		Points []struct {
-			Series       string  `json:"series"`
-			X            any     `json:"x"`
-			TuplesPerSec float64 `json:"tuples_per_sec"`
+			Series       string             `json:"series"`
+			X            any                `json:"x"`
+			TuplesPerSec float64            `json:"tuples_per_sec"`
+			Extra        map[string]float64 `json:"extra"`
 		} `json:"points"`
 	}
 	if err := json.Unmarshal(raw, &rec); err != nil {
@@ -102,6 +103,63 @@ func main() {
 		}
 		if growth := tps["fleet-shared"][1] / tps["fleet-shared"][4096]; growth > 410 {
 			fmt.Fprintf(os.Stderr, "%s: shared per-tuple cost grew %.0fx from 1 to 4096 queries, want sublinear (<= 410x)\n", os.Args[1], growth)
+			os.Exit(1)
+		}
+	}
+	// The membound figure carries the memory-budget contract (docs/MEMORY.md):
+	// at every key cardinality the bounded run's estimated resident bytes
+	// must stay under its recorded budget, and at the largest cardinality
+	// the budget must have actually forced spilling while the bounded run
+	// sustains at least half the unbounded throughput — the point of the
+	// spill tier is bounded memory at a bounded, not catastrophic, cost.
+	if rec.Figure == "membound" {
+		type point struct {
+			tps   float64
+			extra map[string]float64
+		}
+		pts := map[string]map[float64]point{}
+		maxX := 0.0
+		for _, p := range rec.Points {
+			x, ok := p.X.(float64)
+			if !ok {
+				continue
+			}
+			if pts[p.Series] == nil {
+				pts[p.Series] = map[float64]point{}
+			}
+			pts[p.Series][x] = point{p.TuplesPerSec, p.Extra}
+			if x > maxX {
+				maxX = x
+			}
+		}
+		if len(pts["bounded"]) == 0 || len(pts["unbounded"]) == 0 {
+			fmt.Fprintf(os.Stderr, "%s: membound needs both the bounded and unbounded series\n", os.Args[1])
+			os.Exit(1)
+		}
+		for x, b := range pts["bounded"] {
+			resident, budget := b.extra["resident_bytes"], b.extra["budget"]
+			if resident <= 0 || budget <= 0 {
+				fmt.Fprintf(os.Stderr, "%s: membound bounded point at %v keys lacks resident_bytes/budget extras\n", os.Args[1], x)
+				os.Exit(1)
+			}
+			if resident >= budget {
+				fmt.Fprintf(os.Stderr, "%s: membound resident %.0f B at %v keys is not under the %.0f B budget\n",
+					os.Args[1], resident, x, budget)
+				os.Exit(1)
+			}
+		}
+		b, u := pts["bounded"][maxX], pts["unbounded"][maxX]
+		if b.tps <= 0 || u.tps <= 0 {
+			fmt.Fprintf(os.Stderr, "%s: membound is missing a series at %v keys\n", os.Args[1], maxX)
+			os.Exit(1)
+		}
+		if b.extra["keys_spilled"] <= 0 {
+			fmt.Fprintf(os.Stderr, "%s: membound budget never forced a spill at %v keys; the gate is comparing air\n", os.Args[1], maxX)
+			os.Exit(1)
+		}
+		if b.tps < 0.5*u.tps {
+			fmt.Fprintf(os.Stderr, "%s: membound bounded throughput at %v keys is %.0f%% of unbounded, want >= 50%%\n",
+				os.Args[1], maxX, 100*b.tps/u.tps)
 			os.Exit(1)
 		}
 	}
