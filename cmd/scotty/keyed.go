@@ -147,6 +147,9 @@ func runKeyed[A any, Out any](newDefs func() []window.Definition, f aggregate.Fu
 		out.Flush()
 	}
 
+	if ms != nil {
+		ms.ready.Store(true) // the run loop is up: /healthz turns ready
+	}
 	if q.demo > 0 {
 		events := stream.Apply(stream.Disorder{Fraction: q.ooo, MaxDelay: 2000, Seed: 7},
 			stream.Generate(stream.Football(), q.demo, 1))

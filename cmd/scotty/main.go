@@ -29,6 +29,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -50,6 +51,7 @@ import (
 	"scotty/internal/core"
 	"scotty/internal/fleet"
 	"scotty/internal/obs"
+	"scotty/internal/ops"
 	"scotty/internal/stream"
 	"scotty/internal/window"
 )
@@ -83,8 +85,28 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		keyed    = fs.Bool("keyed", false, "window each key's sub-stream independently (demo streams use the generator's key; CSV lines may carry one as 'ts,value,key'); rows are prefixed k<key>")
 		budget   = fs.Int64("mem-budget", 0, "resident-bytes budget for keyed state; over budget, cold keys spill to -spill-dir (requires -keyed; 0 = unbounded)")
 		spillDir = fs.String("spill-dir", "", "scratch directory for spilled key state (requires -mem-budget; default: a per-process dir under the system temp dir, removed on exit)")
+		bpName   = fs.String("backpressure", "block", "ingest overload policy: block | drop-oldest | drop-newest | shed; non-block decouples input from processing through a bounded queue and sheds events under overload, counted in scotty_events_dropped_total (not supported with -keyed)")
+		breaker  = fs.Bool("breaker", false, "guard row output with retry and a circuit breaker: rows the writer permanently rejects are dead-lettered (counted, and captured under -dlq-dir) instead of wedging or silently vanishing")
+		dlqDir   = fs.String("dlq-dir", "", "directory receiving dead-lettered output rows as durable records (requires -breaker; read back with ops.ReadDLQ)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	policy, err := ops.ParsePolicy(*bpName)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if policy != ops.Block && *keyed {
+		fmt.Fprintln(stderr, "-backpressure: only block is supported with -keyed (per-key state makes event drops key-skewed)")
+		return 2
+	}
+	if *breaker && *keyed {
+		fmt.Fprintln(stderr, "-breaker is not supported with -keyed")
+		return 2
+	}
+	if *dlqDir != "" && !*breaker {
+		fmt.Fprintln(stderr, "-dlq-dir requires -breaker")
 		return 2
 	}
 
@@ -181,6 +203,48 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		}
 	}
 
+	// A non-block policy decouples ingest from processing through a bounded
+	// ops.Edge: the feed goroutine parses and sends, the operator loop
+	// receives, and under overload whole events are dropped by the policy —
+	// counted, never silent. Watermarks are control flow and never dropped.
+	if policy != ops.Block {
+		var dropCounter *obs.Counter
+		if ms != nil {
+			dropCounter = ms.reg.Counter("scotty_events_dropped_total", obs.L("reason", policy.String()))
+		}
+		var droppedEvents atomic.Int64
+		inner := runItems
+		runItems = func(op func(stream.Item[float64])) {
+			edge := ops.NewEdge(ops.EdgeConfig[stream.Item[float64]]{
+				Capacity: ingestQueueLen,
+				Policy:   policy,
+				CanDrop:  func(it stream.Item[float64]) bool { return it.Kind == stream.KindEvent },
+				OnDrop: func(stream.Item[float64]) {
+					droppedEvents.Add(1)
+					if dropCounter != nil {
+						dropCounter.Inc()
+					}
+				},
+			})
+			go func() {
+				inner(func(it stream.Item[float64]) { edge.Send(it) })
+				edge.Close()
+			}()
+			for {
+				it, ok := edge.Recv()
+				if !ok {
+					return
+				}
+				op(it)
+			}
+		}
+		defer func() {
+			if n := droppedEvents.Load(); n > 0 {
+				fmt.Fprintf(stderr, "backpressure: dropped %d events (%s)\n", n, policy)
+			}
+		}()
+	}
+
 	if *keyed {
 		if *windows != "" {
 			// Per-key operators register the fleet members as plain
@@ -228,7 +292,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		}
 	}
 
-	q := queryEnv{lateness: *lateness, store: kind, ordered: ordered, fleet: *windows != "", ckptDir: *ckptDir, runItems: runItems, rb: rb, ms: ms, stdout: stdout, stderr: stderr}
+	q := queryEnv{lateness: *lateness, store: kind, ordered: ordered, fleet: *windows != "", ckptDir: *ckptDir, breaker: *breaker, dlqDir: *dlqDir, runItems: runItems, rb: rb, ms: ms, stdout: stdout, stderr: stderr}
 	switch *aggName {
 	case "sum":
 		return runQuery(defs, aggregate.Sum[float64](ident), q)
@@ -252,13 +316,31 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	}
 }
 
+// ingestQueueLen is the -backpressure ingest edge's capacity in items. Tight
+// enough that a stalled operator visibly engages the policy, roomy enough
+// that parsing jitter alone never drops.
+const ingestQueueLen = 256
+
 // metricsServer owns the optional observability endpoint: the operator's
-// registry on /metrics (Prometheus text or JSON) and the latest slice-layout
-// snapshot on /debug/slices.
+// registry on /metrics (Prometheus text or JSON), the latest slice-layout
+// snapshot on /debug/slices, and the readiness/liveness probe on /healthz.
 type metricsServer struct {
-	reg    *obs.Registry
-	slices atomic.Value // []core.SliceInfo, published from the processing loop
-	srv    *http.Server
+	reg     *obs.Registry
+	slices  atomic.Value // []core.SliceInfo, published from the processing loop
+	ready   atomic.Bool  // set once the run loop is processing items
+	breaker atomic.Value // func() ops.State, published when -breaker guards the sink
+	srv     *http.Server
+}
+
+// healthz is the /healthz response body. Ready reports whether the run loop
+// is up (readiness); the watermark lag, breaker state, and loss counters are
+// the liveness signals an external prober alarms on.
+type healthz struct {
+	Ready          bool   `json:"ready"`
+	WatermarkLagMS int64  `json:"watermark_lag_ms"`
+	Breaker        string `json:"breaker,omitempty"`
+	DroppedEvents  int64  `json:"dropped_events"`
+	DeadRows       int64  `json:"dead_rows"`
 }
 
 func startMetrics(addr string, stderr io.Writer) (*metricsServer, error) {
@@ -278,10 +360,44 @@ func startMetrics(addr string, stderr io.Writer) (*metricsServer, error) {
 			Slices []core.SliceInfo `json:"slices"`
 		}{len(sl), sl})
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		h := healthz{
+			Ready:          ms.ready.Load(),
+			WatermarkLagMS: ms.seriesTotal("core_watermark_lag_ms"),
+			DroppedEvents:  ms.seriesTotal("scotty_events_dropped_total"),
+			DeadRows:       ms.seriesTotal("scotty_rows_dead_lettered_total"),
+		}
+		code := http.StatusOK
+		if f, ok := ms.breaker.Load().(func() ops.State); ok {
+			state := f()
+			h.Breaker = state.String()
+			if state == ops.Open {
+				code = http.StatusServiceUnavailable
+			}
+		}
+		if !h.Ready {
+			code = http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(h)
+	})
 	ms.srv = &http.Server{Handler: mux}
 	go ms.srv.Serve(ln)
 	fmt.Fprintf(stderr, "metrics: http://%s/metrics\n", ln.Addr())
 	return ms, nil
+}
+
+// seriesTotal sums every series of one metric name (labeled or not) in the
+// registry — counters across their label sets, a plain gauge as itself.
+func (ms *metricsServer) seriesTotal(name string) int64 {
+	var total int64
+	for _, m := range ms.reg.Snapshot() {
+		if m.Value != nil && (m.Name == name || strings.HasPrefix(m.Name, name+"{")) {
+			total += *m.Value
+		}
+	}
+	return total
 }
 
 func (ms *metricsServer) stop() { ms.srv.Close() }
@@ -429,6 +545,8 @@ type queryEnv struct {
 	ordered  bool
 	fleet    bool
 	ckptDir  string
+	breaker  bool
+	dlqDir   string
 	runItems func(func(stream.Item[float64]))
 	rb       *rebaser
 	ms       *metricsServer
@@ -507,7 +625,16 @@ func runQuery[A any, Out any](defs []window.Definition, f aggregate.Function[flo
 
 	out := bufio.NewWriter(stdout)
 	defer out.Flush()
-	emit := func(rs []core.Result[Out]) {
+	var sink *rowSink
+	if q.breaker {
+		var err error
+		if sink, err = newRowSink(stdout, q.dlqDir, ms, stderr); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		defer sink.finish(stderr)
+	}
+	formatRows := func(w io.Writer, rs []core.Result[Out]) {
 		for _, r := range rs {
 			tag := ""
 			if r.Update {
@@ -518,11 +645,26 @@ func runQuery[A any, Out any](defs []window.Definition, f aggregate.Function[flo
 				s, e = rb.unshift(s), rb.unshift(e)
 			}
 			if q.fleet {
-				fmt.Fprintf(out, "q%d\t[%d, %d)\t n=%d\t %v%s\n", r.Query, s, e, r.N, r.Value, tag)
+				fmt.Fprintf(w, "q%d\t[%d, %d)\t n=%d\t %v%s\n", r.Query, s, e, r.N, r.Value, tag)
 			} else {
-				fmt.Fprintf(out, "[%d, %d)\t n=%d\t %v%s\n", s, e, r.N, r.Value, tag)
+				fmt.Fprintf(w, "[%d, %d)\t n=%d\t %v%s\n", s, e, r.N, r.Value, tag)
 			}
 		}
+	}
+	emit := func(rs []core.Result[Out]) {
+		if sink != nil {
+			// Guarded egress writes each result batch straight to the
+			// underlying writer (the sticky bufio error state would defeat
+			// per-batch retry), so a rejected batch is dead-lettered whole.
+			if len(rs) == 0 {
+				return
+			}
+			var buf bytes.Buffer
+			formatRows(&buf, rs)
+			sink.write(buf.Bytes(), len(rs))
+			return
+		}
+		formatRows(out, rs)
 	}
 	snapshot := func() []core.SliceInfo {
 		sl := ag.SliceSnapshot()
@@ -531,6 +673,9 @@ func runQuery[A any, Out any](defs []window.Definition, f aggregate.Function[flo
 			sl[i].End = rb.unshift(sl[i].End)
 		}
 		return sl
+	}
+	if ms != nil {
+		ms.ready.Store(true) // the run loop is up: /healthz turns ready
 	}
 	q.runItems(func(it stream.Item[float64]) {
 		if it.Kind == stream.KindEvent {
@@ -626,6 +771,78 @@ func writeFileAtomic(path string, data []byte) error {
 		return err
 	}
 	return os.Rename(tmp, path)
+}
+
+// rowSink is scotty's guarded egress: every result-row batch passes a
+// retry/circuit-breaker guard (ops defaults: 4 attempts with capped backoff;
+// 5 consecutive failures open the breaker for 100ms) before reaching the
+// output writer. Permanently rejected batches are dead-lettered — counted in
+// scotty_rows_dead_lettered_total and, with -dlq-dir, captured as durable
+// records — so a wedged or flapping consumer degrades the run instead of
+// killing or silently truncating it. Delivery is at-least-once: a batch whose
+// write failed midway may reappear whole in the DLQ.
+type rowSink struct {
+	w        io.Writer
+	stderr   io.Writer
+	guard    ops.Guard
+	brk      *ops.Breaker
+	dlq      *ops.DLQ
+	dead     *obs.Counter
+	deadRows atomic.Int64
+}
+
+func newRowSink(w io.Writer, dlqDir string, ms *metricsServer, stderr io.Writer) (*rowSink, error) {
+	s := &rowSink{w: w, stderr: stderr, brk: ops.NewBreaker(ops.BreakerConfig{})}
+	s.guard = ops.Guard{Breaker: s.brk}
+	if ms != nil {
+		s.dead = ms.reg.Counter("scotty_rows_dead_lettered_total")
+		ms.breaker.Store(s.brk.State) // /healthz reports (and gates on) the live state
+	}
+	if dlqDir != "" {
+		if err := os.MkdirAll(dlqDir, 0o755); err != nil {
+			return nil, fmt.Errorf("dlq: %w", err)
+		}
+		dlq, err := ops.OpenDLQ(filepath.Join(dlqDir, "rows.dlq"))
+		if err != nil {
+			return nil, fmt.Errorf("dlq: %w", err)
+		}
+		s.dlq = dlq
+	}
+	return s, nil
+}
+
+// write offers one rendered batch to the guarded writer; rejection
+// dead-letters all n rows.
+func (s *rowSink) write(rows []byte, n int) {
+	_, err := s.guard.Do(func() error {
+		_, werr := s.w.Write(rows)
+		return werr
+	})
+	if err == nil {
+		return
+	}
+	s.deadRows.Add(int64(n))
+	if s.dead != nil {
+		s.dead.Add(int64(n))
+	}
+	if s.dlq != nil {
+		if aerr := s.dlq.Append(ops.Record{Reason: err.Error(), Count: n, Payload: rows}); aerr != nil {
+			fmt.Fprintf(s.stderr, "dlq: %v\n", aerr)
+		}
+	}
+}
+
+// finish prints the loss summary and releases the DLQ handle.
+func (s *rowSink) finish(stderr io.Writer) {
+	trips, recoveries := s.brk.Counts()
+	if n := s.deadRows.Load(); n > 0 || trips > 0 {
+		fmt.Fprintf(stderr, "breaker: %d rows dead-lettered (trips %d, recoveries %d)\n", n, trips, recoveries)
+	}
+	if s.dlq != nil {
+		if err := s.dlq.Close(); err != nil {
+			fmt.Fprintf(stderr, "dlq: %v\n", err)
+		}
+	}
 }
 
 func demoEvents(demo int, ooo float64) []stream.Event[float64] {

@@ -100,14 +100,16 @@ type barrier struct {
 
 // ckptFile is one partition's share of a checkpoint, as persisted on disk.
 type ckptFile struct {
-	id      int
-	par     int
-	part    int
-	offset  int
-	events  int64
-	wm      int64
-	emitted int64 // results this partition emitted since the stream origin
-	state   []byte
+	id        int
+	par       int
+	part      int
+	offset    int
+	events    int64
+	wm        int64
+	emitted   int64 // results this partition emitted since the stream origin
+	processed int64 // data tuples this partition processed since the origin
+	dead      int64 // data tuples this partition dead-lettered since the origin
+	state     []byte
 }
 
 func ckptPath(dir string, id, part int) string {
@@ -123,6 +125,8 @@ func encodeCkptFile(f ckptFile) []byte {
 	enc.Int64(f.events)
 	enc.Int64(f.wm)
 	enc.Int64(f.emitted)
+	enc.Int64(f.processed)
+	enc.Int64(f.dead)
 	enc.Bytes(f.state)
 	return enc.Seal()
 }
@@ -133,14 +137,16 @@ func decodeCkptFile(data []byte) (ckptFile, error) {
 		return ckptFile{}, err
 	}
 	f := ckptFile{
-		id:      dec.Int(),
-		par:     dec.Int(),
-		part:    dec.Int(),
-		offset:  dec.Int(),
-		events:  dec.Int64(),
-		wm:      dec.Int64(),
-		emitted: dec.Int64(),
-		state:   dec.Bytes(),
+		id:        dec.Int(),
+		par:       dec.Int(),
+		part:      dec.Int(),
+		offset:    dec.Int(),
+		events:    dec.Int64(),
+		wm:        dec.Int64(),
+		emitted:   dec.Int64(),
+		processed: dec.Int64(),
+		dead:      dec.Int64(),
+		state:     dec.Bytes(),
 	}
 	return f, dec.Err()
 }
@@ -159,12 +165,14 @@ func atomicWriteFile(path string, data []byte) error {
 // restorePoint is a complete, validated checkpoint: consistent metadata plus
 // every partition's state.
 type restorePoint struct {
-	id      int
-	offset  int
-	events  int64
-	wm      int64
-	emitted []int64
-	states  [][]byte
+	id        int
+	offset    int
+	events    int64
+	wm        int64
+	emitted   []int64
+	processed []int64 // per-partition processed-tuple counts at the barrier
+	dead      []int64 // per-partition dead-lettered counts at the barrier
+	states    [][]byte
 }
 
 // scanCheckpoints returns every complete, structurally valid checkpoint in
@@ -199,7 +207,11 @@ func scanCheckpoints(dir string, par int) []restorePoint {
 
 // loadCheckpoint reads and validates all partition files of one checkpoint.
 func loadCheckpoint(dir string, id, par int) (restorePoint, bool) {
-	rp := restorePoint{id: id, emitted: make([]int64, par), states: make([][]byte, par)}
+	rp := restorePoint{
+		id: id, emitted: make([]int64, par),
+		processed: make([]int64, par), dead: make([]int64, par),
+		states: make([][]byte, par),
+	}
 	for p := 0; p < par; p++ {
 		data, err := os.ReadFile(ckptPath(dir, id, p))
 		if err != nil {
@@ -215,6 +227,8 @@ func loadCheckpoint(dir string, id, par int) (restorePoint, bool) {
 			return restorePoint{}, false
 		}
 		rp.emitted[p] = f.emitted
+		rp.processed[p] = f.processed
+		rp.dead[p] = f.dead
 		rp.states[p] = f.state
 	}
 	return rp, true

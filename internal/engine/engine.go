@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"scotty/internal/obs"
+	"scotty/internal/ops"
 	"scotty/internal/stream"
 )
 
@@ -108,8 +109,35 @@ type Config[V any] struct {
 	// BatchSize is the number of items shipped per channel message
 	// (network-buffer analog); 0 selects a default of 256.
 	BatchSize int
-	// QueueLen is the channel capacity in batches; 0 selects 8.
+	// QueueLen is each partition edge's capacity in batches (messages);
+	// 0 selects a default of 8. Together with BatchSize it bounds the
+	// resident queue memory per partition at QueueLen x BatchSize items
+	// (defaults: 8 x 256 = 2048). Under Block it sets how far the source
+	// may run ahead before stalling; under the dropping policies it is the
+	// hard buffer bound the policy defends.
 	QueueLen int
+	// Backpressure selects the partition edges' overload policy
+	// (internal/ops). ops.Block — the default — reproduces the classic
+	// blocking channel and is result-identical to the pre-ops engine.
+	// ops.DropOldest / ops.DropNewest bound each queue by evicting or
+	// rejecting whole event batches under overload; ops.Shed drops event
+	// batches probabilistically as occupancy climbs past ShedLowWater.
+	// Every drop is counted in Stats.Dropped and
+	// engine_events_dropped_total — never silent — and watermarks and
+	// checkpoint barriers are never dropped. Non-Block policies are
+	// incompatible with checkpointing (Run returns an error): replay
+	// offsets assume every pre-barrier event reached its partition.
+	Backpressure ops.Policy
+	// ShedLowWater is the queue occupancy fraction (0..1) where ops.Shed
+	// starts dropping; 0 selects 0.5. Ignored by other policies.
+	ShedLowWater float64
+	// ShedSeed seeds the deterministic shedding PRNG (per-partition
+	// streams are decorrelated from it); 0 selects a fixed default.
+	ShedSeed uint64
+	// Sink, when non-nil, makes egress fallible: data batches pass a
+	// retry/circuit-breaker guard before processing, and permanently
+	// rejected batches are dead-lettered. See SinkConfig.
+	Sink *SinkConfig[V]
 	// Clock supplies the timestamps behind Stats.Elapsed; nil selects
 	// time.Now. Tests inject a fake clock to make timing-derived stats
 	// deterministic. With a nil Metrics registry and checkpointing disabled
@@ -146,11 +174,29 @@ func PartitionSpillDir(root string, partition int) string {
 	return fmt.Sprintf("%s%cpart-%03d", root, os.PathSeparator, partition)
 }
 
-// Stats summarizes a pipeline run.
+// Stats summarizes a pipeline run. The disposition counters obey the
+// no-silent-loss invariant
+//
+//	EventsIn == Events + Dropped + DeadLettered
+//
+// exactly, for every backpressure policy, including runs that end in an
+// error and runs that recovered from crashes; AccountingError checks it.
 type Stats struct {
-	// Events is the number of data tuples processed (replayed tuples are
-	// counted once).
+	// EventsIn is the number of data tuples the source routed into
+	// partition queues (replayed tuples are counted once).
+	EventsIn int64
+	// Events is the number of data tuples processed by the partition
+	// operators (replayed tuples are counted once). With the default
+	// Block backpressure and no Sink this equals EventsIn.
 	Events int64
+	// Dropped is the number of data tuples discarded by a dropping
+	// backpressure policy or while draining a dead partition's queue —
+	// always counted, never silent.
+	Dropped int64
+	// DeadLettered is the number of data tuples the sink permanently
+	// rejected; with SinkConfig.DLQDir set they are also captured in the
+	// dead-letter queue.
+	DeadLettered int64
 	// Results is the number of window aggregates emitted across all
 	// partitions (replayed emissions are counted once).
 	Results int64
@@ -162,6 +208,29 @@ type Stats struct {
 	CPUTime time.Duration
 	// Recoveries is the number of supervised restarts the run needed.
 	Recoveries int
+	// MaxQueueLen is the high-water partition queue length (in batches)
+	// observed during the final attempt — always <= the effective QueueLen,
+	// which is how overload tests witness bounded resident queue memory.
+	// Block edges are channels that enforce the bound by construction, so
+	// the field reports the capacity itself there.
+	MaxQueueLen int
+	// BreakerTrips and BreakerRecoveries count the sink circuit breakers'
+	// transitions to open and their successful half-open probes, summed
+	// across partitions and restart attempts. Always zero without a Sink.
+	BreakerTrips      int64
+	BreakerRecoveries int64
+}
+
+// AccountingError verifies the no-silent-loss invariant: every tuple routed
+// into the pipeline must end up processed, dropped (counted), or
+// dead-lettered (counted). It returns nil when the books balance.
+func (s Stats) AccountingError() error {
+	if s.EventsIn == s.Events+s.Dropped+s.DeadLettered {
+		return nil
+	}
+	return fmt.Errorf(
+		"engine: event accounting mismatch: events_in %d != processed %d + dropped %d + dead_lettered %d",
+		s.EventsIn, s.Events, s.Dropped, s.DeadLettered)
 }
 
 // Throughput returns processed events per second of wall-clock time.
@@ -203,8 +272,24 @@ func Run[V any](cfg Config[V], items []stream.Item[V]) (Stats, error) {
 		if ck.Dir == "" {
 			return Stats{}, errors.New("engine: Checkpoint.Interval requires Checkpoint.Dir")
 		}
+		if cfg.Backpressure != ops.Block {
+			// Replay offsets pin "every event before the barrier reached its
+			// partition"; a policy that may drop pre-barrier events would
+			// make recovery silently lossy in an unaccountable way.
+			return Stats{}, fmt.Errorf("engine: Backpressure %v is incompatible with checkpointing (only ops.Block preserves replay alignment)", cfg.Backpressure)
+		}
 		if err := os.MkdirAll(ck.Dir, 0o755); err != nil {
 			return Stats{}, fmt.Errorf("engine: checkpoint dir: %w", err)
+		}
+	}
+	if cfg.Sink != nil {
+		if cfg.Sink.Deliver == nil {
+			return Stats{}, errors.New("engine: Config.Sink requires SinkConfig.Deliver")
+		}
+		if cfg.Sink.DLQDir != "" {
+			if err := os.MkdirAll(cfg.Sink.DLQDir, 0o755); err != nil {
+				return Stats{}, fmt.Errorf("engine: dlq dir: %w", err)
+			}
 		}
 	}
 	if cfg.SpillDir != "" {
@@ -233,13 +318,16 @@ func Run[V any](cfg Config[V], items []stream.Item[V]) (Stats, error) {
 	}
 	var em *engineMetrics
 	if cfg.Metrics != nil {
-		em = newEngineMetrics(cfg.Metrics, par)
+		em = newEngineMetrics(cfg.Metrics, par, cfg.Backpressure.String(), cfg.Sink != nil)
 	}
 
 	// maxEmitted tracks, per partition, the furthest point (in results since
 	// the stream origin) any failed attempt reached — the high-water mark of
 	// external side effects that replay suppression must cover.
 	maxEmitted := make([]int64, par)
+	// Breaker trips/recoveries accumulate across attempts: each attempt
+	// builds fresh breakers, but the run's story is their sum.
+	var trips, recoveries int64
 	for attempt := 0; ; attempt++ {
 		var rp *restorePoint
 		var procs []Processor[V]
@@ -270,7 +358,15 @@ func Run[V any](cfg Config[V], items []stream.Item[V]) (Stats, error) {
 		}
 
 		res := runAttempt(cfg, items, procs, rp, em)
+		trips += res.trips
+		recoveries += res.recoveries
+		if em != nil && em.breakerTrips != nil {
+			em.breakerTrips.Add(res.trips)
+			em.breakerRecoveries.Add(res.recoveries)
+		}
 		res.stats.Recoveries = attempt
+		res.stats.BreakerTrips = trips
+		res.stats.BreakerRecoveries = recoveries
 		if res.fatal != nil {
 			return res.stats, res.fatal
 		}
@@ -336,10 +432,12 @@ type message[V any] struct {
 
 // attemptResult is one processing attempt's outcome for the supervisor.
 type attemptResult struct {
-	stats   Stats
-	perr    *PartitionError // restartable partition failure
-	fatal   error           // checkpoint I/O or codec failure: not restartable
-	emitted []int64         // per-partition results since origin, at exit or crash
+	stats      Stats
+	perr       *PartitionError // restartable partition failure
+	fatal      error           // checkpoint I/O or codec failure: not restartable
+	emitted    []int64         // per-partition results since origin, at exit or crash
+	trips      int64           // breaker trips during this attempt
+	recoveries int64           // breaker recoveries during this attempt
 }
 
 // runAttempt executes one full pass of the pipeline: restored processors in,
@@ -365,14 +463,11 @@ func runAttempt[V any](cfg Config[V], items []stream.Item[V], procs []Processor[
 		writeFile = atomicWriteFile
 	}
 
-	chans := make([]chan message[V], par)
-	for i := range chans {
-		chans[i] = make(chan message[V], queue)
-	}
-	// Batch buffers cycle source → channel → worker → pool → source: each
+	// Batch buffers cycle source → edge → worker → pool → source: each
 	// buffer is owned by exactly one goroutine at a time, so the worker can
 	// hand it back once the batch is consumed instead of the source
-	// allocating a fresh backing array per flush.
+	// allocating a fresh backing array per flush. Dropped batches hand their
+	// buffer back from the edge's OnDrop hook.
 	bufPool := sync.Pool{New: func() any {
 		s := make([]stream.Item[V], 0, batch)
 		return &s
@@ -385,9 +480,67 @@ func runAttempt[V any](cfg Config[V], items []stream.Item[V], procs []Processor[
 		bufPool.Put(&b)
 	}
 
+	// Disposition counters, in tuples. srcDropped is written only by the
+	// source goroutine (edge OnDrop runs on the dropping sender); the w*
+	// slices are written only by each partition's worker. wg.Wait orders all
+	// of them before the final sum, so plain int64s suffice under -race.
+	srcDropped := make([]int64, par)
+	wProcessed := make([]int64, par)
+	wDropped := make([]int64, par)
+	wDead := make([]int64, par)
+	if rp != nil {
+		copy(wProcessed, rp.processed)
+		copy(wDead, rp.dead)
+	}
+
+	// Partition edges: Block edges are plain channels (the classic hot
+	// path); dropping policies get a bounded ring that may discard whole
+	// event batches, each counted through OnDrop. Watermarks and barriers
+	// travel via SendMust and are never droppable.
+	edges := make([]*ops.Edge[message[V]], par)
+	for i := range edges {
+		p := i
+		edges[i] = ops.NewEdge(ops.EdgeConfig[message[V]]{
+			Capacity:     queue,
+			Policy:       cfg.Backpressure,
+			ShedLowWater: cfg.ShedLowWater,
+			// Decorrelate the per-partition shed streams; NewEdge maps a
+			// zero seed to its fixed default.
+			Seed: cfg.ShedSeed + uint64(p)*0x9E3779B9,
+			CanDrop: func(m message[V]) bool {
+				return m.barrier == nil && len(m.items) > 0 && m.items[0].Kind == stream.KindEvent
+			},
+			OnDrop: func(m message[V]) {
+				k := int64(len(m.items))
+				srcDropped[p] += k
+				if em != nil {
+					em.dropped[p].Add(k)
+				}
+				putBuf(m.items)
+			},
+		})
+	}
+
+	var sinks []*sinkRuntime[V]
+	if cfg.Sink != nil {
+		sinks = make([]*sinkRuntime[V], par)
+		for p := range sinks {
+			sr, err := newSinkRuntime(cfg.Sink, p, em)
+			if err != nil {
+				for _, s := range sinks[:p] {
+					//lint:ignore errflow unwinding a failed setup: the DLQ file has seen no writes yet
+					_, _, _ = s.close()
+				}
+				return attemptResult{fatal: err, emitted: make([]int64, par)}
+			}
+			sinks[p] = sr
+		}
+	}
+
 	// failed flips on the first worker death; the source checks it per item
 	// and aborts dispatch instead of feeding a dead pipeline. Dead workers
-	// keep draining their queue so the source never blocks on a full channel.
+	// keep draining their queue (counting the discards) so the source never
+	// blocks on a full edge.
 	var failed atomic.Bool
 	wErr := make([]*PartitionError, par)
 	wFatal := make([]error, par)
@@ -406,12 +559,25 @@ func runAttempt[V any](cfg Config[V], items []stream.Item[V], procs []Processor[
 			bp, _ := proc.(BatchProcessor[V])
 			sn, _ := proc.(Snapshottable)
 			reporter, _ := proc.(WindowEndReporter)
+			var sink *sinkRuntime[V]
+			if sinks != nil {
+				sink = sinks[p]
+			}
 			observe := func(k int) {
 				if em != nil && k > 0 && reporter != nil {
 					nowMS := clock().UnixMilli()
 					for _, end := range reporter.LastWindowEnds() {
 						em.latency.Observe(float64(nowMS - end))
 					}
+				}
+			}
+			// drain empties the queue of this (now dead) partition so the
+			// source never blocks on it, counting every discarded tuple.
+			drain := func() {
+				d := drainEdge(edges[p], putBuf)
+				wDropped[p] += d
+				if em != nil {
+					em.drained[p].Add(d)
 				}
 			}
 			// n counts results since the stream origin: restored runs resume
@@ -426,11 +592,38 @@ func runAttempt[V any](cfg Config[V], items []stream.Item[V], procs []Processor[
 					// supervisor.
 					wErr[p] = &PartitionError{Partition: p, Cause: r, Stack: debug.Stack()}
 					failed.Store(true)
-					drainMessages(chans[p], putBuf)
+					drain()
 				}
 			}()
-			for m := range chans[p] {
+			for {
+				m, ok := edges[p].Recv()
+				if !ok {
+					break
+				}
 				if len(m.items) > 0 {
+					if sink != nil && m.items[0].Kind == stream.KindEvent {
+						// Fallible egress gate: a permanently rejected batch
+						// is dead-lettered and withheld from the operator.
+						if err := sink.offer(m.items); err != nil {
+							k := int64(len(m.items))
+							wDead[p] += k
+							if em != nil {
+								em.deadLettered[p].Add(k)
+							}
+							ferr := sink.deadLetter(m.items, err)
+							putBuf(m.items)
+							if ferr != nil {
+								wFatal[p] = ferr
+								failed.Store(true)
+								drain()
+								return
+							}
+							continue
+						}
+					}
+					if m.items[0].Kind == stream.KindEvent {
+						wProcessed[p] += int64(len(m.items))
+					}
 					deliverBatch(proc, bp, m.items, &n, observe)
 				}
 				if m.items != nil {
@@ -445,18 +638,20 @@ func runAttempt[V any](cfg Config[V], items []stream.Item[V], procs []Processor[
 					if err != nil {
 						wFatal[p] = fmt.Errorf("engine: checkpoint %d partition %d: %w", m.barrier.id, p, err)
 						failed.Store(true)
-						drainMessages(chans[p], putBuf)
+						drain()
 						return
 					}
 					data := encodeCkptFile(ckptFile{
 						id: m.barrier.id, par: par, part: p,
 						offset: m.barrier.offset, events: m.barrier.events,
-						wm: m.barrier.wm, emitted: n, state: state,
+						wm: m.barrier.wm, emitted: n,
+						processed: wProcessed[p], dead: wDead[p],
+						state: state,
 					})
 					if err := writeFile(ckptPath(ck.Dir, m.barrier.id, p), data); err != nil {
 						wFatal[p] = fmt.Errorf("engine: checkpoint %d partition %d: %w", m.barrier.id, p, err)
 						failed.Store(true)
-						drainMessages(chans[p], putBuf)
+						drain()
 						return
 					}
 					if em != nil {
@@ -483,20 +678,34 @@ func runAttempt[V any](cfg Config[V], items []stream.Item[V], procs []Processor[
 	// checkpoint's event count, so round-robin routing replays
 	// deterministically.
 	buffers := make([][]stream.Item[V], par)
-	send := func(p int, b []stream.Item[V]) {
+	// send ships one batch; data batches go through the policy path (Send,
+	// may drop), watermark batches through the control path (SendMust,
+	// never dropped). The stall counter measures both: it is the time the
+	// source spent inside the edge, which under Block is exactly the old
+	// blocked-channel-send time.
+	send := func(p int, b []stream.Item[V], data bool) {
+		m := message[V]{items: b}
 		if em == nil {
-			chans[p] <- message[V]{items: b}
+			if data {
+				edges[p].Send(m)
+			} else {
+				edges[p].SendMust(m)
+			}
 			return
 		}
 		t0 := clock()
-		chans[p] <- message[V]{items: b}
+		if data {
+			edges[p].Send(m)
+		} else {
+			edges[p].SendMust(m)
+		}
 		em.stallNS[p].Add(clock().Sub(t0).Nanoseconds())
 		em.batches[p].Inc()
 		em.occupancy.Observe(float64(len(b)))
 	}
 	flush := func(p int) {
 		if len(buffers[p]) > 0 {
-			send(p, buffers[p])
+			send(p, buffers[p], true)
 			buffers[p] = getBuf()
 		}
 	}
@@ -523,7 +732,7 @@ func runAttempt[V any](cfg Config[V], items []stream.Item[V], procs []Processor[
 		if it.Kind == stream.KindWatermark {
 			for p := 0; p < par; p++ {
 				flush(p)
-				send(p, append(getBuf(), it))
+				send(p, append(getBuf(), it), false)
 			}
 			if !ckOn {
 				continue
@@ -549,10 +758,10 @@ func runAttempt[V any](cfg Config[V], items []stream.Item[V], procs []Processor[
 				switch action {
 				case BarrierDrop:
 				case BarrierDuplicate:
-					chans[p] <- message[V]{barrier: &b}
-					chans[p] <- message[V]{barrier: &b}
+					edges[p].SendMust(message[V]{barrier: &b})
+					edges[p].SendMust(message[V]{barrier: &b})
 				default:
-					chans[p] <- message[V]{barrier: &b}
+					edges[p].SendMust(message[V]{barrier: &b})
 				}
 			}
 			tracker.gc(ck.Dir)
@@ -579,7 +788,7 @@ func runAttempt[V any](cfg Config[V], items []stream.Item[V], procs []Processor[
 	}
 	for p := 0; p < par; p++ {
 		flush(p)
-		close(chans[p])
+		edges[p].Close()
 	}
 	wg.Wait()
 	if ckOn {
@@ -591,11 +800,35 @@ func runAttempt[V any](cfg Config[V], items []stream.Item[V], procs []Processor[
 	for _, n := range emitted {
 		results += n
 	}
+	var processed, dropped, dead int64
+	for p := 0; p < par; p++ {
+		processed += wProcessed[p]
+		dropped += srcDropped[p] + wDropped[p]
+		dead += wDead[p]
+	}
+	maxQueue := 0
+	for _, e := range edges {
+		if m := e.MaxLen(); m > maxQueue {
+			maxQueue = m
+		}
+	}
 	res.stats = Stats{
-		Events:  events,
-		Results: results,
-		Elapsed: clock().Sub(start),
-		CPUTime: processCPUTime() - startCPU,
+		EventsIn:     events,
+		Events:       processed,
+		Dropped:      dropped,
+		DeadLettered: dead,
+		Results:      results,
+		Elapsed:      clock().Sub(start),
+		CPUTime:      processCPUTime() - startCPU,
+		MaxQueueLen:  maxQueue,
+	}
+	for _, s := range sinks {
+		t, r, err := s.close()
+		res.trips += t
+		res.recoveries += r
+		if err != nil && res.fatal == nil {
+			res.fatal = fmt.Errorf("engine: dlq close: %w", err)
+		}
 	}
 	for p := 0; p < par; p++ {
 		if wFatal[p] != nil && res.fatal == nil {
@@ -605,13 +838,29 @@ func runAttempt[V any](cfg Config[V], items []stream.Item[V], procs []Processor[
 			res.perr = wErr[p]
 		}
 	}
+	if res.perr == nil && res.fatal == nil {
+		// A clean attempt must balance its books exactly; an imbalance is a
+		// counting bug, surfaced loudly instead of shipped silently.
+		if err := res.stats.AccountingError(); err != nil {
+			res.fatal = err
+		}
+	}
 	return res
 }
 
-// drainMessages consumes the remaining queue of a dead partition so the
-// source never blocks on it; batch buffers still return to the pool.
-func drainMessages[V any](ch <-chan message[V], putBuf func([]stream.Item[V])) {
-	for m := range ch {
+// drainEdge consumes the remaining queue of a dead partition so the source
+// never blocks on it, returning the number of data tuples discarded; batch
+// buffers still return to the pool.
+func drainEdge[V any](e *ops.Edge[message[V]], putBuf func([]stream.Item[V])) int64 {
+	var n int64
+	for {
+		m, ok := e.Recv()
+		if !ok {
+			return n
+		}
+		if len(m.items) > 0 && m.items[0].Kind == stream.KindEvent {
+			n += int64(len(m.items))
+		}
 		if m.items != nil {
 			putBuf(m.items)
 		}

@@ -30,14 +30,23 @@ type engineMetrics struct {
 	results    []*obs.Counter // window results emitted by each partition
 	batches    []*obs.Counter // channel batches shipped to each partition
 	stallNS    []*obs.Counter // time the source spent blocked sending to each partition
+	dropped    []*obs.Counter // tuples dropped by the edge policy (reason = policy name)
+	drained    []*obs.Counter // tuples discarded draining a dead partition (reason = "drained")
 	occupancy  *obs.Histogram // items per shipped batch (watermark batches count as 1)
 	latency    *obs.Histogram // end-to-end result latency in ms (see WindowEndReporter)
 	recoveries *obs.Counter   // supervised restarts after partition failures
 	ckptBytes  *obs.Histogram // size of each written partition snapshot file
 	ckptDurMS  *obs.Histogram // wall time of each snapshot (serialize + write)
+
+	// Sink-guard series; nil unless Config.Sink is set.
+	deadLettered      []*obs.Counter // tuples the sink permanently rejected, per partition
+	breakerState      []*obs.Gauge   // ops.State per partition (0 closed, 1 open, 2 half-open)
+	breakerTrips      *obs.Counter   // breaker transitions to open, all partitions and attempts
+	breakerRecoveries *obs.Counter   // successful half-open probes, all partitions and attempts
+	retryAttempts     *obs.Histogram // sink delivery attempts per batch (1 = first try succeeded)
 }
 
-func newEngineMetrics(r *obs.Registry, par int) *engineMetrics {
+func newEngineMetrics(r *obs.Registry, par int, policy string, sink bool) *engineMetrics {
 	m := &engineMetrics{
 		occupancy:  r.Histogram("engine_batch_occupancy", obs.ExponentialBounds(1, 2, 11)),
 		latency:    r.Histogram("engine_latency_ms", nil),
@@ -45,12 +54,23 @@ func newEngineMetrics(r *obs.Registry, par int) *engineMetrics {
 		ckptBytes:  r.Histogram("checkpoint_bytes", obs.ExponentialBounds(64, 4, 12)),
 		ckptDurMS:  r.Histogram("checkpoint_duration_ms", nil),
 	}
+	if sink {
+		m.breakerTrips = r.Counter("engine_breaker_trips_total")
+		m.breakerRecoveries = r.Counter("engine_breaker_recoveries_total")
+		m.retryAttempts = r.Histogram("engine_sink_retry_attempts", obs.LinearBounds(1, 1, 8))
+	}
 	for p := 0; p < par; p++ {
 		l := obs.L("partition", strconv.Itoa(p))
 		m.events = append(m.events, r.Counter("engine_events_total", l))
 		m.results = append(m.results, r.Counter("engine_results_total", l))
 		m.batches = append(m.batches, r.Counter("engine_batches_total", l))
 		m.stallNS = append(m.stallNS, r.Counter("engine_queue_stall_ns_total", l))
+		m.dropped = append(m.dropped, r.Counter("engine_events_dropped_total", l, obs.L("reason", policy)))
+		m.drained = append(m.drained, r.Counter("engine_events_dropped_total", l, obs.L("reason", "drained")))
+		if sink {
+			m.deadLettered = append(m.deadLettered, r.Counter("engine_events_dead_lettered_total", l))
+			m.breakerState = append(m.breakerState, r.Gauge("engine_breaker_state", l))
+		}
 	}
 	return m
 }

@@ -1,0 +1,312 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scotty/internal/obs"
+	"scotty/internal/ops"
+	"scotty/internal/stream"
+)
+
+// counterValue reads one labeled counter from the registry.
+func counterValue(r *obs.Registry, name string, labels ...obs.Label) int64 {
+	return r.Counter(name, labels...).Value()
+}
+
+// TestDrainAccountingOnPartitionDeath is the silent-loss regression test:
+// when a partition dies mid-run, the events discarded while draining its
+// queue must show up in Stats.Dropped and engine_events_dropped_total, and
+// the no-silent-loss invariant must still balance.
+func TestDrainAccountingOnPartitionDeath(t *testing.T) {
+	reg := obs.NewRegistry()
+	items := makeItems(20_000, 8)
+	stats, err := Run(Config[stream.Tuple]{
+		Parallelism: 2,
+		BatchSize:   32,
+		QueueLen:    4,
+		Metrics:     reg,
+		NewProcessor: func(p int) Processor[stream.Tuple] {
+			return ProcessorFunc[stream.Tuple](func(it stream.Item[stream.Tuple]) int {
+				if p == 1 && it.Kind == stream.KindEvent {
+					panic("partition 1 dies on its first event")
+				}
+				return 0
+			})
+		},
+	}, items)
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v, want RunError", err)
+	}
+	if stats.Dropped == 0 {
+		t.Fatal("partition death drained events without counting them")
+	}
+	if aerr := stats.AccountingError(); aerr != nil {
+		t.Fatalf("invariant broken on failed run: %v (stats %+v)", aerr, stats)
+	}
+	drained := counterValue(reg, "engine_events_dropped_total",
+		obs.L("partition", "1"), obs.L("reason", "drained"))
+	if drained == 0 {
+		t.Fatal("engine_events_dropped_total{partition=1,reason=drained} stayed zero")
+	}
+	// The worker died mid-batch: only tuples in delivered batches count as
+	// processed, everything else queued for p1 must be in the drain counter.
+	if stats.Events+stats.Dropped != stats.EventsIn {
+		t.Fatalf("events %d + dropped %d != in %d", stats.Events, stats.Dropped, stats.EventsIn)
+	}
+}
+
+// TestQueueStallMetricSlowVsFastSink guards engine_queue_stall_ns_total: a
+// slow consumer must produce a nonzero stall counter, a fast consumer must
+// produce exactly zero. A fake clock advanced only inside the processor
+// makes both assertions exact.
+func TestQueueStallMetricSlowVsFastSink(t *testing.T) {
+	run := func(slow bool) int64 {
+		reg := obs.NewRegistry()
+		var now atomic.Int64
+		mustRun(t, Config[stream.Tuple]{
+			Parallelism: 1,
+			BatchSize:   8,
+			QueueLen:    1,
+			Metrics:     reg,
+			Clock:       func() time.Time { return time.Unix(0, now.Load()) },
+			NewProcessor: func(p int) Processor[stream.Tuple] {
+				return BatchProcessorFunc[stream.Tuple](func(items []stream.Item[stream.Tuple]) int {
+					if slow {
+						// The only clock advances happen while the worker
+						// holds a batch — i.e. while the source may be
+						// blocked on the full queue.
+						now.Add(int64(time.Millisecond))
+					}
+					return 0
+				})
+			},
+		}, makeItems(2_000, 4))
+		return counterValue(reg, "engine_queue_stall_ns_total", obs.L("partition", "0"))
+	}
+	if got := run(true); got == 0 {
+		t.Fatal("slow sink produced zero engine_queue_stall_ns_total")
+	}
+	if got := run(false); got != 0 {
+		t.Fatalf("fast sink produced nonzero engine_queue_stall_ns_total: %d", got)
+	}
+}
+
+// TestBackpressurePolicyAccounting runs a deliberately slow consumer under
+// every policy: Block must lose nothing, the dropping policies must drop
+// (and count) under overload, and the invariant must balance exactly.
+func TestBackpressurePolicyAccounting(t *testing.T) {
+	for _, pol := range []ops.Policy{ops.Block, ops.DropOldest, ops.DropNewest, ops.Shed} {
+		t.Run(pol.String(), func(t *testing.T) {
+			reg := obs.NewRegistry()
+			stats := mustRun(t, Config[stream.Tuple]{
+				Parallelism:  2,
+				BatchSize:    32,
+				QueueLen:     2,
+				Backpressure: pol,
+				Metrics:      reg,
+				NewProcessor: func(p int) Processor[stream.Tuple] {
+					return BatchProcessorFunc[stream.Tuple](func(items []stream.Item[stream.Tuple]) int {
+						time.Sleep(100 * time.Microsecond)
+						return 0
+					})
+				},
+			}, makeItems(20_000, 8))
+			if err := stats.AccountingError(); err != nil {
+				t.Fatal(err)
+			}
+			if stats.EventsIn != 20_000 {
+				t.Fatalf("EventsIn = %d, want 20000", stats.EventsIn)
+			}
+			if pol == ops.Block {
+				if stats.Dropped != 0 || stats.Events != stats.EventsIn {
+					t.Fatalf("Block dropped events: %+v", stats)
+				}
+				return
+			}
+			if stats.Dropped == 0 {
+				t.Fatalf("%v under overload dropped nothing", pol)
+			}
+			var metric int64
+			for p := 0; p < 2; p++ {
+				metric += counterValue(reg, "engine_events_dropped_total",
+					obs.L("partition", fmt.Sprint(p)), obs.L("reason", pol.String()))
+			}
+			if metric != stats.Dropped {
+				t.Fatalf("metric says %d dropped, stats say %d", metric, stats.Dropped)
+			}
+		})
+	}
+}
+
+// TestSinkGuardRetryBreakerDLQ drives a sink through a deterministic failure
+// window: retries burn, the breaker trips, fast-fails dead-letter batches
+// into the DLQ, and the breaker recovers once the sink heals. Dispositions
+// must balance and the DLQ must hold exactly the dead-lettered tuples.
+func TestSinkGuardRetryBreakerDLQ(t *testing.T) {
+	dlqDir := t.TempDir()
+	reg := obs.NewRegistry()
+	var attempts atomic.Int64
+	sinkErr := errors.New("downstream unavailable")
+	stats := mustRun(t, Config[stream.Tuple]{
+		Parallelism: 1,
+		BatchSize:   32,
+		Metrics:     reg,
+		Sink: &SinkConfig[stream.Tuple]{
+			Deliver: func(p int, items []stream.Item[stream.Tuple]) error {
+				k := attempts.Add(1)
+				if k >= 40 && k < 44 {
+					return sinkErr
+				}
+				return nil
+			},
+			Retry:   ops.RetryConfig{MaxAttempts: 2, Sleep: func(time.Duration) {}},
+			Breaker: ops.BreakerConfig{Threshold: 3, Cooldown: 300 * time.Microsecond},
+			DLQDir:  dlqDir,
+			// Pace the open-breaker fast-fail path like a real DLQ append
+			// would, so the run outlives the cooldown windows on any machine.
+			Encode: func(items []stream.Item[stream.Tuple]) ([]byte, error) {
+				time.Sleep(50 * time.Microsecond)
+				return []byte(fmt.Sprintf("batch of %d", len(items))), nil
+			},
+		},
+		NewProcessor: func(p int) Processor[stream.Tuple] {
+			return ProcessorFunc[stream.Tuple](func(it stream.Item[stream.Tuple]) int { return 0 })
+		},
+	}, makeItems(30_000, 4))
+
+	if err := stats.AccountingError(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.DeadLettered == 0 {
+		t.Fatal("failure window dead-lettered nothing")
+	}
+	if stats.Events == 0 || stats.Events+stats.DeadLettered != stats.EventsIn {
+		t.Fatalf("dispositions off: %+v", stats)
+	}
+	if stats.BreakerTrips == 0 || stats.BreakerRecoveries == 0 {
+		t.Fatalf("breaker did not trip and recover: trips=%d recoveries=%d",
+			stats.BreakerTrips, stats.BreakerRecoveries)
+	}
+	records, err := ops.ReadDLQ(DLQFile(dlqDir, 0))
+	if err != nil {
+		t.Fatalf("ReadDLQ: %v", err)
+	}
+	var dlqEvents int64
+	for _, r := range records {
+		if r.Partition != 0 || r.Reason == "" {
+			t.Fatalf("bad DLQ record: %+v", r)
+		}
+		dlqEvents += int64(r.Count)
+	}
+	if dlqEvents != stats.DeadLettered {
+		t.Fatalf("DLQ holds %d tuples, stats dead-lettered %d", dlqEvents, stats.DeadLettered)
+	}
+	if counterValue(reg, "engine_events_dead_lettered_total", obs.L("partition", "0")) != stats.DeadLettered {
+		t.Fatal("engine_events_dead_lettered_total disagrees with Stats.DeadLettered")
+	}
+	if counterValue(reg, "engine_breaker_trips_total") != stats.BreakerTrips ||
+		counterValue(reg, "engine_breaker_recoveries_total") != stats.BreakerRecoveries {
+		t.Fatal("breaker metrics disagree with Stats")
+	}
+	if reg.Histogram("engine_sink_retry_attempts", obs.LinearBounds(1, 1, 8)).Count() == 0 {
+		t.Fatal("engine_sink_retry_attempts recorded no samples")
+	}
+}
+
+// TestSinkAlwaysHealthyIsLossless: with a sink that never fails, the guard
+// must be invisible — everything processed, nothing dead-lettered.
+func TestSinkAlwaysHealthyIsLossless(t *testing.T) {
+	stats := mustRun(t, Config[stream.Tuple]{
+		Parallelism: 2,
+		Sink: &SinkConfig[stream.Tuple]{
+			Deliver: func(p int, items []stream.Item[stream.Tuple]) error { return nil },
+		},
+		NewProcessor: func(p int) Processor[stream.Tuple] {
+			return ProcessorFunc[stream.Tuple](func(it stream.Item[stream.Tuple]) int { return 0 })
+		},
+	}, makeItems(10_000, 8))
+	if err := stats.AccountingError(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Events != 10_000 || stats.DeadLettered != 0 || stats.Dropped != 0 {
+		t.Fatalf("healthy sink perturbed dispositions: %+v", stats)
+	}
+	if stats.BreakerTrips != 0 || stats.BreakerRecoveries != 0 {
+		t.Fatalf("healthy sink tripped the breaker: %+v", stats)
+	}
+}
+
+// TestNonBlockBackpressureRejectsCheckpointing: dropping policies break the
+// replay-offset contract, so the config must be refused loudly.
+func TestNonBlockBackpressureRejectsCheckpointing(t *testing.T) {
+	_, err := Run(Config[stream.Tuple]{
+		Parallelism:  1,
+		Backpressure: ops.DropOldest,
+		NewProcessor: func(p int) Processor[stream.Tuple] {
+			return ProcessorFunc[stream.Tuple](func(it stream.Item[stream.Tuple]) int { return 0 })
+		},
+		Checkpoint: CheckpointConfig{Interval: 1000, Dir: t.TempDir()},
+	}, makeItems(100, 2))
+	if err == nil {
+		t.Fatal("non-Block backpressure with checkpointing was accepted")
+	}
+}
+
+// TestSinkRequiresDeliver: a Sink without Deliver is a config error.
+func TestSinkRequiresDeliver(t *testing.T) {
+	_, err := Run(Config[stream.Tuple]{
+		Sink: &SinkConfig[stream.Tuple]{},
+		NewProcessor: func(p int) Processor[stream.Tuple] {
+			return ProcessorFunc[stream.Tuple](func(it stream.Item[stream.Tuple]) int { return 0 })
+		},
+	}, makeItems(10, 2))
+	if err == nil {
+		t.Fatal("Sink without Deliver was accepted")
+	}
+}
+
+// TestDispositionCountersSurviveRecovery: a crash-recovery run with a sink
+// that deterministically rejects one event-time range must still balance its
+// books — the processed and dead-lettered counters are restored from the
+// checkpoint, not reset.
+func TestDispositionCountersSurviveRecovery(t *testing.T) {
+	dir := t.TempDir()
+	log := &resultLog{}
+	crash := newCrashPlan(2, map[int]int64{1: 2600})
+	sinkErr := errors.New("rejecting the 4000..6000 range")
+	cfg := recoveryConfig(dir, 2, log, crash)
+	cfg.BatchSize = 64
+	cfg.Sink = &SinkConfig[stream.Tuple]{
+		// Content-determined failure: replayed batches get the same verdict
+		// on every attempt, so dispositions are comparable across recovery.
+		Deliver: func(p int, items []stream.Item[stream.Tuple]) error {
+			if ts := items[0].Event.Time; ts >= 4000 && ts < 6000 {
+				return sinkErr
+			}
+			return nil
+		},
+		Retry:   ops.RetryConfig{MaxAttempts: 1},
+		Breaker: ops.BreakerConfig{Threshold: 1 << 30},
+	}
+	stats, err := Run(cfg, makeItems(10_000, 8))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if stats.Recoveries == 0 {
+		t.Fatal("crash plan never fired")
+	}
+	if err := stats.AccountingError(); err != nil {
+		t.Fatalf("invariant broken across recovery: %v (stats %+v)", err, stats)
+	}
+	if stats.DeadLettered == 0 {
+		t.Fatal("rejection range dead-lettered nothing")
+	}
+	if stats.EventsIn != 10_000 {
+		t.Fatalf("EventsIn = %d, want 10000", stats.EventsIn)
+	}
+}

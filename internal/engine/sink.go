@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+
+	"scotty/internal/ops"
+	"scotty/internal/stream"
+)
+
+// SinkConfig makes the engine's egress fallible and guarded. When set, every
+// data batch is offered to Deliver — wrapped in retry-with-capped-backoff and
+// a per-partition circuit breaker — before the partition operator processes
+// it. A batch Deliver permanently rejects (retry budget exhausted, or the
+// breaker open and failing fast) is dead-lettered: counted in
+// Stats.DeadLettered, appended to the partition's DLQ file when DLQDir is
+// set, and withheld from the operator — so a tuple is processed or
+// dead-lettered, never both, and the no-silent-loss invariant stays exact.
+// Watermarks and checkpoint barriers bypass the sink entirely.
+type SinkConfig[V any] struct {
+	// Deliver pushes one partition's data batch to the external system.
+	// It is called from the partition worker goroutine; an error marks the
+	// attempt failed and engages the retry/breaker protocol. Required.
+	Deliver func(partition int, items []stream.Item[V]) error
+	// Retry is the per-batch retry budget around Deliver (defaults: 4
+	// attempts, 1ms initial backoff doubling to a 100ms cap).
+	Retry ops.RetryConfig
+	// Breaker configures the per-partition circuit breaker guarding
+	// Deliver (defaults: 5 consecutive failures trip it, 100ms cooldown).
+	Breaker ops.BreakerConfig
+	// DLQDir, when non-empty, is the directory receiving one append-only
+	// dead-letter file per partition (dlq-p<NNN>.dlq; see ops.ReadDLQ).
+	// Appends are at-least-once across crash recoveries. A DLQ write
+	// failure is fatal to the run — the alternative is silent loss.
+	DLQDir string
+	// Encode serializes a rejected batch into the DLQ record payload;
+	// nil selects JSON encoding of the items.
+	Encode func(items []stream.Item[V]) ([]byte, error)
+}
+
+// DLQFile names one partition's dead-letter file under SinkConfig.DLQDir.
+// External tooling (and the chaos overload harness) reads it back with
+// ops.ReadDLQ.
+func DLQFile(dir string, partition int) string {
+	return filepath.Join(dir, fmt.Sprintf("dlq-p%03d.dlq", partition))
+}
+
+// sinkRuntime is one partition's instantiated sink guard: breaker + retry +
+// optional DLQ handle. It lives for one attempt and is only touched by that
+// partition's worker goroutine.
+type sinkRuntime[V any] struct {
+	p       int
+	deliver func(partition int, items []stream.Item[V]) error
+	guard   ops.Guard
+	breaker *ops.Breaker
+	dlq     *ops.DLQ
+	encode  func(items []stream.Item[V]) ([]byte, error)
+	em      *engineMetrics
+}
+
+func newSinkRuntime[V any](cfg *SinkConfig[V], p int, em *engineMetrics) (*sinkRuntime[V], error) {
+	s := &sinkRuntime[V]{
+		p:       p,
+		deliver: cfg.Deliver,
+		breaker: ops.NewBreaker(cfg.Breaker),
+		encode:  cfg.Encode,
+		em:      em,
+	}
+	s.guard = ops.Guard{Retry: cfg.Retry, Breaker: s.breaker}
+	if s.encode == nil {
+		s.encode = func(items []stream.Item[V]) ([]byte, error) { return json.Marshal(items) }
+	}
+	if cfg.DLQDir != "" {
+		dlq, err := ops.OpenDLQ(DLQFile(cfg.DLQDir, p))
+		if err != nil {
+			return nil, fmt.Errorf("engine: partition %d: %w", p, err)
+		}
+		s.dlq = dlq
+	}
+	return s, nil
+}
+
+// offer runs one batch through the guarded sink; a non-nil error means the
+// batch was permanently rejected and must be dead-lettered by the caller.
+func (s *sinkRuntime[V]) offer(items []stream.Item[V]) error {
+	attempts, err := s.guard.Do(func() error { return s.deliver(s.p, items) })
+	if s.em != nil {
+		s.em.retryAttempts.Observe(float64(attempts))
+		s.em.breakerState[s.p].Set(int64(s.breaker.State()))
+	}
+	return err
+}
+
+// deadLetter records a permanently rejected batch. Only a DLQ encode/write
+// failure is returned — and it is fatal to the attempt, because losing a
+// batch that was promised durable capture would be silent loss.
+func (s *sinkRuntime[V]) deadLetter(items []stream.Item[V], cause error) error {
+	if s.dlq == nil {
+		return nil
+	}
+	payload, err := s.encode(items)
+	if err != nil {
+		return fmt.Errorf("engine: dead-letter encode partition %d: %w", s.p, err)
+	}
+	rec := ops.Record{Partition: s.p, Reason: cause.Error(), Count: len(items), Payload: payload}
+	if err := s.dlq.Append(rec); err != nil {
+		return fmt.Errorf("engine: dead-letter append partition %d: %w", s.p, err)
+	}
+	return nil
+}
+
+// close releases the DLQ handle and returns the breaker's lifetime counts.
+func (s *sinkRuntime[V]) close() (trips, recoveries int64, err error) {
+	trips, recoveries = s.breaker.Counts()
+	if s.dlq != nil {
+		err = s.dlq.Close()
+	}
+	return trips, recoveries, err
+}

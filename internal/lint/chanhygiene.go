@@ -6,9 +6,9 @@ import (
 	"strings"
 )
 
-// ChanHygiene audits the concurrency-bearing dataflow code — package
-// internal/engine and the baselines' engine.go — for the two leak patterns
-// that bite tuple-at-a-time pipelines:
+// ChanHygiene audits the concurrency-bearing dataflow code — packages
+// internal/engine and internal/ops, and the baselines' engine.go — for the
+// two leak patterns that bite tuple-at-a-time pipelines:
 //
 //  1. Goroutines launched with no completion accounting. A worker the
 //     pipeline cannot wait for outlives Run() and races the next benchmark
@@ -26,7 +26,9 @@ var ChanHygiene = &Analyzer{
 	Name: "chanhygiene",
 	Doc:  "flags unaccounted goroutines and send-but-never-close channels in the dataflow engines",
 	Applies: func(pkg *Package) bool {
-		return PkgPathHasSuffix(pkg, "internal/engine") || PkgPathHasSuffix(pkg, "internal/baselines")
+		return PkgPathHasSuffix(pkg, "internal/engine") ||
+			PkgPathHasSuffix(pkg, "internal/ops") ||
+			PkgPathHasSuffix(pkg, "internal/baselines")
 	},
 	Run: runChanHygiene,
 }

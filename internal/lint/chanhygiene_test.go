@@ -120,3 +120,57 @@ func alsoFires(work func()) { go work() }
 		t.Errorf("finding should be in engine.go, got %q", got[0])
 	}
 }
+
+// opsPkg wraps one source file as a fixture internal/ops package, the
+// operator-edge layer the analyzer also audits.
+func opsPkg(src string) map[string]map[string]string {
+	return map[string]map[string]string{"fixture/internal/ops": {"edge.go": src}}
+}
+
+func TestChanHygieneFlagsUnaccountedGoroutineInOps(t *testing.T) {
+	got := findingsOf(t, ChanHygiene, opsPkg(`package ops
+
+// A drain helper that forgets its completion accounting: the edge can be
+// closed under it and nothing can wait for the spill to finish.
+func drainAsync(ch chan int, sink func(int)) {
+	go func() {
+		for v := range ch {
+			sink(v)
+		}
+	}()
+}
+`), "fixture/internal/ops")
+	wantFindings(t, got, "goroutine without completion accounting")
+}
+
+func TestChanHygieneCleanOpsEdge(t *testing.T) {
+	got := findingsOf(t, ChanHygiene, opsPkg(`package ops
+
+// The Block-policy edge shape: the owner makes the channel, the producing
+// side closes it, and the feeder goroutine signals a done channel.
+type edge struct {
+	ch chan int
+}
+
+func newEdge(capacity int) *edge {
+	return &edge{ch: make(chan int, capacity)}
+}
+
+func (e *edge) send(v int) { e.ch <- v }
+
+func (e *edge) close() { close(e.ch) }
+
+func feed(e *edge, items []int) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, v := range items {
+			e.send(v)
+		}
+		e.close()
+	}()
+	return done
+}
+`), "fixture/internal/ops")
+	wantFindings(t, got)
+}

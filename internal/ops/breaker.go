@@ -1,0 +1,160 @@
+package ops
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOpen is returned by Breaker.Do (without invoking the operation) while
+// the breaker is open and the cooldown has not elapsed, and by concurrent
+// callers while a half-open probe is in flight.
+var ErrOpen = errors.New("ops: circuit breaker is open")
+
+// State is a breaker's position in the closed/open/half-open protocol.
+type State uint8
+
+const (
+	// Closed passes every call through, counting consecutive failures.
+	Closed State = iota
+	// Open fails every call fast with ErrOpen until the cooldown elapses.
+	Open
+	// HalfOpen admits a single probe call: success closes the breaker,
+	// failure re-opens it and restarts the cooldown.
+	HalfOpen
+)
+
+// String returns the conventional lowercase state name.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig configures a Breaker; the zero value selects the defaults
+// noted per field.
+type BreakerConfig struct {
+	// Threshold is the number of consecutive failures that trips the
+	// breaker from Closed to Open; 0 selects 5.
+	Threshold int
+	// Cooldown is how long the breaker stays Open before admitting a
+	// half-open probe; 0 selects 100ms.
+	Cooldown time.Duration
+	// Now replaces time.Now for deterministic tests; nil selects time.Now.
+	Now func() time.Time
+}
+
+// Breaker is a circuit breaker guarding a fallible call site (the engine
+// wraps sink deliveries in one per partition). All state lives under one
+// mutex — the engine calls it from a single worker goroutine, but the type
+// is safe for concurrent use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu         sync.Mutex
+	state      State
+	fails      int
+	openedAt   time.Time
+	probing    bool
+	trips      int64
+	recoveries int64
+}
+
+// NewBreaker builds a breaker from cfg.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	b := &Breaker{threshold: cfg.Threshold, cooldown: cfg.Cooldown, now: cfg.Now}
+	if b.threshold <= 0 {
+		b.threshold = 5
+	}
+	if b.cooldown <= 0 {
+		b.cooldown = 100 * time.Millisecond
+	}
+	if b.now == nil {
+		b.now = time.Now
+	}
+	return b
+}
+
+// Do runs op through the breaker. While Open (cooldown pending) it returns
+// ErrOpen without calling op; after the cooldown it admits op as the single
+// half-open probe. op's error (or nil) is returned otherwise.
+func (b *Breaker) Do(op func() error) error {
+	b.mu.Lock()
+	if b.state == Open {
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			b.mu.Unlock()
+			return ErrOpen
+		}
+		b.state = HalfOpen
+	}
+	if b.state == HalfOpen {
+		if b.probing {
+			b.mu.Unlock()
+			return ErrOpen
+		}
+		b.probing = true
+	}
+	b.mu.Unlock()
+
+	err := op()
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if err == nil {
+		if b.state == HalfOpen {
+			b.state = Closed
+			b.recoveries++
+		}
+		b.fails = 0
+		return nil
+	}
+	switch b.state {
+	case HalfOpen:
+		// Failed probe: straight back to Open, fresh cooldown.
+		b.trip()
+	case Closed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip()
+		}
+	}
+	return err
+}
+
+// trip moves to Open; callers hold b.mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.now()
+	b.fails = 0
+	b.trips++
+}
+
+// State reports the breaker's effective state: an Open breaker whose
+// cooldown has elapsed reports HalfOpen, since the next call would be
+// admitted as a probe.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.now().Sub(b.openedAt) >= b.cooldown {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// Counts returns the lifetime number of trips (transitions to Open,
+// including failed probes re-opening) and recoveries (successful probes
+// closing the breaker).
+func (b *Breaker) Counts() (trips, recoveries int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips, b.recoveries
+}

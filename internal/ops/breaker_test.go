@@ -1,0 +1,144 @@
+package ops
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+var errBoom = errors.New("boom")
+
+func failOp() error    { return errBoom }
+func successOp() error { return nil }
+
+func TestBreakerTripsRecoversAndCounts(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Second, Now: clk.now})
+
+	// Three consecutive failures trip it.
+	for i := 0; i < 3; i++ {
+		if b.State() != Closed {
+			t.Fatalf("failure %d: state %v, want closed", i, b.State())
+		}
+		if err := b.Do(failOp); !errors.Is(err, errBoom) {
+			t.Fatalf("failure %d: err %v", i, err)
+		}
+	}
+	if b.State() != Open {
+		t.Fatalf("state %v after threshold, want open", b.State())
+	}
+
+	// Open: fail fast without invoking the op.
+	invoked := false
+	if err := b.Do(func() error { invoked = true; return nil }); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open Do err %v, want ErrOpen", err)
+	}
+	if invoked {
+		t.Fatal("open breaker invoked the operation")
+	}
+
+	// Cooldown elapses: the probe is admitted; a failing probe re-opens.
+	clk.advance(time.Second)
+	if b.State() != HalfOpen {
+		t.Fatalf("state %v after cooldown, want half-open", b.State())
+	}
+	if err := b.Do(failOp); !errors.Is(err, errBoom) {
+		t.Fatalf("probe err %v", err)
+	}
+	if b.State() != Open {
+		t.Fatalf("state %v after failed probe, want open", b.State())
+	}
+
+	// Next probe succeeds: closed again.
+	clk.advance(time.Second)
+	if err := b.Do(successOp); err != nil {
+		t.Fatalf("recovery probe err %v", err)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state %v after successful probe, want closed", b.State())
+	}
+	trips, recoveries := b.Counts()
+	if trips != 2 || recoveries != 1 {
+		t.Fatalf("Counts = %d trips, %d recoveries; want 2, 1", trips, recoveries)
+	}
+
+	// A success resets the consecutive-failure count.
+	if err := b.Do(failOp); err == nil {
+		t.Fatal("want failure")
+	}
+	if err := b.Do(successOp); err != nil {
+		t.Fatalf("success err %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := b.Do(failOp); !errors.Is(err, errBoom) {
+			t.Fatalf("err %v", err)
+		}
+	}
+	if b.State() != Closed {
+		t.Fatalf("state %v, want closed (streak was reset)", b.State())
+	}
+}
+
+func TestGuardRetriesWithCappedBackoff(t *testing.T) {
+	var slept []time.Duration
+	calls := 0
+	g := Guard{Retry: RetryConfig{
+		MaxAttempts: 5,
+		Backoff:     time.Millisecond,
+		MaxBackoff:  3 * time.Millisecond,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	}}
+	attempts, err := g.Do(func() error {
+		calls++
+		if calls < 4 {
+			return errBoom
+		}
+		return nil
+	})
+	if err != nil || attempts != 4 || calls != 4 {
+		t.Fatalf("attempts=%d calls=%d err=%v", attempts, calls, err)
+	}
+	want := []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("slept %v, want %v (capped doubling)", slept, want)
+		}
+	}
+}
+
+func TestGuardExhaustsBudget(t *testing.T) {
+	g := Guard{Retry: RetryConfig{MaxAttempts: 3, Sleep: func(time.Duration) {}}}
+	attempts, err := g.Do(failOp)
+	if !errors.Is(err, errBoom) || attempts != 3 {
+		t.Fatalf("attempts=%d err=%v, want 3 attempts ending in errBoom", attempts, err)
+	}
+}
+
+func TestGuardFailsFastWhenBreakerOpens(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{Threshold: 2, Cooldown: time.Hour, Now: clk.now})
+	g := Guard{
+		Retry:   RetryConfig{MaxAttempts: 10, Sleep: func(time.Duration) {}},
+		Breaker: b,
+	}
+	calls := 0
+	attempts, err := g.Do(func() error { calls++; return errBoom })
+	// Attempts 1 and 2 reach the op and trip the breaker; attempt 3 fails
+	// fast with ErrOpen, aborting the remaining retry budget.
+	if !errors.Is(err, ErrOpen) || attempts != 3 || calls != 2 {
+		t.Fatalf("attempts=%d calls=%d err=%v, want fast ErrOpen after trip", attempts, calls, err)
+	}
+	attempts, err = g.Do(failOp)
+	if !errors.Is(err, ErrOpen) || attempts != 1 {
+		t.Fatalf("open breaker: attempts=%d err=%v, want immediate ErrOpen", attempts, err)
+	}
+}

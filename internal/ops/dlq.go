@@ -1,0 +1,123 @@
+package ops
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+
+	"scotty/internal/checkpoint"
+)
+
+// Record is one dead-lettered batch: the messages a sink permanently
+// rejected, with enough context to triage or replay them offline.
+type Record struct {
+	// Partition is the pipeline partition that dead-lettered the batch.
+	Partition int
+	// Reason is the final sink error that condemned the batch.
+	Reason string
+	// Count is the number of data tuples in the batch.
+	Count int
+	// Payload is the caller-encoded batch (the engine default is JSON of
+	// the items).
+	Payload []byte
+}
+
+// DLQ is an append-only dead-letter file. Each record is framed as a u32
+// little-endian length followed by a sealed checkpoint envelope (magic,
+// version, CRC — see internal/checkpoint), so a torn tail is detected on
+// read and every intact prefix record stays recoverable. Appends across
+// process crashes are at-least-once: a run that dead-letters a batch and
+// then crashes before its checkpoint will append the batch again on replay.
+type DLQ struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	records int64
+	events  int64
+}
+
+// OpenDLQ opens (creating or appending to) the dead-letter file at path.
+func OpenDLQ(path string) (*DLQ, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ops: open dlq: %w", err)
+	}
+	return &DLQ{f: f, path: path}, nil
+}
+
+// Path returns the file the DLQ appends to.
+func (d *DLQ) Path() string { return d.path }
+
+// Append writes one record. The frame and envelope are assembled into a
+// single Write call, so concurrent appenders (and O_APPEND semantics) never
+// interleave partial records.
+func (d *DLQ) Append(r Record) error {
+	enc := checkpoint.NewEncoder()
+	enc.Int(r.Partition)
+	enc.String(r.Reason)
+	enc.Int(r.Count)
+	enc.Bytes(r.Payload)
+	env := enc.Seal()
+	frame := make([]byte, 4, 4+len(env))
+	binary.LittleEndian.PutUint32(frame, uint32(len(env)))
+	frame = append(frame, env...)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, err := d.f.Write(frame); err != nil {
+		return fmt.Errorf("ops: append dlq record: %w", err)
+	}
+	d.records++
+	d.events += int64(r.Count)
+	return nil
+}
+
+// Counts returns the records and data tuples appended through this handle.
+func (d *DLQ) Counts() (records, events int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.records, d.events
+}
+
+// Close closes the underlying file.
+func (d *DLQ) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Close()
+}
+
+// ReadDLQ decodes every intact record in a dead-letter file. A torn or
+// corrupt tail returns the records decoded before it alongside the error,
+// so crash-truncated queues remain triageable.
+func ReadDLQ(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ops: read dlq: %w", err)
+	}
+	var out []Record
+	for off := 0; off < len(data); {
+		if len(data)-off < 4 {
+			return out, fmt.Errorf("ops: dlq %s: torn frame header at offset %d", path, off)
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		if n > len(data)-off-4 {
+			return out, fmt.Errorf("ops: dlq %s: torn record at offset %d (frame wants %d bytes, %d left)", path, off, n, len(data)-off-4)
+		}
+		dec, err := checkpoint.NewDecoder(data[off+4 : off+4+n])
+		if err != nil {
+			return out, fmt.Errorf("ops: dlq %s: record at offset %d: %w", path, off, err)
+		}
+		r := Record{
+			Partition: dec.Int(),
+			Reason:    dec.String(),
+			Count:     dec.Int(),
+			Payload:   dec.Bytes(),
+		}
+		if err := dec.Err(); err != nil {
+			return out, fmt.Errorf("ops: dlq %s: record at offset %d: %w", path, off, err)
+		}
+		out = append(out, r)
+		off += 4 + n
+	}
+	return out, nil
+}

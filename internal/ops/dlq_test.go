@@ -1,0 +1,92 @@
+package ops
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDLQAppendReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dead.dlq")
+	d, err := OpenDLQ(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Record{
+		{Partition: 0, Reason: "sink timeout", Count: 3, Payload: []byte(`[1,2,3]`)},
+		{Partition: 2, Reason: "circuit open", Count: 1, Payload: []byte(`[9]`)},
+	}
+	for _, r := range want {
+		if err := d.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	records, events := d.Counts()
+	if records != 2 || events != 4 {
+		t.Fatalf("Counts = %d, %d; want 2, 4", records, events)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and append again: the file must accumulate.
+	d2, err := OpenDLQ(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Append(Record{Partition: 1, Reason: "boom", Count: 2, Payload: []byte(`[4,5]`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadDLQ(path)
+	if err != nil {
+		t.Fatalf("ReadDLQ: %v", err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("read %d records, want 3", len(got))
+	}
+	for i, r := range want {
+		if got[i].Partition != r.Partition || got[i].Reason != r.Reason ||
+			got[i].Count != r.Count || string(got[i].Payload) != string(r.Payload) {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], r)
+		}
+	}
+	if got[2].Reason != "boom" || got[2].Count != 2 {
+		t.Fatalf("appended record: %+v", got[2])
+	}
+}
+
+func TestReadDLQDetectsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dead.dlq")
+	d, err := OpenDLQ(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append(Record{Partition: 0, Reason: "ok", Count: 1, Payload: []byte(`[1]`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append(Record{Partition: 0, Reason: "torn", Count: 1, Payload: []byte(`[2]`)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate mid-way through the second record, simulating a crash.
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDLQ(path)
+	if err == nil {
+		t.Fatal("ReadDLQ accepted a torn tail")
+	}
+	if len(got) != 1 || got[0].Reason != "ok" {
+		t.Fatalf("intact prefix lost: got %+v", got)
+	}
+}

@@ -1,0 +1,316 @@
+package ops
+
+import "sync"
+
+// EdgeConfig configures one Edge.
+type EdgeConfig[T any] struct {
+	// Capacity is the buffer size in messages; it must be positive. The
+	// edge never holds more than Capacity messages — bounded memory by
+	// construction for every policy.
+	Capacity int
+	// Policy selects the overload behavior; the zero value is Block.
+	Policy Policy
+	// CanDrop, when non-nil, marks which messages a dropping policy may
+	// discard. Messages it rejects are treated like SendMust traffic:
+	// DropOldest never evicts them and Shed/DropNewest never drop them on
+	// arrival. A nil CanDrop makes every Send-ed message droppable.
+	CanDrop func(T) bool
+	// OnDrop, when non-nil, observes every dropped message (eviction or
+	// rejection). It runs outside the edge lock, on the goroutine that
+	// caused the drop, so it may recycle buffers or bump counters freely.
+	OnDrop func(T)
+	// ShedLowWater is the occupancy fraction (0..1) where Shed starts
+	// dropping; 0 selects 0.5. Ignored by other policies.
+	ShedLowWater float64
+	// Seed seeds Shed's deterministic xorshift PRNG; 0 selects a fixed
+	// default so runs are reproducible by default.
+	Seed uint64
+}
+
+// Edge is a bounded single-producer-friendly (but fully concurrency-safe)
+// queue with an explicit backpressure policy. Block edges are a thin wrapper
+// over a buffered channel — identical semantics and performance to the
+// engine's original partition channels. The dropping policies use a fixed-
+// capacity ring under a mutex, so resident memory is bounded by Capacity
+// regardless of producer speed.
+type Edge[T any] struct {
+	policy  Policy
+	canDrop func(T) bool
+	onDrop  func(T)
+	shedLow float64
+
+	ch chan T // Block fast path; nil for ring policies
+
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	buf      []T
+	head     int
+	n        int
+	closed   bool
+	rng      uint64
+	maxLen   int
+	dropped  int64
+}
+
+// NewEdge builds an edge; a non-positive Capacity panics (programming error).
+func NewEdge[T any](cfg EdgeConfig[T]) *Edge[T] {
+	if cfg.Capacity <= 0 {
+		panic("ops: EdgeConfig.Capacity must be positive")
+	}
+	e := &Edge[T]{
+		policy:  cfg.Policy,
+		canDrop: cfg.CanDrop,
+		onDrop:  cfg.OnDrop,
+		shedLow: cfg.ShedLowWater,
+	}
+	if e.shedLow <= 0 {
+		e.shedLow = 0.5
+	}
+	if e.shedLow > 1 {
+		e.shedLow = 1
+	}
+	if cfg.Policy == Block {
+		e.ch = make(chan T, cfg.Capacity)
+		return e
+	}
+	e.buf = make([]T, cfg.Capacity)
+	e.notFull = sync.NewCond(&e.mu)
+	e.notEmpty = sync.NewCond(&e.mu)
+	e.rng = cfg.Seed
+	if e.rng == 0 {
+		e.rng = 0x9E3779B97F4A7C15
+	}
+	return e
+}
+
+// rand01 is a deterministic xorshift64* in [0,1); callers hold e.mu.
+func (e *Edge[T]) rand01() float64 {
+	x := e.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	e.rng = x
+	return float64(x*0x2545F4914F6CDD1D>>11) / float64(1<<53)
+}
+
+// push appends m; callers hold e.mu and have verified free space.
+func (e *Edge[T]) push(m T) {
+	e.buf[(e.head+e.n)%len(e.buf)] = m
+	e.n++
+	if e.n > e.maxLen {
+		e.maxLen = e.n
+	}
+	e.notEmpty.Signal()
+}
+
+// pop removes and returns the head; callers hold e.mu and have verified n>0.
+func (e *Edge[T]) pop() T {
+	var zero T
+	m := e.buf[e.head]
+	e.buf[e.head] = zero
+	e.head = (e.head + 1) % len(e.buf)
+	e.n--
+	e.notFull.Signal()
+	return m
+}
+
+// evictOldest removes and returns the oldest droppable message, scanning from
+// the head; callers hold e.mu. ok is false when every queued message is
+// undroppable control traffic.
+func (e *Edge[T]) evictOldest() (T, bool) {
+	var zero T
+	for i := 0; i < e.n; i++ {
+		j := (e.head + i) % len(e.buf)
+		if e.canDrop != nil && !e.canDrop(e.buf[j]) {
+			continue
+		}
+		victim := e.buf[j]
+		for k := i; k < e.n-1; k++ {
+			a := (e.head + k) % len(e.buf)
+			b := (e.head + k + 1) % len(e.buf)
+			e.buf[a] = e.buf[b]
+		}
+		e.buf[(e.head+e.n-1)%len(e.buf)] = zero
+		e.n--
+		return victim, true
+	}
+	return zero, false
+}
+
+// droppable reports whether the policy may discard m.
+func (e *Edge[T]) droppable(m T) bool {
+	return e.canDrop == nil || e.canDrop(m)
+}
+
+// Send enqueues m under the edge's policy. It may drop m (or an older queued
+// message) per the policy; every drop is counted and reported through OnDrop.
+// Sending on a closed edge panics, mirroring channel semantics.
+func (e *Edge[T]) Send(m T) {
+	if e.ch != nil {
+		e.ch <- m
+		return
+	}
+	if !e.droppable(m) {
+		e.SendMust(m)
+		return
+	}
+	var victim T
+	haveVictim := false
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		panic("ops: send on closed edge")
+	}
+	switch e.policy {
+	case DropNewest:
+		if e.n == len(e.buf) {
+			e.dropped++
+			e.mu.Unlock()
+			if e.onDrop != nil {
+				e.onDrop(m)
+			}
+			return
+		}
+		e.push(m)
+	case DropOldest:
+		if e.n == len(e.buf) {
+			if v, ok := e.evictOldest(); ok {
+				victim, haveVictim = v, true
+				e.dropped++
+			} else {
+				e.waitNotFull()
+			}
+		}
+		e.push(m)
+	default: // Shed
+		if occ := float64(e.n) / float64(len(e.buf)); occ > e.shedLow {
+			// occ > shedLow implies shedLow < 1, so the slope is finite.
+			p := (occ - e.shedLow) / (1 - e.shedLow)
+			if e.rand01() < p {
+				e.dropped++
+				e.mu.Unlock()
+				if e.onDrop != nil {
+					e.onDrop(m)
+				}
+				return
+			}
+		}
+		if e.n == len(e.buf) {
+			e.waitNotFull()
+		}
+		e.push(m)
+	}
+	e.mu.Unlock()
+	if haveVictim && e.onDrop != nil {
+		e.onDrop(victim)
+	}
+}
+
+// waitNotFull blocks until there is free space; callers hold e.mu.
+func (e *Edge[T]) waitNotFull() {
+	for e.n == len(e.buf) && !e.closed {
+		e.notFull.Wait()
+	}
+	if e.closed {
+		e.mu.Unlock()
+		panic("ops: send on closed edge")
+	}
+}
+
+// SendMust enqueues m with Block semantics regardless of policy: it waits for
+// free space and is never dropped. Control traffic (watermarks, checkpoint
+// barriers) travels through it so dropping policies cannot disturb progress
+// or alignment.
+func (e *Edge[T]) SendMust(m T) {
+	if e.ch != nil {
+		e.ch <- m
+		return
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		panic("ops: send on closed edge")
+	}
+	if e.n == len(e.buf) {
+		e.waitNotFull()
+	}
+	e.push(m)
+	e.mu.Unlock()
+}
+
+// Recv dequeues the oldest message, blocking while the edge is empty and
+// open. ok is false once the edge is closed and drained — the channel
+// contract, so worker loops translate directly.
+func (e *Edge[T]) Recv() (T, bool) {
+	if e.ch != nil {
+		m, ok := <-e.ch
+		return m, ok
+	}
+	e.mu.Lock()
+	for e.n == 0 && !e.closed {
+		e.notEmpty.Wait()
+	}
+	if e.n == 0 {
+		e.mu.Unlock()
+		var zero T
+		return zero, false
+	}
+	m := e.pop()
+	e.mu.Unlock()
+	return m, true
+}
+
+// Close marks the edge closed; queued messages remain receivable.
+func (e *Edge[T]) Close() {
+	if e.ch != nil {
+		close(e.ch)
+		return
+	}
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.notEmpty.Broadcast()
+	e.notFull.Broadcast()
+}
+
+// Len returns the current queue length in messages.
+func (e *Edge[T]) Len() int {
+	if e.ch != nil {
+		return len(e.ch)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}
+
+// Cap returns the configured capacity.
+func (e *Edge[T]) Cap() int {
+	if e.ch != nil {
+		return cap(e.ch)
+	}
+	return len(e.buf)
+}
+
+// Dropped returns the number of messages this edge dropped (ring policies
+// only; Block never drops).
+func (e *Edge[T]) Dropped() int64 {
+	if e.ch != nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.dropped
+}
+
+// MaxLen returns the high-water queue length observed (ring policies only;
+// for Block it reports the capacity bound, which the channel enforces). It
+// is how tests assert resident queue memory stayed bounded.
+func (e *Edge[T]) MaxLen() int {
+	if e.ch != nil {
+		return cap(e.ch)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.maxLen
+}

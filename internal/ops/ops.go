@@ -1,0 +1,71 @@
+// Package ops is the composable operator layer between the stream source and
+// the slicing core. It supplies the connective tissue a production pipeline
+// needs around the window operators — bounded edges with an explicit
+// backpressure policy, retry with capped exponential backoff, a circuit
+// breaker for fallible sinks, and a dead-letter queue — while leaving the
+// slicing core untouched. The engine composes these pieces per partition
+// (see internal/engine), and every drop or dead-letter is counted, never
+// silent: the pipeline invariant is
+//
+//	events_in == events_processed + events_dropped + events_dead_lettered
+//
+// Policies degrade differently under overload: Block preserves completeness
+// by stalling the producer (today's channel semantics), DropOldest keeps the
+// freshest data by evicting the head of the queue, DropNewest keeps the
+// oldest in-flight data by rejecting arrivals, and Shed drops arrivals
+// probabilistically as occupancy climbs so the queue never saturates
+// abruptly. Control messages (watermarks, checkpoint barriers) are never
+// dropped under any policy.
+package ops
+
+import "fmt"
+
+// Policy selects how an Edge behaves when its buffer is full (or, for Shed,
+// as it fills).
+type Policy uint8
+
+const (
+	// Block makes Send wait for free space — the classic bounded-channel
+	// semantics; no message is ever dropped.
+	Block Policy = iota
+	// DropOldest evicts the oldest droppable message to admit a new one,
+	// keeping the queue biased toward fresh data.
+	DropOldest
+	// DropNewest rejects the arriving message when the buffer is full,
+	// keeping the queue biased toward old in-flight data.
+	DropNewest
+	// Shed drops arriving messages probabilistically: the drop probability
+	// rises linearly from 0 at the low-water occupancy to 1 at a full
+	// buffer, so load shedding engages smoothly before saturation.
+	Shed
+)
+
+// String returns the flag-spelling of the policy.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropOldest:
+		return "drop-oldest"
+	case DropNewest:
+		return "drop-newest"
+	case Shed:
+		return "shed"
+	}
+	return fmt.Sprintf("policy(%d)", uint8(p))
+}
+
+// ParsePolicy parses the flag-spelling produced by String.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "drop-oldest":
+		return DropOldest, nil
+	case "drop-newest":
+		return DropNewest, nil
+	case "shed":
+		return Shed, nil
+	}
+	return Block, fmt.Errorf("ops: unknown backpressure policy %q (want block, drop-oldest, drop-newest, or shed)", s)
+}

@@ -1,0 +1,70 @@
+package ops
+
+import (
+	"errors"
+	"time"
+)
+
+// RetryConfig configures retry-with-capped-exponential-backoff; the zero
+// value selects the defaults noted per field.
+type RetryConfig struct {
+	// MaxAttempts is the total number of tries including the first;
+	// 0 selects 4, 1 disables retries.
+	MaxAttempts int
+	// Backoff is the delay before the first retry, doubling per attempt;
+	// 0 selects 1ms.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling; 0 selects 100ms.
+	MaxBackoff time.Duration
+	// Sleep replaces time.Sleep between attempts; nil selects time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// Guard composes the retry and circuit-breaker operators around one fallible
+// call site. The zero value (default retry budget, no breaker) is usable.
+type Guard struct {
+	Retry   RetryConfig
+	Breaker *Breaker // optional; nil skips breaker mediation
+}
+
+// Do runs op until it succeeds, the retry budget is exhausted, or the
+// breaker opens. It returns the number of attempts actually admitted to op
+// (a fast-failed ErrOpen call counts as one attempt at the guard) and the
+// final error, nil on success. ErrOpen is returned immediately without
+// burning the remaining retry budget: when the breaker has opened, backing
+// off inside the guard would only stall the caller's queue — the caller
+// decides whether to drop, dead-letter, or come back later.
+func (g Guard) Do(op func() error) (attempts int, err error) {
+	max := g.Retry.MaxAttempts
+	if max <= 0 {
+		max = 4
+	}
+	backoff := g.Retry.Backoff
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	maxBackoff := g.Retry.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = 100 * time.Millisecond
+	}
+	sleep := g.Retry.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	for {
+		attempts++
+		if g.Breaker != nil {
+			err = g.Breaker.Do(op)
+		} else {
+			err = op()
+		}
+		if err == nil || errors.Is(err, ErrOpen) || attempts >= max {
+			return attempts, err
+		}
+		sleep(backoff)
+		backoff *= 2
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}

@@ -17,10 +17,20 @@ go run ./cmd/slicelint ./...
 echo '== go test ./...'
 go test ./...
 
-echo '== go test -race -short (engine, core, stream, obs)'
+echo '== go test -shuffle=on (order-independence; skip with SKIP_SHUFFLE=1)'
+# Shuffled test order shakes out hidden inter-test state (shared registries,
+# leaked goroutines, working-directory residue) that fixed order can mask.
+if [ "${SKIP_SHUFFLE:-0}" = "1" ]; then
+  echo 'skipped (SKIP_SHUFFLE=1)'
+else
+  go test -shuffle=on -count=1 ./...
+fi
+
+echo '== go test -race -short (engine, ops, core, stream, obs)'
 # The engine leg covers the batched pipeline too (BatchProcessor handoff,
-# buffer-pool recycling, keyed ProcessBatch behind parallel partitions).
-go test -race -short ./internal/engine ./internal/core ./internal/stream ./internal/obs
+# buffer-pool recycling, keyed ProcessBatch behind parallel partitions); the
+# ops leg hammers the backpressure edges, breaker, and DLQ under concurrency.
+go test -race -short ./internal/engine ./internal/ops ./internal/core ./internal/stream ./internal/obs
 
 echo '== chaos: crash/torn-snapshot/barrier-fault equivalence'
 # The fault-injection harness kills every technique at seeded points and
